@@ -1,0 +1,115 @@
+// EXP-A: the complexity behaviour the paper states in Section 3.3 —
+// "our method can be turned into an algorithm running in exponential time
+// with respect to the size of the schema".
+//
+// Sweeps the number of classes, measuring expansion construction and the
+// full satisfiability pipeline. Note the direction of the effect: with no
+// ISA statements *every* nonempty subset of classes is a consistent
+// compound class, so the expansion is largest; ISA statements (and, in
+// the ablation bench, disjointness) prune it. The compound-class and
+// compound-relationship counts are reported as counters so the
+// exponential growth is visible next to the wall-clock.
+
+#include <benchmark/benchmark.h>
+
+#include "src/crsat.h"
+
+namespace {
+
+crsat::Schema MakeSchema(int num_classes, double isa_density,
+                         std::uint32_t seed) {
+  crsat::RandomSchemaParams params;
+  params.seed = seed;
+  params.num_classes = num_classes;
+  params.num_relationships = 3;
+  params.isa_density = isa_density;
+  params.primary_card_probability = 0.8;
+  params.refinement_probability = isa_density > 0 ? 0.4 : 0.0;
+  return crsat::GenerateRandomSchema(params).value();
+}
+
+void BM_ExpansionIsaFree(benchmark::State& state) {
+  crsat::Schema schema =
+      MakeSchema(static_cast<int>(state.range(0)), 0.0, 11);
+  size_t classes = 0;
+  size_t relationships = 0;
+  for (auto _ : state) {
+    crsat::Expansion expansion = crsat::Expansion::Build(schema).value();
+    classes = expansion.classes().size();
+    relationships = expansion.relationships().size();
+    benchmark::DoNotOptimize(expansion);
+  }
+  state.counters["compound_classes"] = static_cast<double>(classes);
+  state.counters["compound_rels"] = static_cast<double>(relationships);
+}
+BENCHMARK(BM_ExpansionIsaFree)->DenseRange(4, 8, 2);
+
+void BM_ExpansionWithIsa(benchmark::State& state) {
+  crsat::Schema schema =
+      MakeSchema(static_cast<int>(state.range(0)), 0.25, 11);
+  size_t classes = 0;
+  size_t relationships = 0;
+  for (auto _ : state) {
+    crsat::Expansion expansion = crsat::Expansion::Build(schema).value();
+    classes = expansion.classes().size();
+    relationships = expansion.relationships().size();
+    benchmark::DoNotOptimize(expansion);
+  }
+  state.counters["compound_classes"] = static_cast<double>(classes);
+  state.counters["compound_rels"] = static_cast<double>(relationships);
+}
+BENCHMARK(BM_ExpansionWithIsa)->DenseRange(4, 10, 2);
+
+void BM_SatisfiabilityIsaFree(benchmark::State& state) {
+  crsat::Schema schema =
+      MakeSchema(static_cast<int>(state.range(0)), 0.0, 13);
+  for (auto _ : state) {
+    crsat::Expansion expansion = crsat::Expansion::Build(schema).value();
+    crsat::SatisfiabilityChecker checker(expansion);
+    benchmark::DoNotOptimize(checker.SatisfiableClasses().value());
+  }
+}
+BENCHMARK(BM_SatisfiabilityIsaFree)->DenseRange(3, 5, 1);
+
+void BM_SatisfiabilityWithIsa(benchmark::State& state) {
+  crsat::Schema schema =
+      MakeSchema(static_cast<int>(state.range(0)), 0.25, 13);
+  for (auto _ : state) {
+    crsat::Expansion expansion = crsat::Expansion::Build(schema).value();
+    crsat::SatisfiabilityChecker checker(expansion);
+    benchmark::DoNotOptimize(checker.SatisfiableClasses().value());
+  }
+}
+BENCHMARK(BM_SatisfiabilityWithIsa)->DenseRange(3, 6, 1);
+
+// Depth of the ISA chain matters less than breadth: a single chain of n
+// classes has only n consistent "prefix" compound classes, so the method
+// stays polynomial on chains — an instance of the Section 5 remark that
+// schema structure can simplify the system.
+void BM_SatisfiabilityIsaChain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  crsat::SchemaBuilder builder;
+  for (int i = 0; i < n; ++i) {
+    builder.AddClass("C" + std::to_string(i));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    builder.AddIsa("C" + std::to_string(i), "C" + std::to_string(i + 1));
+  }
+  builder.AddRelationship("R", {{"U", "C0"}, {"V", "C" + std::to_string(n - 1)}});
+  builder.SetCardinality("C0", "R", "U", {1, 2});
+  builder.SetCardinality("C" + std::to_string(n - 1), "R", "V", {1, 2});
+  crsat::Schema schema = builder.Build().value();
+  size_t classes = 0;
+  for (auto _ : state) {
+    crsat::Expansion expansion = crsat::Expansion::Build(schema).value();
+    classes = expansion.classes().size();
+    crsat::SatisfiabilityChecker checker(expansion);
+    benchmark::DoNotOptimize(checker.SatisfiableClasses().value());
+  }
+  state.counters["compound_classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_SatisfiabilityIsaChain)->DenseRange(4, 24, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// EXP-D: the LP phase. Section 3.3 rests on the classical result that
+// "checking whether a system of linear homogeneous disequations admits a
+// solution can be done in polynomial time"; this bench measures our exact
+// rational simplex on random homogeneous systems of the same shape the
+// reasoner produces (sums of relationship unknowns bounded by multiples
+// of class unknowns), plus the Fourier-Motzkin cross-checking solver on
+// small instances to expose its exponential blowup.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "src/crsat.h"
+
+namespace {
+
+// Builds a random homogeneous system shaped like Psi_S: `classes` class
+// variables, `rels` relationship variables, and for each class variable a
+// pair of minc/maxc rows against a random subset of relationship
+// variables.
+crsat::LinearSystem RandomConicSystem(int classes, int rels,
+                                      std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  crsat::LinearSystem system;
+  std::vector<crsat::VarId> class_vars;
+  std::vector<crsat::VarId> rel_vars;
+  for (int i = 0; i < classes; ++i) {
+    class_vars.push_back(system.AddVariable("c" + std::to_string(i)));
+  }
+  for (int i = 0; i < rels; ++i) {
+    rel_vars.push_back(system.AddVariable("r" + std::to_string(i)));
+  }
+  for (int i = 0; i < classes; ++i) {
+    crsat::LinearExpr sum;
+    for (crsat::VarId rel_var : rel_vars) {
+      if (rng() % 3 == 0) {
+        sum.AddTerm(rel_var, crsat::Rational(1));
+      }
+    }
+    if (sum.IsZero()) {
+      sum.AddTerm(rel_vars[rng() % rel_vars.size()], crsat::Rational(1));
+    }
+    std::int64_t min = 1 + static_cast<std::int64_t>(rng() % 3);
+    std::int64_t max = min + static_cast<std::int64_t>(rng() % 3);
+    crsat::LinearExpr min_row = sum;
+    min_row.AddTerm(class_vars[i], crsat::Rational(-min));
+    system.AddGe(std::move(min_row));
+    crsat::LinearExpr max_row = -sum;
+    max_row.AddTerm(class_vars[i], crsat::Rational(max));
+    system.AddGe(std::move(max_row));
+  }
+  return system;
+}
+
+void BM_SimplexFeasibility(benchmark::State& state) {
+  int classes = static_cast<int>(state.range(0));
+  crsat::LinearSystem system = RandomConicSystem(classes, classes * 4, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crsat::SimplexSolver::CheckFeasibility(system).value());
+  }
+  state.counters["vars"] = static_cast<double>(system.num_variables());
+  state.counters["rows"] = static_cast<double>(system.num_constraints());
+}
+BENCHMARK(BM_SimplexFeasibility)->DenseRange(4, 32, 4);
+
+void BM_SimplexWithStrictTarget(benchmark::State& state) {
+  // The exact probe the satisfiability fixpoint performs: pin a target
+  // variable to >= 1 and check feasibility.
+  int classes = static_cast<int>(state.range(0));
+  crsat::LinearSystem system = RandomConicSystem(classes, classes * 4, 37);
+  crsat::LinearExpr target = crsat::LinearExpr::Var(0);
+  target.AddConstant(crsat::Rational(-1));
+  system.AddGe(std::move(target));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crsat::SimplexSolver::CheckFeasibility(system).value());
+  }
+}
+BENCHMARK(BM_SimplexWithStrictTarget)->DenseRange(4, 32, 4);
+
+void BM_MaximalSupport(benchmark::State& state) {
+  int classes = static_cast<int>(state.range(0));
+  crsat::LinearSystem system = RandomConicSystem(classes, classes * 4, 41);
+  std::vector<bool> forced(system.num_variables(), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crsat::ComputeMaximalSupport(system, forced).value());
+  }
+}
+BENCHMARK(BM_MaximalSupport)->DenseRange(4, 16, 4);
+
+void BM_FourierMotzkin(benchmark::State& state) {
+  // The cross-checking solver: doubly exponential in eliminated
+  // variables; usable only on small systems, as the range shows.
+  int classes = static_cast<int>(state.range(0));
+  crsat::LinearSystem system = RandomConicSystem(classes, classes * 2, 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crsat::FourierMotzkinSolver::Solve(system).value());
+  }
+}
+BENCHMARK(BM_FourierMotzkin)->DenseRange(2, 6, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,293 @@
+// crsat_cli — command-line front end for the reasoner.
+//
+// Usage:
+//   crsat_cli check <schema-file>        satisfiability of every class
+//   crsat_cli expand <schema-file>       print the expansion (Figure 4 style)
+//   crsat_cli system <schema-file>       print the disequation system
+//   crsat_cli model <schema-file> <Class>    materialize + print a model
+//   crsat_cli debug <schema-file> <Class>    minimal unsat core
+//   crsat_cli implies <schema-file> isa <Sub> <Super>
+//   crsat_cli implies <schema-file> card <Class> <Rel> <Role>
+//       (prints the tightest implied (min, max) for the triple)
+//   crsat_cli checkstate <schema-file> <state-file>
+//       (integrity check: is the database state a model of the schema?)
+//   crsat_cli report <schema-file>   implied-cardinality table (Figure 7
+//                                    generalized to every legal triple)
+//   crsat_cli dot <schema-file>      Graphviz ER diagram on stdout
+//
+// Schema files use the DSL documented in src/cr/schema_text.h; state
+// files the DSL in src/cr/state_text.h. Samples live in
+// examples/schemas/.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/crsat.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  crsat_cli check  <schema-file>\n"
+         "  crsat_cli expand <schema-file>\n"
+         "  crsat_cli system <schema-file>\n"
+         "  crsat_cli model  <schema-file> <Class>\n"
+         "  crsat_cli debug  <schema-file> <Class>\n"
+         "  crsat_cli implies <schema-file> isa <Sub> <Super>\n"
+         "  crsat_cli implies <schema-file> card <Class> <Rel> <Role>\n"
+         "  crsat_cli checkstate <schema-file> <state-file>\n"
+         "  crsat_cli report <schema-file>\n"
+         "  crsat_cli dot <schema-file>\n";
+  return EXIT_FAILURE;
+}
+
+crsat::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return crsat::NotFoundError("cannot open file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+crsat::Result<crsat::NamedSchema> LoadSchema(const std::string& path) {
+  crsat::Result<std::string> text = ReadFile(path);
+  if (!text.ok()) {
+    return text.status();
+  }
+  return crsat::ParseSchema(*text);
+}
+
+int RunCheckState(const crsat::NamedSchema& parsed,
+                  const std::string& state_path) {
+  crsat::Result<std::string> text = ReadFile(state_path);
+  if (!text.ok()) {
+    std::cerr << text.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  crsat::Result<crsat::NamedState> state =
+      crsat::ParseState(*text, parsed.schema);
+  if (!state.ok()) {
+    std::cerr << state.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  if (state->schema_name != parsed.name) {
+    std::cerr << "warning: state declares schema '" << state->schema_name
+              << "' but the loaded schema is '" << parsed.name << "'\n";
+  }
+  std::vector<std::string> violations =
+      crsat::ModelChecker::Violations(parsed.schema, state->interpretation);
+  if (violations.empty()) {
+    std::cout << "state '" << state->name << "' is a model of schema '"
+              << parsed.name << "' (" << state->interpretation.domain_size()
+              << " individuals)\n";
+    return EXIT_SUCCESS;
+  }
+  std::cout << "state '" << state->name << "' violates schema '"
+            << parsed.name << "':\n";
+  for (const std::string& violation : violations) {
+    std::cout << "  - " << violation << "\n";
+  }
+  return EXIT_FAILURE;
+}
+
+crsat::Result<crsat::ClassId> ResolveClass(const crsat::Schema& schema,
+                                           const std::string& name) {
+  std::optional<crsat::ClassId> cls = schema.FindClass(name);
+  if (!cls.has_value()) {
+    return crsat::NotFoundError("no class named '" + name + "'");
+  }
+  return *cls;
+}
+
+int RunCheck(const crsat::Schema& schema) {
+  crsat::Result<crsat::Expansion> expansion = crsat::Expansion::Build(schema);
+  if (!expansion.ok()) {
+    std::cerr << expansion.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  crsat::SatisfiabilityChecker checker(*expansion);
+  crsat::Result<std::vector<bool>> satisfiable = checker.SatisfiableClasses();
+  if (!satisfiable.ok()) {
+    std::cerr << satisfiable.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  bool all_ok = true;
+  for (crsat::ClassId cls : schema.AllClasses()) {
+    bool ok = (*satisfiable)[cls.value];
+    all_ok = all_ok && ok;
+    std::cout << (ok ? "  satisfiable    " : "  UNSATISFIABLE  ")
+              << schema.ClassName(cls) << "\n";
+  }
+  std::cout << (all_ok ? "schema is strongly satisfiable"
+                       : "schema has unpopulatable classes (see 'debug')")
+            << "\n";
+  return EXIT_SUCCESS;
+}
+
+int RunModel(const crsat::Schema& schema, const std::string& class_name) {
+  crsat::Result<crsat::ClassId> cls = ResolveClass(schema, class_name);
+  if (!cls.ok()) {
+    std::cerr << cls.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  crsat::Result<crsat::Expansion> expansion = crsat::Expansion::Build(schema);
+  if (!expansion.ok()) {
+    std::cerr << expansion.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  crsat::SatisfiabilityChecker checker(*expansion);
+  crsat::Result<crsat::Interpretation> model =
+      crsat::ModelBuilder::BuildModelForClass(checker, *cls);
+  if (!model.ok()) {
+    std::cerr << model.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << model->ToString();
+  return EXIT_SUCCESS;
+}
+
+int RunDebug(const crsat::Schema& schema, const std::string& class_name) {
+  crsat::Result<crsat::ClassId> cls = ResolveClass(schema, class_name);
+  if (!cls.ok()) {
+    std::cerr << cls.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  crsat::Result<crsat::UnsatCore> core = crsat::MinimizeUnsatCore(schema, *cls);
+  if (!core.ok()) {
+    std::cerr << core.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "class '" << class_name
+            << "' is unsatisfiable; minimal explanation ("
+            << core->constraints.size() << " constraints):\n";
+  for (const crsat::CoreConstraint& constraint : core->constraints) {
+    std::cout << "  - " << constraint.description << "\n";
+  }
+  crsat::Result<std::vector<crsat::RepairSuggestion>> repairs =
+      crsat::SuggestRepairs(schema, *cls);
+  if (repairs.ok() && !repairs->empty()) {
+    std::cout << "smallest single-constraint repairs:\n";
+    for (const crsat::RepairSuggestion& suggestion : *repairs) {
+      std::cout << "  * " << suggestion.description << "\n";
+    }
+  }
+  return EXIT_SUCCESS;
+}
+
+int RunImplies(const crsat::Schema& schema, int argc, char** argv) {
+  const std::string mode = argv[3];
+  if (mode == "isa" && argc == 6) {
+    crsat::Result<crsat::ClassId> sub = ResolveClass(schema, argv[4]);
+    crsat::Result<crsat::ClassId> super = ResolveClass(schema, argv[5]);
+    if (!sub.ok() || !super.ok()) {
+      std::cerr << (sub.ok() ? super.status() : sub.status()) << "\n";
+      return EXIT_FAILURE;
+    }
+    crsat::Result<bool> implied =
+        crsat::ImplicationChecker::ImpliesIsa(schema, *sub, *super);
+    if (!implied.ok()) {
+      std::cerr << implied.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << argv[4] << " <= " << argv[5] << ": "
+              << (*implied ? "implied" : "not implied") << "\n";
+    return EXIT_SUCCESS;
+  }
+  if (mode == "card" && argc == 7) {
+    crsat::Result<crsat::ClassId> cls = ResolveClass(schema, argv[4]);
+    std::optional<crsat::RelationshipId> rel = schema.FindRelationship(argv[5]);
+    std::optional<crsat::RoleId> role = schema.FindRole(argv[6]);
+    if (!cls.ok() || !rel.has_value() || !role.has_value()) {
+      std::cerr << "unknown class, relationship or role\n";
+      return EXIT_FAILURE;
+    }
+    crsat::Result<std::uint64_t> min =
+        crsat::ImplicationChecker::TightestImpliedMin(schema, *cls, *rel,
+                                                      *role);
+    crsat::Result<std::optional<std::uint64_t>> max =
+        crsat::ImplicationChecker::TightestImpliedMax(schema, *cls, *rel,
+                                                      *role);
+    if (!min.ok() || !max.ok()) {
+      std::cerr << (min.ok() ? max.status() : min.status()) << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << "tightest implied cardinality of (" << argv[4] << ", "
+              << argv[5] << ", " << argv[6] << "): (" << *min << ", "
+              << (max->has_value() ? std::to_string(**max) : "*") << ")\n";
+    return EXIT_SUCCESS;
+  }
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  crsat::Result<crsat::NamedSchema> parsed = LoadSchema(argv[2]);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  const crsat::Schema& schema = parsed->schema;
+
+  if (command == "check") {
+    return RunCheck(schema);
+  }
+  if (command == "expand") {
+    crsat::Result<crsat::Expansion> expansion =
+        crsat::Expansion::Build(schema);
+    if (!expansion.ok()) {
+      std::cerr << expansion.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << expansion->ToString();
+    return EXIT_SUCCESS;
+  }
+  if (command == "system") {
+    crsat::Result<crsat::Expansion> expansion =
+        crsat::Expansion::Build(schema);
+    if (!expansion.ok()) {
+      std::cerr << expansion.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    crsat::SatisfiabilityChecker checker(*expansion);
+    std::cout << checker.cr_system().system.ToString();
+    return EXIT_SUCCESS;
+  }
+  if (command == "model" && argc == 4) {
+    return RunModel(schema, argv[3]);
+  }
+  if (command == "debug" && argc == 4) {
+    return RunDebug(schema, argv[3]);
+  }
+  if (command == "implies" && argc >= 4) {
+    return RunImplies(schema, argc, argv);
+  }
+  if (command == "checkstate" && argc == 4) {
+    return RunCheckState(*parsed, argv[3]);
+  }
+  if (command == "report") {
+    crsat::Result<std::vector<crsat::ImpliedCardinalityRow>> report =
+        crsat::BuildImpliedCardinalityReport(schema);
+    if (!report.ok()) {
+      std::cerr << report.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << crsat::ImpliedCardinalityReportToString(schema, *report);
+    return EXIT_SUCCESS;
+  }
+  if (command == "dot") {
+    std::cout << crsat::SchemaToDot(schema, parsed->name);
+    return EXIT_SUCCESS;
+  }
+  return Usage();
+}

@@ -1,0 +1,12 @@
+// The database state of the paper's Figure 6: John and Mary each hold one
+// talk and participate in the other's. Check it with:
+//   crsat_cli checkstate examples/schemas/meeting.cr \
+//       examples/schemas/figure6_state.cr
+state Figure6 of Meeting {
+  individual John, Mary, talkJ, talkM;
+  class Speaker: John, Mary;
+  class Discussant: John, Mary;
+  class Talk: talkJ, talkM;
+  rel Holds: (John, talkJ), (Mary, talkM);
+  rel Participates: (John, talkM), (Mary, talkJ);
+}

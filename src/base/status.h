@@ -1,0 +1,93 @@
+#ifndef CRSAT_BASE_STATUS_H_
+#define CRSAT_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace crsat {
+
+/// Machine-readable category of a failure reported through `Status`.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument violates the function's contract.
+  kInvalidArgument,
+  /// A referenced entity (class, relationship, role, variable) is unknown.
+  kNotFound,
+  /// An entity with the same name/identity already exists.
+  kAlreadyExists,
+  /// The requested computation is well-defined but could not be completed
+  /// (e.g. best-effort model construction exhausted its retry budget).
+  kUnavailable,
+  /// An internal invariant was violated; indicates a bug in crsat itself.
+  kInternal,
+  /// Input text could not be parsed.
+  kParseError,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a value.
+///
+/// crsat never throws exceptions across its public API; fallible operations
+/// return `Status` (or `Result<T>` when they also produce a value). A
+/// default-constructed `Status` is OK. The class is cheaply copyable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `kOk`; use the default constructor (or `OkStatus()`) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The failure category (kOk on success).
+  StatusCode code() const { return code_; }
+
+  /// The human-readable failure description (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Constructs an OK status. Provided for symmetry with the error factories.
+inline Status OkStatus() { return Status(); }
+
+/// Error-status factories, one per failure category.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+Status ParseError(std::string message);
+
+/// Evaluates `expr` (a `Status` expression) and returns it from the current
+/// function if it is not OK.
+#define CRSAT_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::crsat::Status _crsat_status = (expr);  \
+    if (!_crsat_status.ok()) {               \
+      return _crsat_status;                  \
+    }                                        \
+  } while (false)
+
+}  // namespace crsat
+
+#endif  // CRSAT_BASE_STATUS_H_

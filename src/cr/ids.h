@@ -1,0 +1,53 @@
+#ifndef CRSAT_CR_IDS_H_
+#define CRSAT_CR_IDS_H_
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+
+namespace crsat {
+
+/// Strongly-typed index. `Tag` distinguishes id spaces at compile time so a
+/// `ClassId` cannot be passed where a `RoleId` is expected. A
+/// default-constructed id is invalid (`value == -1`).
+template <typename Tag>
+struct Id {
+  int value = -1;
+
+  Id() = default;
+  explicit Id(int v) : value(v) {}
+
+  bool valid() const { return value >= 0; }
+
+  bool operator==(const Id& other) const { return value == other.value; }
+  bool operator!=(const Id& other) const { return value != other.value; }
+  bool operator<(const Id& other) const { return value < other.value; }
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, const Id<Tag>& id) {
+  return os << id.value;
+}
+
+struct ClassTag {};
+struct RelationshipTag {};
+struct RoleTag {};
+
+/// Index of a class within a `Schema`.
+using ClassId = Id<ClassTag>;
+/// Index of a relationship within a `Schema`.
+using RelationshipId = Id<RelationshipTag>;
+/// Global index of a role within a `Schema` (roles are specific to one
+/// relationship, per Definition 2.1).
+using RoleId = Id<RoleTag>;
+
+}  // namespace crsat
+
+template <typename Tag>
+struct std::hash<crsat::Id<Tag>> {
+  size_t operator()(const crsat::Id<Tag>& id) const {
+    return std::hash<int>()(id.value);
+  }
+};
+
+#endif  // CRSAT_CR_IDS_H_

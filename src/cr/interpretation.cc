@@ -1,0 +1,111 @@
+#include "src/cr/interpretation.h"
+
+namespace crsat {
+
+Interpretation::Interpretation(const Schema& schema)
+    : schema_(&schema),
+      class_extensions_(schema.num_classes()),
+      relationship_extensions_(schema.num_relationships()) {}
+
+Individual Interpretation::AddIndividual(std::string name) {
+  individual_names_.push_back(std::move(name));
+  return static_cast<Individual>(individual_names_.size()) - 1;
+}
+
+std::string Interpretation::IndividualName(Individual individual) const {
+  const std::string& name = individual_names_[individual];
+  if (!name.empty()) {
+    return name;
+  }
+  return "d" + std::to_string(individual);
+}
+
+Status Interpretation::AddToClass(ClassId cls, Individual individual) {
+  if (cls.value < 0 || cls.value >= schema_->num_classes()) {
+    return InvalidArgumentError("AddToClass: class id out of range");
+  }
+  if (individual < 0 || individual >= domain_size()) {
+    return InvalidArgumentError("AddToClass: individual out of range");
+  }
+  class_extensions_[cls.value].insert(individual);
+  return OkStatus();
+}
+
+Status Interpretation::AddTuple(RelationshipId rel,
+                                const std::vector<Individual>& components) {
+  if (rel.value < 0 || rel.value >= schema_->num_relationships()) {
+    return InvalidArgumentError("AddTuple: relationship id out of range");
+  }
+  if (components.size() != schema_->RolesOf(rel).size()) {
+    return InvalidArgumentError(
+        "AddTuple: component count does not match the arity of '" +
+        schema_->RelationshipName(rel) + "'");
+  }
+  for (Individual individual : components) {
+    if (individual < 0 || individual >= domain_size()) {
+      return InvalidArgumentError("AddTuple: individual out of range");
+    }
+  }
+  if (!relationship_extensions_[rel.value].insert(components).second) {
+    return AlreadyExistsError(
+        "AddTuple: duplicate tuple in relationship '" +
+        schema_->RelationshipName(rel) + "' (extensions are sets)");
+  }
+  return OkStatus();
+}
+
+bool Interpretation::IsInstanceOf(ClassId cls, Individual individual) const {
+  return class_extensions_[cls.value].count(individual) > 0;
+}
+
+std::uint64_t Interpretation::CountTuplesAt(RelationshipId rel, int position,
+                                            Individual individual) const {
+  std::uint64_t count = 0;
+  for (const std::vector<Individual>& tuple :
+       relationship_extensions_[rel.value]) {
+    if (tuple[position] == individual) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Interpretation::ToString() const {
+  std::string text;
+  for (int c = 0; c < schema_->num_classes(); ++c) {
+    text += schema_->ClassName(ClassId(c)) + " = {";
+    bool first = true;
+    for (Individual individual : class_extensions_[c]) {
+      if (!first) {
+        text += ", ";
+      }
+      first = false;
+      text += IndividualName(individual);
+    }
+    text += "}\n";
+  }
+  for (int r = 0; r < schema_->num_relationships(); ++r) {
+    RelationshipId rel(r);
+    text += schema_->RelationshipName(rel) + " = {";
+    bool first_tuple = true;
+    for (const std::vector<Individual>& tuple : relationship_extensions_[r]) {
+      if (!first_tuple) {
+        text += ", ";
+      }
+      first_tuple = false;
+      text += "<";
+      const std::vector<RoleId>& roles = schema_->RolesOf(rel);
+      for (size_t k = 0; k < tuple.size(); ++k) {
+        if (k > 0) {
+          text += ", ";
+        }
+        text += schema_->RoleName(roles[k]) + ": " + IndividualName(tuple[k]);
+      }
+      text += ">";
+    }
+    text += "}\n";
+  }
+  return text;
+}
+
+}  // namespace crsat

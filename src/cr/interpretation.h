@@ -1,0 +1,80 @@
+#ifndef CRSAT_CR_INTERPRETATION_H_
+#define CRSAT_CR_INTERPRETATION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// An element of an interpretation's domain, identified by a dense index.
+using Individual = int;
+
+/// A (finite) interpretation of a CR-schema: a domain plus extensions for
+/// every class and relationship (Section 2 of the paper).
+///
+/// Relationship instances are labeled tuples; here a tuple is stored as a
+/// vector of individuals aligned with the relationship's role order
+/// (`Schema::RolesOf`). An `Interpretation` is just data; whether it is a
+/// *model* of the schema is decided by `ModelChecker`.
+class Interpretation {
+ public:
+  /// Creates an interpretation of `schema` with an empty domain. The schema
+  /// must outlive the interpretation.
+  explicit Interpretation(const Schema& schema);
+
+  /// Adds a fresh individual with an optional display name and returns it.
+  Individual AddIndividual(std::string name = "");
+
+  /// Number of domain elements.
+  int domain_size() const { return static_cast<int>(individual_names_.size()); }
+
+  /// Display name of an individual ("d<i>" when unnamed).
+  std::string IndividualName(Individual individual) const;
+
+  /// Asserts `individual` is an instance of `cls`. Idempotent.
+  /// Fails if the individual or class is out of range.
+  Status AddToClass(ClassId cls, Individual individual);
+
+  /// Adds a tuple to `rel`'s extension. `components` must have one
+  /// individual per role, in `Schema::RolesOf(rel)` order. Duplicate tuples
+  /// are rejected (extensions are sets).
+  Status AddTuple(RelationshipId rel, const std::vector<Individual>& components);
+
+  /// True iff `individual` is in the extension of `cls`.
+  bool IsInstanceOf(ClassId cls, Individual individual) const;
+
+  /// The extension of `cls`, ascending.
+  const std::set<Individual>& ClassExtension(ClassId cls) const {
+    return class_extensions_[cls.value];
+  }
+
+  /// The extension of `rel` (each element aligned with the role order).
+  const std::set<std::vector<Individual>>& RelationshipExtension(
+      RelationshipId rel) const {
+    return relationship_extensions_[rel.value];
+  }
+
+  /// Number of tuples in `rel`'s extension whose component at role
+  /// position `position` is `individual`.
+  std::uint64_t CountTuplesAt(RelationshipId rel, int position,
+                              Individual individual) const;
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Multi-line rendering of all extensions (used by the Figure 6 bench).
+  std::string ToString() const;
+
+ private:
+  const Schema* schema_;
+  std::vector<std::string> individual_names_;
+  std::vector<std::set<Individual>> class_extensions_;
+  std::vector<std::set<std::vector<Individual>>> relationship_extensions_;
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_CR_INTERPRETATION_H_

@@ -1,0 +1,130 @@
+#include "src/cr/model_checker.h"
+
+#include <map>
+
+namespace crsat {
+
+std::vector<std::string> ModelChecker::Violations(
+    const Schema& schema, const Interpretation& interpretation) {
+  std::vector<std::string> violations;
+
+  // (A) ISA containment.
+  for (const IsaStatement& isa : schema.isa_statements()) {
+    for (Individual individual :
+         interpretation.ClassExtension(isa.subclass)) {
+      if (!interpretation.IsInstanceOf(isa.superclass, individual)) {
+        violations.push_back(
+            "(A) ISA violated: " + interpretation.IndividualName(individual) +
+            " is in " + schema.ClassName(isa.subclass) + " but not in " +
+            schema.ClassName(isa.superclass));
+      }
+    }
+  }
+
+  // (B) Relationship typing.
+  for (RelationshipId rel : schema.AllRelationships()) {
+    const std::vector<RoleId>& roles = schema.RolesOf(rel);
+    for (const std::vector<Individual>& tuple :
+         interpretation.RelationshipExtension(rel)) {
+      for (size_t k = 0; k < roles.size(); ++k) {
+        ClassId primary = schema.PrimaryClass(roles[k]);
+        if (!interpretation.IsInstanceOf(primary, tuple[k])) {
+          violations.push_back(
+              "(B) typing violated: component " +
+              interpretation.IndividualName(tuple[k]) + " of a tuple of " +
+              schema.RelationshipName(rel) + " at role " +
+              schema.RoleName(roles[k]) + " is not an instance of " +
+              schema.ClassName(primary));
+        }
+      }
+    }
+  }
+
+  // (C) Cardinality constraints: for every role U of every relationship R
+  // with primary class C_U, and every class C <=* C_U, every instance of C
+  // must appear in [minc, maxc] tuples of R at U.
+  for (RelationshipId rel : schema.AllRelationships()) {
+    const std::vector<RoleId>& roles = schema.RolesOf(rel);
+    for (size_t k = 0; k < roles.size(); ++k) {
+      RoleId role = roles[k];
+      ClassId primary = schema.PrimaryClass(role);
+      // One pass over the extension; per-individual counting would rescan
+      // it for every instance of every subclass.
+      std::map<Individual, std::uint64_t> counts;
+      for (const std::vector<Individual>& tuple :
+           interpretation.RelationshipExtension(rel)) {
+        ++counts[tuple[k]];
+      }
+      for (ClassId cls : schema.SubclassesOf(primary)) {
+        Cardinality cardinality = schema.GetCardinality(cls, rel, role);
+        if (cardinality.IsDefault()) {
+          continue;
+        }
+        for (Individual individual : interpretation.ClassExtension(cls)) {
+          auto it = counts.find(individual);
+          std::uint64_t count = it == counts.end() ? 0 : it->second;
+          if (count < cardinality.min ||
+              (cardinality.max.has_value() && count > *cardinality.max)) {
+            violations.push_back(
+                "(C) cardinality violated: " +
+                interpretation.IndividualName(individual) + " in " +
+                schema.ClassName(cls) + " appears in " +
+                std::to_string(count) + " tuples of " +
+                schema.RelationshipName(rel) + " at role " +
+                schema.RoleName(role) + ", outside " +
+                cardinality.ToString());
+          }
+        }
+      }
+    }
+  }
+
+  // Disjointness extension.
+  for (const DisjointnessConstraint& group :
+       schema.disjointness_constraints()) {
+    for (size_t i = 0; i < group.classes.size(); ++i) {
+      for (size_t j = i + 1; j < group.classes.size(); ++j) {
+        for (Individual individual :
+             interpretation.ClassExtension(group.classes[i])) {
+          if (interpretation.IsInstanceOf(group.classes[j], individual)) {
+            violations.push_back(
+                "disjointness violated: " +
+                interpretation.IndividualName(individual) + " is in both " +
+                schema.ClassName(group.classes[i]) + " and " +
+                schema.ClassName(group.classes[j]));
+          }
+        }
+      }
+    }
+  }
+
+  // Covering extension.
+  for (const CoveringConstraint& constraint : schema.covering_constraints()) {
+    for (Individual individual :
+         interpretation.ClassExtension(constraint.covered)) {
+      bool covered = false;
+      for (ClassId coverer : constraint.coverers) {
+        if (interpretation.IsInstanceOf(coverer, individual)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        violations.push_back(
+            "covering violated: " +
+            interpretation.IndividualName(individual) + " is in " +
+            schema.ClassName(constraint.covered) +
+            " but in none of its coverers");
+      }
+    }
+  }
+
+  return violations;
+}
+
+bool ModelChecker::IsModel(const Schema& schema,
+                           const Interpretation& interpretation) {
+  return Violations(schema, interpretation).empty();
+}
+
+}  // namespace crsat

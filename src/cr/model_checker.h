@@ -1,0 +1,40 @@
+#ifndef CRSAT_CR_MODEL_CHECKER_H_
+#define CRSAT_CR_MODEL_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cr/interpretation.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// Verifies whether an `Interpretation` is a *model* of a `Schema`
+/// (Definition 2.2), i.e. whether it satisfies:
+///
+///  (A) every ISA statement (`C1^I` contained in `C2^I`),
+///  (B) relationship typing (every tuple component is an instance of the
+///      primary class of its role),
+///  (C) every cardinality constraint, including the inherited/refined ones
+///      on subclasses of primary classes,
+/// plus the Section 5 extensions carried by the schema (disjointness and
+/// covering constraints).
+///
+/// This is the ground-truth oracle the reasoning pipeline is tested
+/// against: models produced by `ModelBuilder` must check clean, and
+/// (un)satisfiability verdicts are validated by checking candidate models.
+class ModelChecker {
+ public:
+  /// Returns a human-readable description of every violated condition;
+  /// empty means `interpretation` is a model of `schema`.
+  static std::vector<std::string> Violations(
+      const Schema& schema, const Interpretation& interpretation);
+
+  /// Convenience wrapper: true iff there are no violations.
+  static bool IsModel(const Schema& schema,
+                      const Interpretation& interpretation);
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_CR_MODEL_CHECKER_H_

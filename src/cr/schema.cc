@@ -1,0 +1,103 @@
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+std::string Cardinality::ToString() const {
+  std::string text = "(" + std::to_string(min) + ", ";
+  text += max.has_value() ? std::to_string(*max) : "*";
+  text += ")";
+  return text;
+}
+
+std::optional<ClassId> Schema::FindClass(const std::string& name) const {
+  auto it = class_by_name_.find(name);
+  if (it == class_by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<RelationshipId> Schema::FindRelationship(
+    const std::string& name) const {
+  auto it = relationship_by_name_.find(name);
+  if (it == relationship_by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<RoleId> Schema::FindRole(const std::string& name) const {
+  auto it = role_by_name_.find(name);
+  if (it == role_by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<ClassId> Schema::SubclassesOf(ClassId cls) const {
+  std::vector<ClassId> result;
+  for (int c = 0; c < num_classes(); ++c) {
+    if (isa_closure_[c][cls.value]) {
+      result.push_back(ClassId(c));
+    }
+  }
+  return result;
+}
+
+std::vector<ClassId> Schema::SuperclassesOf(ClassId cls) const {
+  std::vector<ClassId> result;
+  for (int c = 0; c < num_classes(); ++c) {
+    if (isa_closure_[cls.value][c]) {
+      result.push_back(ClassId(c));
+    }
+  }
+  return result;
+}
+
+Cardinality Schema::GetCardinality(ClassId cls, RelationshipId rel,
+                                   RoleId role) const {
+  auto it = cardinality_by_key_.find(
+      std::make_tuple(cls.value, rel.value, role.value));
+  if (it == cardinality_by_key_.end()) {
+    return Cardinality{};
+  }
+  return it->second;
+}
+
+bool Schema::AreDeclaredDisjoint(ClassId a, ClassId b) const {
+  if (a == b) {
+    return false;
+  }
+  for (const DisjointnessConstraint& group : disjointness_constraints_) {
+    bool has_a = false;
+    bool has_b = false;
+    for (ClassId c : group.classes) {
+      has_a = has_a || c == a;
+      has_b = has_b || c == b;
+    }
+    if (has_a && has_b) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ClassId> Schema::AllClasses() const {
+  std::vector<ClassId> result;
+  result.reserve(num_classes());
+  for (int c = 0; c < num_classes(); ++c) {
+    result.push_back(ClassId(c));
+  }
+  return result;
+}
+
+std::vector<RelationshipId> Schema::AllRelationships() const {
+  std::vector<RelationshipId> result;
+  result.reserve(num_relationships());
+  for (int r = 0; r < num_relationships(); ++r) {
+    result.push_back(RelationshipId(r));
+  }
+  return result;
+}
+
+}  // namespace crsat

@@ -1,0 +1,53 @@
+#ifndef CRSAT_CR_SCHEMA_TEXT_H_
+#define CRSAT_CR_SCHEMA_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// A schema together with the name it was declared under.
+struct NamedSchema {
+  std::string name;
+  Schema schema;
+};
+
+/// Parses the crsat schema DSL. The grammar (comments: `//` or `#` to end
+/// of line):
+///
+///   schema Meeting {
+///     class Speaker, Discussant, Talk;
+///     isa Discussant < Speaker;
+///     relationship Holds(U1: Speaker, U2: Talk);
+///     relationship Participates(U3: Discussant, U4: Talk);
+///     card Speaker in Holds.U1 = (1, *);      // * means "no maximum"
+///     card Discussant in Holds.U1 = (0, 2);   // refinement on a subclass
+///     card Talk in Holds.U2 = (1, 1);
+///     card Discussant in Participates.U3 = (1, 1);
+///     card Talk in Participates.U4 = (1, *);
+///     disjoint Speaker, Talk;                 // Section 5 extension
+///     cover Speaker by Discussant;            // Section 5 extension
+///   }
+///
+/// All well-formedness rules of `SchemaBuilder` apply; errors carry
+/// line/column information for syntax problems.
+Result<NamedSchema> ParseSchema(std::string_view text);
+
+/// Renders `schema` back into DSL text that `ParseSchema` accepts
+/// (round-trips up to formatting).
+std::string SchemaToText(const Schema& schema, const std::string& name);
+
+/// Renders `schema` as a Graphviz DOT digraph using the paper's ER-diagram
+/// conventions (Figure 2): classes as boxes, relationships as diamonds,
+/// role edges labeled with the role name and its `(min, max)`, ISA as
+/// solid arrows, subclass cardinality *refinements* as dashed labeled
+/// edges, and disjointness/covering as annotation nodes. Pipe through
+/// `dot -Tsvg` to visualize.
+std::string SchemaToDot(const Schema& schema, const std::string& name);
+
+}  // namespace crsat
+
+#endif  // CRSAT_CR_SCHEMA_TEXT_H_

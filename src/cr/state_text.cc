@@ -1,0 +1,216 @@
+#include "src/cr/state_text.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/cr/text_lexer.h"
+
+namespace crsat {
+
+namespace {
+
+using internal_text::Lexer;
+using internal_text::Token;
+using internal_text::TokenCursor;
+using internal_text::TokenKind;
+
+class StateParser : private TokenCursor {
+ public:
+  StateParser(std::vector<Token> tokens, const Schema& schema)
+      : TokenCursor(std::move(tokens)),
+        schema_(schema),
+        interpretation_(schema) {}
+
+  Result<NamedState> Parse() {
+    CRSAT_RETURN_IF_ERROR(ExpectKeyword("state"));
+    CRSAT_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("state name"));
+    CRSAT_RETURN_IF_ERROR(ExpectKeyword("of"));
+    CRSAT_ASSIGN_OR_RETURN(std::string schema_name,
+                           ExpectIdentifier("schema name"));
+    CRSAT_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!IsPunct("}")) {
+      CRSAT_RETURN_IF_ERROR(ParseDeclaration());
+    }
+    CRSAT_RETURN_IF_ERROR(ExpectPunct("}"));
+    if (Current().kind != TokenKind::kEnd) {
+      return ErrorHere("expected end of input after '}'");
+    }
+    return NamedState{std::move(name), std::move(schema_name),
+                      std::move(interpretation_)};
+  }
+
+ private:
+  Status ParseDeclaration() {
+    CRSAT_ASSIGN_OR_RETURN(std::string keyword,
+                           ExpectIdentifier("declaration keyword"));
+    if (keyword == "individual") {
+      return ParseIndividualDeclaration();
+    }
+    if (keyword == "class") {
+      return ParseClassExtension();
+    }
+    if (keyword == "rel") {
+      return ParseRelationshipExtension();
+    }
+    return ErrorHere("unknown declaration keyword '" + keyword + "'");
+  }
+
+  Status ParseIndividualDeclaration() {
+    while (true) {
+      CRSAT_ASSIGN_OR_RETURN(std::string name,
+                             ExpectIdentifier("individual name"));
+      if (individuals_.count(name) > 0) {
+        return ErrorHere("duplicate individual '" + name + "'");
+      }
+      individuals_[name] = interpretation_.AddIndividual(name);
+      if (IsPunct(",")) {
+        Consume();
+        continue;
+      }
+      return ExpectPunct(";");
+    }
+  }
+
+  Status ParseClassExtension() {
+    CRSAT_ASSIGN_OR_RETURN(std::string class_name,
+                           ExpectIdentifier("class name"));
+    std::optional<ClassId> cls = schema_.FindClass(class_name);
+    if (!cls.has_value()) {
+      return ErrorHere("unknown class '" + class_name + "'");
+    }
+    CRSAT_RETURN_IF_ERROR(ExpectPunct(":"));
+    // An empty member list is written "class C: ;" — rare but allowed.
+    while (!IsPunct(";")) {
+      CRSAT_ASSIGN_OR_RETURN(Individual individual, ResolveIndividual());
+      CRSAT_RETURN_IF_ERROR(interpretation_.AddToClass(*cls, individual));
+      if (IsPunct(";")) {
+        break;
+      }
+      CRSAT_RETURN_IF_ERROR(ExpectPunct(","));
+    }
+    return ExpectPunct(";");
+  }
+
+  Status ParseRelationshipExtension() {
+    CRSAT_ASSIGN_OR_RETURN(std::string rel_name,
+                           ExpectIdentifier("relationship name"));
+    std::optional<RelationshipId> rel = schema_.FindRelationship(rel_name);
+    if (!rel.has_value()) {
+      return ErrorHere("unknown relationship '" + rel_name + "'");
+    }
+    const size_t arity = schema_.RolesOf(*rel).size();
+    CRSAT_RETURN_IF_ERROR(ExpectPunct(":"));
+    while (!IsPunct(";")) {
+      CRSAT_RETURN_IF_ERROR(ExpectPunct("("));
+      std::vector<Individual> components;
+      while (!IsPunct(")")) {
+        CRSAT_ASSIGN_OR_RETURN(Individual individual, ResolveIndividual());
+        components.push_back(individual);
+        if (IsPunct(")")) {
+          break;
+        }
+        CRSAT_RETURN_IF_ERROR(ExpectPunct(","));
+      }
+      CRSAT_RETURN_IF_ERROR(ExpectPunct(")"));
+      if (components.size() != arity) {
+        return ErrorHere("tuple arity " + std::to_string(components.size()) +
+                         " does not match relationship '" + rel_name +
+                         "' (arity " + std::to_string(arity) + ")");
+      }
+      Status added = interpretation_.AddTuple(*rel, components);
+      if (!added.ok()) {
+        return ErrorHere(added.message());
+      }
+      if (IsPunct(";")) {
+        break;
+      }
+      CRSAT_RETURN_IF_ERROR(ExpectPunct(","));
+    }
+    return ExpectPunct(";");
+  }
+
+  Result<Individual> ResolveIndividual() {
+    CRSAT_ASSIGN_OR_RETURN(std::string name,
+                           ExpectIdentifier("individual name"));
+    auto it = individuals_.find(name);
+    if (it == individuals_.end()) {
+      return ErrorHere("unknown individual '" + name +
+                       "' (declare it with 'individual " + name + ";')");
+    }
+    return it->second;
+  }
+
+  const Schema& schema_;
+  Interpretation interpretation_;
+  std::map<std::string, Individual> individuals_;
+};
+
+}  // namespace
+
+Result<NamedState> ParseState(std::string_view text, const Schema& schema) {
+  Lexer lexer(text);
+  CRSAT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  StateParser parser(std::move(tokens), schema);
+  return parser.Parse();
+}
+
+std::string StateToText(const Interpretation& interpretation,
+                        const std::string& name,
+                        const std::string& schema_name) {
+  const Schema& schema = interpretation.schema();
+  std::string text = "state " + name + " of " + schema_name + " {\n";
+  if (interpretation.domain_size() > 0) {
+    text += "  individual ";
+    for (Individual i = 0; i < interpretation.domain_size(); ++i) {
+      if (i > 0) {
+        text += ", ";
+      }
+      text += interpretation.IndividualName(i);
+    }
+    text += ";\n";
+  }
+  for (ClassId cls : schema.AllClasses()) {
+    const auto& extension = interpretation.ClassExtension(cls);
+    if (extension.empty()) {
+      continue;
+    }
+    text += "  class " + schema.ClassName(cls) + ": ";
+    bool first = true;
+    for (Individual individual : extension) {
+      if (!first) {
+        text += ", ";
+      }
+      first = false;
+      text += interpretation.IndividualName(individual);
+    }
+    text += ";\n";
+  }
+  for (RelationshipId rel : schema.AllRelationships()) {
+    const auto& extension = interpretation.RelationshipExtension(rel);
+    if (extension.empty()) {
+      continue;
+    }
+    text += "  rel " + schema.RelationshipName(rel) + ": ";
+    bool first_tuple = true;
+    for (const std::vector<Individual>& tuple : extension) {
+      if (!first_tuple) {
+        text += ", ";
+      }
+      first_tuple = false;
+      text += "(";
+      for (size_t k = 0; k < tuple.size(); ++k) {
+        if (k > 0) {
+          text += ", ";
+        }
+        text += interpretation.IndividualName(tuple[k]);
+      }
+      text += ")";
+    }
+    text += ";\n";
+  }
+  text += "}\n";
+  return text;
+}
+
+}  // namespace crsat

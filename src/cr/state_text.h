@@ -1,0 +1,50 @@
+#ifndef CRSAT_CR_STATE_TEXT_H_
+#define CRSAT_CR_STATE_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/cr/interpretation.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// A parsed database state together with its declared name and the name of
+/// the schema it claims to instantiate.
+struct NamedState {
+  std::string name;
+  std::string schema_name;
+  Interpretation interpretation;
+};
+
+/// Parses the crsat database-state DSL against `schema` (comments: `//` or
+/// `#`). The grammar:
+///
+///   state MeetingDay of Meeting {
+///     individual John, Mary, talk1, talk2;
+///     class Speaker: John, Mary;
+///     class Discussant: John, Mary;
+///     class Talk: talk1, talk2;
+///     rel Holds: (John, talk1), (Mary, talk2);
+///     rel Participates: (John, talk2), (Mary, talk1);
+///   }
+///
+/// Tuples list one individual per role, in the relationship's declared
+/// role order. Unknown classes/relationships/individuals, arity
+/// mismatches, and duplicate tuples are reported as errors. Whether the
+/// state is a *model* of the schema is a separate question — run
+/// `ModelChecker::Violations` on the result (this is the integrity-check
+/// workflow of `crsat_cli checkstate`).
+Result<NamedState> ParseState(std::string_view text, const Schema& schema);
+
+/// Renders an interpretation in the state DSL (round-trips through
+/// `ParseState` up to formatting; unnamed individuals get their default
+/// "d<i>" names).
+std::string StateToText(const Interpretation& interpretation,
+                        const std::string& name,
+                        const std::string& schema_name);
+
+}  // namespace crsat
+
+#endif  // CRSAT_CR_STATE_TEXT_H_

@@ -1,0 +1,183 @@
+#ifndef CRSAT_CR_TEXT_LEXER_H_
+#define CRSAT_CR_TEXT_LEXER_H_
+
+// Shared tokenizer for the crsat text formats (schema DSL, database-state
+// DSL). Internal: not part of the public API.
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace crsat {
+namespace internal_text {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kPunct,  // Single-character punctuation.
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes identifiers, decimal numbers, and single-character
+/// punctuation from `{}(),;:.=<*`. Comments run from `//` or `#` to end of
+/// line. Returns a trailing kEnd token.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) {
+        tokens.push_back(Token{TokenKind::kEnd, "", line_, column_});
+        return tokens;
+      }
+      char c = text_[pos_];
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        token.kind = TokenKind::kIdentifier;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          token.text += Advance();
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        token.kind = TokenKind::kNumber;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          token.text += Advance();
+        }
+      } else if (std::string_view("{}(),;:.=<*").find(c) !=
+                 std::string_view::npos) {
+        token.kind = TokenKind::kPunct;
+        token.text = std::string(1, Advance());
+      } else {
+        return ParseError("line " + std::to_string(line_) + ":" +
+                          std::to_string(column_) +
+                          ": unexpected character '" + std::string(1, c) +
+                          "'");
+      }
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#' || (c == '/' && pos_ + 1 < text_.size() &&
+                              text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          Advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// Shared cursor helpers for recursive-descent parsers over `Token`s.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Current() const { return tokens_[index_]; }
+
+  bool IsPunct(std::string_view punct) const {
+    return Current().kind == TokenKind::kPunct && Current().text == punct;
+  }
+
+  void Consume() { ++index_; }
+
+  Status ExpectPunct(std::string_view punct) {
+    if (!IsPunct(punct)) {
+      return ErrorHere("expected '" + std::string(punct) + "'");
+    }
+    ++index_;
+    return OkStatus();
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (Current().kind != TokenKind::kIdentifier ||
+        Current().text != keyword) {
+      return ErrorHere("expected keyword '" + std::string(keyword) + "'");
+    }
+    ++index_;
+    return OkStatus();
+  }
+
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Current().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected " + std::string(what));
+    }
+    return tokens_[index_++].text;
+  }
+
+  Result<std::uint64_t> ExpectNumber(std::string_view what) {
+    if (Current().kind != TokenKind::kNumber) {
+      return ErrorHere("expected " + std::string(what) + " (a number)");
+    }
+    const std::string& text = tokens_[index_++].text;
+    std::uint64_t value = 0;
+    for (char c : text) {
+      if (value > (~std::uint64_t{0} - static_cast<std::uint64_t>(c - '0')) /
+                      10) {
+        return ErrorHere("number out of range: " + text);
+      }
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+  }
+
+  Status ErrorHere(std::string message) const {
+    const Token& token = Current();
+    std::string where = "line " + std::to_string(token.line) + ":" +
+                        std::to_string(token.column);
+    std::string got = token.kind == TokenKind::kEnd
+                          ? "end of input"
+                          : "'" + token.text + "'";
+    return crsat::ParseError(where + ": " + message + ", got " + got);
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace internal_text
+}  // namespace crsat
+
+#endif  // CRSAT_CR_TEXT_LEXER_H_

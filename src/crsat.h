@@ -1,0 +1,51 @@
+#ifndef CRSAT_CRSAT_H_
+#define CRSAT_CRSAT_H_
+
+/// crsat — reasoning about the interaction between ISA and cardinality
+/// constraints in the CR data model, after:
+///
+///   D. Calvanese, M. Lenzerini. "On the Interaction Between ISA and
+///   Cardinality Constraints". Proc. ICDE 1994, pp. 205-213.
+///
+/// Typical pipeline:
+///
+///   #include "src/crsat.h"
+///
+///   crsat::Result<crsat::NamedSchema> parsed = crsat::ParseSchema(text);
+///   crsat::Result<crsat::Expansion> expansion =
+///       crsat::Expansion::Build(parsed->schema);
+///   crsat::SatisfiabilityChecker checker(*expansion);
+///   crsat::Result<bool> ok = checker.IsClassSatisfiable(cls);
+///   crsat::Result<crsat::Interpretation> model =
+///       crsat::ModelBuilder::BuildModelForClass(checker, cls);
+///
+/// Implication queries live in `ImplicationChecker`, schema debugging in
+/// `MinimizeUnsatCore`, and the ISA-free Lenzerini-Nobili baseline in
+/// `LnReasoner`.
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/baseline/ln_reasoner.h"
+#include "src/cr/interpretation.h"
+#include "src/cr/model_checker.h"
+#include "src/cr/schema.h"
+#include "src/cr/schema_text.h"
+#include "src/cr/state_text.h"
+#include "src/expansion/compound.h"
+#include "src/expansion/expansion.h"
+#include "src/generator/random_schema.h"
+#include "src/lp/fourier_motzkin.h"
+#include "src/lp/homogeneous.h"
+#include "src/lp/linear_system.h"
+#include "src/lp/simplex.h"
+#include "src/math/bigint.h"
+#include "src/math/rational.h"
+#include "src/reasoner/implication.h"
+#include "src/reasoner/implication_engine.h"
+#include "src/reasoner/model_builder.h"
+#include "src/reasoner/repair.h"
+#include "src/reasoner/satisfiability.h"
+#include "src/reasoner/system_builder.h"
+#include "src/reasoner/unsat_core.h"
+
+#endif  // CRSAT_CRSAT_H_

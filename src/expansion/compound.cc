@@ -1,0 +1,113 @@
+#include "src/expansion/compound.h"
+
+namespace crsat {
+
+CompoundClass CompoundClass::Of(const std::vector<ClassId>& classes) {
+  std::uint64_t mask = 0;
+  for (ClassId cls : classes) {
+    mask |= std::uint64_t{1} << cls.value;
+  }
+  return CompoundClass(mask);
+}
+
+std::vector<ClassId> CompoundClass::Members() const {
+  std::vector<ClassId> members;
+  std::uint64_t mask = mask_;
+  while (mask != 0) {
+    int bit = __builtin_ctzll(mask);
+    members.push_back(ClassId(bit));
+    mask &= mask - 1;
+  }
+  return members;
+}
+
+bool CompoundClass::IsConsistentIn(const Schema& schema) const {
+  for (const IsaStatement& isa : schema.isa_statements()) {
+    if (Contains(isa.subclass) && !Contains(isa.superclass)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CompoundClass::IsExtendedConsistentIn(const Schema& schema) const {
+  if (!IsConsistentIn(schema)) {
+    return false;
+  }
+  for (const DisjointnessConstraint& group :
+       schema.disjointness_constraints()) {
+    int members_in_group = 0;
+    for (ClassId cls : group.classes) {
+      if (Contains(cls)) {
+        ++members_in_group;
+        if (members_in_group > 1) {
+          return false;
+        }
+      }
+    }
+  }
+  for (const CoveringConstraint& constraint : schema.covering_constraints()) {
+    if (!Contains(constraint.covered)) {
+      continue;
+    }
+    bool covered = false;
+    for (ClassId coverer : constraint.coverers) {
+      if (Contains(coverer)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CompoundClass::ToString(const Schema& schema) const {
+  std::string text = "{";
+  bool first = true;
+  for (ClassId cls : Members()) {
+    if (!first) {
+      text += ",";
+    }
+    first = false;
+    text += schema.ClassName(cls);
+  }
+  text += "}";
+  return text;
+}
+
+bool CompoundRelationship::IsConsistentIn(const Schema& schema,
+                                          bool extended) const {
+  const std::vector<RoleId>& roles = schema.RolesOf(rel);
+  for (size_t k = 0; k < roles.size(); ++k) {
+    const CompoundClass& component = components[k];
+    if (component.IsEmpty()) {
+      return false;
+    }
+    if (extended ? !component.IsExtendedConsistentIn(schema)
+                 : !component.IsConsistentIn(schema)) {
+      return false;
+    }
+    if (!component.Contains(schema.PrimaryClass(roles[k]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CompoundRelationship::ToString(const Schema& schema) const {
+  std::string text = schema.RelationshipName(rel) + "<";
+  const std::vector<RoleId>& roles = schema.RolesOf(rel);
+  for (size_t k = 0; k < components.size(); ++k) {
+    if (k > 0) {
+      text += ", ";
+    }
+    text += schema.RoleName(roles[k]) + ": " + components[k].ToString(schema);
+  }
+  text += ">";
+  return text;
+}
+
+}  // namespace crsat

@@ -1,0 +1,103 @@
+#ifndef CRSAT_EXPANSION_COMPOUND_H_
+#define CRSAT_EXPANSION_COMPOUND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// A *compound class* (Section 3.1): a nonempty subset of the schema's
+/// classes, denoting the individuals that are instances of exactly the
+/// member classes (and of no other class). Compound classes are the atoms
+/// of the Venn diagram of class extensions; their extensions are pairwise
+/// disjoint in every interpretation, which is what makes one unknown per
+/// compound class sound in the disequation system.
+///
+/// Represented as a 64-bit membership mask, which caps schemas at 64
+/// classes — far beyond the reach of the (intrinsically exponential)
+/// expansion anyway. `Expansion::Build` enforces the cap.
+class CompoundClass {
+ public:
+  /// Maximum number of classes a schema may have for expansion purposes.
+  static constexpr int kMaxClasses = 64;
+
+  /// Constructs the empty set (not a valid compound class by itself; used
+  /// as a builder seed).
+  CompoundClass() : mask_(0) {}
+
+  /// Constructs from a membership mask (bit `i` set iff class `i` is in).
+  explicit CompoundClass(std::uint64_t mask) : mask_(mask) {}
+
+  /// Constructs from an explicit member list.
+  static CompoundClass Of(const std::vector<ClassId>& classes);
+
+  std::uint64_t mask() const { return mask_; }
+  bool IsEmpty() const { return mask_ == 0; }
+  int size() const { return __builtin_popcountll(mask_); }
+
+  bool Contains(ClassId cls) const {
+    return (mask_ >> cls.value) & std::uint64_t{1};
+  }
+
+  /// Returns a copy with `cls` added.
+  CompoundClass With(ClassId cls) const {
+    return CompoundClass(mask_ | (std::uint64_t{1} << cls.value));
+  }
+
+  /// The member classes, ascending by id.
+  std::vector<ClassId> Members() const;
+
+  /// Consistency per Section 3.1: for every ISA statement `C1 <= C2`,
+  /// membership of `C1` implies membership of `C2`.
+  bool IsConsistentIn(const Schema& schema) const;
+
+  /// Consistency including the Section 5 extensions: additionally, no two
+  /// members are declared disjoint, and every member with a covering
+  /// constraint has at least one coverer among the members.
+  bool IsExtendedConsistentIn(const Schema& schema) const;
+
+  /// Renders "{Speaker,Discussant}".
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const CompoundClass& other) const {
+    return mask_ == other.mask_;
+  }
+  bool operator!=(const CompoundClass& other) const {
+    return mask_ != other.mask_;
+  }
+  bool operator<(const CompoundClass& other) const {
+    return mask_ < other.mask_;
+  }
+
+ private:
+  std::uint64_t mask_;
+};
+
+/// A *compound relationship* (Section 3.1): a relationship symbol together
+/// with one compound class per role. Extensions of distinct compound
+/// relationships of the same relationship are pairwise disjoint, because
+/// each individual belongs to exactly one compound class.
+struct CompoundRelationship {
+  RelationshipId rel;
+  /// One compound class per role, aligned with `Schema::RolesOf(rel)`.
+  std::vector<CompoundClass> components;
+
+  /// Consistency per Section 3.1: every component is consistent and
+  /// contains the primary class of its role. `extended` selects whether
+  /// component consistency includes the Section 5 extensions.
+  bool IsConsistentIn(const Schema& schema, bool extended) const;
+
+  /// Renders e.g. "Holds<U1: {Speaker}, U2: {Talk}>".
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const CompoundRelationship& other) const {
+    return rel == other.rel && components == other.components;
+  }
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_EXPANSION_COMPOUND_H_

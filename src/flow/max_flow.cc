@@ -1,0 +1,83 @@
+#include "src/flow/max_flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace crsat {
+
+MaxFlowGraph::MaxFlowGraph(int num_nodes) : adjacency_(num_nodes) {}
+
+int MaxFlowGraph::AddEdge(int from, int to, std::int64_t capacity) {
+  Edge forward{to, capacity, static_cast<int>(adjacency_[to].size()),
+               capacity};
+  Edge backward{from, 0, static_cast<int>(adjacency_[from].size()), 0};
+  adjacency_[from].push_back(forward);
+  adjacency_[to].push_back(backward);
+  edge_handles_.emplace_back(from, static_cast<int>(adjacency_[from].size()) - 1);
+  return static_cast<int>(edge_handles_.size()) - 1;
+}
+
+bool MaxFlowGraph::BuildLevels(int source, int sink) {
+  levels_.assign(adjacency_.size(), -1);
+  std::deque<int> queue;
+  levels_[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (const Edge& edge : adjacency_[node]) {
+      if (edge.capacity > 0 && levels_[edge.to] < 0) {
+        levels_[edge.to] = levels_[node] + 1;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return levels_[sink] >= 0;
+}
+
+std::int64_t MaxFlowGraph::SendFlow(int node, int sink, std::int64_t limit) {
+  if (node == sink) {
+    return limit;
+  }
+  for (size_t& i = next_edge_[node]; i < adjacency_[node].size(); ++i) {
+    Edge& edge = adjacency_[node][i];
+    if (edge.capacity <= 0 || levels_[edge.to] != levels_[node] + 1) {
+      continue;
+    }
+    std::int64_t pushed =
+        SendFlow(edge.to, sink, std::min(limit, edge.capacity));
+    if (pushed > 0) {
+      edge.capacity -= pushed;
+      adjacency_[edge.to][edge.reverse].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+Result<std::int64_t> MaxFlowGraph::Solve(int source, int sink) {
+  if (source < 0 || source >= num_nodes() || sink < 0 || sink >= num_nodes()) {
+    return InvalidArgumentError("MaxFlowGraph::Solve: node id out of range");
+  }
+  if (source == sink) {
+    return InvalidArgumentError("MaxFlowGraph::Solve: source equals sink");
+  }
+  std::int64_t total = 0;
+  while (BuildLevels(source, sink)) {
+    next_edge_.assign(adjacency_.size(), 0);
+    while (std::int64_t pushed = SendFlow(
+               source, sink, std::numeric_limits<std::int64_t>::max())) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlowGraph::EdgeFlow(int edge_id) const {
+  const auto& [node, index] = edge_handles_[edge_id];
+  const Edge& edge = adjacency_[node][index];
+  return edge.original_capacity - edge.capacity;
+}
+
+}  // namespace crsat

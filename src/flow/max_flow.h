@@ -1,0 +1,56 @@
+#ifndef CRSAT_FLOW_MAX_FLOW_H_
+#define CRSAT_FLOW_MAX_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace crsat {
+
+/// Exact integer maximum flow (Dinic's algorithm).
+///
+/// Used by the model builder to realize relationship extensions as *sets*
+/// of distinct tuples under per-individual degree quotas: picking which
+/// individual fills which tuple slot is a bipartite degree-constrained
+/// assignment, which is a unit-capacity-style flow problem. The graph is
+/// small (nodes are tuples and individuals of one compound relationship),
+/// so a straightforward adjacency-list Dinic suffices.
+class MaxFlowGraph {
+ public:
+  /// Creates a graph with `num_nodes` nodes (ids `0 .. num_nodes-1`).
+  explicit MaxFlowGraph(int num_nodes);
+
+  /// Adds a directed edge with the given capacity and returns its id, which
+  /// can be used with `EdgeFlow` after solving. Capacity must be >= 0.
+  int AddEdge(int from, int to, std::int64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`.
+  Result<std::int64_t> Solve(int source, int sink);
+
+  /// Flow routed through edge `edge_id` by the last `Solve` call.
+  std::int64_t EdgeFlow(int edge_id) const;
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t capacity;  // Residual capacity.
+    int reverse;            // Index of the reverse edge in adjacency_[to].
+    std::int64_t original_capacity;
+  };
+
+  bool BuildLevels(int source, int sink);
+  std::int64_t SendFlow(int node, int sink, std::int64_t limit);
+
+  std::vector<std::vector<Edge>> adjacency_;
+  // (node, index-in-adjacency) per public edge id, in insertion order.
+  std::vector<std::pair<int, int>> edge_handles_;
+  std::vector<int> levels_;
+  std::vector<size_t> next_edge_;
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_FLOW_MAX_FLOW_H_

@@ -1,0 +1,47 @@
+#ifndef CRSAT_GENERATOR_RANDOM_SCHEMA_H_
+#define CRSAT_GENERATOR_RANDOM_SCHEMA_H_
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// Parameters for the seeded random CR-schema generator that drives
+/// property tests and the scaling benchmarks. All probabilities are in
+/// [0, 1].
+struct RandomSchemaParams {
+  std::uint32_t seed = 1;
+  int num_classes = 6;
+  int num_relationships = 3;
+  int min_arity = 2;
+  int max_arity = 2;
+  /// Probability of each (lower id -> higher id) ISA edge. Edges always
+  /// point from a lower-numbered class to a higher-numbered one, so the
+  /// ISA graph is acyclic by construction.
+  double isa_density = 0.2;
+  /// Probability that a role carries an explicit cardinality declaration
+  /// on its primary class.
+  double primary_card_probability = 0.7;
+  /// Probability of an additional refinement declaration on a random
+  /// proper subclass of the primary class (when one exists).
+  double refinement_probability = 0.3;
+  /// Largest generated `minc`. Generated `maxc` lies in [minc, minc +
+  /// max_card_slack], or is infinite with `infinite_max_probability`.
+  std::uint64_t max_min_card = 2;
+  std::uint64_t max_card_slack = 2;
+  double infinite_max_probability = 0.3;
+  /// Number of pairwise-disjointness groups and the classes per group.
+  int num_disjointness_groups = 0;
+  int disjointness_group_size = 2;
+};
+
+/// Generates a random well-formed CR-schema. Deterministic in `params`
+/// (including the seed). Classes are named "C0"..; relationships "R0"..
+/// with roles "R<i>_U<k>".
+Result<Schema> GenerateRandomSchema(const RandomSchemaParams& params);
+
+}  // namespace crsat
+
+#endif  // CRSAT_GENERATOR_RANDOM_SCHEMA_H_

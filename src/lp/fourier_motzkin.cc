@@ -1,0 +1,191 @@
+#include "src/lp/fourier_motzkin.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace crsat {
+
+namespace {
+
+// Internal normalized inequality: expr >= 0 (strict => expr > 0).
+struct Inequality {
+  LinearExpr expr;
+  bool strict = false;
+};
+
+// Canonicalizes by dividing through by the gcd of all numerators times the
+// lcm of denominators, so duplicates can be pruned.
+Inequality Canonicalize(Inequality ineq) {
+  BigInt denominator_lcm(1);
+  for (const auto& [var, coeff] : ineq.expr.terms()) {
+    denominator_lcm = Lcm(denominator_lcm, coeff.denominator());
+  }
+  denominator_lcm = Lcm(denominator_lcm, ineq.expr.constant().denominator());
+  BigInt numerator_gcd;
+  auto fold = [&](const Rational& coeff) {
+    if (!coeff.IsZero()) {
+      numerator_gcd =
+          Gcd(numerator_gcd,
+              coeff.numerator() * (denominator_lcm / coeff.denominator()));
+    }
+  };
+  for (const auto& [var, coeff] : ineq.expr.terms()) {
+    fold(coeff);
+  }
+  fold(ineq.expr.constant());
+  if (numerator_gcd.IsZero()) {
+    return ineq;  // Expression is identically zero.
+  }
+  Rational scale(denominator_lcm, numerator_gcd);
+  ineq.expr = ineq.expr * scale;
+  return ineq;
+}
+
+std::string KeyOf(const Inequality& ineq) {
+  return (ineq.strict ? "s " : "n ") + ineq.expr.ToString();
+}
+
+}  // namespace
+
+Result<FmResult> FourierMotzkinSolver::Solve(const LinearSystem& system) {
+  // Normalize all constraints to `expr >= 0` / `expr > 0` form. Equalities
+  // become two opposite inequalities.
+  std::vector<Inequality> pool;
+  auto push = [&pool](LinearExpr expr, bool strict) {
+    pool.push_back(Canonicalize(Inequality{std::move(expr), strict}));
+  };
+  for (const Constraint& constraint : system.constraints()) {
+    switch (constraint.sense) {
+      case ConstraintSense::kGreaterEqual:
+        push(constraint.expr, /*strict=*/false);
+        break;
+      case ConstraintSense::kGreater:
+        push(constraint.expr, /*strict=*/true);
+        break;
+      case ConstraintSense::kLessEqual:
+        push(-constraint.expr, /*strict=*/false);
+        break;
+      case ConstraintSense::kEqual:
+        push(constraint.expr, /*strict=*/false);
+        push(-constraint.expr, /*strict=*/false);
+        break;
+    }
+  }
+  for (VarId v = 0; v < system.num_variables(); ++v) {
+    if (system.IsNonnegative(v)) {
+      push(LinearExpr::Var(v), /*strict=*/false);
+    }
+  }
+
+  // Eliminate variables highest-id first; record each stage for the
+  // back-substitution pass.
+  std::vector<std::vector<Inequality>> stages;
+  for (VarId v = system.num_variables() - 1; v >= 0; --v) {
+    stages.push_back(pool);
+    std::vector<Inequality> lower;   // coeff(v) > 0: v >= -rest/coeff.
+    std::vector<Inequality> upper;   // coeff(v) < 0.
+    std::vector<Inequality> others;
+    for (Inequality& ineq : pool) {
+      Rational coeff = ineq.expr.CoefficientOf(v);
+      if (coeff.IsPositive()) {
+        lower.push_back(std::move(ineq));
+      } else if (coeff.IsNegative()) {
+        upper.push_back(std::move(ineq));
+      } else {
+        others.push_back(std::move(ineq));
+      }
+    }
+    std::set<std::string> seen;
+    std::vector<Inequality> next;
+    auto add_unique = [&](Inequality ineq) {
+      ineq = Canonicalize(std::move(ineq));
+      std::string key = KeyOf(ineq);
+      if (seen.insert(std::move(key)).second) {
+        next.push_back(std::move(ineq));
+      }
+    };
+    for (Inequality& ineq : others) {
+      add_unique(std::move(ineq));
+    }
+    for (const Inequality& lo : lower) {
+      for (const Inequality& hi : upper) {
+        Rational a = lo.expr.CoefficientOf(v);        // > 0
+        Rational b = hi.expr.CoefficientOf(v);        // < 0
+        // (-b) * lo + a * hi eliminates v and preserves direction.
+        Inequality combined;
+        combined.expr = lo.expr * (-b) + hi.expr * a;
+        combined.strict = lo.strict || hi.strict;
+        add_unique(std::move(combined));
+      }
+    }
+    pool = std::move(next);
+  }
+
+  // All variables eliminated: every remaining constraint is a constant.
+  FmResult result;
+  for (const Inequality& ineq : pool) {
+    const Rational& c = ineq.expr.constant();
+    bool holds = ineq.strict ? c.IsPositive() : !c.IsNegative();
+    if (!holds) {
+      result.feasible = false;
+      return result;
+    }
+  }
+  result.feasible = true;
+
+  // Back-substitute a witness, assigning variables in increasing id order
+  // (the reverse of elimination order).
+  result.witness.assign(system.num_variables(), Rational());
+  for (VarId v = 0; v < system.num_variables(); ++v) {
+    const std::vector<Inequality>& stage =
+        stages[system.num_variables() - 1 - v];
+    // Bounds may involve variables > v, already assigned... Variables are
+    // eliminated from high id to low, so stage constraints mention only
+    // variables <= v; lower ids are already assigned in `witness`.
+    bool has_lower = false, has_upper = false;
+    bool lower_strict = false, upper_strict = false;
+    Rational lower_bound, upper_bound;
+    for (const Inequality& ineq : stage) {
+      Rational coeff = ineq.expr.CoefficientOf(v);
+      if (coeff.IsZero()) {
+        continue;
+      }
+      // rest = expr - coeff * v evaluated at already-chosen values.
+      LinearExpr rest = ineq.expr - LinearExpr::Term(v, coeff);
+      Rational rest_value = rest.Evaluate(result.witness);
+      Rational bound = -rest_value / coeff;
+      if (coeff.IsPositive()) {
+        if (!has_lower || bound > lower_bound ||
+            (bound == lower_bound && ineq.strict)) {
+          lower_bound = bound;
+          lower_strict = ineq.strict;
+          has_lower = true;
+        }
+      } else {
+        if (!has_upper || bound < upper_bound ||
+            (bound == upper_bound && ineq.strict)) {
+          upper_bound = bound;
+          upper_strict = ineq.strict;
+          has_upper = true;
+        }
+      }
+    }
+    Rational value;
+    if (has_lower && has_upper) {
+      if (!lower_strict && !upper_strict) {
+        value = lower_bound;
+      } else {
+        value = (lower_bound + upper_bound) / Rational(2);
+      }
+    } else if (has_lower) {
+      value = lower_strict ? lower_bound + Rational(1) : lower_bound;
+    } else if (has_upper) {
+      value = upper_strict ? upper_bound - Rational(1) : upper_bound;
+    }
+    result.witness[v] = value;
+  }
+  return result;
+}
+
+}  // namespace crsat

@@ -1,0 +1,37 @@
+#ifndef CRSAT_LP_FOURIER_MOTZKIN_H_
+#define CRSAT_LP_FOURIER_MOTZKIN_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/lp/linear_system.h"
+
+namespace crsat {
+
+/// Result of a Fourier-Motzkin feasibility check.
+struct FmResult {
+  bool feasible = false;
+  /// A satisfying assignment when feasible (one value per variable).
+  std::vector<Rational> witness;
+};
+
+/// Decides feasibility of a linear system over the rationals by
+/// Fourier-Motzkin variable elimination.
+///
+/// Unlike the simplex, this solver handles strict (`>`) constraints
+/// natively, which makes it an independent oracle for cross-checking the
+/// homogeneous strict-to-`>=1` reduction used elsewhere. Worst-case cost is
+/// doubly exponential in the number of variables, so it is intended for
+/// small systems (tests, debugging) only. When the system is feasible a
+/// witness assignment is produced by back-substitution.
+class FourierMotzkinSolver {
+ public:
+  /// Decides feasibility of `system` (variable nonnegativity flags are
+  /// honored as additional constraints).
+  static Result<FmResult> Solve(const LinearSystem& system);
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_LP_FOURIER_MOTZKIN_H_

@@ -1,0 +1,153 @@
+#include "src/lp/homogeneous.h"
+
+#include <utility>
+
+namespace crsat {
+
+Result<LpResult> SolveHomogeneousWithStrict(const LinearSystem& system) {
+  if (!system.IsHomogeneous()) {
+    return InvalidArgumentError(
+        "SolveHomogeneousWithStrict requires a homogeneous system");
+  }
+  LinearSystem relaxed;
+  for (VarId v = 0; v < system.num_variables(); ++v) {
+    relaxed.AddVariable(system.VariableName(v), system.IsNonnegative(v));
+  }
+  for (const Constraint& constraint : system.constraints()) {
+    if (constraint.sense == ConstraintSense::kGreater) {
+      LinearExpr shifted = constraint.expr;
+      shifted.AddConstant(Rational(-1));
+      relaxed.AddGe(std::move(shifted));
+    } else {
+      relaxed.AddConstraint(constraint.expr, constraint.sense);
+    }
+  }
+  return SimplexSolver::CheckFeasibility(relaxed);
+}
+
+std::vector<BigInt> ScaleToIntegerSolution(
+    const std::vector<Rational>& values) {
+  BigInt denominator_lcm(1);
+  for (const Rational& value : values) {
+    denominator_lcm = Lcm(denominator_lcm, value.denominator());
+  }
+  std::vector<BigInt> scaled;
+  scaled.reserve(values.size());
+  BigInt numerator_gcd;
+  for (const Rational& value : values) {
+    BigInt integer =
+        value.numerator() * (denominator_lcm / value.denominator());
+    numerator_gcd = Gcd(numerator_gcd, integer);
+    scaled.push_back(std::move(integer));
+  }
+  if (numerator_gcd > BigInt(1)) {
+    for (BigInt& value : scaled) {
+      value /= numerator_gcd;
+    }
+  }
+  return scaled;
+}
+
+std::vector<BigInt> ScaleSolution(const std::vector<BigInt>& values,
+                                  const BigInt& factor) {
+  std::vector<BigInt> scaled;
+  scaled.reserve(values.size());
+  for (const BigInt& value : values) {
+    scaled.push_back(value * factor);
+  }
+  return scaled;
+}
+
+Result<SupportResult> ComputeMaximalSupport(
+    const LinearSystem& system, const std::vector<bool>& forced_zero) {
+  if (!system.IsHomogeneous()) {
+    return InvalidArgumentError(
+        "ComputeMaximalSupport requires a homogeneous system");
+  }
+  if (system.HasStrictConstraints()) {
+    return InvalidArgumentError(
+        "ComputeMaximalSupport requires non-strict constraints");
+  }
+  if (forced_zero.size() != static_cast<size_t>(system.num_variables())) {
+    return InvalidArgumentError(
+        "forced_zero size must match the number of variables");
+  }
+
+  const int n = system.num_variables();
+  for (VarId v = 0; v < n; ++v) {
+    if (!system.IsNonnegative(v)) {
+      return InvalidArgumentError(
+          "ComputeMaximalSupport requires nonnegative variables");
+    }
+  }
+  SupportResult result;
+  result.positive.assign(n, false);
+  result.witness.assign(n, Rational());
+
+  // Substitute the pinned variables out: they are zero on the subspace of
+  // interest, so their terms just vanish and the LP never sees them.
+  std::vector<VarId> to_probe(n, -1);
+  std::vector<VarId> from_probe;
+  LinearSystem pinned;
+  for (VarId v = 0; v < n; ++v) {
+    if (!forced_zero[v]) {
+      to_probe[v] = pinned.AddVariable(system.VariableName(v),
+                                      /*nonnegative=*/true);
+      from_probe.push_back(v);
+    }
+  }
+  for (const Constraint& constraint : system.constraints()) {
+    LinearExpr remapped;
+    for (const auto& [var, coeff] : constraint.expr.terms()) {
+      if (to_probe[var] >= 0) {
+        remapped.AddTerm(to_probe[var], coeff);
+      }
+    }
+    pinned.AddConstraint(std::move(remapped), constraint.sense);
+  }
+  // Group probing. Each round asks one feasibility question:
+  //
+  //   sum of the still-undetermined variables >= 1
+  //
+  // (equivalent by scaling to "some undetermined variable positive" on the
+  // cone). Infeasible => *every* remaining variable is zero in every
+  // solution — certified by a single LP, where per-variable probing would
+  // pay one infeasible LP each. Feasible => the witness is folded in and
+  // marks at least one new positive (its undetermined-sum is >= 1), so the
+  // loop runs at most (support size + 1) rounds; in practice a couple,
+  // since each vertex witness makes many variables positive at once.
+  std::vector<VarId> undetermined;
+  for (VarId v = 0; v < pinned.num_variables(); ++v) {
+    undetermined.push_back(v);
+  }
+  while (!undetermined.empty()) {
+    LinearSystem probe = pinned;
+    LinearExpr at_least_one;
+    for (VarId v : undetermined) {
+      at_least_one.AddTerm(v, Rational(1));
+    }
+    at_least_one.AddConstant(Rational(-1));
+    probe.AddGe(std::move(at_least_one));
+    CRSAT_ASSIGN_OR_RETURN(LpResult lp,
+                           SimplexSolver::CheckFeasibility(probe));
+    if (lp.outcome != LpOutcome::kOptimal) {
+      break;  // All remaining variables are zero in every solution.
+    }
+    for (VarId u = 0; u < pinned.num_variables(); ++u) {
+      result.witness[from_probe[u]] += lp.values[u];
+      if (lp.values[u].IsPositive()) {
+        result.positive[from_probe[u]] = true;
+      }
+    }
+    std::vector<VarId> still_undetermined;
+    for (VarId v : undetermined) {
+      if (!result.positive[from_probe[v]]) {
+        still_undetermined.push_back(v);
+      }
+    }
+    undetermined = std::move(still_undetermined);
+  }
+  return result;
+}
+
+}  // namespace crsat

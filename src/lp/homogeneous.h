@@ -1,0 +1,56 @@
+#ifndef CRSAT_LP_HOMOGENEOUS_H_
+#define CRSAT_LP_HOMOGENEOUS_H_
+
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/lp/simplex.h"
+#include "src/math/bigint.h"
+
+namespace crsat {
+
+/// Helpers for homogeneous linear systems (all constant terms zero), whose
+/// solution sets are convex cones closed under addition and positive
+/// scaling. The paper's systems Psi_S are of exactly this shape, which is
+/// what lets strict constraints and integrality be handled by scaling.
+
+/// Decides feasibility of a homogeneous `system` that may contain strict
+/// (`expr > 0`) constraints, returning a satisfying assignment when one
+/// exists. Each strict constraint is replaced by `expr >= 1`: sound because
+/// scaling any solution with `expr > 0` for all strict rows makes every
+/// such expression reach 1 without affecting the homogeneous rows.
+/// Fails with `InvalidArgument` if `system` is not homogeneous.
+Result<LpResult> SolveHomogeneousWithStrict(const LinearSystem& system);
+
+/// Scales a rational solution of a homogeneous system to an integer one:
+/// multiplies by the lcm of all denominators, then divides by the gcd of
+/// the numerators (keeping the vector minimal). All-zero input stays zero.
+std::vector<BigInt> ScaleToIntegerSolution(const std::vector<Rational>& values);
+
+/// Multiplies an integer solution by `factor` (solutions of homogeneous
+/// systems are closed under positive scaling).
+std::vector<BigInt> ScaleSolution(const std::vector<BigInt>& values,
+                                  const BigInt& factor);
+
+/// Result of a maximal-support computation.
+struct SupportResult {
+  /// `positive[v]` is true iff some solution of the restricted system
+  /// assigns a strictly positive value to variable `v`.
+  std::vector<bool> positive;
+  /// A single solution realizing the full support simultaneously (the sum
+  /// of per-variable witnesses; valid because the solution set is a cone).
+  std::vector<Rational> witness;
+};
+
+/// Computes, for a homogeneous non-strict `system` with nonnegative
+/// variables, which variables can be strictly positive once the variables
+/// in `forced_zero` are pinned to 0. This is the LP core of the paper's
+/// acceptable-solution search (Theorem 3.4): each probe solves
+/// `system + {x_u = 0 : forced} + {x_v >= 1}`.
+/// `forced_zero.size()` must equal `system.num_variables()`.
+Result<SupportResult> ComputeMaximalSupport(
+    const LinearSystem& system, const std::vector<bool>& forced_zero);
+
+}  // namespace crsat
+
+#endif  // CRSAT_LP_HOMOGENEOUS_H_

@@ -1,0 +1,119 @@
+#include "src/lp/linear_expr.h"
+
+namespace crsat {
+
+LinearExpr LinearExpr::Term(VarId var, Rational coeff) {
+  LinearExpr expr;
+  expr.AddTerm(var, coeff);
+  return expr;
+}
+
+LinearExpr& LinearExpr::AddTerm(VarId var, const Rational& coeff) {
+  if (coeff.IsZero()) {
+    return *this;
+  }
+  auto [it, inserted] = terms_.emplace(var, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second.IsZero()) {
+      terms_.erase(it);
+    }
+  }
+  return *this;
+}
+
+LinearExpr& LinearExpr::AddConstant(const Rational& value) {
+  constant_ += value;
+  return *this;
+}
+
+Rational LinearExpr::CoefficientOf(VarId var) const {
+  auto it = terms_.find(var);
+  return it == terms_.end() ? Rational() : it->second;
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr& other) const {
+  LinearExpr result = *this;
+  result += other;
+  return result;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr& other) const {
+  LinearExpr result = *this;
+  result -= other;
+  return result;
+}
+
+LinearExpr LinearExpr::operator*(const Rational& scalar) const {
+  LinearExpr result;
+  if (scalar.IsZero()) {
+    return result;
+  }
+  for (const auto& [var, coeff] : terms_) {
+    result.terms_.emplace(var, coeff * scalar);
+  }
+  result.constant_ = constant_ * scalar;
+  return result;
+}
+
+LinearExpr LinearExpr::operator-() const { return *this * Rational(-1); }
+
+LinearExpr& LinearExpr::operator+=(const LinearExpr& other) {
+  for (const auto& [var, coeff] : other.terms_) {
+    AddTerm(var, coeff);
+  }
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator-=(const LinearExpr& other) {
+  for (const auto& [var, coeff] : other.terms_) {
+    AddTerm(var, -coeff);
+  }
+  constant_ -= other.constant_;
+  return *this;
+}
+
+Rational LinearExpr::Evaluate(const std::vector<Rational>& values) const {
+  Rational total = constant_;
+  for (const auto& [var, coeff] : terms_) {
+    if (var >= 0 && static_cast<size_t>(var) < values.size()) {
+      total += coeff * values[var];
+    }
+  }
+  return total;
+}
+
+std::string LinearExpr::ToString() const {
+  std::string text;
+  for (const auto& [var, coeff] : terms_) {
+    if (text.empty()) {
+      if (coeff.IsNegative()) {
+        text += "-";
+      }
+    } else {
+      text += coeff.IsNegative() ? " - " : " + ";
+    }
+    Rational magnitude = coeff.IsNegative() ? -coeff : coeff;
+    if (magnitude != Rational(1)) {
+      text += magnitude.ToString();
+      text += "*";
+    }
+    text += "x" + std::to_string(var);
+  }
+  if (!constant_.IsZero()) {
+    if (text.empty()) {
+      text = constant_.ToString();
+    } else {
+      text += constant_.IsNegative() ? " - " : " + ";
+      Rational magnitude = constant_.IsNegative() ? -constant_ : constant_;
+      text += magnitude.ToString();
+    }
+  }
+  if (text.empty()) {
+    text = "0";
+  }
+  return text;
+}
+
+}  // namespace crsat

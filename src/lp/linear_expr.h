@@ -1,0 +1,79 @@
+#ifndef CRSAT_LP_LINEAR_EXPR_H_
+#define CRSAT_LP_LINEAR_EXPR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/math/rational.h"
+
+namespace crsat {
+
+/// Index of a variable within a `LinearSystem`.
+using VarId = int;
+
+/// A sparse linear expression `sum_i coeff_i * x_i + constant`.
+///
+/// Used to state constraints and objectives over a `LinearSystem`. The
+/// expression owns no variable metadata; `VarId`s are resolved by the system
+/// the expression is used with.
+class LinearExpr {
+ public:
+  /// Constructs the zero expression.
+  LinearExpr() = default;
+
+  /// Constructs a constant expression.
+  explicit LinearExpr(Rational constant) : constant_(std::move(constant)) {}
+
+  /// Returns the expression `coeff * x_var`.
+  static LinearExpr Term(VarId var, Rational coeff);
+
+  /// Returns the expression `x_var`.
+  static LinearExpr Var(VarId var) { return Term(var, Rational(1)); }
+
+  /// Adds `coeff * x_var` to this expression; terms with the same variable
+  /// accumulate, and zero coefficients are dropped.
+  LinearExpr& AddTerm(VarId var, const Rational& coeff);
+
+  /// Adds `value` to the constant term.
+  LinearExpr& AddConstant(const Rational& value);
+
+  /// Coefficient of `var` (zero if absent).
+  Rational CoefficientOf(VarId var) const;
+
+  /// The constant term.
+  const Rational& constant() const { return constant_; }
+
+  /// Variable terms, sorted by `VarId`; no zero coefficients.
+  const std::map<VarId, Rational>& terms() const { return terms_; }
+
+  /// True iff the expression has no variable terms and zero constant.
+  bool IsZero() const { return terms_.empty() && constant_.IsZero(); }
+
+  LinearExpr operator+(const LinearExpr& other) const;
+  LinearExpr operator-(const LinearExpr& other) const;
+  LinearExpr operator*(const Rational& scalar) const;
+  LinearExpr operator-() const;
+
+  LinearExpr& operator+=(const LinearExpr& other);
+  LinearExpr& operator-=(const LinearExpr& other);
+
+  bool operator==(const LinearExpr& other) const {
+    return constant_ == other.constant_ && terms_ == other.terms_;
+  }
+
+  /// Evaluates the expression under the given assignment. `values[v]` is the
+  /// value of variable `v`; variables beyond `values.size()` count as zero.
+  Rational Evaluate(const std::vector<Rational>& values) const;
+
+  /// Renders e.g. "2*x3 - x7 + 1" using `x<id>` variable names.
+  std::string ToString() const;
+
+ private:
+  std::map<VarId, Rational> terms_;
+  Rational constant_;
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_LP_LINEAR_EXPR_H_

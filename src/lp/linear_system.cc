@@ -1,0 +1,122 @@
+#include "src/lp/linear_system.h"
+
+namespace crsat {
+
+const char* ConstraintSenseToString(ConstraintSense sense) {
+  switch (sense) {
+    case ConstraintSense::kEqual:
+      return "==";
+    case ConstraintSense::kLessEqual:
+      return "<=";
+    case ConstraintSense::kGreaterEqual:
+      return ">=";
+    case ConstraintSense::kGreater:
+      return ">";
+  }
+  return "?";
+}
+
+std::string Constraint::ToString() const {
+  return expr.ToString() + " " + ConstraintSenseToString(sense) + " 0";
+}
+
+bool Constraint::IsSatisfiedBy(const std::vector<Rational>& values) const {
+  Rational value = expr.Evaluate(values);
+  switch (sense) {
+    case ConstraintSense::kEqual:
+      return value.IsZero();
+    case ConstraintSense::kLessEqual:
+      return !value.IsPositive();
+    case ConstraintSense::kGreaterEqual:
+      return !value.IsNegative();
+    case ConstraintSense::kGreater:
+      return value.IsPositive();
+  }
+  return false;
+}
+
+VarId LinearSystem::AddVariable(std::string name, bool nonnegative) {
+  names_.push_back(std::move(name));
+  nonnegative_.push_back(nonnegative);
+  return static_cast<VarId>(names_.size()) - 1;
+}
+
+void LinearSystem::AddConstraint(LinearExpr expr, ConstraintSense sense) {
+  constraints_.push_back(Constraint{std::move(expr), sense});
+}
+
+bool LinearSystem::IsSatisfiedBy(const std::vector<Rational>& values) const {
+  for (int v = 0; v < num_variables(); ++v) {
+    if (nonnegative_[v] && values[v].IsNegative()) {
+      return false;
+    }
+  }
+  for (const Constraint& constraint : constraints_) {
+    if (!constraint.IsSatisfiedBy(values)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LinearSystem::IsHomogeneous() const {
+  for (const Constraint& constraint : constraints_) {
+    if (!constraint.expr.constant().IsZero()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LinearSystem::HasStrictConstraints() const {
+  for (const Constraint& constraint : constraints_) {
+    if (constraint.sense == ConstraintSense::kGreater) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string LinearSystem::ToString() const {
+  std::string text;
+  for (const Constraint& constraint : constraints_) {
+    // Render with variable names (Constraint::ToString has no access to
+    // them and falls back to x<id>).
+    std::string line;
+    for (const auto& [var, coeff] : constraint.expr.terms()) {
+      if (line.empty()) {
+        if (coeff.IsNegative()) {
+          line += "-";
+        }
+      } else {
+        line += coeff.IsNegative() ? " - " : " + ";
+      }
+      Rational magnitude = coeff.IsNegative() ? -coeff : coeff;
+      if (magnitude != Rational(1)) {
+        line += magnitude.ToString();
+        line += "*";
+      }
+      line += names_[var];
+    }
+    const Rational& constant = constraint.expr.constant();
+    if (!constant.IsZero()) {
+      if (line.empty()) {
+        line = constant.ToString();
+      } else {
+        line += constant.IsNegative() ? " - " : " + ";
+        Rational magnitude = constant.IsNegative() ? -constant : constant;
+        line += magnitude.ToString();
+      }
+    }
+    if (line.empty()) {
+      line = "0";
+    }
+    text += line;
+    text += " ";
+    text += ConstraintSenseToString(constraint.sense);
+    text += " 0\n";
+  }
+  return text;
+}
+
+}  // namespace crsat

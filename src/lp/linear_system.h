@@ -1,0 +1,88 @@
+#ifndef CRSAT_LP_LINEAR_SYSTEM_H_
+#define CRSAT_LP_LINEAR_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/lp/linear_expr.h"
+
+namespace crsat {
+
+/// Relation between a linear expression and zero.
+enum class ConstraintSense {
+  kEqual,         // expr == 0
+  kLessEqual,     // expr <= 0
+  kGreaterEqual,  // expr >= 0
+  kGreater,       // expr >  0 (strict; handled by the homogeneous layer and
+                  //            Fourier-Motzkin, rejected by the simplex)
+};
+
+/// Returns "==", "<=", ">=" or ">".
+const char* ConstraintSenseToString(ConstraintSense sense);
+
+/// A single constraint `expr (sense) 0`.
+struct Constraint {
+  LinearExpr expr;
+  ConstraintSense sense = ConstraintSense::kGreaterEqual;
+
+  /// Renders e.g. "x0 - 2*x1 >= 0".
+  std::string ToString() const;
+
+  /// True iff `values` satisfies the constraint exactly.
+  bool IsSatisfiedBy(const std::vector<Rational>& values) const;
+};
+
+/// A collection of variables and linear constraints over the rationals.
+///
+/// Variables carry a display name and a nonnegativity flag. The reasoning
+/// pipeline only ever creates nonnegative variables (they denote instance
+/// counts); free variables are supported so the LP layer is usable on its
+/// own.
+class LinearSystem {
+ public:
+  LinearSystem() = default;
+
+  /// Adds a variable and returns its id. Ids are dense, starting at 0.
+  VarId AddVariable(std::string name, bool nonnegative = true);
+
+  /// Adds the constraint `expr (sense) 0`.
+  void AddConstraint(LinearExpr expr, ConstraintSense sense);
+
+  /// Convenience wrappers.
+  void AddEq(LinearExpr expr) { AddConstraint(std::move(expr), ConstraintSense::kEqual); }
+  void AddLe(LinearExpr expr) { AddConstraint(std::move(expr), ConstraintSense::kLessEqual); }
+  void AddGe(LinearExpr expr) { AddConstraint(std::move(expr), ConstraintSense::kGreaterEqual); }
+  void AddGt(LinearExpr expr) { AddConstraint(std::move(expr), ConstraintSense::kGreater); }
+
+  int num_variables() const { return static_cast<int>(names_.size()); }
+  size_t num_constraints() const { return constraints_.size(); }
+
+  const std::string& VariableName(VarId var) const { return names_[var]; }
+  bool IsNonnegative(VarId var) const { return nonnegative_[var]; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// True iff every constraint (including variable sign restrictions) holds
+  /// under `values`. `values.size()` must equal `num_variables()`.
+  bool IsSatisfiedBy(const std::vector<Rational>& values) const;
+
+  /// True iff all constraints have zero constant term (so the solution set
+  /// is a cone and scaling arguments apply).
+  bool IsHomogeneous() const;
+
+  /// True iff some constraint is strict.
+  bool HasStrictConstraints() const;
+
+  /// Multi-line rendering of all constraints, for debugging and the bench
+  /// harnesses that print the paper's Figure 5.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<bool> nonnegative_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_LP_LINEAR_SYSTEM_H_

@@ -1,0 +1,377 @@
+#include "src/lp/simplex.h"
+
+#include <utility>
+
+namespace crsat {
+
+SimplexStats& GetSimplexStats() {
+  static SimplexStats stats;
+  return stats;
+}
+
+namespace {
+
+// Dense exact tableau for the two-phase primal simplex.
+//
+// Column layout: [structural columns][slack/surplus columns][artificial
+// columns], plus the right-hand side kept in a separate vector. Structural
+// columns encode user variables: a nonnegative variable occupies one column;
+// a free variable is split into two columns (x = pos - neg).
+class Tableau {
+ public:
+  explicit Tableau(const LinearSystem& system) : system_(system) {
+    // Assign structural columns.
+    column_of_var_.resize(system.num_variables());
+    neg_column_of_var_.assign(system.num_variables(), -1);
+    for (VarId v = 0; v < system.num_variables(); ++v) {
+      column_of_var_[v] = num_columns_++;
+      if (!system.IsNonnegative(v)) {
+        neg_column_of_var_[v] = num_columns_++;
+      }
+    }
+    num_structural_ = num_columns_;
+
+    // One row per constraint, with b >= 0 after sign normalization.
+    for (const Constraint& constraint : system.constraints()) {
+      Row row;
+      row.coeffs.assign(num_structural_, Rational());
+      for (const auto& [var, coeff] : constraint.expr.terms()) {
+        row.coeffs[column_of_var_[var]] += coeff;
+        if (neg_column_of_var_[var] >= 0) {
+          row.coeffs[neg_column_of_var_[var]] -= coeff;
+        }
+      }
+      row.rhs = -constraint.expr.constant();
+      ConstraintSense sense = constraint.sense;
+      if (row.rhs.IsNegative() ||
+          (row.rhs.IsZero() && sense == ConstraintSense::kGreaterEqual)) {
+        // Normalize to b >= 0; additionally flip zero-RHS `>=` rows into
+        // `<=` form so their slack can start basic — homogeneous systems
+        // then need (almost) no artificials and phase 1 is trivial.
+        for (Rational& c : row.coeffs) {
+          c = -c;
+        }
+        row.rhs = -row.rhs;
+        if (sense == ConstraintSense::kLessEqual) {
+          sense = ConstraintSense::kGreaterEqual;
+        } else if (sense == ConstraintSense::kGreaterEqual) {
+          sense = ConstraintSense::kLessEqual;
+        }
+      }
+      row.sense = sense;
+      rows_.push_back(std::move(row));
+    }
+
+    // Slack / surplus columns.
+    for (Row& row : rows_) {
+      if (row.sense == ConstraintSense::kLessEqual) {
+        row.slack_column = num_columns_++;
+        row.slack_sign = Rational(1);
+      } else if (row.sense == ConstraintSense::kGreaterEqual) {
+        row.slack_column = num_columns_++;
+        row.slack_sign = Rational(-1);
+      }
+    }
+    num_with_slacks_ = num_columns_;
+
+    // Artificial columns: needed for == rows and >= rows (whose surplus
+    // enters with -1 and cannot start basic). A <= row's slack starts basic.
+    for (Row& row : rows_) {
+      bool needs_artificial = row.sense != ConstraintSense::kLessEqual;
+      if (needs_artificial) {
+        row.artificial_column = num_columns_++;
+      }
+    }
+
+    // Materialize the dense tableau.
+    size_t m = rows_.size();
+    matrix_.assign(m, std::vector<Rational>(num_columns_, Rational()));
+    rhs_.assign(m, Rational());
+    basis_.assign(m, -1);
+    for (size_t i = 0; i < m; ++i) {
+      const Row& row = rows_[i];
+      for (int j = 0; j < num_structural_; ++j) {
+        matrix_[i][j] = row.coeffs[j];
+      }
+      if (row.slack_column >= 0) {
+        matrix_[i][row.slack_column] = row.slack_sign;
+      }
+      if (row.artificial_column >= 0) {
+        matrix_[i][row.artificial_column] = Rational(1);
+        basis_[i] = row.artificial_column;
+      } else {
+        basis_[i] = row.slack_column;
+      }
+      rhs_[i] = row.rhs;
+    }
+  }
+
+  // Runs phase 1. Returns false if the system is infeasible.
+  bool SolvePhase1() {
+    std::vector<Rational> costs(num_columns_, Rational());
+    for (int j = first_artificial(); j < num_columns_; ++j) {
+      costs[j] = Rational(1);
+    }
+    RunSimplex(costs, /*allow_artificials=*/true);
+    Rational value = ObjectiveValue(costs);
+    if (value.IsPositive()) {
+      return false;
+    }
+    EliminateArtificialsFromBasis();
+    return true;
+  }
+
+  // Runs phase 2 minimizing `costs` over the structural columns; returns
+  // false when unbounded. `costs` has one entry per structural column.
+  bool SolvePhase2(const std::vector<Rational>& structural_costs) {
+    std::vector<Rational> costs(num_columns_, Rational());
+    for (int j = 0; j < num_structural_; ++j) {
+      costs[j] = structural_costs[j];
+    }
+    return RunSimplex(costs, /*allow_artificials=*/false);
+  }
+
+  // Extracts per-user-variable values from the current basic solution.
+  std::vector<Rational> ExtractValues() const {
+    std::vector<Rational> column_values(num_columns_, Rational());
+    for (size_t i = 0; i < basis_.size(); ++i) {
+      column_values[basis_[i]] = rhs_[i];
+    }
+    std::vector<Rational> values(system_.num_variables(), Rational());
+    for (VarId v = 0; v < system_.num_variables(); ++v) {
+      values[v] = column_values[column_of_var_[v]];
+      if (neg_column_of_var_[v] >= 0) {
+        values[v] -= column_values[neg_column_of_var_[v]];
+      }
+    }
+    return values;
+  }
+
+  int num_structural() const { return num_structural_; }
+  int column_of_var(VarId v) const { return column_of_var_[v]; }
+  int neg_column_of_var(VarId v) const { return neg_column_of_var_[v]; }
+
+ private:
+  struct Row {
+    std::vector<Rational> coeffs;
+    Rational rhs;
+    ConstraintSense sense = ConstraintSense::kEqual;
+    int slack_column = -1;
+    Rational slack_sign;
+    int artificial_column = -1;
+  };
+
+  int first_artificial() const { return num_with_slacks_; }
+
+  bool IsArtificial(int column) const { return column >= num_with_slacks_; }
+
+  Rational ObjectiveValue(const std::vector<Rational>& costs) const {
+    Rational total;
+    for (size_t i = 0; i < basis_.size(); ++i) {
+      total += costs[basis_[i]] * rhs_[i];
+    }
+    return total;
+  }
+
+  // Primal simplex minimizing `costs`. Returns false if unbounded.
+  // Pricing: Dantzig's rule (most negative maintained reduced cost) for
+  // speed, with a permanent-within-the-run switch to Bland's rule after a
+  // long degenerate streak to guarantee termination (cycling can only
+  // happen inside a degenerate sequence; any strict objective improvement
+  // resets the streak). Artificial columns are barred from re-entering the
+  // basis in phase 2.
+  bool RunSimplex(const std::vector<Rational>& costs, bool allow_artificials) {
+    // Initialize the maintained reduced-cost row:
+    //   z_j = c_j - sum_i c_B(i) * T[i][j],
+    // which Pivot then updates in O(columns) like any other row.
+    reduced_.assign(num_columns_, Rational());
+    for (int j = 0; j < num_columns_; ++j) {
+      reduced_[j] = costs[j];
+    }
+    for (size_t i = 0; i < basis_.size(); ++i) {
+      const Rational& basis_cost = costs[basis_[i]];
+      if (basis_cost.IsZero()) {
+        continue;
+      }
+      for (int j = 0; j < num_columns_; ++j) {
+        if (!matrix_[i][j].IsZero()) {
+          reduced_[j] -= basis_cost * matrix_[i][j];
+        }
+      }
+    }
+
+    constexpr int kBlandStreak = 30;
+    int degenerate_streak = 0;
+    while (true) {
+      const bool use_bland = degenerate_streak >= kBlandStreak;
+      int entering = -1;
+      for (int j = 0; j < num_columns_; ++j) {
+        if (!allow_artificials && IsArtificial(j)) {
+          continue;
+        }
+        if (!reduced_[j].IsNegative()) {
+          continue;
+        }
+        if (use_bland) {
+          entering = j;  // First improving index.
+          break;
+        }
+        if (entering < 0 || reduced_[j] < reduced_[entering]) {
+          entering = j;  // Most negative reduced cost.
+        }
+      }
+      if (entering < 0) {
+        return true;  // Optimal.
+      }
+      int leaving_row = -1;
+      Rational best_ratio;
+      for (size_t i = 0; i < basis_.size(); ++i) {
+        if (!matrix_[i][entering].IsPositive()) {
+          continue;
+        }
+        Rational ratio = rhs_[i] / matrix_[i][entering];
+        if (leaving_row < 0 || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[i] < basis_[leaving_row])) {
+          leaving_row = static_cast<int>(i);
+          best_ratio = ratio;
+        }
+      }
+      if (leaving_row < 0) {
+        return false;  // Unbounded direction.
+      }
+      degenerate_streak = best_ratio.IsZero() ? degenerate_streak + 1 : 0;
+      ++GetSimplexStats().pivots;
+      if (allow_artificials) {
+        ++GetSimplexStats().phase1_pivots;
+      }
+      Pivot(leaving_row, entering);
+    }
+  }
+
+  bool IsBasic(int column) const {
+    for (int b : basis_) {
+      if (b == column) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Pivot(int pivot_row, int pivot_column) {
+    Rational pivot = matrix_[pivot_row][pivot_column];
+    for (int j = 0; j < num_columns_; ++j) {
+      matrix_[pivot_row][j] /= pivot;
+    }
+    rhs_[pivot_row] /= pivot;
+    for (size_t i = 0; i < matrix_.size(); ++i) {
+      if (static_cast<int>(i) == pivot_row) {
+        continue;
+      }
+      Rational factor = matrix_[i][pivot_column];
+      if (factor.IsZero()) {
+        continue;
+      }
+      for (int j = 0; j < num_columns_; ++j) {
+        if (!matrix_[pivot_row][j].IsZero()) {
+          matrix_[i][j] -= factor * matrix_[pivot_row][j];
+        }
+      }
+      rhs_[i] -= factor * rhs_[pivot_row];
+    }
+    // The maintained reduced-cost row is eliminated like any other row
+    // (only meaningful while RunSimplex is active; stale otherwise).
+    if (reduced_.size() == static_cast<size_t>(num_columns_)) {
+      Rational factor = reduced_[pivot_column];
+      if (!factor.IsZero()) {
+        for (int j = 0; j < num_columns_; ++j) {
+          if (!matrix_[pivot_row][j].IsZero()) {
+            reduced_[j] -= factor * matrix_[pivot_row][j];
+          }
+        }
+      }
+    }
+    basis_[pivot_row] = pivot_column;
+  }
+
+  // After a successful phase 1, pivots any (necessarily degenerate)
+  // artificial variables out of the basis; rows that cannot be pivoted are
+  // redundant and are dropped.
+  void EliminateArtificialsFromBasis() {
+    for (size_t i = 0; i < basis_.size();) {
+      if (!IsArtificial(basis_[i])) {
+        ++i;
+        continue;
+      }
+      int pivot_column = -1;
+      for (int j = 0; j < num_with_slacks_; ++j) {
+        if (!matrix_[i][j].IsZero() && !IsBasic(j)) {
+          pivot_column = j;
+          break;
+        }
+      }
+      if (pivot_column >= 0) {
+        Pivot(static_cast<int>(i), pivot_column);
+        ++i;
+      } else {
+        // Redundant constraint: remove the row.
+        matrix_.erase(matrix_.begin() + i);
+        rhs_.erase(rhs_.begin() + i);
+        basis_.erase(basis_.begin() + i);
+      }
+    }
+  }
+
+  const LinearSystem& system_;
+  std::vector<int> column_of_var_;
+  std::vector<int> neg_column_of_var_;
+  int num_columns_ = 0;
+  int num_structural_ = 0;
+  int num_with_slacks_ = 0;
+  std::vector<Row> rows_;
+  std::vector<std::vector<Rational>> matrix_;
+  std::vector<Rational> rhs_;
+  std::vector<int> basis_;
+  std::vector<Rational> reduced_;
+};
+
+}  // namespace
+
+Result<LpResult> SimplexSolver::Solve(const LinearSystem& system,
+                                      const LinearExpr& objective,
+                                      bool maximize) {
+  if (system.HasStrictConstraints()) {
+    return InvalidArgumentError(
+        "SimplexSolver does not accept strict constraints; reduce them via "
+        "the homogeneous layer first");
+  }
+  ++GetSimplexStats().solves;
+  Tableau tableau(system);
+  LpResult result;
+  if (!tableau.SolvePhase1()) {
+    result.outcome = LpOutcome::kInfeasible;
+    return result;
+  }
+  // Build structural costs for minimization of +/- objective.
+  std::vector<Rational> costs(tableau.num_structural(), Rational());
+  for (const auto& [var, coeff] : objective.terms()) {
+    Rational c = maximize ? -coeff : coeff;
+    costs[tableau.column_of_var(var)] += c;
+    if (tableau.neg_column_of_var(var) >= 0) {
+      costs[tableau.neg_column_of_var(var)] -= c;
+    }
+  }
+  if (!tableau.SolvePhase2(costs)) {
+    result.outcome = LpOutcome::kUnbounded;
+    return result;
+  }
+  result.outcome = LpOutcome::kOptimal;
+  result.values = tableau.ExtractValues();
+  result.objective = objective.Evaluate(result.values);
+  return result;
+}
+
+Result<LpResult> SimplexSolver::CheckFeasibility(const LinearSystem& system) {
+  return Solve(system, LinearExpr(), /*maximize=*/false);
+}
+
+}  // namespace crsat

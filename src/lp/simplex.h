@@ -1,0 +1,62 @@
+#ifndef CRSAT_LP_SIMPLEX_H_
+#define CRSAT_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/lp/linear_system.h"
+
+namespace crsat {
+
+/// Outcome classification of an LP solve.
+enum class LpOutcome {
+  /// A feasible (and, when optimizing, optimal) assignment was found.
+  kOptimal,
+  /// No assignment satisfies the constraints.
+  kInfeasible,
+  /// Feasible, but the objective can be improved without bound.
+  kUnbounded,
+};
+
+/// Result of an LP solve.
+struct LpResult {
+  LpOutcome outcome = LpOutcome::kInfeasible;
+  /// One value per system variable; meaningful when `outcome == kOptimal`.
+  std::vector<Rational> values;
+  /// Objective value at `values`; zero for pure feasibility checks.
+  Rational objective;
+};
+
+/// Cumulative counters for diagnosing solver behaviour (process-wide,
+/// not thread-safe; intended for benchmarks and performance debugging).
+struct SimplexStats {
+  std::uint64_t solves = 0;
+  std::uint64_t pivots = 0;
+  std::uint64_t phase1_pivots = 0;
+};
+
+/// Returns a mutable reference to the process-wide solver counters.
+SimplexStats& GetSimplexStats();
+
+/// Exact-rational two-phase primal simplex with Bland's anti-cycling rule.
+///
+/// All arithmetic is over `Rational`, so results are exact: `kInfeasible`
+/// is a proof of infeasibility, not a numeric judgement. Strict (`>`)
+/// constraints are rejected with `InvalidArgument`; the homogeneous layer
+/// (`src/lp/homogeneous.h`) reduces them to non-strict ones before calling
+/// in, exploiting that the paper's systems are homogeneous (conic).
+class SimplexSolver {
+ public:
+  /// Minimizes or maximizes `objective` subject to `system`. The objective's
+  /// constant term is included in the reported objective value.
+  static Result<LpResult> Solve(const LinearSystem& system,
+                                const LinearExpr& objective, bool maximize);
+
+  /// Pure feasibility check (zero objective).
+  static Result<LpResult> CheckFeasibility(const LinearSystem& system);
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_LP_SIMPLEX_H_

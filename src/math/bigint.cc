@@ -1,0 +1,616 @@
+#include "src/math/bigint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+namespace crsat {
+
+namespace {
+
+constexpr std::uint64_t kLimbBase = std::uint64_t{1} << 32;
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+
+[[noreturn]] void DieDivisionByZero() {
+  std::cerr << "crsat: BigInt division by zero" << std::endl;
+  std::abort();
+}
+
+bool FitsInt64(__int128 value) {
+  return value >= static_cast<__int128>(kInt64Min) &&
+         value <= static_cast<__int128>(kInt64Max);
+}
+
+}  // namespace
+
+BigInt BigInt::FromMagnitude(int sign, std::vector<std::uint32_t> limbs) {
+  TrimZeros(&limbs);
+  if (limbs.empty()) {
+    return BigInt(0);
+  }
+  // Collapse to the small form when the magnitude fits in int64.
+  if (limbs.size() <= 2) {
+    std::uint64_t magnitude = limbs[0];
+    if (limbs.size() == 2) {
+      magnitude |= static_cast<std::uint64_t>(limbs[1]) << 32;
+    }
+    if (sign > 0 && magnitude <= static_cast<std::uint64_t>(kInt64Max)) {
+      return BigInt(static_cast<std::int64_t>(magnitude));
+    }
+    if (sign < 0 && magnitude <= static_cast<std::uint64_t>(kInt64Max) + 1) {
+      return BigInt(static_cast<std::int64_t>(~magnitude + 1));
+    }
+  }
+  BigInt result;
+  result.is_small_ = false;
+  result.small_ = 0;
+  result.sign_ = sign;
+  result.limbs_ = std::move(limbs);
+  return result;
+}
+
+BigInt BigInt::FromInt128(__int128 value) {
+  if (FitsInt64(value)) {
+    return BigInt(static_cast<std::int64_t>(value));
+  }
+  int sign = value < 0 ? -1 : 1;
+  unsigned __int128 magnitude =
+      value < 0 ? -static_cast<unsigned __int128>(value)
+                : static_cast<unsigned __int128>(value);
+  std::vector<std::uint32_t> limbs;
+  while (magnitude != 0) {
+    limbs.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  return FromMagnitude(sign, std::move(limbs));
+}
+
+std::vector<std::uint32_t> BigInt::MagnitudeLimbs() const {
+  if (!is_small_) {
+    return limbs_;
+  }
+  std::vector<std::uint32_t> limbs;
+  std::uint64_t magnitude =
+      small_ >= 0 ? static_cast<std::uint64_t>(small_)
+                  : ~static_cast<std::uint64_t>(small_) + 1;
+  while (magnitude != 0) {
+    limbs.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  return limbs;
+}
+
+Result<BigInt> BigInt::FromString(std::string_view text) {
+  if (text.empty()) {
+    return ParseError("empty string is not a valid integer");
+  }
+  size_t pos = 0;
+  int sign = 1;
+  if (text[0] == '+' || text[0] == '-') {
+    sign = text[0] == '-' ? -1 : 1;
+    pos = 1;
+  }
+  if (pos == text.size()) {
+    return ParseError("integer literal has no digits: '" + std::string(text) +
+                      "'");
+  }
+  BigInt result;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9') {
+      return ParseError("invalid character in integer literal: '" +
+                        std::string(text) + "'");
+    }
+    result = result * ten + BigInt(c - '0');
+  }
+  if (sign < 0) {
+    result = -result;
+  }
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  if (is_small_) {
+    if (small_ == kInt64Min) {
+      // |INT64_MIN| does not fit; go through the big path.
+      return FromMagnitude(1, MagnitudeLimbs());
+    }
+    return BigInt(small_ < 0 ? -small_ : small_);
+  }
+  return FromMagnitude(1, limbs_);
+}
+
+BigInt BigInt::operator-() const {
+  if (is_small_) {
+    if (small_ == kInt64Min) {
+      return FromMagnitude(1, MagnitudeLimbs());
+    }
+    return BigInt(-small_);
+  }
+  // Through FromMagnitude so values that now fit in int64 (only
+  // -(2^63) == INT64_MIN) collapse back to the canonical small form.
+  return FromMagnitude(-sign_, limbs_);
+}
+
+int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) {
+    return a.size() < b.size() ? -1 : 1;
+  }
+  for (size_t i = a.size(); i > 0; --i) {
+    if (a[i - 1] != b[i - 1]) {
+      return a[i - 1] < b[i - 1] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::AddMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  const std::vector<std::uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<std::uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> result;
+  result.reserve(longer.size() + 1);
+  std::uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    std::uint64_t sum = carry + longer[i];
+    if (i < shorter.size()) {
+      sum += shorter[i];
+    }
+    result.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) {
+    result.push_back(static_cast<std::uint32_t>(carry));
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::SubMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) {
+      diff -= static_cast<std::int64_t>(b[i]);
+    }
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<std::uint32_t>(diff));
+  }
+  TrimZeros(&result);
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::MulMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) {
+    return {};
+  }
+  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = result[i + j] + ai * b[j] + carry;
+      result[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = result[k] + carry;
+      result[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  TrimZeros(&result);
+  return result;
+}
+
+void BigInt::DivModMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b,
+                             std::vector<std::uint32_t>* quotient,
+                             std::vector<std::uint32_t>* remainder) {
+  quotient->clear();
+  remainder->clear();
+  if (b.empty()) {
+    DieDivisionByZero();
+  }
+  if (CompareMagnitude(a, b) < 0) {
+    *remainder = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Fast path: single-limb divisor.
+    std::uint64_t divisor = b[0];
+    quotient->assign(a.size(), 0);
+    std::uint64_t rem = 0;
+    for (size_t i = a.size(); i > 0; --i) {
+      std::uint64_t cur = (rem << 32) | a[i - 1];
+      (*quotient)[i - 1] = static_cast<std::uint32_t>(cur / divisor);
+      rem = cur % divisor;
+    }
+    TrimZeros(quotient);
+    if (rem != 0) {
+      remainder->push_back(static_cast<std::uint32_t>(rem));
+    }
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, algorithm D. Normalize so the top limb of the
+  // divisor has its high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = b.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shift_left = [shift](const std::vector<std::uint32_t>& v,
+                            bool extra_limb) {
+    std::vector<std::uint32_t> out(v.size() + (extra_limb ? 1 : 0), 0);
+    for (size_t i = 0; i < v.size(); ++i) {
+      out[i] |= shift == 0 ? v[i] : (v[i] << shift);
+      if (shift != 0 && i + 1 < out.size()) {
+        out[i + 1] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(v[i]) >> (32 - shift)));
+      }
+    }
+    return out;
+  };
+  std::vector<std::uint32_t> u = shift_left(a, /*extra_limb=*/true);
+  std::vector<std::uint32_t> v = shift_left(b, /*extra_limb=*/false);
+  TrimZeros(&v);
+  const size_t n = v.size();
+  const size_t m = u.size() - n;
+
+  quotient->assign(m, 0);
+  const std::uint64_t v_high = v[n - 1];
+  const std::uint64_t v_next = v[n - 2];
+  for (size_t j = m; j > 0; --j) {
+    const size_t jj = j - 1;
+    // Estimate the quotient digit from the top limbs.
+    std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[jj + n]) << 32) | u[jj + n - 1];
+    std::uint64_t qhat = numerator / v_high;
+    std::uint64_t rhat = numerator % v_high;
+    if (qhat >= kLimbBase) {
+      qhat = kLimbBase - 1;
+      rhat = numerator - qhat * v_high;
+    }
+    while (rhat < kLimbBase &&
+           qhat * v_next > ((rhat << 32) | u[jj + n - 2])) {
+      --qhat;
+      rhat += v_high;
+    }
+    // Multiply-subtract qhat * v from u[jj .. jj+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      std::uint64_t product = qhat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[jj + i]) -
+                          static_cast<std::int64_t>(product & 0xffffffffu) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[jj + i] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t top_diff = static_cast<std::int64_t>(u[jj + n]) -
+                            static_cast<std::int64_t>(carry) - borrow;
+    if (top_diff < 0) {
+      // qhat was one too large; add v back.
+      top_diff += static_cast<std::int64_t>(kLimbBase);
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        std::uint64_t sum =
+            static_cast<std::uint64_t>(u[jj + i]) + v[i] + add_carry;
+        u[jj + i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+        add_carry = sum >> 32;
+      }
+      top_diff += static_cast<std::int64_t>(add_carry);
+      top_diff &= 0xffffffff;
+    }
+    u[jj + n] = static_cast<std::uint32_t>(top_diff);
+    (*quotient)[jj] = static_cast<std::uint32_t>(qhat);
+  }
+  TrimZeros(quotient);
+
+  // Denormalize the remainder (bottom n limbs of u, shifted back).
+  remainder->assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    std::uint64_t limb = u[i] >> shift;
+    if (shift != 0 && i + 1 < u.size()) {
+      limb |= static_cast<std::uint64_t>(u[i + 1]) << (32 - shift);
+    }
+    (*remainder)[i] = static_cast<std::uint32_t>(limb & 0xffffffffu);
+  }
+  TrimZeros(remainder);
+}
+
+void BigInt::TrimZeros(std::vector<std::uint32_t>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) {
+    limbs->pop_back();
+  }
+}
+
+BigInt BigInt::AddSlow(const BigInt& other) const {
+  int sign_a = sign();
+  int sign_b = other.sign();
+  if (sign_a == 0) {
+    return other;
+  }
+  if (sign_b == 0) {
+    return *this;
+  }
+  std::vector<std::uint32_t> mag_a = MagnitudeLimbs();
+  std::vector<std::uint32_t> mag_b = other.MagnitudeLimbs();
+  if (sign_a == sign_b) {
+    return FromMagnitude(sign_a, AddMagnitude(mag_a, mag_b));
+  }
+  int cmp = CompareMagnitude(mag_a, mag_b);
+  if (cmp == 0) {
+    return BigInt(0);
+  }
+  if (cmp > 0) {
+    return FromMagnitude(sign_a, SubMagnitude(mag_a, mag_b));
+  }
+  return FromMagnitude(sign_b, SubMagnitude(mag_b, mag_a));
+}
+
+BigInt BigInt::MulSlow(const BigInt& other) const {
+  int result_sign = sign() * other.sign();
+  if (result_sign == 0) {
+    return BigInt(0);
+  }
+  return FromMagnitude(result_sign,
+                       MulMagnitude(MagnitudeLimbs(), other.MagnitudeLimbs()));
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (is_small_ && other.is_small_) {
+    return FromInt128(static_cast<__int128>(small_) + other.small_);
+  }
+  return AddSlow(other);
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  if (is_small_ && other.is_small_) {
+    return FromInt128(static_cast<__int128>(small_) - other.small_);
+  }
+  return AddSlow(-other);
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (is_small_ && other.is_small_) {
+    return FromInt128(static_cast<__int128>(small_) * other.small_);
+  }
+  return MulSlow(other);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  if (other.IsZero()) {
+    DieDivisionByZero();
+  }
+  if (is_small_ && other.is_small_) {
+    if (small_ == kInt64Min && other.small_ == -1) {
+      return FromInt128(-static_cast<__int128>(kInt64Min));
+    }
+    return BigInt(small_ / other.small_);
+  }
+  Result<DivModResult> result = DivMod(other);
+  return std::move(result).value().quotient;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  if (other.IsZero()) {
+    DieDivisionByZero();
+  }
+  if (is_small_ && other.is_small_) {
+    if (small_ == kInt64Min && other.small_ == -1) {
+      return BigInt(0);
+    }
+    return BigInt(small_ % other.small_);
+  }
+  Result<DivModResult> result = DivMod(other);
+  return std::move(result).value().remainder;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  *this = *this + other;
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) {
+  *this = *this - other;
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  *this = *this * other;
+  return *this;
+}
+
+BigInt& BigInt::operator/=(const BigInt& other) {
+  *this = *this / other;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& other) {
+  *this = *this % other;
+  return *this;
+}
+
+Result<BigInt::DivModResult> BigInt::DivMod(const BigInt& divisor) const {
+  if (divisor.IsZero()) {
+    return InvalidArgumentError("BigInt::DivMod: division by zero");
+  }
+  DivModResult result;
+  if (is_small_ && divisor.is_small_) {
+    if (small_ == kInt64Min && divisor.small_ == -1) {
+      result.quotient = FromInt128(-static_cast<__int128>(kInt64Min));
+      result.remainder = BigInt(0);
+    } else {
+      result.quotient = BigInt(small_ / divisor.small_);
+      result.remainder = BigInt(small_ % divisor.small_);
+    }
+    return result;
+  }
+  std::vector<std::uint32_t> quotient_limbs;
+  std::vector<std::uint32_t> remainder_limbs;
+  DivModMagnitude(MagnitudeLimbs(), divisor.MagnitudeLimbs(),
+                  &quotient_limbs, &remainder_limbs);
+  int quotient_sign = sign() * divisor.sign();
+  result.quotient =
+      FromMagnitude(quotient_sign == 0 ? 1 : quotient_sign,
+                    std::move(quotient_limbs));
+  result.remainder = FromMagnitude(sign() == 0 ? 1 : sign(),
+                                   std::move(remainder_limbs));
+  return result;
+}
+
+bool BigInt::operator==(const BigInt& other) const {
+  if (is_small_ && other.is_small_) {
+    return small_ == other.small_;
+  }
+  if (is_small_ != other.is_small_) {
+    // Canonical representation: big form never fits in int64.
+    return false;
+  }
+  return sign_ == other.sign_ && limbs_ == other.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& other) const {
+  if (is_small_ && other.is_small_) {
+    return small_ < other.small_;
+  }
+  int sign_a = sign();
+  int sign_b = other.sign();
+  if (sign_a != sign_b) {
+    return sign_a < sign_b;
+  }
+  // Same sign; at least one is big. A small value always has smaller
+  // magnitude than a big one (canonical forms).
+  if (is_small_ != other.is_small_) {
+    bool this_smaller_magnitude = is_small_;
+    return sign_a >= 0 ? this_smaller_magnitude : !this_smaller_magnitude;
+  }
+  int cmp = CompareMagnitude(limbs_, other.limbs_);
+  return sign_a >= 0 ? cmp < 0 : cmp > 0;
+}
+
+std::string BigInt::ToString() const {
+  if (is_small_) {
+    return std::to_string(small_);
+  }
+  // Convert by repeated division by 10^9 (largest power of 10 in a limb).
+  constexpr std::uint32_t kChunk = 1000000000u;
+  std::vector<std::uint32_t> magnitude = limbs_;
+  std::vector<std::uint32_t> chunks;
+  while (!magnitude.empty()) {
+    std::uint64_t rem = 0;
+    for (size_t i = magnitude.size(); i > 0; --i) {
+      std::uint64_t cur = (rem << 32) | magnitude[i - 1];
+      magnitude[i - 1] = static_cast<std::uint32_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    chunks.push_back(static_cast<std::uint32_t>(rem));
+    TrimZeros(&magnitude);
+  }
+  std::string text = sign_ < 0 ? "-" : "";
+  text += std::to_string(chunks.back());
+  for (size_t i = chunks.size() - 1; i > 0; --i) {
+    std::string part = std::to_string(chunks[i - 1]);
+    text.append(9 - part.size(), '0');
+    text += part;
+  }
+  return text;
+}
+
+Result<std::int64_t> BigInt::ToInt64() const {
+  if (is_small_) {
+    return small_;
+  }
+  // Canonical: big representation never fits.
+  return InvalidArgumentError("BigInt does not fit in int64: " + ToString());
+}
+
+size_t BigInt::BitLength() const {
+  if (is_small_) {
+    std::uint64_t magnitude =
+        small_ >= 0 ? static_cast<std::uint64_t>(small_)
+                    : ~static_cast<std::uint64_t>(small_) + 1;
+    size_t bits = 0;
+    while (magnitude != 0) {
+      ++bits;
+      magnitude >>= 1;
+    }
+    return bits;
+  }
+  size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+BigInt Gcd(const BigInt& a, const BigInt& b) {
+  if (a.is_small_ && b.is_small_) {
+    // Euclid on unsigned 64-bit magnitudes; no allocation at all. This is
+    // the hottest function in Rational normalization.
+    std::uint64_t x = a.small_ >= 0 ? static_cast<std::uint64_t>(a.small_)
+                                    : ~static_cast<std::uint64_t>(a.small_) + 1;
+    std::uint64_t y = b.small_ >= 0 ? static_cast<std::uint64_t>(b.small_)
+                                    : ~static_cast<std::uint64_t>(b.small_) + 1;
+    while (y != 0) {
+      std::uint64_t r = x % y;
+      x = y;
+      y = r;
+    }
+    if (x <= static_cast<std::uint64_t>(
+                 std::numeric_limits<std::int64_t>::max())) {
+      return BigInt(static_cast<std::int64_t>(x));
+    }
+    // Only reachable for gcd(INT64_MIN, 0) or gcd(INT64_MIN, INT64_MIN).
+    return BigInt(std::numeric_limits<std::int64_t>::min()).Abs();
+  }
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigInt Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) {
+    return BigInt();
+  }
+  return (a.Abs() / Gcd(a, b)) * b.Abs();
+}
+
+}  // namespace crsat

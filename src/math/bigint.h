@@ -1,0 +1,171 @@
+#ifndef CRSAT_MATH_BIGINT_H_
+#define CRSAT_MATH_BIGINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace crsat {
+
+/// Arbitrary-precision signed integer.
+///
+/// Two representations, switched automatically:
+///  * **small**: any value that fits in `int64` lives inline (no heap
+///    traffic). This is the common case in the exact-LP pipeline, where
+///    almost all coefficients stay word-sized, and is what makes the
+///    simplex fast.
+///  * **big**: sign-magnitude over 32-bit limbs (little-endian), used only
+///    when a value outgrows `int64`. Results that shrink back collapse to
+///    the small form, so representation is canonical: small whenever
+///    possible, and the magnitude never stores trailing zero limbs.
+///
+/// `BigInt` backs the exact `Rational` arithmetic used by the simplex and
+/// Fourier-Motzkin solvers, where pivoting can grow coefficients beyond
+/// any fixed-width integer type. Division truncates toward zero (like
+/// built-in integer division); `DivMod` returns both quotient and
+/// remainder, and the remainder has the sign of the dividend.
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() : small_(0), is_small_(true), sign_(0) {}
+
+  /// Constructs from a built-in integer.
+  BigInt(std::int64_t value)  // NOLINT(runtime/explicit): deliberate.
+      : small_(value), is_small_(true), sign_(0) {}
+
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  /// Parses an optionally signed decimal string ("-123", "+7", "0").
+  /// Rejects empty input, stray characters, and digitless strings.
+  static Result<BigInt> FromString(std::string_view text);
+
+  /// -1, 0 or +1.
+  int sign() const {
+    if (is_small_) {
+      return small_ > 0 ? 1 : (small_ < 0 ? -1 : 0);
+    }
+    return sign_;
+  }
+
+  /// True iff the value is zero.
+  bool IsZero() const { return is_small_ && small_ == 0; }
+
+  /// True iff the value is strictly negative.
+  bool IsNegative() const { return sign() < 0; }
+
+  /// True iff the value is strictly positive.
+  bool IsPositive() const { return sign() > 0; }
+
+  /// Absolute value.
+  BigInt Abs() const;
+
+  /// Arithmetic negation.
+  BigInt operator-() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+
+  /// Quotient truncated toward zero. Aborts on division by zero
+  /// (programming error; use `DivMod` + an explicit check if the divisor
+  /// is untrusted).
+  BigInt operator/(const BigInt& other) const;
+
+  /// Remainder with the sign of the dividend: `a == (a/b)*b + a%b`.
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
+  BigInt& operator/=(const BigInt& other);
+  BigInt& operator%=(const BigInt& other);
+
+  struct DivModResult;
+
+  /// Computes quotient and remainder in one pass (truncated division).
+  /// `divisor` must be nonzero.
+  Result<DivModResult> DivMod(const BigInt& divisor) const;
+
+  bool operator==(const BigInt& other) const;
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const;
+  bool operator<=(const BigInt& other) const { return !(other < *this); }
+  bool operator>(const BigInt& other) const { return other < *this; }
+  bool operator>=(const BigInt& other) const { return !(*this < other); }
+
+  /// Decimal rendering, e.g. "-42".
+  std::string ToString() const;
+
+  /// Converts to int64 if the value fits, otherwise an error.
+  Result<std::int64_t> ToInt64() const;
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  /// True iff the value is stored inline (testing/diagnostic hook).
+  bool is_small_for_testing() const { return is_small_; }
+
+ private:
+  friend BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  // Builds a big-representation value; collapses to small when it fits.
+  static BigInt FromMagnitude(int sign, std::vector<std::uint32_t> limbs);
+  // Builds from a 128-bit signed product.
+  static BigInt FromInt128(__int128 value);
+
+  // Magnitude of this value as limbs (materializes for small values).
+  std::vector<std::uint32_t> MagnitudeLimbs() const;
+
+  // Magnitude comparison: -1, 0, +1 as |a| <=> |b|.
+  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> AddMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> SubMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Knuth algorithm D; b must be nonzero.
+  static void DivModMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b,
+                              std::vector<std::uint32_t>* quotient,
+                              std::vector<std::uint32_t>* remainder);
+  static void TrimZeros(std::vector<std::uint32_t>* limbs);
+
+  // Big-path slow implementations (operands in any representation).
+  BigInt AddSlow(const BigInt& other) const;
+  BigInt MulSlow(const BigInt& other) const;
+
+  // Small representation: value in small_ (is_small_ == true).
+  std::int64_t small_;
+  bool is_small_;
+  // Big representation: sign_ in {-1, +1} and nonempty limbs_.
+  int sign_;
+  std::vector<std::uint32_t> limbs_;
+};
+
+/// Quotient and remainder of a truncated division.
+struct BigInt::DivModResult {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+/// Greatest common divisor of |a| and |b|; Gcd(0, 0) == 0.
+BigInt Gcd(const BigInt& a, const BigInt& b);
+
+/// Least common multiple of |a| and |b|; Lcm(x, 0) == 0.
+BigInt Lcm(const BigInt& a, const BigInt& b);
+
+}  // namespace crsat
+
+#endif  // CRSAT_MATH_BIGINT_H_

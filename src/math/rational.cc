@@ -1,0 +1,141 @@
+#include "src/math/rational.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+
+namespace crsat {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  if (denominator_.IsZero()) {
+    std::cerr << "crsat: Rational constructed with zero denominator"
+              << std::endl;
+    std::abort();
+  }
+  Normalize();
+}
+
+Result<Rational> Rational::FromString(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    CRSAT_ASSIGN_OR_RETURN(BigInt value, BigInt::FromString(text));
+    return Rational(std::move(value));
+  }
+  CRSAT_ASSIGN_OR_RETURN(BigInt numerator,
+                         BigInt::FromString(text.substr(0, slash)));
+  CRSAT_ASSIGN_OR_RETURN(BigInt denominator,
+                         BigInt::FromString(text.substr(slash + 1)));
+  if (denominator.IsZero()) {
+    return ParseError("rational literal has zero denominator: '" +
+                      std::string(text) + "'");
+  }
+  return Rational(std::move(numerator), std::move(denominator));
+}
+
+void Rational::Normalize() {
+  if (denominator_.IsNegative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.IsZero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt divisor = Gcd(numerator_, denominator_);
+  if (divisor != BigInt(1)) {
+    numerator_ /= divisor;
+    denominator_ /= divisor;
+  }
+}
+
+bool Rational::IsInteger() const { return denominator_ == BigInt(1); }
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(
+      numerator_ * other.denominator_ + other.numerator_ * denominator_,
+      denominator_ * other.denominator_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return *this + (-other);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(numerator_ * other.numerator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  if (other.IsZero()) {
+    std::cerr << "crsat: Rational division by zero" << std::endl;
+    std::abort();
+  }
+  return Rational(numerator_ * other.denominator_,
+                  denominator_ * other.numerator_);
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  *this = *this + other;
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) {
+  *this = *this - other;
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& other) {
+  *this = *this * other;
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  *this = *this / other;
+  return *this;
+}
+
+bool Rational::operator==(const Rational& other) const {
+  return numerator_ == other.numerator_ && denominator_ == other.denominator_;
+}
+
+bool Rational::operator<(const Rational& other) const {
+  return numerator_ * other.denominator_ < other.numerator_ * denominator_;
+}
+
+BigInt Rational::Floor() const {
+  Result<BigInt::DivModResult> result = numerator_.DivMod(denominator_);
+  BigInt::DivModResult divmod = std::move(result).value();
+  if (divmod.remainder.IsNegative()) {
+    return divmod.quotient - BigInt(1);
+  }
+  return divmod.quotient;
+}
+
+BigInt Rational::Ceil() const {
+  Result<BigInt::DivModResult> result = numerator_.DivMod(denominator_);
+  BigInt::DivModResult divmod = std::move(result).value();
+  if (divmod.remainder.IsPositive()) {
+    return divmod.quotient + BigInt(1);
+  }
+  return divmod.quotient;
+}
+
+std::string Rational::ToString() const {
+  if (IsInteger()) {
+    return numerator_.ToString();
+  }
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace crsat

@@ -1,0 +1,95 @@
+#ifndef CRSAT_MATH_RATIONAL_H_
+#define CRSAT_MATH_RATIONAL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/math/bigint.h"
+
+namespace crsat {
+
+/// Exact rational number backed by `BigInt`.
+///
+/// Invariants: the denominator is strictly positive and the fraction is
+/// fully reduced (gcd(|num|, den) == 1, and 0 is stored as 0/1). All
+/// arithmetic is exact; there is no rounding anywhere in crsat's reasoning
+/// pipeline.
+class Rational {
+ public:
+  /// Constructs zero.
+  Rational() : numerator_(0), denominator_(1) {}
+
+  /// Constructs the integer `value`.
+  Rational(std::int64_t value)  // NOLINT(runtime/explicit): deliberate.
+      : numerator_(value), denominator_(1) {}
+
+  /// Constructs the integer `value`.
+  Rational(BigInt value)  // NOLINT(runtime/explicit): deliberate.
+      : numerator_(std::move(value)), denominator_(1) {}
+
+  /// Constructs `numerator / denominator`, normalizing sign and gcd.
+  /// Aborts if `denominator` is zero (programming error).
+  Rational(BigInt numerator, BigInt denominator);
+
+  /// Convenience fixed-width constructor.
+  Rational(std::int64_t numerator, std::int64_t denominator)
+      : Rational(BigInt(numerator), BigInt(denominator)) {}
+
+  /// Parses "a", "-a", or "a/b" in decimal.
+  static Result<Rational> FromString(std::string_view text);
+
+  const BigInt& numerator() const { return numerator_; }
+  const BigInt& denominator() const { return denominator_; }
+
+  bool IsZero() const { return numerator_.IsZero(); }
+  bool IsNegative() const { return numerator_.IsNegative(); }
+  bool IsPositive() const { return numerator_.IsPositive(); }
+  /// True iff the denominator is 1.
+  bool IsInteger() const;
+
+  /// -1, 0 or +1.
+  int sign() const { return numerator_.sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Aborts on division by zero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  Rational& operator/=(const Rational& other);
+
+  bool operator==(const Rational& other) const;
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const;
+  bool operator<=(const Rational& other) const { return !(other < *this); }
+  bool operator>(const Rational& other) const { return other < *this; }
+  bool operator>=(const Rational& other) const { return !(*this < other); }
+
+  /// Largest integer <= this value.
+  BigInt Floor() const;
+
+  /// Smallest integer >= this value.
+  BigInt Ceil() const;
+
+  /// Renders "a" for integers, "a/b" otherwise.
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  BigInt numerator_;
+  BigInt denominator_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace crsat
+
+#endif  // CRSAT_MATH_RATIONAL_H_

@@ -1,0 +1,164 @@
+#include "src/reasoner/implication_engine.h"
+
+#include <string>
+#include <utility>
+
+#include "src/reasoner/satisfiability.h"
+
+namespace crsat {
+
+namespace {
+
+std::string FreshClassName(const Schema& schema) {
+  std::string name = "__Cexc";
+  while (schema.FindClass(name).has_value()) {
+    name += "_";
+  }
+  return name;
+}
+
+}  // namespace
+
+Result<CardinalityImplicationEngine> CardinalityImplicationEngine::Create(
+    const Schema& schema, ClassId cls, RelationshipId rel, RoleId role,
+    const ExpansionOptions& options) {
+  if (schema.RelationshipOf(role) != rel) {
+    return InvalidArgumentError("role '" + schema.RoleName(role) +
+                                "' does not belong to relationship '" +
+                                schema.RelationshipName(rel) + "'");
+  }
+  if (!schema.IsSubclassOf(cls, schema.PrimaryClass(role))) {
+    return InvalidArgumentError(
+        "class '" + schema.ClassName(cls) +
+        "' is not a subclass of the primary class of role '" +
+        schema.RoleName(role) + "'");
+  }
+
+  SchemaBuilder builder = schema.ToBuilder();
+  std::string aux_name = FreshClassName(schema);
+  builder.AddClass(aux_name);
+  builder.AddIsa(aux_name, schema.ClassName(cls));
+  CRSAT_ASSIGN_OR_RETURN(Schema extended, builder.Build());
+
+  CardinalityImplicationEngine engine;
+  engine.extended_schema_ =
+      std::make_shared<const Schema>(std::move(extended));
+  CRSAT_ASSIGN_OR_RETURN(
+      Expansion expansion,
+      Expansion::Build(*engine.extended_schema_, options));
+  engine.expansion_ =
+      std::make_shared<const Expansion>(std::move(expansion));
+  engine.aux_class_ = engine.extended_schema_->FindClass(aux_name).value();
+  engine.base_class_ =
+      engine.extended_schema_->FindClass(schema.ClassName(cls)).value();
+  engine.rel_ =
+      engine.extended_schema_->FindRelationship(schema.RelationshipName(rel))
+          .value();
+  engine.role_ =
+      engine.extended_schema_->FindRole(schema.RoleName(role)).value();
+  engine.aux_targets_ =
+      engine.expansion_->ClassIndicesContaining(engine.aux_class_);
+  engine.base_targets_ =
+      engine.expansion_->ClassIndicesContaining(engine.base_class_);
+  return engine;
+}
+
+Result<bool> CardinalityImplicationEngine::AuxiliarySatisfiableWith(
+    Cardinality cardinality) const {
+  std::vector<CardinalityOverride> overrides = {
+      CardinalityOverride{aux_class_, rel_, role_, cardinality}};
+  SatisfiabilityChecker checker(*expansion_, &overrides);
+  return checker.IsTargetSatisfiable(aux_targets_);
+}
+
+Result<bool> CardinalityImplicationEngine::ImpliesMin(
+    std::uint64_t min) const {
+  if (min == 0) {
+    return true;  // Trivial bound.
+  }
+  Cardinality cardinality;
+  cardinality.max = min - 1;
+  CRSAT_ASSIGN_OR_RETURN(bool violable, AuxiliarySatisfiableWith(cardinality));
+  return !violable;
+}
+
+Result<bool> CardinalityImplicationEngine::ImpliesMax(
+    std::uint64_t max) const {
+  Cardinality cardinality;
+  cardinality.min = max + 1;
+  CRSAT_ASSIGN_OR_RETURN(bool violable, AuxiliarySatisfiableWith(cardinality));
+  return !violable;
+}
+
+Result<bool> CardinalityImplicationEngine::IsBaseClassSatisfiable() const {
+  // The unconstrained auxiliary subclass does not affect the other
+  // classes' satisfiability (it can always be empty), so the extended
+  // expansion answers for the base schema directly.
+  SatisfiabilityChecker checker(*expansion_);
+  return checker.IsTargetSatisfiable(base_targets_);
+}
+
+Result<std::uint64_t> CardinalityImplicationEngine::TightestMin() const {
+  CRSAT_ASSIGN_OR_RETURN(bool satisfiable, IsBaseClassSatisfiable());
+  if (!satisfiable) {
+    return InvalidArgumentError(
+        "class '" + extended_schema_->ClassName(base_class_) +
+        "' is unsatisfiable; every cardinality bound is vacuously implied");
+  }
+  // Implied-min bounds are downward closed; gallop then bisect for the
+  // largest implied one. Termination: the class is satisfiable, so some
+  // model realizes a finite per-instance count t, and min = t+1 is not
+  // implied.
+  std::uint64_t low = 0;  // Highest known implied.
+  std::uint64_t high = 1;
+  while (true) {
+    CRSAT_ASSIGN_OR_RETURN(bool implied, ImpliesMin(high));
+    if (!implied) {
+      break;
+    }
+    low = high;
+    high *= 2;
+  }
+  while (high - low > 1) {
+    std::uint64_t mid = low + (high - low) / 2;
+    CRSAT_ASSIGN_OR_RETURN(bool implied, ImpliesMin(mid));
+    if (implied) {
+      low = mid;
+    } else {
+      high = mid;
+    }
+  }
+  return low;
+}
+
+Result<std::optional<std::uint64_t>> CardinalityImplicationEngine::TightestMax(
+    std::uint64_t search_limit) const {
+  CRSAT_ASSIGN_OR_RETURN(bool satisfiable, IsBaseClassSatisfiable());
+  if (!satisfiable) {
+    return InvalidArgumentError(
+        "class '" + extended_schema_->ClassName(base_class_) +
+        "' is unsatisfiable; every cardinality bound is vacuously implied");
+  }
+  CRSAT_ASSIGN_OR_RETURN(bool implied_at_limit, ImpliesMax(search_limit));
+  if (!implied_at_limit) {
+    return std::optional<std::uint64_t>();  // No bound up to the limit.
+  }
+  CRSAT_ASSIGN_OR_RETURN(bool implied_zero, ImpliesMax(0));
+  if (implied_zero) {
+    return std::optional<std::uint64_t>(0);
+  }
+  std::uint64_t low = 0;
+  std::uint64_t high = search_limit;  // Known implied.
+  while (high - low > 1) {
+    std::uint64_t mid = low + (high - low) / 2;
+    CRSAT_ASSIGN_OR_RETURN(bool implied, ImpliesMax(mid));
+    if (implied) {
+      high = mid;
+    } else {
+      low = mid;
+    }
+  }
+  return std::optional<std::uint64_t>(high);
+}
+
+}  // namespace crsat

@@ -1,0 +1,74 @@
+#ifndef CRSAT_REASONER_IMPLICATION_ENGINE_H_
+#define CRSAT_REASONER_IMPLICATION_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+#include "src/expansion/expansion.h"
+
+namespace crsat {
+
+/// Answers repeated cardinality-implication questions for one
+/// `(class, relationship, role)` triple.
+///
+/// The paper's Section 4 reduction adds a fresh subclass `Cexc <= cls`
+/// carrying the candidate bound and asks whether `Cexc` is satisfiable.
+/// The expensive part — building the expansion of the extended schema —
+/// does not depend on the candidate bound at all (compound-class
+/// consistency only looks at ISA/disjointness/covering), so this engine
+/// builds the extended schema and its expansion *once* and re-derives only
+/// the (cheap) disequation system per probe, via `CardinalityOverride`.
+/// Gallop/bisection queries (`ImplicationChecker::TightestImplied{Min,Max}`)
+/// and repair search go through here.
+class CardinalityImplicationEngine {
+ public:
+  /// Validates the triple (role must belong to `rel`, `cls` must be a
+  /// subclass of the role's primary class) and builds the extended
+  /// expansion. The schema is copied; the engine is self-contained.
+  static Result<CardinalityImplicationEngine> Create(
+      const Schema& schema, ClassId cls, RelationshipId rel, RoleId role,
+      const ExpansionOptions& options = {});
+
+  /// True iff `S |= minc(cls, rel, role) = min`.
+  Result<bool> ImpliesMin(std::uint64_t min) const;
+
+  /// True iff `S |= maxc(cls, rel, role) = max`.
+  Result<bool> ImpliesMax(std::uint64_t max) const;
+
+  /// True iff `cls` itself is satisfiable in the base schema (bounds are
+  /// vacuously implied otherwise).
+  Result<bool> IsBaseClassSatisfiable() const;
+
+  /// Largest implied minimum (see `ImplicationChecker::TightestImpliedMin`;
+  /// requires a satisfiable class).
+  Result<std::uint64_t> TightestMin() const;
+
+  /// Smallest implied maximum up to `search_limit`, or nullopt.
+  Result<std::optional<std::uint64_t>> TightestMax(
+      std::uint64_t search_limit = 64) const;
+
+ private:
+  CardinalityImplicationEngine() = default;
+
+  // Satisfiability of Cexc under an override bound on it.
+  Result<bool> AuxiliarySatisfiableWith(Cardinality cardinality) const;
+
+  // The extended schema and its expansion; unique_ptr keeps the expansion's
+  // schema pointer stable across moves.
+  std::shared_ptr<const Schema> extended_schema_;
+  std::shared_ptr<const Expansion> expansion_;
+  ClassId aux_class_;
+  ClassId base_class_;
+  RelationshipId rel_;
+  RoleId role_;
+  std::vector<int> aux_targets_;   // Compound classes containing Cexc.
+  std::vector<int> base_targets_;  // Compound classes containing cls.
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_REASONER_IMPLICATION_ENGINE_H_

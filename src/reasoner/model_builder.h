@@ -1,0 +1,59 @@
+#ifndef CRSAT_REASONER_MODEL_BUILDER_H_
+#define CRSAT_REASONER_MODEL_BUILDER_H_
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/cr/interpretation.h"
+#include "src/expansion/expansion.h"
+#include "src/reasoner/satisfiability.h"
+
+namespace crsat {
+
+/// Options controlling model materialization.
+struct ModelBuildOptions {
+  /// How many times the solution may be doubled when tuple-distinctness
+  /// cannot be realized at the current scale (solutions of the homogeneous
+  /// system are closed under positive scaling).
+  int max_scaling_attempts = 8;
+  /// Refuse to materialize models larger than this many individuals plus
+  /// tuples (the decision procedure never needs materialization; this is a
+  /// safety valve for the constructive API).
+  std::uint64_t max_model_size = 1000000;
+};
+
+/// Constructs an actual finite database state from an acceptable
+/// nonnegative integer solution of Psi_S — the constructive half of the
+/// paper's completeness argument (Section 3.3, Figure 6).
+///
+/// For each consistent compound class with count `t`, `t` fresh individuals
+/// are created and added to the member classes' extensions. Tuples of each
+/// compound relationship draw their role fillers round-robin from a global
+/// per-(relationship, role, compound class) rotation, which keeps every
+/// individual's tuple count within the lifted `[minc, maxc]` window.
+/// Relationship extensions are sets, so tuples within one compound
+/// relationship must also be pairwise distinct; when round-robin collides,
+/// the builder re-realizes that compound relationship coordinate by
+/// coordinate using a min-congestion max-flow assignment, and as a last
+/// resort doubles the whole solution and retries. The result is always
+/// verified against `ModelChecker` before being returned.
+class ModelBuilder {
+ public:
+  /// Materializes a model realizing `solution` (possibly scaled up).
+  /// Fails with `Unavailable` when the retry budget or size cap is
+  /// exhausted, and `InvalidArgument` when `solution` is not acceptable
+  /// (a populated compound relationship with an empty component).
+  static Result<Interpretation> BuildModel(
+      const Expansion& expansion, const IntegerSolution& solution,
+      const ModelBuildOptions& options = {});
+
+  /// Convenience: checks satisfiability of `cls` and materializes a model
+  /// with a nonempty extension for it.
+  static Result<Interpretation> BuildModelForClass(
+      const SatisfiabilityChecker& checker, ClassId cls,
+      const ModelBuildOptions& options = {});
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_REASONER_MODEL_BUILDER_H_

@@ -1,0 +1,232 @@
+#include "src/reasoner/repair.h"
+
+#include <utility>
+
+#include "src/reasoner/satisfiability.h"
+
+namespace crsat {
+
+namespace {
+
+// Rebuilds `schema` with the cardinality declaration at `decl_index`
+// replaced by `replacement` (or removed when nullopt).
+Result<Schema> WithCardinalityEdited(
+    const Schema& schema, int decl_index,
+    const std::optional<Cardinality>& replacement) {
+  SchemaBuilder builder;
+  for (ClassId cls : schema.AllClasses()) {
+    builder.AddClass(schema.ClassName(cls));
+  }
+  for (RelationshipId rel : schema.AllRelationships()) {
+    std::vector<std::pair<std::string, std::string>> roles;
+    for (RoleId role : schema.RolesOf(rel)) {
+      roles.emplace_back(schema.RoleName(role),
+                         schema.ClassName(schema.PrimaryClass(role)));
+    }
+    builder.AddRelationship(schema.RelationshipName(rel), roles);
+  }
+  for (const IsaStatement& isa : schema.isa_statements()) {
+    builder.AddIsa(schema.ClassName(isa.subclass),
+                   schema.ClassName(isa.superclass));
+  }
+  const auto& declarations = schema.cardinality_declarations();
+  for (size_t i = 0; i < declarations.size(); ++i) {
+    const CardinalityDeclaration& decl = declarations[i];
+    if (static_cast<int>(i) == decl_index) {
+      if (replacement.has_value()) {
+        builder.SetCardinality(schema.ClassName(decl.cls),
+                               schema.RelationshipName(decl.rel),
+                               schema.RoleName(decl.role), *replacement);
+      }
+      continue;
+    }
+    builder.SetCardinality(schema.ClassName(decl.cls),
+                           schema.RelationshipName(decl.rel),
+                           schema.RoleName(decl.role), decl.cardinality);
+  }
+  for (const DisjointnessConstraint& group :
+       schema.disjointness_constraints()) {
+    std::vector<std::string> names;
+    for (ClassId cls : group.classes) {
+      names.push_back(schema.ClassName(cls));
+    }
+    builder.AddDisjointness(names);
+  }
+  for (const CoveringConstraint& constraint : schema.covering_constraints()) {
+    std::vector<std::string> coverers;
+    for (ClassId cls : constraint.coverers) {
+      coverers.push_back(schema.ClassName(cls));
+    }
+    builder.AddCovering(schema.ClassName(constraint.covered), coverers);
+  }
+  return builder.Build();
+}
+
+Result<bool> SatisfiableWithEdit(const Schema& schema, ClassId cls,
+                                 int decl_index,
+                                 const std::optional<Cardinality>& replacement,
+                                 const ExpansionOptions& options) {
+  CRSAT_ASSIGN_OR_RETURN(Schema edited,
+                         WithCardinalityEdited(schema, decl_index,
+                                               replacement));
+  CRSAT_ASSIGN_OR_RETURN(Expansion expansion,
+                         Expansion::Build(edited, options));
+  SatisfiabilityChecker checker(expansion);
+  return checker.IsClassSatisfiable(cls);
+}
+
+std::string DescribeRelax(const Schema& schema,
+                          const CardinalityDeclaration& decl,
+                          const Cardinality& relaxed) {
+  return "relax card " + schema.ClassName(decl.cls) + " in " +
+         schema.RelationshipName(decl.rel) + "." +
+         schema.RoleName(decl.role) + " = " + decl.cardinality.ToString() +
+         " to " + relaxed.ToString();
+}
+
+// Largest lowered `min` that restores satisfiability, if any (monotone:
+// lowering `min` only adds models).
+Result<std::optional<Cardinality>> SearchRelaxedMin(
+    const Schema& schema, ClassId cls, int decl_index,
+    const CardinalityDeclaration& decl, const ExpansionOptions& options) {
+  if (decl.cardinality.min == 0) {
+    return std::optional<Cardinality>();
+  }
+  Cardinality fully_relaxed = decl.cardinality;
+  fully_relaxed.min = 0;
+  CRSAT_ASSIGN_OR_RETURN(
+      bool works_at_zero,
+      SatisfiableWithEdit(schema, cls, decl_index, fully_relaxed, options));
+  if (!works_at_zero) {
+    return std::optional<Cardinality>();
+  }
+  std::uint64_t low = 0;                        // Known to work.
+  std::uint64_t high = decl.cardinality.min;    // Known to fail (original).
+  while (high - low > 1) {
+    std::uint64_t mid = low + (high - low) / 2;
+    Cardinality candidate = decl.cardinality;
+    candidate.min = mid;
+    CRSAT_ASSIGN_OR_RETURN(
+        bool works,
+        SatisfiableWithEdit(schema, cls, decl_index, candidate, options));
+    if (works) {
+      low = mid;
+    } else {
+      high = mid;
+    }
+  }
+  Cardinality relaxed = decl.cardinality;
+  relaxed.min = low;
+  return std::optional<Cardinality>(relaxed);
+}
+
+// Smallest raised `max` that restores satisfiability, if any. Tries
+// infinity first (monotone), then gallops/bisects for the least raise.
+Result<std::optional<Cardinality>> SearchRelaxedMax(
+    const Schema& schema, ClassId cls, int decl_index,
+    const CardinalityDeclaration& decl, const ExpansionOptions& options) {
+  if (!decl.cardinality.max.has_value()) {
+    return std::optional<Cardinality>();
+  }
+  Cardinality unbounded = decl.cardinality;
+  unbounded.max.reset();
+  CRSAT_ASSIGN_OR_RETURN(
+      bool works_unbounded,
+      SatisfiableWithEdit(schema, cls, decl_index, unbounded, options));
+  if (!works_unbounded) {
+    return std::optional<Cardinality>();
+  }
+  // Gallop for a finite raised bound that works.
+  std::uint64_t original = *decl.cardinality.max;
+  std::uint64_t step = 1;
+  std::uint64_t low = original;  // Known to fail.
+  std::optional<std::uint64_t> high;
+  constexpr std::uint64_t kFiniteSearchCap = 1 << 16;
+  while (original + step <= kFiniteSearchCap) {
+    Cardinality candidate = decl.cardinality;
+    candidate.max = original + step;
+    CRSAT_ASSIGN_OR_RETURN(
+        bool works,
+        SatisfiableWithEdit(schema, cls, decl_index, candidate, options));
+    if (works) {
+      high = original + step;
+      break;
+    }
+    low = original + step;
+    step *= 2;
+  }
+  if (!high.has_value()) {
+    return std::optional<Cardinality>(unbounded);  // Only infinity works.
+  }
+  while (*high - low > 1) {
+    std::uint64_t mid = low + (*high - low) / 2;
+    Cardinality candidate = decl.cardinality;
+    candidate.max = mid;
+    CRSAT_ASSIGN_OR_RETURN(
+        bool works,
+        SatisfiableWithEdit(schema, cls, decl_index, candidate, options));
+    if (works) {
+      high = mid;
+    } else {
+      low = mid;
+    }
+  }
+  Cardinality relaxed = decl.cardinality;
+  relaxed.max = high;
+  return std::optional<Cardinality>(relaxed);
+}
+
+}  // namespace
+
+Result<std::vector<RepairSuggestion>> SuggestRepairs(
+    const Schema& schema, ClassId cls, const ExpansionOptions& options) {
+  CRSAT_ASSIGN_OR_RETURN(UnsatCore core,
+                         MinimizeUnsatCore(schema, cls, options));
+  std::vector<RepairSuggestion> suggestions;
+  for (const CoreConstraint& constraint : core.constraints) {
+    if (constraint.kind != CoreConstraint::Kind::kCardinality) {
+      RepairSuggestion suggestion;
+      suggestion.constraint = constraint;
+      suggestion.action = RepairSuggestion::Action::kRemove;
+      suggestion.description = "remove " + constraint.description;
+      suggestions.push_back(std::move(suggestion));
+      continue;
+    }
+    const CardinalityDeclaration& decl =
+        schema.cardinality_declarations()[constraint.index];
+    CRSAT_ASSIGN_OR_RETURN(
+        std::optional<Cardinality> relaxed_min,
+        SearchRelaxedMin(schema, cls, constraint.index, decl, options));
+    if (relaxed_min.has_value()) {
+      RepairSuggestion suggestion;
+      suggestion.constraint = constraint;
+      suggestion.action = RepairSuggestion::Action::kRelaxMin;
+      suggestion.relaxed = relaxed_min;
+      suggestion.description = DescribeRelax(schema, decl, *relaxed_min);
+      suggestions.push_back(std::move(suggestion));
+    }
+    CRSAT_ASSIGN_OR_RETURN(
+        std::optional<Cardinality> relaxed_max,
+        SearchRelaxedMax(schema, cls, constraint.index, decl, options));
+    if (relaxed_max.has_value()) {
+      RepairSuggestion suggestion;
+      suggestion.constraint = constraint;
+      suggestion.action = RepairSuggestion::Action::kRelaxMax;
+      suggestion.relaxed = relaxed_max;
+      suggestion.description = DescribeRelax(schema, decl, *relaxed_max);
+      suggestions.push_back(std::move(suggestion));
+    }
+    if (!relaxed_min.has_value() && !relaxed_max.has_value()) {
+      // No single-bound relaxation helps; fall back to removal (which
+      // works by core minimality).
+      RepairSuggestion suggestion;
+      suggestion.constraint = constraint;
+      suggestion.action = RepairSuggestion::Action::kRemove;
+      suggestion.description = "remove " + constraint.description;
+      suggestions.push_back(std::move(suggestion));
+    }
+  }
+  return suggestions;
+}
+
+}  // namespace crsat

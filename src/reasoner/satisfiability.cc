@@ -1,0 +1,211 @@
+#include "src/reasoner/satisfiability.h"
+
+#include <utility>
+
+#include "src/lp/simplex.h"
+
+namespace crsat {
+
+Result<std::vector<Rational>> MinimalWitnessForSupport(
+    const LinearSystem& system, const std::vector<bool>& positive,
+    const std::vector<Rational>& fallback) {
+  LinearSystem pinned = system;
+  LinearExpr total;
+  for (VarId v = 0; v < pinned.num_variables(); ++v) {
+    if (positive[v]) {
+      LinearExpr at_least_one = LinearExpr::Var(v);
+      at_least_one.AddConstant(Rational(-1));
+      pinned.AddGe(std::move(at_least_one));
+      total.AddTerm(v, Rational(1));
+    } else {
+      pinned.AddEq(LinearExpr::Var(v));
+    }
+  }
+  CRSAT_ASSIGN_OR_RETURN(
+      LpResult lp, SimplexSolver::Solve(pinned, total, /*maximize=*/false));
+  if (lp.outcome != LpOutcome::kOptimal) {
+    return fallback;
+  }
+  return std::move(lp.values);
+}
+
+Result<AcceptableSupport> ComputeAcceptableSupport(
+    const LinearSystem& system, const std::vector<Dependency>& dependencies) {
+  const int n = system.num_variables();
+  std::vector<bool> forced_zero(n, false);
+  SupportResult support;
+  while (true) {
+    CRSAT_ASSIGN_OR_RETURN(support,
+                           ComputeMaximalSupport(system, forced_zero));
+    bool changed = false;
+    // (a) Variables the LP proves zero under the current pinning are zero
+    // in every acceptable solution (every acceptable solution satisfies
+    // the pinned system).
+    for (VarId v = 0; v < n; ++v) {
+      if (!forced_zero[v] && !support.positive[v]) {
+        forced_zero[v] = true;
+        changed = true;
+      }
+    }
+    // (b) Dependency propagation: a relationship unknown is zero in every
+    // acceptable solution once one of its class unknowns is.
+    for (const Dependency& dependency : dependencies) {
+      if (forced_zero[dependency.dependent]) {
+        continue;
+      }
+      for (VarId source : dependency.depends_on) {
+        if (forced_zero[source]) {
+          forced_zero[dependency.dependent] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  AcceptableSupport result;
+  result.positive = support.positive;
+  result.witness = std::move(support.witness);
+  return result;
+}
+
+SatisfiabilityChecker::SatisfiabilityChecker(
+    const Expansion& expansion,
+    const std::vector<CardinalityOverride>* overrides)
+    : expansion_(&expansion),
+      cr_system_(SystemBuilder::Build(expansion, overrides)) {
+  for (size_t i = 0; i < expansion.relationships().size(); ++i) {
+    const CompoundRelationship& compound = expansion.relationships()[i];
+    Dependency dependency;
+    dependency.dependent = cr_system_.rel_vars[i];
+    for (const CompoundClass& component : compound.components) {
+      int class_index = expansion.ClassIndexOf(component);
+      dependency.depends_on.push_back(cr_system_.class_vars[class_index]);
+    }
+    dependencies_.push_back(std::move(dependency));
+  }
+}
+
+Result<AcceptableSupport> SatisfiabilityChecker::Support() const {
+  if (!support_.has_value()) {
+    support_ = ComputeAcceptableSupport(cr_system_.system, dependencies_);
+  }
+  return *support_;
+}
+
+Result<bool> SatisfiabilityChecker::IsClassSatisfiable(ClassId cls) const {
+  return IsTargetSatisfiable(expansion_->ClassIndicesContaining(cls));
+}
+
+Result<std::vector<bool>> SatisfiabilityChecker::SatisfiableClasses() const {
+  CRSAT_ASSIGN_OR_RETURN(AcceptableSupport support, Support());
+  std::vector<bool> satisfiable(expansion_->schema().num_classes(), false);
+  for (int c = 0; c < expansion_->schema().num_classes(); ++c) {
+    for (int class_index : expansion_->ClassIndicesContaining(ClassId(c))) {
+      if (support.positive[cr_system_.class_vars[class_index]]) {
+        satisfiable[c] = true;
+        break;
+      }
+    }
+  }
+  return satisfiable;
+}
+
+Result<bool> SatisfiabilityChecker::IsTargetSatisfiable(
+    const std::vector<int>& target_class_indices) const {
+  CRSAT_ASSIGN_OR_RETURN(AcceptableSupport support, Support());
+  for (int class_index : target_class_indices) {
+    if (support.positive[cr_system_.class_vars[class_index]]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<IntegerSolution> SatisfiabilityChecker::AcceptableIntegerSolution()
+    const {
+  CRSAT_ASSIGN_OR_RETURN(AcceptableSupport support, Support());
+  // A minimal single-vertex witness keeps the scaled integers (and the
+  // models built from them) small; it is automatically acceptable because
+  // its support equals the maximal acceptable support.
+  CRSAT_ASSIGN_OR_RETURN(
+      std::vector<Rational> witness,
+      MinimalWitnessForSupport(cr_system_.system, support.positive,
+                               support.witness));
+  std::vector<BigInt> integers = ScaleToIntegerSolution(witness);
+  IntegerSolution solution;
+  for (VarId var : cr_system_.class_vars) {
+    solution.class_counts.push_back(integers[var]);
+  }
+  for (VarId var : cr_system_.rel_vars) {
+    solution.rel_counts.push_back(integers[var]);
+  }
+  return solution;
+}
+
+Result<bool> IsTargetSatisfiableByEnumeration(
+    const CrSystem& cr_system, const std::vector<Dependency>& dependencies,
+    const std::vector<int>& target_class_indices) {
+  const size_t num_class_vars = cr_system.class_vars.size();
+  if (num_class_vars > 16) {
+    return UnavailableError(
+        "IsTargetSatisfiableByEnumeration is exponential and capped at 16 "
+        "consistent compound classes");
+  }
+  std::vector<bool> is_target(num_class_vars, false);
+  for (int class_index : target_class_indices) {
+    is_target[class_index] = true;
+  }
+  const std::uint64_t subsets = std::uint64_t{1} << num_class_vars;
+  for (std::uint64_t z = 0; z < subsets; ++z) {
+    // Z = class unknowns pinned to zero (bit set => in Z). The target
+    // needs some compound class outside Z.
+    bool target_possible = false;
+    for (size_t i = 0; i < num_class_vars; ++i) {
+      if (is_target[i] && ((z >> i) & 1) == 0) {
+        target_possible = true;
+        break;
+      }
+    }
+    if (!target_possible) {
+      continue;
+    }
+    LinearSystem candidate = cr_system.system;
+    for (size_t i = 0; i < num_class_vars; ++i) {
+      VarId var = cr_system.class_vars[i];
+      if ((z >> i) & 1) {
+        candidate.AddEq(LinearExpr::Var(var));
+      } else {
+        // Strict positivity; homogeneity makes `>= 1` equivalent.
+        LinearExpr expr = LinearExpr::Var(var);
+        expr.AddConstant(Rational(-1));
+        candidate.AddGe(std::move(expr));
+      }
+    }
+    for (const Dependency& dependency : dependencies) {
+      for (VarId source : dependency.depends_on) {
+        bool source_in_z = false;
+        for (size_t i = 0; i < num_class_vars; ++i) {
+          if (cr_system.class_vars[i] == source && ((z >> i) & 1)) {
+            source_in_z = true;
+            break;
+          }
+        }
+        if (source_in_z) {
+          candidate.AddEq(LinearExpr::Var(dependency.dependent));
+          break;
+        }
+      }
+    }
+    CRSAT_ASSIGN_OR_RETURN(LpResult lp,
+                           SimplexSolver::CheckFeasibility(candidate));
+    if (lp.outcome == LpOutcome::kOptimal) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace crsat

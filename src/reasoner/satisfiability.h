@@ -1,0 +1,126 @@
+#ifndef CRSAT_REASONER_SATISFIABILITY_H_
+#define CRSAT_REASONER_SATISFIABILITY_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/lp/homogeneous.h"
+#include "src/math/bigint.h"
+#include "src/reasoner/system_builder.h"
+
+namespace crsat {
+
+/// The maximal support realizable by an *acceptable* solution of a
+/// homogeneous system (Section 3.3: a solution is acceptable if every
+/// relationship unknown that depends on a zero class unknown is itself
+/// zero).
+struct AcceptableSupport {
+  /// `positive[v]` iff some acceptable solution assigns `v` a positive
+  /// value — equivalently (acceptable solutions are closed under addition)
+  /// iff the maximum-support acceptable solution does.
+  std::vector<bool> positive;
+  /// One acceptable solution whose support is exactly `positive`.
+  std::vector<Rational> witness;
+};
+
+/// A dependency edge: `dependent` must be zero whenever any variable in
+/// `depends_on` is zero (the paper's "Var(R) depends on Var(C)").
+struct Dependency {
+  VarId dependent;
+  std::vector<VarId> depends_on;
+};
+
+/// Returns a *minimal* solution of `system` whose support is exactly
+/// `positive`: support variables are pinned to `>= 1`, the others to 0,
+/// and the total is minimized in a single LP. Used to keep integer
+/// witnesses (and the models built from them) small — the raw accumulated
+/// support witness is a sum of many LP vertices whose denominators
+/// multiply up. Falls back to `fallback` if the LP is not optimal (cannot
+/// happen for a correct support; defensive).
+Result<std::vector<Rational>> MinimalWitnessForSupport(
+    const LinearSystem& system, const std::vector<bool>& positive,
+    const std::vector<Rational>& fallback);
+
+/// Computes the maximal acceptable support of a homogeneous non-strict
+/// `system` under the given dependencies.
+///
+/// Algorithm (equivalent to Theorem 3.4's subset enumeration, but
+/// polynomial in the system size): maintain a set of variables proven zero
+/// in every acceptable solution; alternate (a) LP probes marking variables
+/// that cannot be positive once the proven-zero ones are pinned, and (b)
+/// dependency propagation, until a fixpoint. Acceptable solutions form a
+/// cone closed under addition, so the surviving variables are exactly the
+/// support of a single (witness) acceptable solution.
+Result<AcceptableSupport> ComputeAcceptableSupport(
+    const LinearSystem& system, const std::vector<Dependency>& dependencies);
+
+/// An acceptable solution of Psi_S scaled to nonnegative integers.
+struct IntegerSolution {
+  /// Instance count per consistent compound class (expansion class index).
+  std::vector<BigInt> class_counts;
+  /// Tuple count per consistent compound relationship.
+  std::vector<BigInt> rel_counts;
+};
+
+/// Decision procedure for (finite) class satisfiability in CR
+/// (Theorem 3.3). Builds Psi_S once and computes the maximal acceptable
+/// support lazily; all queries are then lookups.
+class SatisfiabilityChecker {
+ public:
+  /// The expansion must outlive the checker. `overrides`, when non-null,
+  /// replace the schema's cardinality declarations for matching triples
+  /// when Psi_S is derived (used by the implication engine to probe
+  /// candidate bounds against one shared expansion).
+  explicit SatisfiabilityChecker(
+      const Expansion& expansion,
+      const std::vector<CardinalityOverride>* overrides = nullptr);
+
+  const CrSystem& cr_system() const { return cr_system_; }
+  const Expansion& expansion() const { return *expansion_; }
+
+  /// The maximal acceptable support of Psi_S (computed once, cached).
+  Result<AcceptableSupport> Support() const;
+
+  /// Theorem 3.3: true iff `cls` can be populated in some finite model.
+  Result<bool> IsClassSatisfiable(ClassId cls) const;
+
+  /// One flag per schema class; a single support computation answers all.
+  Result<std::vector<bool>> SatisfiableClasses() const;
+
+  /// Generalized target query: is there an acceptable solution with
+  /// `sum of Var(compound class i) > 0` over the given expansion class
+  /// indices? (`IsClassSatisfiable` is the target "all compound classes
+  /// containing cls"; ISA implication uses "containing C but not D".)
+  Result<bool> IsTargetSatisfiable(
+      const std::vector<int>& target_class_indices) const;
+
+  /// The support witness scaled to integers: an acceptable nonnegative
+  /// integer solution whose support is the maximal acceptable support.
+  /// Feed this to `ModelBuilder` to materialize an actual database state.
+  Result<IntegerSolution> AcceptableIntegerSolution() const;
+
+  /// The dependency edges of Psi_S (each relationship unknown depends on
+  /// its component class unknowns).
+  const std::vector<Dependency>& dependencies() const { return dependencies_; }
+
+ private:
+  const Expansion* expansion_;
+  CrSystem cr_system_;
+  std::vector<Dependency> dependencies_;
+  mutable std::optional<Result<AcceptableSupport>> support_;
+};
+
+/// Reference implementation of Theorem 3.4: decides target satisfiability
+/// by enumerating every subset Z of the class unknowns and checking
+/// feasibility of Psi_Z. Exponential in the number of consistent compound
+/// classes (capped at 16); exists to cross-validate the fixpoint engine in
+/// tests.
+Result<bool> IsTargetSatisfiableByEnumeration(
+    const CrSystem& cr_system, const std::vector<Dependency>& dependencies,
+    const std::vector<int>& target_class_indices);
+
+}  // namespace crsat
+
+#endif  // CRSAT_REASONER_SATISFIABILITY_H_

@@ -1,0 +1,163 @@
+#include "src/reasoner/system_builder.h"
+
+#include <map>
+#include <utility>
+
+namespace crsat {
+
+CrSystem SystemBuilder::Build(const Expansion& expansion,
+                              const std::vector<CardinalityOverride>* overrides) {
+  const Schema& schema = expansion.schema();
+  CrSystem result;
+  result.expansion = &expansion;
+
+  for (size_t i = 0; i < expansion.classes().size(); ++i) {
+    result.class_vars.push_back(result.system.AddVariable(
+        "c" + std::to_string(i) + ":" +
+            expansion.classes()[i].ToString(schema),
+        /*nonnegative=*/true));
+  }
+  for (size_t i = 0; i < expansion.relationships().size(); ++i) {
+    result.rel_vars.push_back(result.system.AddVariable(
+        "r" + std::to_string(i) + ":" +
+            expansion.relationships()[i].ToString(schema),
+        /*nonnegative=*/true));
+  }
+
+  for (RelationshipId rel : schema.AllRelationships()) {
+    const std::vector<RoleId>& roles = schema.RolesOf(rel);
+    for (size_t k = 0; k < roles.size(); ++k) {
+      RoleId role = roles[k];
+      ClassId primary = schema.PrimaryClass(role);
+      for (int class_index : expansion.ClassIndicesContaining(primary)) {
+        Cardinality lifted =
+            expansion.LiftedCardinality(class_index, rel, role, overrides);
+        if (lifted.IsDefault()) {
+          continue;
+        }
+        LinearExpr sum;
+        for (int rel_index :
+             expansion.RelationshipsWith(rel, static_cast<int>(k),
+                                         class_index)) {
+          sum.AddTerm(result.rel_vars[rel_index], Rational(1));
+        }
+        if (lifted.min > 0) {
+          // sum - m * c >= 0.
+          LinearExpr expr = sum;
+          expr.AddTerm(result.class_vars[class_index],
+                       -Rational(static_cast<std::int64_t>(lifted.min)));
+          result.system.AddGe(std::move(expr));
+        }
+        if (lifted.max.has_value()) {
+          // n * c - sum >= 0.
+          LinearExpr expr = -sum;
+          expr.AddTerm(result.class_vars[class_index],
+                       Rational(static_cast<std::int64_t>(*lifted.max)));
+          result.system.AddGe(std::move(expr));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Result<LinearSystem> SystemBuilder::BuildPresentationSystem(
+    const Schema& schema) {
+  CRSAT_ASSIGN_OR_RETURN(std::vector<CompoundClass> all_classes,
+                         AllCompoundClasses(schema));
+  LinearSystem system;
+
+  // Class unknowns c1..c_{2^n-1}, numbered by mask as in Figure 4/5.
+  std::map<std::uint64_t, VarId> class_var_by_mask;
+  for (size_t i = 0; i < all_classes.size(); ++i) {
+    VarId var = system.AddVariable("c" + std::to_string(i + 1),
+                                   /*nonnegative=*/true);
+    class_var_by_mask[all_classes[i].mask()] = var;
+    if (!all_classes[i].IsExtendedConsistentIn(schema)) {
+      system.AddEq(LinearExpr::Var(var));  // Pinned: inconsistent.
+    }
+  }
+
+  // Relationship unknowns, one block per relationship, components indexed
+  // by compound-class number.
+  std::map<std::pair<int, std::vector<std::uint64_t>>, VarId> rel_vars;
+  for (RelationshipId rel : schema.AllRelationships()) {
+    CRSAT_ASSIGN_OR_RETURN(std::vector<CompoundRelationship> all_rels,
+                           AllCompoundRelationships(schema, rel));
+    for (const CompoundRelationship& compound : all_rels) {
+      std::string name = schema.RelationshipName(rel);
+      std::vector<std::uint64_t> key_masks;
+      for (const CompoundClass& component : compound.components) {
+        // Compound-class number = mask (masks enumerate 1..2^n-1).
+        name += "_" + std::to_string(component.mask());
+        key_masks.push_back(component.mask());
+      }
+      VarId var = system.AddVariable(name, /*nonnegative=*/true);
+      rel_vars[{rel.value, std::move(key_masks)}] = var;
+      if (!compound.IsConsistentIn(schema, /*extended=*/true)) {
+        system.AddEq(LinearExpr::Var(var));  // Pinned: inconsistent.
+      }
+    }
+  }
+
+  // Cardinality disequations over consistent compound classes.
+  for (RelationshipId rel : schema.AllRelationships()) {
+    const std::vector<RoleId>& roles = schema.RolesOf(rel);
+    CRSAT_ASSIGN_OR_RETURN(std::vector<CompoundRelationship> all_rels,
+                           AllCompoundRelationships(schema, rel));
+    for (size_t k = 0; k < roles.size(); ++k) {
+      RoleId role = roles[k];
+      ClassId primary = schema.PrimaryClass(role);
+      for (const CompoundClass& compound : all_classes) {
+        if (!compound.IsExtendedConsistentIn(schema) ||
+            !compound.Contains(primary)) {
+          continue;
+        }
+        // Lifted cardinality per Definition 3.1.
+        Cardinality lifted;
+        for (ClassId member : compound.Members()) {
+          if (!schema.IsSubclassOf(member, primary)) {
+            continue;
+          }
+          Cardinality declared = schema.GetCardinality(member, rel, role);
+          lifted.min = std::max(lifted.min, declared.min);
+          if (declared.max.has_value() &&
+              (!lifted.max.has_value() || *declared.max < *lifted.max)) {
+            lifted.max = declared.max;
+          }
+        }
+        if (lifted.IsDefault()) {
+          continue;
+        }
+        LinearExpr sum;
+        for (const CompoundRelationship& compound_rel : all_rels) {
+          if (compound_rel.components[k] != compound ||
+              !compound_rel.IsConsistentIn(schema, /*extended=*/true)) {
+            continue;
+          }
+          std::vector<std::uint64_t> key_masks;
+          for (const CompoundClass& component : compound_rel.components) {
+            key_masks.push_back(component.mask());
+          }
+          sum.AddTerm(rel_vars[{rel.value, key_masks}], Rational(1));
+        }
+        VarId class_var = class_var_by_mask[compound.mask()];
+        if (lifted.min > 0) {
+          LinearExpr expr = sum;
+          expr.AddTerm(class_var,
+                       -Rational(static_cast<std::int64_t>(lifted.min)));
+          system.AddGe(std::move(expr));
+        }
+        if (lifted.max.has_value()) {
+          LinearExpr expr = -sum;
+          expr.AddTerm(class_var,
+                       Rational(static_cast<std::int64_t>(*lifted.max)));
+          system.AddGe(std::move(expr));
+        }
+      }
+    }
+  }
+  return system;
+}
+
+}  // namespace crsat

@@ -1,0 +1,67 @@
+#ifndef CRSAT_REASONER_SYSTEM_BUILDER_H_
+#define CRSAT_REASONER_SYSTEM_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/expansion/expansion.h"
+#include "src/lp/linear_system.h"
+
+namespace crsat {
+
+/// The system of linear disequations Psi_S associated with a CR-schema
+/// (Section 3.2), together with the bookkeeping that ties its unknowns back
+/// to the expansion.
+///
+/// Unknowns exist only for *consistent* compound classes and relationships;
+/// inconsistent ones are pinned to zero by Lemma 3.2 (A')/(B') and are
+/// simply not materialized. All constraints are homogeneous and non-strict;
+/// nonnegativity is carried by the variable flags.
+struct CrSystem {
+  const Expansion* expansion = nullptr;
+  LinearSystem system;
+  /// Class unknowns: `class_vars[i]` is the variable of compound class `i`.
+  std::vector<VarId> class_vars;
+  /// Relationship unknowns, aligned with `Expansion::relationships()`.
+  std::vector<VarId> rel_vars;
+
+  /// True iff `var` is a relationship unknown.
+  bool IsRelationshipVar(VarId var) const {
+    return var >= static_cast<VarId>(class_vars.size());
+  }
+
+  /// For a relationship unknown, the index of its compound relationship.
+  int RelationshipIndexOfVar(VarId var) const {
+    return var - static_cast<int>(class_vars.size());
+  }
+};
+
+/// Builds Psi_S from an expansion (Section 3.2):
+///
+///   for each relationship R, role U_k with primary class C_k, and
+///   consistent compound class Cbar containing C_k:
+///     minc(Cbar,R,U_k) = m > 0    =>  sum_{Rbar[U_k]=Cbar} Var(Rbar) >= m*Var(Cbar)
+///     maxc(Cbar,R,U_k) = n != inf =>  sum_{Rbar[U_k]=Cbar} Var(Rbar) <= n*Var(Cbar)
+///
+/// plus implicit `>= 0` on every unknown.
+class SystemBuilder {
+ public:
+  /// Builds the (consistent-only) system used by the reasoner.
+  /// `overrides`, when non-null, replace the schema's cardinality
+  /// declarations for matching triples (see `CardinalityOverride`).
+  static CrSystem Build(
+      const Expansion& expansion,
+      const std::vector<CardinalityOverride>* overrides = nullptr);
+
+  /// Builds the *presentation* form of Psi_S exactly as the paper's Figure
+  /// 5 shows it: unknowns for all compound classes and relationships,
+  /// inconsistent ones pinned by explicit `= 0` constraints, with
+  /// paper-style unknown names (`c1..c7`, `H_1_3`, ...). Exponential in the
+  /// number of classes; intended for small illustrative schemas only.
+  static Result<LinearSystem> BuildPresentationSystem(const Schema& schema);
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_REASONER_SYSTEM_BUILDER_H_

@@ -1,0 +1,54 @@
+#ifndef CRSAT_REASONER_UNSAT_CORE_H_
+#define CRSAT_REASONER_UNSAT_CORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+#include "src/expansion/expansion.h"
+
+namespace crsat {
+
+/// A constraint of a schema, as a removable unit for core minimization.
+struct CoreConstraint {
+  enum class Kind {
+    kIsa,
+    kCardinality,
+    kDisjointness,
+    kCovering,
+  };
+  Kind kind;
+  /// Index into the corresponding declaration list of the schema.
+  int index;
+  /// Human-readable rendering, e.g. "isa Discussant < Speaker" or
+  /// "card Talk in Holds.U2 = (1, 1)".
+  std::string description;
+};
+
+/// A minimal explanation of why a class is unsatisfiable.
+struct UnsatCore {
+  /// Constraints that jointly force the class empty; removing any one of
+  /// them makes the class satisfiable (subset-minimality).
+  std::vector<CoreConstraint> constraints;
+};
+
+/// Computes a *minimal unsatisfiable core* for an unsatisfiable class: a
+/// subset-minimal set of constraints (ISA statements, cardinality
+/// declarations, disjointness groups, covering constraints) whose presence
+/// keeps the class unsatisfiable. This implements the "schema debugging"
+/// support sketched in the paper's Section 5 ("a technique that provides
+/// the designer with a minimum number of constraints that are
+/// unsatisfiable").
+///
+/// Deletion-based minimization: each constraint is tentatively dropped;
+/// if the class stays unsatisfiable the constraint is discarded for good,
+/// otherwise it is part of the core. Cost: one satisfiability check per
+/// constraint. Fails with `InvalidArgument` if `cls` is satisfiable in
+/// `schema` to begin with.
+Result<UnsatCore> MinimizeUnsatCore(const Schema& schema, ClassId cls,
+                                    const ExpansionOptions& options = {});
+
+}  // namespace crsat
+
+#endif  // CRSAT_REASONER_UNSAT_CORE_H_

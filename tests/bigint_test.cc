@@ -1,0 +1,267 @@
+#include "src/math/bigint.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace crsat {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.BitLength(), 0u);
+}
+
+TEST(BigIntTest, ConstructFromInt64) {
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(0).ToString(), "0");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::max()).ToString(),
+            "9223372036854775807");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::min()).ToString(),
+            "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromStringParsesSignedDecimals) {
+  EXPECT_EQ(BigInt::FromString("123").value(), BigInt(123));
+  EXPECT_EQ(BigInt::FromString("-123").value(), BigInt(-123));
+  EXPECT_EQ(BigInt::FromString("+7").value(), BigInt(7));
+  EXPECT_EQ(BigInt::FromString("0").value(), BigInt(0));
+  EXPECT_EQ(BigInt::FromString("-0").value(), BigInt(0));
+  EXPECT_EQ(BigInt::FromString("00000123").value(), BigInt(123));
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("+").ok());
+  EXPECT_FALSE(BigInt::FromString("12a3").ok());
+  EXPECT_FALSE(BigInt::FromString(" 12").ok());
+  EXPECT_FALSE(BigInt::FromString("1 2").ok());
+}
+
+TEST(BigIntTest, FromStringRoundTripsLargeValues) {
+  const std::string digits =
+      "123456789012345678901234567890123456789012345678901234567890";
+  BigInt value = BigInt::FromString(digits).value();
+  EXPECT_EQ(value.ToString(), digits);
+  BigInt negative = BigInt::FromString("-" + digits).value();
+  EXPECT_EQ(negative.ToString(), "-" + digits);
+}
+
+TEST(BigIntTest, AdditionBasics) {
+  EXPECT_EQ(BigInt(2) + BigInt(3), BigInt(5));
+  EXPECT_EQ(BigInt(-2) + BigInt(3), BigInt(1));
+  EXPECT_EQ(BigInt(2) + BigInt(-3), BigInt(-1));
+  EXPECT_EQ(BigInt(-2) + BigInt(-3), BigInt(-5));
+  EXPECT_EQ(BigInt(5) + BigInt(-5), BigInt(0));
+  EXPECT_EQ(BigInt(0) + BigInt(7), BigInt(7));
+  EXPECT_EQ(BigInt(7) + BigInt(0), BigInt(7));
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::FromString("4294967295").value();  // 2^32 - 1.
+  EXPECT_EQ((a + BigInt(1)).ToString(), "4294967296");
+  BigInt b = BigInt::FromString("18446744073709551615").value();  // 2^64-1.
+  EXPECT_EQ((b + BigInt(1)).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, SubtractionBasics) {
+  EXPECT_EQ(BigInt(5) - BigInt(3), BigInt(2));
+  EXPECT_EQ(BigInt(3) - BigInt(5), BigInt(-2));
+  EXPECT_EQ(BigInt(-3) - BigInt(-5), BigInt(2));
+  EXPECT_EQ(BigInt(5) - BigInt(5), BigInt(0));
+}
+
+TEST(BigIntTest, MultiplicationBasics) {
+  EXPECT_EQ(BigInt(6) * BigInt(7), BigInt(42));
+  EXPECT_EQ(BigInt(-6) * BigInt(7), BigInt(-42));
+  EXPECT_EQ(BigInt(-6) * BigInt(-7), BigInt(42));
+  EXPECT_EQ(BigInt(0) * BigInt(12345), BigInt(0));
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt a = BigInt::FromString("123456789123456789").value();
+  BigInt b = BigInt::FromString("987654321987654321").value();
+  EXPECT_EQ((a * b).ToString(), "121932631356500531347203169112635269");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+  EXPECT_EQ(BigInt(7) % BigInt(-2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(-2), BigInt(-1));
+}
+
+TEST(BigIntTest, DivModInvariantHoldsOnRandomInputs) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t a = static_cast<std::int64_t>(rng());
+    std::int64_t b = static_cast<std::int64_t>(rng() % 100000) - 50000;
+    if (b == 0) {
+      continue;
+    }
+    BigInt big_a(a);
+    BigInt big_b(b);
+    BigInt::DivModResult divmod = big_a.DivMod(big_b).value();
+    EXPECT_EQ(divmod.quotient, BigInt(a / b)) << a << " / " << b;
+    EXPECT_EQ(divmod.remainder, BigInt(a % b)) << a << " % " << b;
+    EXPECT_EQ(divmod.quotient * big_b + divmod.remainder, big_a);
+  }
+}
+
+TEST(BigIntTest, MultiLimbDivisionReconstructs) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    // Build big random values from products and sums of 64-bit chunks, so
+    // the Knuth-D multi-limb path is exercised.
+    BigInt a = BigInt(static_cast<std::int64_t>(rng() >> 1)) *
+                   BigInt(static_cast<std::int64_t>(rng() >> 1)) +
+               BigInt(static_cast<std::int64_t>(rng() >> 1));
+    BigInt b = BigInt(static_cast<std::int64_t>(rng() >> 1)) +
+               BigInt(1);  // Nonzero.
+    BigInt::DivModResult divmod = a.DivMod(b).value();
+    EXPECT_EQ(divmod.quotient * b + divmod.remainder, a);
+    EXPECT_TRUE(divmod.remainder.Abs() < b.Abs());
+  }
+}
+
+TEST(BigIntTest, DivisionByLargerYieldsZero) {
+  EXPECT_EQ(BigInt(3) / BigInt(7), BigInt(0));
+  EXPECT_EQ(BigInt(3) % BigInt(7), BigInt(3));
+}
+
+TEST(BigIntTest, DivModRejectsZeroDivisor) {
+  EXPECT_FALSE(BigInt(3).DivMod(BigInt(0)).ok());
+}
+
+TEST(BigIntTest, KnuthAddBackCase) {
+  // Classic divisor/dividend pair that triggers the rare "add back" branch
+  // in algorithm D (top limbs engineered so qhat overshoots).
+  BigInt a = BigInt::FromString("340282366920938463463374607431768211456")
+                 .value();  // 2^128.
+  BigInt b =
+      BigInt::FromString("18446744073709551617").value();  // 2^64 + 1.
+  BigInt::DivModResult divmod = a.DivMod(b).value();
+  EXPECT_EQ(divmod.quotient * b + divmod.remainder, a);
+  EXPECT_TRUE(divmod.remainder < b);
+  EXPECT_EQ(divmod.quotient.ToString(), "18446744073709551615");
+  EXPECT_EQ(divmod.remainder.ToString(), "1");
+}
+
+TEST(BigIntTest, ComparisonIsTotalOrder) {
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(-3), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(BigInt(5), BigInt::FromString("5000000000000000000000").value());
+  EXPECT_LT(BigInt::FromString("-5000000000000000000000").value(),
+            BigInt(-5));
+  EXPECT_LE(BigInt(5), BigInt(5));
+  EXPECT_GE(BigInt(5), BigInt(5));
+  EXPECT_GT(BigInt(6), BigInt(5));
+}
+
+TEST(BigIntTest, AbsAndNegate) {
+  EXPECT_EQ(BigInt(-5).Abs(), BigInt(5));
+  EXPECT_EQ(BigInt(5).Abs(), BigInt(5));
+  EXPECT_EQ(-BigInt(5), BigInt(-5));
+  EXPECT_EQ(-BigInt(0), BigInt(0));
+}
+
+TEST(BigIntTest, ToInt64RoundTripsAndRejectsOverflow) {
+  EXPECT_EQ(BigInt(12345).ToInt64().value(), 12345);
+  EXPECT_EQ(BigInt(-12345).ToInt64().value(), -12345);
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::max()).ToInt64().value(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::min()).ToInt64().value(),
+            std::numeric_limits<std::int64_t>::min());
+  BigInt too_big = BigInt::FromString("9223372036854775808").value();
+  EXPECT_FALSE(too_big.ToInt64().ok());
+  EXPECT_EQ((-too_big).ToInt64().value(),
+            std::numeric_limits<std::int64_t>::min());
+  BigInt too_small = BigInt::FromString("-9223372036854775809").value();
+  EXPECT_FALSE(too_small.ToInt64().ok());
+}
+
+TEST(BigIntTest, GcdMatchesEuclid) {
+  EXPECT_EQ(Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(Gcd(BigInt(12), BigInt(-18)), BigInt(6));
+  EXPECT_EQ(Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(Gcd(BigInt(5), BigInt(0)), BigInt(5));
+  EXPECT_EQ(Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(Gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, LcmBasics) {
+  EXPECT_EQ(Lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_EQ(Lcm(BigInt(-4), BigInt(6)), BigInt(12));
+  EXPECT_EQ(Lcm(BigInt(0), BigInt(6)), BigInt(0));
+  EXPECT_EQ(Lcm(BigInt(7), BigInt(7)), BigInt(7));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(2).BitLength(), 2u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  BigInt big = BigInt::FromString("18446744073709551616").value();  // 2^64.
+  EXPECT_EQ(big.BitLength(), 65u);
+}
+
+TEST(BigIntTest, PowersChainConsistency) {
+  // (3^40) / (3^20) == 3^20 exactly.
+  BigInt p20(1);
+  for (int i = 0; i < 20; ++i) {
+    p20 *= BigInt(3);
+  }
+  BigInt p40 = p20 * p20;
+  EXPECT_EQ(p40 / p20, p20);
+  EXPECT_EQ(p40 % p20, BigInt(0));
+  EXPECT_EQ(p20.ToString(), "3486784401");
+}
+
+// Randomized cross-check of ToString against 64-bit arithmetic composed
+// into multi-limb values via the distributive law.
+TEST(BigIntTest, RandomizedArithmeticAgainstInt128) {
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t a = static_cast<std::int64_t>(rng());
+    std::int64_t b = static_cast<std::int64_t>(rng());
+    __int128 wide = static_cast<__int128>(a) * b;
+    BigInt product = BigInt(a) * BigInt(b);
+    // Render the __int128 manually.
+    bool negative = wide < 0;
+    unsigned __int128 magnitude =
+        negative ? -static_cast<unsigned __int128>(wide)
+                 : static_cast<unsigned __int128>(wide);
+    std::string expected;
+    if (magnitude == 0) {
+      expected = "0";
+    } else {
+      while (magnitude > 0) {
+        expected.insert(expected.begin(),
+                        static_cast<char>('0' + static_cast<int>(
+                                                    magnitude % 10)));
+        magnitude /= 10;
+      }
+      if (negative) {
+        expected.insert(expected.begin(), '-');
+      }
+    }
+    EXPECT_EQ(product.ToString(), expected) << a << " * " << b;
+  }
+}
+
+}  // namespace
+}  // namespace crsat

@@ -1,0 +1,291 @@
+#include "src/expansion/expansion.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_schemas.h"
+
+namespace crsat {
+namespace {
+
+using crsat::testing::MeetingSchema;
+
+TEST(CompoundClassTest, MembershipAndConstruction) {
+  CompoundClass empty;
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_EQ(empty.size(), 0);
+  CompoundClass compound = CompoundClass::Of({ClassId(0), ClassId(2)});
+  EXPECT_EQ(compound.mask(), 0b101u);
+  EXPECT_EQ(compound.size(), 2);
+  EXPECT_TRUE(compound.Contains(ClassId(0)));
+  EXPECT_FALSE(compound.Contains(ClassId(1)));
+  EXPECT_TRUE(compound.Contains(ClassId(2)));
+  std::vector<ClassId> members = compound.Members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], ClassId(0));
+  EXPECT_EQ(members[1], ClassId(2));
+  EXPECT_EQ(compound.With(ClassId(1)).mask(), 0b111u);
+}
+
+TEST(CompoundClassTest, ConsistencyIsUpwardClosureUnderIsa) {
+  Schema schema = MeetingSchema();  // Speaker=0, Discussant=1, Talk=2.
+  // {Discussant} without {Speaker} is inconsistent.
+  EXPECT_FALSE(CompoundClass(0b010).IsConsistentIn(schema));
+  EXPECT_TRUE(CompoundClass(0b001).IsConsistentIn(schema));
+  EXPECT_TRUE(CompoundClass(0b011).IsConsistentIn(schema));
+  EXPECT_TRUE(CompoundClass(0b100).IsConsistentIn(schema));
+  EXPECT_FALSE(CompoundClass(0b110).IsConsistentIn(schema));
+  EXPECT_TRUE(CompoundClass(0b111).IsConsistentIn(schema));
+}
+
+TEST(CompoundClassTest, ExtendedConsistencyHonorsDisjointness) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddRelationship("R", {{"U", "A"}, {"V", "B"}});
+  builder.AddDisjointness({"A", "B"});
+  Schema schema = builder.Build().value();
+  EXPECT_TRUE(CompoundClass(0b11).IsConsistentIn(schema));
+  EXPECT_FALSE(CompoundClass(0b11).IsExtendedConsistentIn(schema));
+  EXPECT_TRUE(CompoundClass(0b01).IsExtendedConsistentIn(schema));
+}
+
+TEST(CompoundClassTest, ExtendedConsistencyHonorsCovering) {
+  SchemaBuilder builder;
+  builder.AddClass("Person");
+  builder.AddClass("Adult");
+  builder.AddClass("Minor");
+  builder.AddIsa("Adult", "Person");
+  builder.AddIsa("Minor", "Person");
+  builder.AddRelationship("R", {{"U", "Person"}, {"V", "Person"}});
+  builder.AddCovering("Person", {"Adult", "Minor"});
+  Schema schema = builder.Build().value();
+  // {Person} alone violates the covering; {Person, Adult} satisfies it.
+  EXPECT_FALSE(CompoundClass(0b001).IsExtendedConsistentIn(schema));
+  EXPECT_TRUE(CompoundClass(0b011).IsExtendedConsistentIn(schema));
+  EXPECT_TRUE(CompoundClass(0b101).IsExtendedConsistentIn(schema));
+  // {Adult} without {Person} fails plain ISA consistency already.
+  EXPECT_FALSE(CompoundClass(0b010).IsExtendedConsistentIn(schema));
+}
+
+TEST(ExpansionTest, MeetingSchemaMatchesFigure4CompoundClasses) {
+  // Figure 4: consistent compound classes are {S}, {T}, {S,D}, {S,T},
+  // {S,D,T} (the paper's C1, C3, C4, C5, C7).
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  std::vector<std::uint64_t> masks;
+  for (const CompoundClass& compound : expansion.classes()) {
+    masks.push_back(compound.mask());
+  }
+  // Speaker=bit0, Discussant=bit1, Talk=bit2.
+  EXPECT_EQ(masks, (std::vector<std::uint64_t>{0b001, 0b011, 0b100, 0b101,
+                                               0b111}));
+  EXPECT_EQ(expansion.total_compound_class_count(), 7u);
+}
+
+TEST(ExpansionTest, MeetingSchemaMatchesFigure4CompoundRelationships) {
+  // Figure 4: 12 consistent compound relationships for Holds (4 Speaker-
+  // containing x 3 Talk-containing) and 6 for Participates (2 x 3).
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RelationshipId participates =
+      schema.FindRelationship("Participates").value();
+  EXPECT_EQ(expansion.RelationshipIndicesOf(holds).size(), 12u);
+  EXPECT_EQ(expansion.RelationshipIndicesOf(participates).size(), 6u);
+  EXPECT_EQ(expansion.relationships().size(), 18u);
+  // Every compound relationship is consistent by construction.
+  for (const CompoundRelationship& compound : expansion.relationships()) {
+    EXPECT_TRUE(compound.IsConsistentIn(schema, /*extended=*/true));
+  }
+}
+
+TEST(ExpansionTest, MeetingSchemaLiftedCardinalitiesMatchFigure4) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RelationshipId participates =
+      schema.FindRelationship("Participates").value();
+  RoleId u1 = schema.FindRole("U1").value();
+  RoleId u2 = schema.FindRole("U2").value();
+  RoleId u3 = schema.FindRole("U3").value();
+  RoleId u4 = schema.FindRole("U4").value();
+
+  auto lifted = [&](std::uint64_t mask, RelationshipId rel, RoleId role) {
+    int index = expansion.ClassIndexOf(CompoundClass(mask));
+    EXPECT_GE(index, 0);
+    return expansion.LiftedCardinality(index, rel, role);
+  };
+
+  // minc({S},H,U1) = 1, maxc = inf.
+  EXPECT_EQ(lifted(0b001, holds, u1).min, 1u);
+  EXPECT_FALSE(lifted(0b001, holds, u1).max.has_value());
+  // {S,D}: minc 1 (from Speaker), maxc 2 (Discussant refinement).
+  EXPECT_EQ(lifted(0b011, holds, u1).min, 1u);
+  EXPECT_EQ(lifted(0b011, holds, u1).max, std::optional<std::uint64_t>(2));
+  // {S,T} at U1: like {S}.
+  EXPECT_EQ(lifted(0b101, holds, u1).min, 1u);
+  EXPECT_FALSE(lifted(0b101, holds, u1).max.has_value());
+  // {S,D,T} at U1: like {S,D}.
+  EXPECT_EQ(lifted(0b111, holds, u1).min, 1u);
+  EXPECT_EQ(lifted(0b111, holds, u1).max, std::optional<std::uint64_t>(2));
+  // Talk-containing classes at U2: (1,1).
+  for (std::uint64_t mask : {0b100u, 0b101u, 0b111u}) {
+    EXPECT_EQ(lifted(mask, holds, u2).min, 1u);
+    EXPECT_EQ(lifted(mask, holds, u2).max, std::optional<std::uint64_t>(1));
+  }
+  // Discussant-containing classes at U3: (1,1).
+  for (std::uint64_t mask : {0b011u, 0b111u}) {
+    EXPECT_EQ(lifted(mask, participates, u3).min, 1u);
+    EXPECT_EQ(lifted(mask, participates, u3).max,
+              std::optional<std::uint64_t>(1));
+  }
+  // Talk-containing classes at U4: (1, inf).
+  for (std::uint64_t mask : {0b100u, 0b101u, 0b111u}) {
+    EXPECT_EQ(lifted(mask, participates, u4).min, 1u);
+    EXPECT_FALSE(lifted(mask, participates, u4).max.has_value());
+  }
+}
+
+TEST(ExpansionTest, ClassIndicesContainingIsTheUnionIndex) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  ClassId speaker = schema.FindClass("Speaker").value();
+  ClassId discussant = schema.FindClass("Discussant").value();
+  ClassId talk = schema.FindClass("Talk").value();
+  EXPECT_EQ(expansion.ClassIndicesContaining(speaker).size(), 4u);
+  EXPECT_EQ(expansion.ClassIndicesContaining(discussant).size(), 2u);
+  EXPECT_EQ(expansion.ClassIndicesContaining(talk).size(), 3u);
+  for (int index : expansion.ClassIndicesContaining(discussant)) {
+    EXPECT_TRUE(expansion.classes()[index].Contains(discussant));
+    EXPECT_TRUE(expansion.classes()[index].Contains(speaker));  // ISA.
+  }
+}
+
+TEST(ExpansionTest, RelationshipsWithIndexesSumsCorrectly) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  // {S,D} at role position 0 of Holds: one compound relationship per
+  // Talk-containing compound class at position 1.
+  int sd = expansion.ClassIndexOf(CompoundClass(0b011));
+  const std::vector<int>& with_sd = expansion.RelationshipsWith(holds, 0, sd);
+  EXPECT_EQ(with_sd.size(), 3u);
+  for (int rel_index : with_sd) {
+    EXPECT_EQ(expansion.relationships()[rel_index].components[0],
+              CompoundClass(0b011));
+  }
+  // Sanity: lists partition the 12 Holds compound relationships.
+  size_t total = 0;
+  for (int ci = 0; ci < static_cast<int>(expansion.classes().size()); ++ci) {
+    total += expansion.RelationshipsWith(holds, 0, ci).size();
+  }
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(ExpansionTest, DisjointnessPrunesTheExpansion) {
+  // The paper's Section 5 observation: declaring Speaker and Talk disjoint
+  // shrinks the expansion to "just a few unknowns".
+  SchemaBuilder builder = MeetingSchema().ToBuilder();
+  builder.AddDisjointness({"Speaker", "Talk"});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  // {S,T} and {S,D,T} are now inconsistent: 3 compound classes remain.
+  EXPECT_EQ(expansion.classes().size(), 3u);
+  // Holds: 2 Speaker-containing x 1 Talk-containing; Participates: 1 x 1.
+  EXPECT_EQ(expansion.relationships().size(), 3u);
+
+  // With use_extensions=false the pruning is disabled.
+  ExpansionOptions no_extensions;
+  no_extensions.use_extensions = false;
+  Expansion unpruned = Expansion::Build(schema, no_extensions).value();
+  EXPECT_EQ(unpruned.classes().size(), 5u);
+}
+
+TEST(ExpansionTest, CoveringPrunesLeafCompounds) {
+  SchemaBuilder builder;
+  builder.AddClass("Person");
+  builder.AddClass("Adult");
+  builder.AddClass("Minor");
+  builder.AddIsa("Adult", "Person");
+  builder.AddIsa("Minor", "Person");
+  builder.AddRelationship("R", {{"U", "Person"}, {"V", "Person"}});
+  builder.AddCovering("Person", {"Adult", "Minor"});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  for (const CompoundClass& compound : expansion.classes()) {
+    if (compound.Contains(schema.FindClass("Person").value())) {
+      EXPECT_TRUE(compound.Contains(schema.FindClass("Adult").value()) ||
+                  compound.Contains(schema.FindClass("Minor").value()))
+          << compound.ToString(schema);
+    }
+  }
+}
+
+TEST(ExpansionTest, EmptyPrimaryCandidateListYieldsNoCompoundRelationships) {
+  // A relationship whose primary class cannot be consistently populated:
+  // B <= A, B <= C, A and C disjoint -> no compound class contains B.
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddClass("C");
+  builder.AddIsa("B", "A");
+  builder.AddIsa("B", "C");
+  builder.AddDisjointness({"A", "C"});
+  builder.AddRelationship("R", {{"U", "B"}, {"V", "A"}});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  RelationshipId r = schema.FindRelationship("R").value();
+  EXPECT_TRUE(expansion.RelationshipIndicesOf(r).empty());
+  EXPECT_TRUE(
+      expansion.ClassIndicesContaining(schema.FindClass("B").value()).empty());
+}
+
+TEST(ExpansionTest, CapsAreEnforced) {
+  Schema schema = MeetingSchema();
+  ExpansionOptions tiny;
+  tiny.max_consistent_classes = 2;
+  Result<Expansion> result = Expansion::Build(schema, tiny);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+
+  ExpansionOptions tiny_rels;
+  tiny_rels.max_compound_relationships = 5;
+  Result<Expansion> rel_result = Expansion::Build(schema, tiny_rels);
+  ASSERT_FALSE(rel_result.ok());
+  EXPECT_EQ(rel_result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ExpansionTest, AllCompoundClassesEnumeratesEverySubset) {
+  Schema schema = MeetingSchema();
+  std::vector<CompoundClass> all = AllCompoundClasses(schema).value();
+  EXPECT_EQ(all.size(), 7u);
+  std::set<std::uint64_t> masks;
+  for (const CompoundClass& compound : all) {
+    masks.insert(compound.mask());
+  }
+  EXPECT_EQ(masks.size(), 7u);
+}
+
+TEST(ExpansionTest, AllCompoundRelationshipsEnumeratesProduct) {
+  Schema schema = MeetingSchema();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  std::vector<CompoundRelationship> all =
+      AllCompoundRelationships(schema, holds).value();
+  EXPECT_EQ(all.size(), 49u);  // 7 x 7 as in Figure 4's Hij grid.
+}
+
+TEST(ExpansionTest, ToStringListsFigure4Content) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  std::string text = expansion.ToString();
+  EXPECT_NE(text.find("Consistent compound classes (5)"), std::string::npos);
+  EXPECT_NE(text.find("Consistent compound relationships (18)"),
+            std::string::npos);
+  EXPECT_NE(text.find("{Speaker,Discussant}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crsat

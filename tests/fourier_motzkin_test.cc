@@ -1,0 +1,137 @@
+#include "src/lp/fourier_motzkin.h"
+
+#include <gtest/gtest.h>
+
+namespace crsat {
+namespace {
+
+LinearExpr Expr(std::vector<std::pair<VarId, std::int64_t>> terms,
+                std::int64_t constant = 0) {
+  LinearExpr expr;
+  for (const auto& [var, coeff] : terms) {
+    expr.AddTerm(var, Rational(coeff));
+  }
+  expr.AddConstant(Rational(constant));
+  return expr;
+}
+
+TEST(FourierMotzkinTest, EmptySystemFeasible) {
+  LinearSystem system;
+  FmResult result = FourierMotzkinSolver::Solve(system).value();
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(FourierMotzkinTest, SimpleBoundsFeasibleWithWitness) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  system.AddGe(Expr({{x, 1}}, -2));  // x >= 2.
+  system.AddLe(Expr({{x, 1}}, -5));  // x <= 5.
+  FmResult result = FourierMotzkinSolver::Solve(system).value();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(system.IsSatisfiedBy(result.witness));
+}
+
+TEST(FourierMotzkinTest, ContradictoryBoundsInfeasible) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  system.AddGe(Expr({{x, 1}}, -5));  // x >= 5.
+  system.AddLe(Expr({{x, 1}}, -2));  // x <= 2.
+  FmResult result = FourierMotzkinSolver::Solve(system).value();
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(FourierMotzkinTest, StrictConstraintSatisfiable) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  system.AddGt(Expr({{x, 1}}));  // x > 0.
+  FmResult result = FourierMotzkinSolver::Solve(system).value();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.witness[x].IsPositive());
+}
+
+TEST(FourierMotzkinTest, StrictVersusNonStrictBoundary) {
+  // x >= 1 and x <= 1 is feasible; adding x > 1 makes it infeasible.
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  system.AddGe(Expr({{x, 1}}, -1));
+  system.AddLe(Expr({{x, 1}}, -1));
+  EXPECT_TRUE(FourierMotzkinSolver::Solve(system).value().feasible);
+  system.AddGt(Expr({{x, 1}}, -1));
+  EXPECT_FALSE(FourierMotzkinSolver::Solve(system).value().feasible);
+}
+
+TEST(FourierMotzkinTest, StrictInequalityChainInfeasible) {
+  // x > y, y > x.
+  LinearSystem system;
+  VarId x = system.AddVariable("x", /*nonnegative=*/false);
+  VarId y = system.AddVariable("y", /*nonnegative=*/false);
+  system.AddGt(Expr({{x, 1}, {y, -1}}));
+  system.AddGt(Expr({{y, 1}, {x, -1}}));
+  EXPECT_FALSE(FourierMotzkinSolver::Solve(system).value().feasible);
+}
+
+TEST(FourierMotzkinTest, EqualityConstraintsHandled) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  VarId y = system.AddVariable("y");
+  system.AddEq(Expr({{x, 1}, {y, 1}}, -10));
+  system.AddEq(Expr({{x, 1}, {y, -1}}, -4));
+  FmResult result = FourierMotzkinSolver::Solve(system).value();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.witness[x], Rational(7));
+  EXPECT_EQ(result.witness[y], Rational(3));
+}
+
+TEST(FourierMotzkinTest, NonnegativityFlagsHonored) {
+  LinearSystem nonneg;
+  VarId x = nonneg.AddVariable("x");  // Nonnegative.
+  nonneg.AddLe(Expr({{x, 1}}, 3));    // x <= -3.
+  EXPECT_FALSE(FourierMotzkinSolver::Solve(nonneg).value().feasible);
+
+  LinearSystem free_var;
+  VarId y = free_var.AddVariable("y", /*nonnegative=*/false);
+  free_var.AddLe(Expr({{y, 1}}, 3));  // y <= -3.
+  FmResult result = FourierMotzkinSolver::Solve(free_var).value();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(free_var.IsSatisfiedBy(result.witness));
+}
+
+TEST(FourierMotzkinTest, ChainedVariablesBackSubstituteCorrectly) {
+  // x0 <= x1 <= x2 <= 10, x0 >= 4.
+  LinearSystem system;
+  VarId x0 = system.AddVariable("x0");
+  VarId x1 = system.AddVariable("x1");
+  VarId x2 = system.AddVariable("x2");
+  system.AddGe(Expr({{x1, 1}, {x0, -1}}));
+  system.AddGe(Expr({{x2, 1}, {x1, -1}}));
+  system.AddLe(Expr({{x2, 1}}, -10));
+  system.AddGe(Expr({{x0, 1}}, -4));
+  FmResult result = FourierMotzkinSolver::Solve(system).value();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(system.IsSatisfiedBy(result.witness));
+}
+
+TEST(FourierMotzkinTest, HomogeneousStrictConicSystem) {
+  // The shape produced by the reasoner: 2c <= h, h <= 3c, c > 0.
+  LinearSystem system;
+  VarId c = system.AddVariable("c");
+  VarId h = system.AddVariable("h");
+  system.AddGe(Expr({{h, 1}, {c, -2}}));
+  system.AddGe(Expr({{c, 3}, {h, -1}}));
+  system.AddGt(Expr({{c, 1}}));
+  FmResult result = FourierMotzkinSolver::Solve(system).value();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(system.IsSatisfiedBy(result.witness));
+
+  // Tightening to 4c <= h <= 3c with c > 0 is infeasible.
+  LinearSystem tight;
+  VarId c2 = tight.AddVariable("c");
+  VarId h2 = tight.AddVariable("h");
+  tight.AddGe(Expr({{h2, 1}, {c2, -4}}));
+  tight.AddGe(Expr({{c2, 3}, {h2, -1}}));
+  tight.AddGt(Expr({{c2, 1}}));
+  EXPECT_FALSE(FourierMotzkinSolver::Solve(tight).value().feasible);
+}
+
+}  // namespace
+}  // namespace crsat

@@ -1,0 +1,209 @@
+#include "src/reasoner/implication_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/reasoner/implication.h"
+#include "src/reasoner/satisfiability.h"
+#include "tests/test_schemas.h"
+
+namespace crsat {
+namespace {
+
+using crsat::testing::MeetingSchema;
+
+TEST(CardinalityImplicationEngineTest, ProbesMatchOneShotChecker) {
+  Schema schema = MeetingSchema();
+  ClassId speaker = schema.FindClass("Speaker").value();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RoleId u1 = schema.FindRole("U1").value();
+  CardinalityImplicationEngine engine =
+      CardinalityImplicationEngine::Create(schema, speaker, holds, u1)
+          .value();
+  for (std::uint64_t bound = 0; bound <= 4; ++bound) {
+    EXPECT_EQ(engine.ImpliesMin(bound).value(),
+              ImplicationChecker::ImpliesMinCardinality(schema, speaker,
+                                                        holds, u1, bound)
+                  .value())
+        << "min " << bound;
+    EXPECT_EQ(engine.ImpliesMax(bound).value(),
+              ImplicationChecker::ImpliesMaxCardinality(schema, speaker,
+                                                        holds, u1, bound)
+                  .value())
+        << "max " << bound;
+  }
+}
+
+TEST(CardinalityImplicationEngineTest, TightestBoundsMatchFigure7) {
+  Schema schema = MeetingSchema();
+  ClassId speaker = schema.FindClass("Speaker").value();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RoleId u1 = schema.FindRole("U1").value();
+  CardinalityImplicationEngine engine =
+      CardinalityImplicationEngine::Create(schema, speaker, holds, u1)
+          .value();
+  EXPECT_EQ(engine.TightestMin().value(), 1u);
+  EXPECT_EQ(engine.TightestMax().value(), std::optional<std::uint64_t>(1));
+  EXPECT_TRUE(engine.IsBaseClassSatisfiable().value());
+}
+
+TEST(CardinalityImplicationEngineTest, RejectsInvalidTriples) {
+  Schema schema = MeetingSchema();
+  ClassId talk = schema.FindClass("Talk").value();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RoleId u1 = schema.FindRole("U1").value();
+  RoleId u4 = schema.FindRole("U4").value();
+  // Talk is not a subclass of Speaker.
+  EXPECT_FALSE(
+      CardinalityImplicationEngine::Create(schema, talk, holds, u1).ok());
+  // U4 does not belong to Holds.
+  EXPECT_FALSE(
+      CardinalityImplicationEngine::Create(schema, talk, holds, u4).ok());
+}
+
+TEST(CardinalityImplicationEngineTest, UnsatisfiableBaseClassReported) {
+  Schema schema = crsat::testing::Figure1Schema();
+  ClassId c = schema.FindClass("C").value();
+  RelationshipId r = schema.FindRelationship("R").value();
+  RoleId v1 = schema.FindRole("V1").value();
+  CardinalityImplicationEngine engine =
+      CardinalityImplicationEngine::Create(schema, c, r, v1).value();
+  EXPECT_FALSE(engine.IsBaseClassSatisfiable().value());
+  EXPECT_FALSE(engine.TightestMin().ok());
+  EXPECT_FALSE(engine.TightestMax().ok());
+  // Vacuous implication still answers.
+  EXPECT_TRUE(engine.ImpliesMin(100).value());
+  EXPECT_TRUE(engine.ImpliesMax(0).value());
+}
+
+TEST(ImpliedCardinalityReportTest, MeetingReportMatchesFigure7) {
+  Schema schema = MeetingSchema();
+  std::vector<ImpliedCardinalityRow> rows =
+      BuildImpliedCardinalityReport(schema).value();
+  // Legal triples: Holds.U1 x {Speaker, Discussant}, Holds.U2 x {Talk},
+  // Participates.U3 x {Discussant}, Participates.U4 x {Talk}.
+  ASSERT_EQ(rows.size(), 5u);
+  ClassId speaker = schema.FindClass("Speaker").value();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RoleId u1 = schema.FindRole("U1").value();
+  bool found_headline = false;
+  for (const ImpliedCardinalityRow& row : rows) {
+    EXPECT_FALSE(row.vacuous);
+    // The schema forces every counted triple to exactly one tuple.
+    EXPECT_EQ(row.implied_min, 1u);
+    EXPECT_EQ(row.implied_max, std::optional<std::uint64_t>(1));
+    if (row.cls == speaker && row.rel == holds && row.role == u1) {
+      found_headline = true;
+      EXPECT_EQ(row.declared.min, 1u);
+      EXPECT_FALSE(row.declared.max.has_value());
+    }
+  }
+  EXPECT_TRUE(found_headline);
+  std::string table = ImpliedCardinalityReportToString(schema, rows);
+  EXPECT_NE(table.find("Speaker / Holds.U1"), std::string::npos);
+  EXPECT_NE(table.find("(1, 1)"), std::string::npos);
+}
+
+TEST(ImpliedCardinalityReportTest, VacuousRowsForUnsatisfiableClasses) {
+  Schema schema = crsat::testing::Figure1Schema();
+  std::vector<ImpliedCardinalityRow> rows =
+      BuildImpliedCardinalityReport(schema).value();
+  // Triples: R.V1 x {C, D}, R.V2 x {D}.
+  ASSERT_EQ(rows.size(), 3u);
+  for (const ImpliedCardinalityRow& row : rows) {
+    EXPECT_TRUE(row.vacuous);
+  }
+  std::string table = ImpliedCardinalityReportToString(schema, rows);
+  EXPECT_NE(table.find("vacuous"), std::string::npos);
+}
+
+TEST(ExtensionImplicationTest, DisjointnessImpliedAndRefuted) {
+  // Speaker and Talk can overlap in the meeting schema (nothing forbids a
+  // talk that speaks); Discussant and Talk likewise. But in a schema with
+  // declared disjointness the implication holds.
+  Schema schema = MeetingSchema();
+  ClassId speaker = schema.FindClass("Speaker").value();
+  ClassId talk = schema.FindClass("Talk").value();
+  EXPECT_FALSE(
+      ImplicationChecker::ImpliesDisjointness(schema, speaker, talk).value());
+
+  SchemaBuilder builder = schema.ToBuilder();
+  builder.AddDisjointness({"Speaker", "Talk"});
+  Schema disjoint_schema = builder.Build().value();
+  EXPECT_TRUE(ImplicationChecker::ImpliesDisjointness(
+                  disjoint_schema,
+                  disjoint_schema.FindClass("Speaker").value(),
+                  disjoint_schema.FindClass("Talk").value())
+                  .value());
+}
+
+TEST(ExtensionImplicationTest, DisjointnessImpliedThroughCardinalities) {
+  // A and B are never declared disjoint, but their cardinality pressure
+  // makes overlap impossible: an A-and-B individual would need both
+  // exactly 1 and exactly 3 R-tuples.
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddClass("T");
+  builder.AddRelationship("R", {{"U", "A"}, {"V", "T"}});
+  builder.AddRelationship("S", {{"W", "B"}, {"X", "T"}});
+  builder.AddClass("AB");
+  builder.AddIsa("AB", "A");
+  builder.AddIsa("AB", "B");
+  builder.SetCardinality("A", "R", "U", {1, 1});
+  builder.SetCardinality("AB", "R", "U", {3, std::nullopt});
+  Schema schema = builder.Build().value();
+  // AB (the explicit overlap class) is unsatisfiable...
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  EXPECT_FALSE(
+      checker.IsClassSatisfiable(schema.FindClass("AB").value()).value());
+  // ...but plain A-and-B overlap (without the AB class) is still possible,
+  // so disjointness of A and B is NOT implied.
+  EXPECT_FALSE(ImplicationChecker::ImpliesDisjointness(
+                   schema, schema.FindClass("A").value(),
+                   schema.FindClass("B").value())
+                   .value());
+}
+
+TEST(ExtensionImplicationTest, CoveringImpliedByStructure) {
+  // Every Speaker is a Discussant in the meeting schema (Figure 7), so
+  // {Discussant} covers Speaker.
+  Schema schema = MeetingSchema();
+  ClassId speaker = schema.FindClass("Speaker").value();
+  ClassId discussant = schema.FindClass("Discussant").value();
+  ClassId talk = schema.FindClass("Talk").value();
+  EXPECT_TRUE(ImplicationChecker::ImpliesCovering(schema, speaker,
+                                                  {discussant})
+                  .value());
+  EXPECT_FALSE(
+      ImplicationChecker::ImpliesCovering(schema, talk, {discussant})
+          .value());
+  // A class trivially covers itself.
+  EXPECT_TRUE(
+      ImplicationChecker::ImpliesCovering(schema, talk, {talk}).value());
+}
+
+TEST(ExtensionImplicationTest, DeclaredCoveringIsImplied) {
+  SchemaBuilder builder;
+  builder.AddClass("Person");
+  builder.AddClass("Adult");
+  builder.AddClass("Minor");
+  builder.AddIsa("Adult", "Person");
+  builder.AddIsa("Minor", "Person");
+  builder.AddRelationship("R", {{"U", "Person"}, {"V", "Person"}});
+  builder.AddCovering("Person", {"Adult", "Minor"});
+  Schema schema = builder.Build().value();
+  EXPECT_TRUE(ImplicationChecker::ImpliesCovering(
+                  schema, schema.FindClass("Person").value(),
+                  {schema.FindClass("Adult").value(),
+                   schema.FindClass("Minor").value()})
+                  .value());
+  // The individual coverers alone do not cover.
+  EXPECT_FALSE(ImplicationChecker::ImpliesCovering(
+                   schema, schema.FindClass("Person").value(),
+                   {schema.FindClass("Adult").value()})
+                   .value());
+}
+
+}  // namespace
+}  // namespace crsat

@@ -1,0 +1,143 @@
+#include "src/lp/linear_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lp/linear_system.h"
+
+namespace crsat {
+namespace {
+
+TEST(LinearExprTest, DefaultIsZero) {
+  LinearExpr expr;
+  EXPECT_TRUE(expr.IsZero());
+  EXPECT_EQ(expr.ToString(), "0");
+  EXPECT_EQ(expr.Evaluate({}), Rational(0));
+}
+
+TEST(LinearExprTest, TermsAccumulateAndCancel) {
+  LinearExpr expr;
+  expr.AddTerm(0, Rational(2));
+  expr.AddTerm(0, Rational(3));
+  EXPECT_EQ(expr.CoefficientOf(0), Rational(5));
+  expr.AddTerm(0, Rational(-5));
+  EXPECT_EQ(expr.CoefficientOf(0), Rational(0));
+  EXPECT_TRUE(expr.IsZero());
+  EXPECT_TRUE(expr.terms().empty());
+}
+
+TEST(LinearExprTest, ZeroCoefficientIsDropped) {
+  LinearExpr expr;
+  expr.AddTerm(3, Rational(0));
+  EXPECT_TRUE(expr.terms().empty());
+}
+
+TEST(LinearExprTest, AdditionMergesTerms) {
+  LinearExpr a = LinearExpr::Term(0, Rational(1));
+  a.AddTerm(1, Rational(2));
+  LinearExpr b = LinearExpr::Term(1, Rational(-2));
+  b.AddTerm(2, Rational(4));
+  b.AddConstant(Rational(7));
+  LinearExpr sum = a + b;
+  EXPECT_EQ(sum.CoefficientOf(0), Rational(1));
+  EXPECT_EQ(sum.CoefficientOf(1), Rational(0));
+  EXPECT_EQ(sum.CoefficientOf(2), Rational(4));
+  EXPECT_EQ(sum.constant(), Rational(7));
+}
+
+TEST(LinearExprTest, ScalarMultiplication) {
+  LinearExpr expr = LinearExpr::Term(0, Rational(3));
+  expr.AddConstant(Rational(5));
+  LinearExpr scaled = expr * Rational(1, 3);
+  EXPECT_EQ(scaled.CoefficientOf(0), Rational(1));
+  EXPECT_EQ(scaled.constant(), Rational(5, 3));
+  LinearExpr zeroed = expr * Rational(0);
+  EXPECT_TRUE(zeroed.IsZero());
+}
+
+TEST(LinearExprTest, NegationFlipsEverything) {
+  LinearExpr expr = LinearExpr::Term(1, Rational(2));
+  expr.AddConstant(Rational(-3));
+  LinearExpr negated = -expr;
+  EXPECT_EQ(negated.CoefficientOf(1), Rational(-2));
+  EXPECT_EQ(negated.constant(), Rational(3));
+  EXPECT_TRUE((expr + negated).IsZero());
+}
+
+TEST(LinearExprTest, EvaluateUsesAssignment) {
+  LinearExpr expr = LinearExpr::Term(0, Rational(2));
+  expr.AddTerm(2, Rational(-1));
+  expr.AddConstant(Rational(10));
+  std::vector<Rational> values = {Rational(3), Rational(99), Rational(4)};
+  EXPECT_EQ(expr.Evaluate(values), Rational(12));  // 6 - 4 + 10.
+}
+
+TEST(LinearExprTest, EvaluateTreatsMissingVariablesAsZero) {
+  LinearExpr expr = LinearExpr::Term(5, Rational(2));
+  expr.AddConstant(Rational(1));
+  EXPECT_EQ(expr.Evaluate({Rational(7)}), Rational(1));
+}
+
+TEST(LinearExprTest, ToStringFormatsSignsAndCoefficients) {
+  LinearExpr expr = LinearExpr::Term(0, Rational(2));
+  expr.AddTerm(1, Rational(-1));
+  expr.AddConstant(Rational(3));
+  EXPECT_EQ(expr.ToString(), "2*x0 - x1 + 3");
+  LinearExpr negative_lead = LinearExpr::Term(0, Rational(-1));
+  EXPECT_EQ(negative_lead.ToString(), "-x0");
+  EXPECT_EQ(LinearExpr(Rational(-4)).ToString(), "-4");
+}
+
+TEST(LinearSystemTest, VariableBookkeeping) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  VarId y = system.AddVariable("y", /*nonnegative=*/false);
+  EXPECT_EQ(system.num_variables(), 2);
+  EXPECT_EQ(system.VariableName(x), "x");
+  EXPECT_TRUE(system.IsNonnegative(x));
+  EXPECT_FALSE(system.IsNonnegative(y));
+}
+
+TEST(LinearSystemTest, SatisfactionChecksAllConstraintsAndSigns) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  VarId y = system.AddVariable("y");
+  // x - y >= 0, x + y <= 0 written as -(x + y) >= 0 ... use AddLe.
+  LinearExpr diff = LinearExpr::Var(x);
+  diff.AddTerm(y, Rational(-1));
+  system.AddGe(diff);
+  LinearExpr total = LinearExpr::Var(x);
+  total.AddTerm(y, Rational(1));
+  total.AddConstant(Rational(-10));
+  system.AddLe(total);  // x + y <= 10.
+  EXPECT_TRUE(system.IsSatisfiedBy({Rational(5), Rational(5)}));
+  EXPECT_TRUE(system.IsSatisfiedBy({Rational(6), Rational(4)}));
+  EXPECT_FALSE(system.IsSatisfiedBy({Rational(4), Rational(6)}));
+  EXPECT_FALSE(system.IsSatisfiedBy({Rational(6), Rational(5)}));
+  EXPECT_FALSE(system.IsSatisfiedBy({Rational(-1), Rational(-2)}));
+}
+
+TEST(LinearSystemTest, HomogeneityAndStrictnessPredicates) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  system.AddGe(LinearExpr::Var(x));
+  EXPECT_TRUE(system.IsHomogeneous());
+  EXPECT_FALSE(system.HasStrictConstraints());
+  system.AddGt(LinearExpr::Var(x));
+  EXPECT_TRUE(system.HasStrictConstraints());
+  LinearExpr with_constant = LinearExpr::Var(x);
+  with_constant.AddConstant(Rational(-1));
+  system.AddGe(with_constant);
+  EXPECT_FALSE(system.IsHomogeneous());
+}
+
+TEST(LinearSystemTest, ConstraintToString) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  LinearExpr expr = LinearExpr::Term(x, Rational(2));
+  expr.AddConstant(Rational(-1));
+  system.AddEq(expr);
+  EXPECT_EQ(system.constraints()[0].ToString(), "2*x0 - 1 == 0");
+}
+
+}  // namespace
+}  // namespace crsat

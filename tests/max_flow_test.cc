@@ -1,0 +1,110 @@
+#include "src/flow/max_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace crsat {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlowGraph graph(2);
+  int edge = graph.AddEdge(0, 1, 5);
+  EXPECT_EQ(graph.Solve(0, 1).value(), 5);
+  EXPECT_EQ(graph.EdgeFlow(edge), 5);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  MaxFlowGraph graph(3);
+  graph.AddEdge(0, 1, 10);
+  graph.AddEdge(1, 2, 3);
+  EXPECT_EQ(graph.Solve(0, 2).value(), 3);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlowGraph graph(4);
+  graph.AddEdge(0, 1, 3);
+  graph.AddEdge(1, 3, 3);
+  graph.AddEdge(0, 2, 4);
+  graph.AddEdge(2, 3, 4);
+  EXPECT_EQ(graph.Solve(0, 3).value(), 7);
+}
+
+TEST(MaxFlowTest, ClassicCLRSNetwork) {
+  // CLRS figure 26.1; max flow 23.
+  MaxFlowGraph graph(6);
+  graph.AddEdge(0, 1, 16);
+  graph.AddEdge(0, 2, 13);
+  graph.AddEdge(1, 2, 10);
+  graph.AddEdge(2, 1, 4);
+  graph.AddEdge(1, 3, 12);
+  graph.AddEdge(3, 2, 9);
+  graph.AddEdge(2, 4, 14);
+  graph.AddEdge(4, 3, 7);
+  graph.AddEdge(3, 5, 20);
+  graph.AddEdge(4, 5, 4);
+  EXPECT_EQ(graph.Solve(0, 5).value(), 23);
+}
+
+TEST(MaxFlowTest, DisconnectedSinkGivesZero) {
+  MaxFlowGraph graph(4);
+  graph.AddEdge(0, 1, 5);
+  // Node 3 unreachable.
+  EXPECT_EQ(graph.Solve(0, 3).value(), 0);
+}
+
+TEST(MaxFlowTest, ZeroCapacityEdgeCarriesNothing) {
+  MaxFlowGraph graph(2);
+  int edge = graph.AddEdge(0, 1, 0);
+  EXPECT_EQ(graph.Solve(0, 1).value(), 0);
+  EXPECT_EQ(graph.EdgeFlow(edge), 0);
+}
+
+TEST(MaxFlowTest, FlowConservationOnEdges) {
+  MaxFlowGraph graph(5);
+  int a = graph.AddEdge(0, 1, 4);
+  int b = graph.AddEdge(0, 2, 2);
+  int c = graph.AddEdge(1, 3, 3);
+  int d = graph.AddEdge(2, 3, 3);
+  int e = graph.AddEdge(3, 4, 5);
+  EXPECT_EQ(graph.Solve(0, 4).value(), 5);
+  // Conservation at node 3: inflow == outflow.
+  EXPECT_EQ(graph.EdgeFlow(c) + graph.EdgeFlow(d), graph.EdgeFlow(e));
+  EXPECT_EQ(graph.EdgeFlow(a) + graph.EdgeFlow(b), 5);
+  EXPECT_LE(graph.EdgeFlow(a), 4);
+  EXPECT_LE(graph.EdgeFlow(b), 2);
+}
+
+TEST(MaxFlowTest, BipartiteDegreeConstrainedAssignment) {
+  // The model-builder shape: 3 tuple groups x 2 values with quotas.
+  // Groups sizes {2,1,1}, values quotas {2,2}: perfect routing of 4 units.
+  MaxFlowGraph graph(7);  // 0=src, 1=sink, 2..4 groups, 5..6 values.
+  graph.AddEdge(0, 2, 2);
+  graph.AddEdge(0, 3, 1);
+  graph.AddEdge(0, 4, 1);
+  graph.AddEdge(5, 1, 2);
+  graph.AddEdge(6, 1, 2);
+  for (int g = 2; g <= 4; ++g) {
+    for (int v = 5; v <= 6; ++v) {
+      graph.AddEdge(g, v, 1);  // Congestion cap 1.
+    }
+  }
+  EXPECT_EQ(graph.Solve(0, 1).value(), 4);
+}
+
+TEST(MaxFlowTest, InvalidArgumentsRejected) {
+  MaxFlowGraph graph(3);
+  graph.AddEdge(0, 1, 1);
+  EXPECT_FALSE(graph.Solve(0, 0).ok());
+  EXPECT_FALSE(graph.Solve(-1, 2).ok());
+  EXPECT_FALSE(graph.Solve(0, 3).ok());
+}
+
+TEST(MaxFlowTest, ReusableAfterSolveOnResidualState) {
+  // Solving twice returns 0 more flow the second time (residual saturated).
+  MaxFlowGraph graph(2);
+  graph.AddEdge(0, 1, 5);
+  EXPECT_EQ(graph.Solve(0, 1).value(), 5);
+  EXPECT_EQ(graph.Solve(0, 1).value(), 0);
+}
+
+}  // namespace
+}  // namespace crsat

@@ -1,0 +1,236 @@
+#include "src/cr/model_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cr/interpretation.h"
+#include "tests/test_schemas.h"
+
+namespace crsat {
+namespace {
+
+using crsat::testing::MeetingSchema;
+
+// Builds the paper's Figure 6 model: John and Mary are speakers and
+// discussants; John holds talkJ, Mary holds talkM; John participates in
+// talkM and Mary in talkJ.
+Interpretation Figure6Model(const Schema& schema) {
+  Interpretation interpretation(schema);
+  Individual john = interpretation.AddIndividual("John");
+  Individual mary = interpretation.AddIndividual("Mary");
+  Individual talk_j = interpretation.AddIndividual("talkJ");
+  Individual talk_m = interpretation.AddIndividual("talkM");
+  ClassId speaker = schema.FindClass("Speaker").value();
+  ClassId discussant = schema.FindClass("Discussant").value();
+  ClassId talk = schema.FindClass("Talk").value();
+  EXPECT_TRUE(interpretation.AddToClass(speaker, john).ok());
+  EXPECT_TRUE(interpretation.AddToClass(speaker, mary).ok());
+  EXPECT_TRUE(interpretation.AddToClass(discussant, john).ok());
+  EXPECT_TRUE(interpretation.AddToClass(discussant, mary).ok());
+  EXPECT_TRUE(interpretation.AddToClass(talk, talk_j).ok());
+  EXPECT_TRUE(interpretation.AddToClass(talk, talk_m).ok());
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RelationshipId participates =
+      schema.FindRelationship("Participates").value();
+  EXPECT_TRUE(interpretation.AddTuple(holds, {john, talk_j}).ok());
+  EXPECT_TRUE(interpretation.AddTuple(holds, {mary, talk_m}).ok());
+  EXPECT_TRUE(interpretation.AddTuple(participates, {john, talk_m}).ok());
+  EXPECT_TRUE(interpretation.AddTuple(participates, {mary, talk_j}).ok());
+  return interpretation;
+}
+
+TEST(ModelCheckerTest, Figure6ModelIsAModel) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation = Figure6Model(schema);
+  std::vector<std::string> violations =
+      ModelChecker::Violations(schema, interpretation);
+  EXPECT_TRUE(violations.empty())
+      << "unexpected violations, first: " << violations.front();
+  EXPECT_TRUE(ModelChecker::IsModel(schema, interpretation));
+}
+
+TEST(ModelCheckerTest, EmptyInterpretationIsAlwaysAModel) {
+  // Section 3: "every schema is satisfied by the empty interpretation".
+  Schema schema = MeetingSchema();
+  Interpretation empty(schema);
+  EXPECT_TRUE(ModelChecker::IsModel(schema, empty));
+}
+
+TEST(ModelCheckerTest, DetectsIsaViolation) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  Individual d = interpretation.AddIndividual();
+  ClassId discussant = schema.FindClass("Discussant").value();
+  // Discussant instance not added to Speaker; also violates the
+  // Participates minc, but the ISA violation must be reported.
+  ASSERT_TRUE(interpretation.AddToClass(discussant, d).ok());
+  std::vector<std::string> violations =
+      ModelChecker::Violations(schema, interpretation);
+  bool found_isa = false;
+  for (const std::string& violation : violations) {
+    if (violation.find("(A) ISA violated") != std::string::npos) {
+      found_isa = true;
+    }
+  }
+  EXPECT_TRUE(found_isa);
+}
+
+TEST(ModelCheckerTest, DetectsTypingViolation) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation = Figure6Model(schema);
+  // A tuple whose U1 component is a talk, not a speaker.
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  Individual talk_j = 2;  // From Figure6Model's creation order.
+  ASSERT_TRUE(interpretation.AddTuple(holds, {talk_j, talk_j}).ok());
+  std::vector<std::string> violations =
+      ModelChecker::Violations(schema, interpretation);
+  bool found_typing = false;
+  for (const std::string& violation : violations) {
+    if (violation.find("(B) typing violated") != std::string::npos) {
+      found_typing = true;
+    }
+  }
+  EXPECT_TRUE(found_typing);
+}
+
+TEST(ModelCheckerTest, DetectsMaxCardinalityViolationViaRefinement) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  Individual d = interpretation.AddIndividual("d");
+  std::vector<Individual> talks;
+  ClassId speaker = schema.FindClass("Speaker").value();
+  ClassId discussant = schema.FindClass("Discussant").value();
+  ClassId talk = schema.FindClass("Talk").value();
+  ASSERT_TRUE(interpretation.AddToClass(speaker, d).ok());
+  ASSERT_TRUE(interpretation.AddToClass(discussant, d).ok());
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RelationshipId participates =
+      schema.FindRelationship("Participates").value();
+  // d (a discussant) holds three talks: violates maxc(Discussant,Holds,U1)=2
+  // even though Speaker alone allows it.
+  for (int i = 0; i < 3; ++i) {
+    Individual t = interpretation.AddIndividual();
+    talks.push_back(t);
+    ASSERT_TRUE(interpretation.AddToClass(talk, t).ok());
+    ASSERT_TRUE(interpretation.AddTuple(holds, {d, t}).ok());
+  }
+  ASSERT_TRUE(interpretation.AddTuple(participates, {d, talks[0]}).ok());
+  std::vector<std::string> violations =
+      ModelChecker::Violations(schema, interpretation);
+  bool found_refinement = false;
+  for (const std::string& violation : violations) {
+    if (violation.find("(C) cardinality violated") != std::string::npos &&
+        violation.find("Discussant") != std::string::npos &&
+        violation.find("Holds") != std::string::npos) {
+      found_refinement = true;
+    }
+  }
+  EXPECT_TRUE(found_refinement);
+}
+
+TEST(ModelCheckerTest, DetectsMinCardinalityViolation) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  ClassId talk = schema.FindClass("Talk").value();
+  Individual t = interpretation.AddIndividual();
+  ASSERT_TRUE(interpretation.AddToClass(talk, t).ok());  // Unheld talk.
+  std::vector<std::string> violations =
+      ModelChecker::Violations(schema, interpretation);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ModelCheckerTest, DetectsDisjointnessViolation) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddRelationship("R", {{"U", "A"}, {"V", "B"}});
+  builder.AddDisjointness({"A", "B"});
+  Schema schema = builder.Build().value();
+  Interpretation interpretation(schema);
+  Individual x = interpretation.AddIndividual();
+  ASSERT_TRUE(
+      interpretation.AddToClass(schema.FindClass("A").value(), x).ok());
+  ASSERT_TRUE(
+      interpretation.AddToClass(schema.FindClass("B").value(), x).ok());
+  std::vector<std::string> violations =
+      ModelChecker::Violations(schema, interpretation);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("disjointness violated"), std::string::npos);
+}
+
+TEST(ModelCheckerTest, DetectsCoveringViolation) {
+  SchemaBuilder builder;
+  builder.AddClass("Person");
+  builder.AddClass("Adult");
+  builder.AddIsa("Adult", "Person");
+  builder.AddRelationship("R", {{"U", "Person"}, {"V", "Person"}});
+  builder.AddCovering("Person", {"Adult"});
+  Schema schema = builder.Build().value();
+  Interpretation interpretation(schema);
+  Individual x = interpretation.AddIndividual();
+  ASSERT_TRUE(
+      interpretation.AddToClass(schema.FindClass("Person").value(), x).ok());
+  std::vector<std::string> violations =
+      ModelChecker::Violations(schema, interpretation);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("covering violated"), std::string::npos);
+}
+
+TEST(InterpretationTest, DuplicateTupleRejected) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  Individual a = interpretation.AddIndividual();
+  Individual b = interpretation.AddIndividual();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  ASSERT_TRUE(interpretation.AddTuple(holds, {a, b}).ok());
+  Status status = interpretation.AddTuple(holds, {a, b});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InterpretationTest, ArityMismatchRejected) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  Individual a = interpretation.AddIndividual();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  EXPECT_FALSE(interpretation.AddTuple(holds, {a}).ok());
+  EXPECT_FALSE(interpretation.AddTuple(holds, {a, a, a}).ok());
+}
+
+TEST(InterpretationTest, OutOfRangeArgumentsRejected) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  ClassId speaker = schema.FindClass("Speaker").value();
+  EXPECT_FALSE(interpretation.AddToClass(speaker, 0).ok());  // No individuals.
+  Individual a = interpretation.AddIndividual();
+  EXPECT_FALSE(interpretation.AddToClass(ClassId(99), a).ok());
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  EXPECT_FALSE(interpretation.AddTuple(holds, {a, 7}).ok());
+}
+
+TEST(InterpretationTest, CountTuplesAt) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  Individual s = interpretation.AddIndividual();
+  Individual t1 = interpretation.AddIndividual();
+  Individual t2 = interpretation.AddIndividual();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  ASSERT_TRUE(interpretation.AddTuple(holds, {s, t1}).ok());
+  ASSERT_TRUE(interpretation.AddTuple(holds, {s, t2}).ok());
+  EXPECT_EQ(interpretation.CountTuplesAt(holds, 0, s), 2u);
+  EXPECT_EQ(interpretation.CountTuplesAt(holds, 1, t1), 1u);
+  EXPECT_EQ(interpretation.CountTuplesAt(holds, 1, s), 0u);
+}
+
+TEST(InterpretationTest, ToStringRendersExtensions) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  Individual john = interpretation.AddIndividual("John");
+  ClassId speaker = schema.FindClass("Speaker").value();
+  ASSERT_TRUE(interpretation.AddToClass(speaker, john).ok());
+  std::string text = interpretation.ToString();
+  EXPECT_NE(text.find("Speaker = {John}"), std::string::npos);
+  EXPECT_NE(text.find("Holds = {}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crsat

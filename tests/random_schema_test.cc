@@ -1,0 +1,109 @@
+#include "src/generator/random_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cr/schema_text.h"
+
+namespace crsat {
+namespace {
+
+TEST(RandomSchemaTest, DefaultParamsProduceWellFormedSchema) {
+  Schema schema = GenerateRandomSchema(RandomSchemaParams{}).value();
+  EXPECT_EQ(schema.num_classes(), 6);
+  EXPECT_EQ(schema.num_relationships(), 3);
+  for (RelationshipId rel : schema.AllRelationships()) {
+    EXPECT_GE(schema.RolesOf(rel).size(), 2u);
+  }
+}
+
+TEST(RandomSchemaTest, DeterministicInSeed) {
+  RandomSchemaParams params;
+  params.seed = 42;
+  Schema a = GenerateRandomSchema(params).value();
+  Schema b = GenerateRandomSchema(params).value();
+  EXPECT_EQ(SchemaToText(a, "X"), SchemaToText(b, "X"));
+  params.seed = 43;
+  Schema c = GenerateRandomSchema(params).value();
+  EXPECT_NE(SchemaToText(a, "X"), SchemaToText(c, "X"));
+}
+
+TEST(RandomSchemaTest, IsaEdgesAreAcyclic) {
+  RandomSchemaParams params;
+  params.seed = 7;
+  params.num_classes = 10;
+  params.isa_density = 0.5;
+  Schema schema = GenerateRandomSchema(params).value();
+  for (const IsaStatement& isa : schema.isa_statements()) {
+    EXPECT_LT(isa.subclass.value, isa.superclass.value);
+  }
+}
+
+TEST(RandomSchemaTest, RefinementsTargetGenuineSubclasses) {
+  RandomSchemaParams params;
+  params.seed = 13;
+  params.num_classes = 8;
+  params.isa_density = 0.4;
+  params.refinement_probability = 1.0;
+  Schema schema = GenerateRandomSchema(params).value();
+  for (const CardinalityDeclaration& decl :
+       schema.cardinality_declarations()) {
+    EXPECT_TRUE(schema.IsSubclassOf(decl.cls, schema.PrimaryClass(decl.role)));
+  }
+}
+
+TEST(RandomSchemaTest, ArityRangeRespected) {
+  RandomSchemaParams params;
+  params.seed = 3;
+  params.min_arity = 3;
+  params.max_arity = 4;
+  Schema schema = GenerateRandomSchema(params).value();
+  for (RelationshipId rel : schema.AllRelationships()) {
+    EXPECT_GE(schema.RolesOf(rel).size(), 3u);
+    EXPECT_LE(schema.RolesOf(rel).size(), 4u);
+  }
+}
+
+TEST(RandomSchemaTest, DisjointnessGroupsGenerated) {
+  RandomSchemaParams params;
+  params.seed = 5;
+  params.num_classes = 8;
+  params.isa_density = 0.0;
+  params.num_disjointness_groups = 3;
+  params.disjointness_group_size = 3;
+  Schema schema = GenerateRandomSchema(params).value();
+  EXPECT_EQ(schema.disjointness_constraints().size(), 3u);
+  for (const DisjointnessConstraint& group :
+       schema.disjointness_constraints()) {
+    EXPECT_EQ(group.classes.size(), 3u);
+  }
+}
+
+TEST(RandomSchemaTest, InvalidParamsRejected) {
+  RandomSchemaParams no_classes;
+  no_classes.num_classes = 0;
+  EXPECT_FALSE(GenerateRandomSchema(no_classes).ok());
+  RandomSchemaParams bad_arity;
+  bad_arity.min_arity = 1;
+  EXPECT_FALSE(GenerateRandomSchema(bad_arity).ok());
+  RandomSchemaParams inverted_arity;
+  inverted_arity.min_arity = 3;
+  inverted_arity.max_arity = 2;
+  EXPECT_FALSE(GenerateRandomSchema(inverted_arity).ok());
+}
+
+TEST(RandomSchemaTest, ManySeedsAllBuild) {
+  for (std::uint32_t seed = 0; seed < 50; ++seed) {
+    RandomSchemaParams params;
+    params.seed = seed;
+    params.num_classes = 5;
+    params.num_relationships = 4;
+    params.isa_density = 0.3;
+    params.refinement_probability = 0.5;
+    Result<Schema> schema = GenerateRandomSchema(params);
+    EXPECT_TRUE(schema.ok()) << "seed " << seed << ": "
+                             << schema.status().message();
+  }
+}
+
+}  // namespace
+}  // namespace crsat

@@ -1,0 +1,124 @@
+#include "src/math/rational.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace crsat {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_TRUE(zero.IsInteger());
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, NormalizesSignIntoNumerator) {
+  Rational value(BigInt(1), BigInt(-2));
+  EXPECT_EQ(value.ToString(), "-1/2");
+  EXPECT_TRUE(value.IsNegative());
+  EXPECT_TRUE(value.denominator().IsPositive());
+  Rational both_negative(BigInt(-1), BigInt(-2));
+  EXPECT_EQ(both_negative.ToString(), "1/2");
+}
+
+TEST(RationalTest, ReducesToLowestTerms) {
+  EXPECT_EQ(Rational(6, 4).ToString(), "3/2");
+  EXPECT_EQ(Rational(4, 2).ToString(), "2");
+  EXPECT_EQ(Rational(0, 17).ToString(), "0");
+  EXPECT_EQ(Rational(0, 17).denominator(), BigInt(1));
+  EXPECT_EQ(Rational(-10, 5).ToString(), "-2");
+}
+
+TEST(RationalTest, FromStringParsesBothForms) {
+  EXPECT_EQ(Rational::FromString("5").value(), Rational(5));
+  EXPECT_EQ(Rational::FromString("-5").value(), Rational(-5));
+  EXPECT_EQ(Rational::FromString("1/3").value(), Rational(1, 3));
+  EXPECT_EQ(Rational::FromString("-2/6").value(), Rational(-1, 3));
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("").ok());
+  EXPECT_FALSE(Rational::FromString("a/b").ok());
+}
+
+TEST(RationalTest, ArithmeticBasics) {
+  Rational half(1, 2);
+  Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(RationalTest, CompoundAssignment) {
+  Rational value(1, 2);
+  value += Rational(1, 3);
+  EXPECT_EQ(value, Rational(5, 6));
+  value -= Rational(1, 6);
+  EXPECT_EQ(value, Rational(2, 3));
+  value *= Rational(3, 2);
+  EXPECT_EQ(value, Rational(1));
+  value /= Rational(4);
+  EXPECT_EQ(value, Rational(1, 4));
+}
+
+TEST(RationalTest, ComparisonUsesCrossMultiplication) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1, 2), Rational(1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(RationalTest, FloorAndCeil) {
+  EXPECT_EQ(Rational(7, 2).Floor(), BigInt(3));
+  EXPECT_EQ(Rational(7, 2).Ceil(), BigInt(4));
+  EXPECT_EQ(Rational(-7, 2).Floor(), BigInt(-4));
+  EXPECT_EQ(Rational(-7, 2).Ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(4).Floor(), BigInt(4));
+  EXPECT_EQ(Rational(4).Ceil(), BigInt(4));
+  EXPECT_EQ(Rational(0).Floor(), BigInt(0));
+  EXPECT_EQ(Rational(-4).Floor(), BigInt(-4));
+}
+
+TEST(RationalTest, SignPredicates) {
+  EXPECT_TRUE(Rational(1, 7).IsPositive());
+  EXPECT_TRUE(Rational(-1, 7).IsNegative());
+  EXPECT_FALSE(Rational(0).IsPositive());
+  EXPECT_FALSE(Rational(0).IsNegative());
+  EXPECT_EQ(Rational(-3, 4).sign(), -1);
+  EXPECT_EQ(Rational(3, 4).sign(), 1);
+  EXPECT_EQ(Rational().sign(), 0);
+}
+
+TEST(RationalTest, FieldAxiomsOnRandomValues) {
+  std::mt19937 rng(5);
+  auto random_rational = [&rng]() {
+    std::int64_t numerator =
+        static_cast<std::int64_t>(rng() % 2001) - 1000;
+    std::int64_t denominator = static_cast<std::int64_t>(rng() % 1000) + 1;
+    return Rational(numerator, denominator);
+  };
+  for (int i = 0; i < 500; ++i) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.IsZero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+    BigInt floor = a.Floor();
+    EXPECT_LE(Rational(floor), a);
+    EXPECT_LT(a, Rational(floor + BigInt(1)));
+  }
+}
+
+}  // namespace
+}  // namespace crsat

@@ -1,0 +1,279 @@
+#include "src/reasoner/satisfiability.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_schemas.h"
+
+namespace crsat {
+namespace {
+
+using crsat::testing::Figure1Schema;
+using crsat::testing::IsaFreeUnsatSchema;
+using crsat::testing::MeetingSchema;
+using crsat::testing::MeetingSchemaWithEagerDiscussants;
+
+TEST(SatisfiabilityTest, Figure1ClassesAreFinitelyUnsatisfiable) {
+  // The paper's Figure 1: ISA + cardinalities force both classes empty in
+  // every finite model.
+  Schema schema = Figure1Schema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  EXPECT_FALSE(
+      checker.IsClassSatisfiable(schema.FindClass("C").value()).value());
+  EXPECT_FALSE(
+      checker.IsClassSatisfiable(schema.FindClass("D").value()).value());
+}
+
+TEST(SatisfiabilityTest, Figure1WithoutIsaIsSatisfiable) {
+  // Dropping the ISA statement removes the interaction: now D can be twice
+  // as populous as C.
+  SchemaBuilder builder;
+  builder.AddClass("C");
+  builder.AddClass("D");
+  builder.AddRelationship("R", {{"V1", "C"}, {"V2", "D"}});
+  builder.SetCardinality("C", "R", "V1", {2, std::nullopt});
+  builder.SetCardinality("D", "R", "V2", {0, 1});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  EXPECT_TRUE(
+      checker.IsClassSatisfiable(schema.FindClass("C").value()).value());
+  EXPECT_TRUE(
+      checker.IsClassSatisfiable(schema.FindClass("D").value()).value());
+}
+
+TEST(SatisfiabilityTest, MeetingSchemaAllClassesSatisfiable) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  std::vector<bool> satisfiable = checker.SatisfiableClasses().value();
+  EXPECT_TRUE(satisfiable[schema.FindClass("Speaker").value().value]);
+  EXPECT_TRUE(satisfiable[schema.FindClass("Discussant").value().value]);
+  EXPECT_TRUE(satisfiable[schema.FindClass("Talk").value().value]);
+}
+
+TEST(SatisfiabilityTest, MeetingSupportShowsSpeakersMustBeDiscussants) {
+  // The schema forces #speakers == #discussants == #talks, so compound
+  // classes with Speaker but without Discussant are empty in every model
+  // (this is the support-level view of Figure 7's first inference).
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  AcceptableSupport support = checker.Support().value();
+  auto positive = [&](std::uint64_t mask) {
+    int index = expansion.ClassIndexOf(CompoundClass(mask));
+    EXPECT_GE(index, 0);
+    return static_cast<bool>(
+        support.positive[checker.cr_system().class_vars[index]]);
+  };
+  EXPECT_FALSE(positive(0b001));  // {S}: pure speakers impossible.
+  EXPECT_FALSE(positive(0b101));  // {S,T}: still lacks Discussant.
+  EXPECT_TRUE(positive(0b011));   // {S,D}.
+  EXPECT_TRUE(positive(0b100));   // {T}.
+}
+
+TEST(SatisfiabilityTest, Section33AdditionMakesEveryClassUnsatisfiable) {
+  // Adding minc(Discussant, Holds, U1) = 2 makes the system unsolvable
+  // (end of Section 3.3).
+  Schema schema = MeetingSchemaWithEagerDiscussants();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  std::vector<bool> satisfiable = checker.SatisfiableClasses().value();
+  EXPECT_FALSE(satisfiable[0]);
+  EXPECT_FALSE(satisfiable[1]);
+  EXPECT_FALSE(satisfiable[2]);
+}
+
+TEST(SatisfiabilityTest, WitnessIsAnAcceptableSolutionOfTheSystem) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  AcceptableSupport support = checker.Support().value();
+  const CrSystem& cr = checker.cr_system();
+  EXPECT_TRUE(cr.system.IsSatisfiedBy(support.witness));
+  // Acceptability: every relationship unknown with a zero component class
+  // unknown is itself zero.
+  for (const Dependency& dependency : checker.dependencies()) {
+    for (VarId source : dependency.depends_on) {
+      if (support.witness[source].IsZero()) {
+        EXPECT_TRUE(support.witness[dependency.dependent].IsZero());
+      }
+    }
+  }
+}
+
+TEST(SatisfiabilityTest, IntegerSolutionIsIntegralAndSatisfiesSystem) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  IntegerSolution solution = checker.AcceptableIntegerSolution().value();
+  ASSERT_EQ(solution.class_counts.size(), expansion.classes().size());
+  ASSERT_EQ(solution.rel_counts.size(), expansion.relationships().size());
+  std::vector<Rational> values;
+  for (const BigInt& count : solution.class_counts) {
+    EXPECT_FALSE(count.IsNegative());
+    values.push_back(Rational(count));
+  }
+  for (const BigInt& count : solution.rel_counts) {
+    EXPECT_FALSE(count.IsNegative());
+    values.push_back(Rational(count));
+  }
+  EXPECT_TRUE(checker.cr_system().system.IsSatisfiedBy(values));
+  // The support is realized: some compound class containing Speaker is
+  // populated.
+  ClassId speaker = schema.FindClass("Speaker").value();
+  bool speaker_populated = false;
+  for (int index : expansion.ClassIndicesContaining(speaker)) {
+    if (solution.class_counts[index].IsPositive()) {
+      speaker_populated = true;
+    }
+  }
+  EXPECT_TRUE(speaker_populated);
+}
+
+TEST(SatisfiabilityTest, TargetQueriesDistinguishCompoundTargets) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  int pure_speaker = expansion.ClassIndexOf(CompoundClass(0b001));
+  int speaker_discussant = expansion.ClassIndexOf(CompoundClass(0b011));
+  EXPECT_FALSE(checker.IsTargetSatisfiable({pure_speaker}).value());
+  EXPECT_TRUE(checker.IsTargetSatisfiable({speaker_discussant}).value());
+  EXPECT_TRUE(
+      checker.IsTargetSatisfiable({pure_speaker, speaker_discussant})
+          .value());
+  EXPECT_FALSE(checker.IsTargetSatisfiable({}).value());
+}
+
+TEST(SatisfiabilityTest, FixpointAgreesWithTheorem34EnumerationOnMeeting) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    std::vector<int> target = expansion.ClassIndicesContaining(ClassId(c));
+    bool fixpoint = checker.IsTargetSatisfiable(target).value();
+    bool enumerated = IsTargetSatisfiableByEnumeration(
+                          checker.cr_system(), checker.dependencies(), target)
+                          .value();
+    EXPECT_EQ(fixpoint, enumerated) << "class " << c;
+  }
+  // Also on single-compound-class targets.
+  for (int ci = 0; ci < static_cast<int>(expansion.classes().size()); ++ci) {
+    bool fixpoint = checker.IsTargetSatisfiable({ci}).value();
+    bool enumerated = IsTargetSatisfiableByEnumeration(
+                          checker.cr_system(), checker.dependencies(), {ci})
+                          .value();
+    EXPECT_EQ(fixpoint, enumerated) << "compound class " << ci;
+  }
+}
+
+TEST(SatisfiabilityTest, FixpointAgreesWithEnumerationOnFigure1) {
+  Schema schema = Figure1Schema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    std::vector<int> target = expansion.ClassIndicesContaining(ClassId(c));
+    bool fixpoint = checker.IsTargetSatisfiable(target).value();
+    bool enumerated = IsTargetSatisfiableByEnumeration(
+                          checker.cr_system(), checker.dependencies(), target)
+                          .value();
+    EXPECT_EQ(fixpoint, enumerated) << "class " << c;
+  }
+}
+
+TEST(SatisfiabilityTest, IsaFreeUnsatSchemaDetected) {
+  Schema schema = IsaFreeUnsatSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  EXPECT_FALSE(
+      checker.IsClassSatisfiable(schema.FindClass("A").value()).value());
+  EXPECT_FALSE(
+      checker.IsClassSatisfiable(schema.FindClass("B").value()).value());
+}
+
+TEST(SatisfiabilityTest, UnconstrainedSchemaFullySatisfiable) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddRelationship("R", {{"U", "A"}, {"V", "B"}});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  std::vector<bool> satisfiable = checker.SatisfiableClasses().value();
+  EXPECT_TRUE(satisfiable[0]);
+  EXPECT_TRUE(satisfiable[1]);
+}
+
+TEST(SatisfiabilityTest, DisjointnessCanForceUnsatisfiability) {
+  // B <= A, B <= C with A,C disjoint: B has no consistent compound class.
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddClass("C");
+  builder.AddIsa("B", "A");
+  builder.AddIsa("B", "C");
+  builder.AddDisjointness({"A", "C"});
+  builder.AddRelationship("R", {{"U", "A"}, {"V", "C"}});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  std::vector<bool> satisfiable = checker.SatisfiableClasses().value();
+  EXPECT_TRUE(satisfiable[schema.FindClass("A").value().value]);
+  EXPECT_FALSE(satisfiable[schema.FindClass("B").value().value]);
+  EXPECT_TRUE(satisfiable[schema.FindClass("C").value().value]);
+}
+
+TEST(SatisfiabilityTest, CoveringPropagatesCardinalityPressure) {
+  // Person covered by {Adult}; Adult's participation is capped at 1 while
+  // Person's is required >= 2: every Person is an Adult, so Person is
+  // unsatisfiable. Without the covering it would be satisfiable.
+  SchemaBuilder builder;
+  builder.AddClass("Person");
+  builder.AddClass("Adult");
+  builder.AddIsa("Adult", "Person");
+  builder.AddRelationship("R", {{"U", "Person"}, {"V", "Person"}});
+  builder.SetCardinality("Person", "R", "U", {2, std::nullopt});
+  builder.SetCardinality("Adult", "R", "U", {0, 1});
+  builder.AddCovering("Person", {"Adult"});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  EXPECT_FALSE(
+      checker.IsClassSatisfiable(schema.FindClass("Person").value()).value());
+
+  // Drop the covering: a plain Person can take 2 participations.
+  SchemaBuilder relaxed;
+  relaxed.AddClass("Person");
+  relaxed.AddClass("Adult");
+  relaxed.AddIsa("Adult", "Person");
+  relaxed.AddRelationship("R", {{"U", "Person"}, {"V", "Person"}});
+  relaxed.SetCardinality("Person", "R", "U", {2, std::nullopt});
+  relaxed.SetCardinality("Adult", "R", "U", {0, 1});
+  Schema relaxed_schema = relaxed.Build().value();
+  Expansion relaxed_expansion = Expansion::Build(relaxed_schema).value();
+  SatisfiabilityChecker relaxed_checker(relaxed_expansion);
+  EXPECT_TRUE(relaxed_checker
+                  .IsClassSatisfiable(relaxed_schema.FindClass("Person")
+                                          .value())
+                  .value());
+}
+
+TEST(SatisfiabilityTest, EnumerationCapRejectsLargeSystems) {
+  // 5 unconstrained classes yield 31 consistent compound classes, beyond
+  // the reference enumerator's 16-variable cap.
+  SchemaBuilder builder;
+  for (int i = 0; i < 5; ++i) {
+    builder.AddClass("K" + std::to_string(i));
+  }
+  builder.AddRelationship("R", {{"U", "K0"}, {"V", "K1"}});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  Result<bool> result = IsTargetSatisfiableByEnumeration(
+      checker.cr_system(), checker.dependencies(), {0});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace crsat

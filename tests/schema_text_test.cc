@@ -1,0 +1,147 @@
+#include "src/cr/schema_text.h"
+
+#include <gtest/gtest.h>
+
+namespace crsat {
+namespace {
+
+constexpr char kMeetingText[] = R"(
+// The paper's Figure 2/3 example.
+schema Meeting {
+  class Speaker, Discussant, Talk;
+  isa Discussant < Speaker;
+  relationship Holds(U1: Speaker, U2: Talk);
+  relationship Participates(U3: Discussant, U4: Talk);
+  card Speaker in Holds.U1 = (1, *);
+  card Discussant in Holds.U1 = (0, 2);   # refinement on the subclass
+  card Talk in Holds.U2 = (1, 1);
+  card Discussant in Participates.U3 = (1, 1);
+  card Talk in Participates.U4 = (1, *);
+}
+)";
+
+TEST(SchemaTextTest, ParsesMeetingSchema) {
+  NamedSchema parsed = ParseSchema(kMeetingText).value();
+  EXPECT_EQ(parsed.name, "Meeting");
+  const Schema& schema = parsed.schema;
+  EXPECT_EQ(schema.num_classes(), 3);
+  EXPECT_EQ(schema.num_relationships(), 2);
+  EXPECT_EQ(schema.isa_statements().size(), 1u);
+  EXPECT_EQ(schema.cardinality_declarations().size(), 5u);
+  ClassId speaker = schema.FindClass("Speaker").value();
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  RoleId u1 = schema.FindRole("U1").value();
+  Cardinality card = schema.GetCardinality(speaker, holds, u1);
+  EXPECT_EQ(card.min, 1u);
+  EXPECT_FALSE(card.max.has_value());
+}
+
+TEST(SchemaTextTest, ParsesExtensions) {
+  constexpr char kText[] = R"(
+schema Extended {
+  class A, B, C;
+  isa B < A;
+  relationship R(U: A, V: C);
+  disjoint A, C;
+  cover A by B;
+}
+)";
+  NamedSchema parsed = ParseSchema(kText).value();
+  EXPECT_EQ(parsed.schema.disjointness_constraints().size(), 1u);
+  EXPECT_EQ(parsed.schema.covering_constraints().size(), 1u);
+}
+
+TEST(SchemaTextTest, RoundTripsThroughPrinter) {
+  NamedSchema parsed = ParseSchema(kMeetingText).value();
+  std::string printed = SchemaToText(parsed.schema, parsed.name);
+  NamedSchema reparsed = ParseSchema(printed).value();
+  EXPECT_EQ(reparsed.name, "Meeting");
+  EXPECT_EQ(SchemaToText(reparsed.schema, reparsed.name), printed);
+}
+
+TEST(SchemaTextTest, ReportsLineAndColumnOnSyntaxError) {
+  constexpr char kBad[] = "schema X {\n  class A\n}\n";  // Missing ';'.
+  Result<NamedSchema> result = ParseSchema(kBad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(result.status().message().find("';'"), std::string::npos);
+}
+
+TEST(SchemaTextTest, RejectsUnknownKeyword) {
+  Result<NamedSchema> result =
+      ParseSchema("schema X { klass A; }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown declaration"),
+            std::string::npos);
+}
+
+TEST(SchemaTextTest, RejectsUnexpectedCharacter) {
+  Result<NamedSchema> result = ParseSchema("schema X @ {}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(SchemaTextTest, RejectsTrailingGarbage) {
+  Result<NamedSchema> result =
+      ParseSchema("schema X { class A, B; relationship R(U: A, V: B); } junk");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("end of input"),
+            std::string::npos);
+}
+
+TEST(SchemaTextTest, SemanticErrorsSurfaceBuilderMessages) {
+  // Syntactically fine, semantically bad: B refines a role of a class it
+  // is not a subclass of.
+  constexpr char kText[] = R"(
+schema X {
+  class A, B;
+  relationship R(U: A, V: A);
+  card B in R.U = (1, 1);
+}
+)";
+  Result<NamedSchema> result = ParseSchema(kText);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("subclass"), std::string::npos);
+}
+
+TEST(SchemaTextTest, NumberOverflowRejected) {
+  constexpr char kText[] = R"(
+schema X {
+  class A;
+  relationship R(U: A, V: A);
+  card A in R.U = (99999999999999999999999999, *);
+}
+)";
+  Result<NamedSchema> result = ParseSchema(kText);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(SchemaTextTest, CommentsAndWhitespaceIgnored) {
+  constexpr char kText[] =
+      "schema X {  // comment\n"
+      "  # another comment\n"
+      "  class A, B;\n"
+      "  relationship R(U: A, V: B); // trailing\n"
+      "}\n";
+  NamedSchema parsed = ParseSchema(kText).value();
+  EXPECT_EQ(parsed.schema.num_classes(), 2);
+}
+
+TEST(SchemaTextTest, InfinityOnlyInMaxPosition) {
+  Result<NamedSchema> result = ParseSchema(R"(
+schema X {
+  class A;
+  relationship R(U: A, V: A);
+  card A in R.U = (*, 1);
+}
+)");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace crsat

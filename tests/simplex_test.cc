@@ -1,0 +1,219 @@
+#include "src/lp/simplex.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/lp/fourier_motzkin.h"
+
+namespace crsat {
+namespace {
+
+// Helper: builds `sum coeff_i * x_i + constant`.
+LinearExpr Expr(std::vector<std::pair<VarId, std::int64_t>> terms,
+                std::int64_t constant = 0) {
+  LinearExpr expr;
+  for (const auto& [var, coeff] : terms) {
+    expr.AddTerm(var, Rational(coeff));
+  }
+  expr.AddConstant(Rational(constant));
+  return expr;
+}
+
+TEST(SimplexTest, EmptySystemIsFeasible) {
+  LinearSystem system;
+  LpResult result = SimplexSolver::CheckFeasibility(system).value();
+  EXPECT_EQ(result.outcome, LpOutcome::kOptimal);
+}
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0. Optimum at
+  // (8/5, 6/5) with value 14/5.
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  VarId y = system.AddVariable("y");
+  system.AddLe(Expr({{x, 1}, {y, 2}}, -4));
+  system.AddLe(Expr({{x, 3}, {y, 1}}, -6));
+  LpResult result =
+      SimplexSolver::Solve(system, Expr({{x, 1}, {y, 1}}), true).value();
+  ASSERT_EQ(result.outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result.objective, Rational(14, 5));
+  EXPECT_EQ(result.values[x], Rational(8, 5));
+  EXPECT_EQ(result.values[y], Rational(6, 5));
+}
+
+TEST(SimplexTest, SimpleMinimizationWithGeConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1, y >= 1. Optimum 2*3+3*1 = 9.
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  VarId y = system.AddVariable("y");
+  system.AddGe(Expr({{x, 1}, {y, 1}}, -4));
+  system.AddGe(Expr({{x, 1}}, -1));
+  system.AddGe(Expr({{y, 1}}, -1));
+  LpResult result =
+      SimplexSolver::Solve(system, Expr({{x, 2}, {y, 3}}), false).value();
+  ASSERT_EQ(result.outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result.objective, Rational(9));
+  EXPECT_EQ(result.values[x], Rational(3));
+  EXPECT_EQ(result.values[y], Rational(1));
+}
+
+TEST(SimplexTest, InfeasibleSystemDetected) {
+  // x >= 3 and x <= 1.
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  system.AddGe(Expr({{x, 1}}, -3));
+  system.AddLe(Expr({{x, 1}}, -1));
+  LpResult result = SimplexSolver::CheckFeasibility(system).value();
+  EXPECT_EQ(result.outcome, LpOutcome::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedObjectiveDetected) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  system.AddGe(Expr({{x, 1}}, -1));  // x >= 1.
+  LpResult result =
+      SimplexSolver::Solve(system, Expr({{x, 1}}), true).value();
+  EXPECT_EQ(result.outcome, LpOutcome::kUnbounded);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // x + y == 10, x - y == 4 -> x = 7, y = 3.
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  VarId y = system.AddVariable("y");
+  system.AddEq(Expr({{x, 1}, {y, 1}}, -10));
+  system.AddEq(Expr({{x, 1}, {y, -1}}, -4));
+  LpResult result = SimplexSolver::CheckFeasibility(system).value();
+  ASSERT_EQ(result.outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result.values[x], Rational(7));
+  EXPECT_EQ(result.values[y], Rational(3));
+}
+
+TEST(SimplexTest, EqualityRequiringNegativeValueIsInfeasibleForNonneg) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");  // Nonnegative.
+  system.AddEq(Expr({{x, 1}}, 5));    // x == -5.
+  LpResult result = SimplexSolver::CheckFeasibility(system).value();
+  EXPECT_EQ(result.outcome, LpOutcome::kInfeasible);
+}
+
+TEST(SimplexTest, FreeVariableCanGoNegative) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x", /*nonnegative=*/false);
+  system.AddEq(Expr({{x, 1}}, 5));  // x == -5.
+  LpResult result = SimplexSolver::CheckFeasibility(system).value();
+  ASSERT_EQ(result.outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result.values[x], Rational(-5));
+}
+
+TEST(SimplexTest, FreeVariableOptimization) {
+  // min x s.t. x >= -7, x free -> -7.
+  LinearSystem system;
+  VarId x = system.AddVariable("x", /*nonnegative=*/false);
+  system.AddGe(Expr({{x, 1}}, 7));
+  LpResult result =
+      SimplexSolver::Solve(system, Expr({{x, 1}}), false).value();
+  ASSERT_EQ(result.outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result.objective, Rational(-7));
+}
+
+TEST(SimplexTest, RedundantConstraintsHandled) {
+  // Duplicate and implied rows exercise the redundant-row elimination
+  // after phase 1 (equality rows made dependent on purpose).
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  VarId y = system.AddVariable("y");
+  system.AddEq(Expr({{x, 1}, {y, 1}}, -4));
+  system.AddEq(Expr({{x, 2}, {y, 2}}, -8));  // Same hyperplane.
+  system.AddLe(Expr({{x, 1}}, -4));
+  LpResult result =
+      SimplexSolver::Solve(system, Expr({{x, 1}}), true).value();
+  ASSERT_EQ(result.outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result.objective, Rational(4));
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Classic degenerate LP; Bland's rule must avoid cycling.
+  LinearSystem system;
+  VarId x1 = system.AddVariable("x1");
+  VarId x2 = system.AddVariable("x2");
+  VarId x3 = system.AddVariable("x3");
+  VarId x4 = system.AddVariable("x4");
+  system.AddLe(Expr({{x1, 1}, {x2, -2}, {x3, -1}, {x4, 2}}));
+  system.AddLe(Expr({{x1, 1}, {x2, -3}, {x3, -1}, {x4, 1}}));
+  system.AddLe(Expr({{x1, 1}}, -1));
+  LpResult result = SimplexSolver::Solve(
+                        system, Expr({{x1, 3}, {x2, -5}, {x3, -1}, {x4, 2}}),
+                        true)
+                        .value();
+  // Must terminate; objective value checked against FM feasibility below.
+  EXPECT_TRUE(result.outcome == LpOutcome::kOptimal ||
+              result.outcome == LpOutcome::kUnbounded);
+}
+
+TEST(SimplexTest, RejectsStrictConstraints) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  system.AddGt(Expr({{x, 1}}));
+  EXPECT_FALSE(SimplexSolver::CheckFeasibility(system).ok());
+}
+
+TEST(SimplexTest, FractionalDataStaysExact) {
+  // max x s.t. (1/3)x <= 1/7 -> x = 3/7 exactly.
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  LinearExpr expr = LinearExpr::Term(x, Rational(1, 3));
+  expr.AddConstant(Rational(-1, 7));
+  system.AddLe(expr);
+  LpResult result =
+      SimplexSolver::Solve(system, Expr({{x, 1}}), true).value();
+  ASSERT_EQ(result.outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result.objective, Rational(3, 7));
+}
+
+TEST(SimplexTest, SolutionSatisfiesSystemOnRandomInstances) {
+  std::mt19937 rng(99);
+  int feasible_count = 0;
+  for (int instance = 0; instance < 120; ++instance) {
+    LinearSystem system;
+    int num_vars = 2 + static_cast<int>(rng() % 3);
+    for (int v = 0; v < num_vars; ++v) {
+      system.AddVariable("x" + std::to_string(v), (rng() % 4) != 0);
+    }
+    int num_constraints = 1 + static_cast<int>(rng() % 5);
+    for (int c = 0; c < num_constraints; ++c) {
+      LinearExpr expr;
+      for (int v = 0; v < num_vars; ++v) {
+        expr.AddTerm(v, Rational(static_cast<std::int64_t>(rng() % 11) - 5));
+      }
+      expr.AddConstant(Rational(static_cast<std::int64_t>(rng() % 21) - 10));
+      switch (rng() % 3) {
+        case 0:
+          system.AddLe(expr);
+          break;
+        case 1:
+          system.AddGe(expr);
+          break;
+        default:
+          system.AddEq(expr);
+          break;
+      }
+    }
+    LpResult result = SimplexSolver::CheckFeasibility(system).value();
+    if (result.outcome == LpOutcome::kOptimal) {
+      ++feasible_count;
+      EXPECT_TRUE(system.IsSatisfiedBy(result.values))
+          << "instance " << instance;
+    }
+    // Cross-check the verdict with Fourier-Motzkin.
+    FmResult fm = FourierMotzkinSolver::Solve(system).value();
+    EXPECT_EQ(fm.feasible, result.outcome == LpOutcome::kOptimal)
+        << "instance " << instance;
+  }
+  EXPECT_GT(feasible_count, 0);  // The sweep covers both verdicts.
+  EXPECT_LT(feasible_count, 120);
+}
+
+}  // namespace
+}  // namespace crsat

@@ -1,0 +1,193 @@
+#include "src/cr/state_text.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cr/model_checker.h"
+#include "src/cr/schema_text.h"
+#include "tests/test_schemas.h"
+
+namespace crsat {
+namespace {
+
+using crsat::testing::MeetingSchema;
+
+constexpr char kFigure6State[] = R"(
+// The paper's Figure 6 database state.
+state Figure6 of Meeting {
+  individual John, Mary, talkJ, talkM;
+  class Speaker: John, Mary;
+  class Discussant: John, Mary;
+  class Talk: talkJ, talkM;
+  rel Holds: (John, talkJ), (Mary, talkM);
+  rel Participates: (John, talkM), (Mary, talkJ);
+}
+)";
+
+TEST(StateTextTest, ParsesFigure6State) {
+  Schema schema = MeetingSchema();
+  NamedState state = ParseState(kFigure6State, schema).value();
+  EXPECT_EQ(state.name, "Figure6");
+  EXPECT_EQ(state.schema_name, "Meeting");
+  EXPECT_EQ(state.interpretation.domain_size(), 4);
+  ClassId speaker = schema.FindClass("Speaker").value();
+  EXPECT_EQ(state.interpretation.ClassExtension(speaker).size(), 2u);
+  RelationshipId holds = schema.FindRelationship("Holds").value();
+  EXPECT_EQ(state.interpretation.RelationshipExtension(holds).size(), 2u);
+}
+
+TEST(StateTextTest, ParsedFigure6StateIsAModel) {
+  Schema schema = MeetingSchema();
+  NamedState state = ParseState(kFigure6State, schema).value();
+  EXPECT_TRUE(ModelChecker::IsModel(schema, state.interpretation));
+}
+
+TEST(StateTextTest, RoundTripsThroughPrinter) {
+  Schema schema = MeetingSchema();
+  NamedState state = ParseState(kFigure6State, schema).value();
+  std::string printed =
+      StateToText(state.interpretation, state.name, state.schema_name);
+  NamedState reparsed = ParseState(printed, schema).value();
+  EXPECT_EQ(StateToText(reparsed.interpretation, reparsed.name,
+                        reparsed.schema_name),
+            printed);
+}
+
+TEST(StateTextTest, UnknownIndividualRejected) {
+  Schema schema = MeetingSchema();
+  Result<NamedState> result = ParseState(R"(
+state X of Meeting {
+  class Speaker: Ghost;
+}
+)",
+                                         schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown individual"),
+            std::string::npos);
+}
+
+TEST(StateTextTest, UnknownClassRejected) {
+  Schema schema = MeetingSchema();
+  Result<NamedState> result = ParseState(R"(
+state X of Meeting {
+  individual a;
+  class Ghost: a;
+}
+)",
+                                         schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown class"),
+            std::string::npos);
+}
+
+TEST(StateTextTest, ArityMismatchRejected) {
+  Schema schema = MeetingSchema();
+  Result<NamedState> result = ParseState(R"(
+state X of Meeting {
+  individual a, b, c;
+  rel Holds: (a, b, c);
+}
+)",
+                                         schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("arity"), std::string::npos);
+}
+
+TEST(StateTextTest, DuplicateTupleRejected) {
+  Schema schema = MeetingSchema();
+  Result<NamedState> result = ParseState(R"(
+state X of Meeting {
+  individual a, b;
+  rel Holds: (a, b), (a, b);
+}
+)",
+                                         schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(StateTextTest, DuplicateIndividualRejected) {
+  Schema schema = MeetingSchema();
+  Result<NamedState> result = ParseState(R"(
+state X of Meeting {
+  individual a, a;
+}
+)",
+                                         schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate individual"),
+            std::string::npos);
+}
+
+TEST(StateTextTest, NonModelStatesParseButFailTheChecker) {
+  // Parsing is syntactic; semantics are the checker's job.
+  Schema schema = MeetingSchema();
+  NamedState state = ParseState(R"(
+state Broken of Meeting {
+  individual lonelyTalk;
+  class Talk: lonelyTalk;   // Unheld talk: violates minc(Talk,Holds,U2)=1.
+}
+)",
+                                schema)
+                         .value();
+  EXPECT_FALSE(ModelChecker::IsModel(schema, state.interpretation));
+}
+
+TEST(StateTextTest, MissingCommasRejected) {
+  Schema schema = MeetingSchema();
+  EXPECT_FALSE(ParseState(R"(
+state X of Meeting {
+  individual a, b;
+  rel Holds: (a b);
+}
+)",
+                          schema)
+                   .ok());
+  EXPECT_FALSE(ParseState(R"(
+state X of Meeting {
+  individual a, b;
+  class Speaker: a b;
+}
+)",
+                          schema)
+                   .ok());
+}
+
+TEST(StateTextTest, EmptyStateParses) {
+  Schema schema = MeetingSchema();
+  NamedState state = ParseState("state Empty of Meeting {}", schema).value();
+  EXPECT_EQ(state.interpretation.domain_size(), 0);
+  EXPECT_TRUE(ModelChecker::IsModel(schema, state.interpretation));
+}
+
+TEST(SchemaDotTest, DotOutputContainsDiagramElements) {
+  Schema schema = MeetingSchema();
+  std::string dot = SchemaToDot(schema, "Meeting");
+  EXPECT_NE(dot.find("digraph \"Meeting\""), std::string::npos);
+  EXPECT_NE(dot.find("\"Speaker\" [shape=box]"), std::string::npos);
+  EXPECT_NE(dot.find("\"Holds\" [shape=diamond]"), std::string::npos);
+  // ISA arrow.
+  EXPECT_NE(dot.find("\"Discussant\" -> \"Speaker\""), std::string::npos);
+  // Role edge with cardinality label.
+  EXPECT_NE(dot.find("U1 (1, *)"), std::string::npos);
+  // Refinement rendered dashed (the paper's Discussant--Holds edge).
+  EXPECT_NE(dot.find("style=dashed, label=\"U1 (0, 2)\""),
+            std::string::npos);
+}
+
+TEST(SchemaDotTest, DotOutputRendersExtensions) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddClass("C");
+  builder.AddIsa("B", "A");
+  builder.AddRelationship("R", {{"U", "A"}, {"V", "C"}});
+  builder.AddDisjointness({"A", "C"});
+  builder.AddCovering("A", {"B"});
+  Schema schema = builder.Build().value();
+  std::string dot = SchemaToDot(schema, "X");
+  EXPECT_NE(dot.find("__disjoint0"), std::string::npos);
+  EXPECT_NE(dot.find("__cover1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crsat

@@ -1,0 +1,122 @@
+#include "src/reasoner/system_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_schemas.h"
+
+namespace crsat {
+namespace {
+
+using crsat::testing::Figure1Schema;
+using crsat::testing::MeetingSchema;
+
+TEST(SystemBuilderTest, MeetingSystemShape) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  CrSystem cr = SystemBuilder::Build(expansion);
+  // One unknown per consistent compound class (5) and relationship (18).
+  EXPECT_EQ(cr.class_vars.size(), 5u);
+  EXPECT_EQ(cr.rel_vars.size(), 18u);
+  EXPECT_EQ(cr.system.num_variables(), 23);
+  // Figure 5's disequation count over consistent unknowns:
+  //   Holds.U1: minc for {S},{S,D},{S,T},{S,D,T} (4) + maxc for
+  //             {S,D},{S,D,T} (2)
+  //   Holds.U2: minc+maxc for {T},{S,T},{S,D,T} (6)
+  //   Part.U3:  minc+maxc for {S,D},{S,D,T} (4)
+  //   Part.U4:  minc for {T},{S,T},{S,D,T} (3)
+  EXPECT_EQ(cr.system.num_constraints(), 19u);
+  EXPECT_TRUE(cr.system.IsHomogeneous());
+  EXPECT_FALSE(cr.system.HasStrictConstraints());
+  for (VarId v = 0; v < cr.system.num_variables(); ++v) {
+    EXPECT_TRUE(cr.system.IsNonnegative(v));
+  }
+}
+
+TEST(SystemBuilderTest, VariableClassification) {
+  Schema schema = MeetingSchema();
+  Expansion expansion = Expansion::Build(schema).value();
+  CrSystem cr = SystemBuilder::Build(expansion);
+  for (VarId var : cr.class_vars) {
+    EXPECT_FALSE(cr.IsRelationshipVar(var));
+  }
+  for (size_t i = 0; i < cr.rel_vars.size(); ++i) {
+    EXPECT_TRUE(cr.IsRelationshipVar(cr.rel_vars[i]));
+    EXPECT_EQ(cr.RelationshipIndexOfVar(cr.rel_vars[i]),
+              static_cast<int>(i));
+  }
+}
+
+TEST(SystemBuilderTest, ConstraintCoefficientsMatchLiftedCardinalities) {
+  // For Figure 1's schema: R(V1: C, V2: D) with (2,inf) on C and (0,1) on
+  // D, D <= C. Consistent compound classes: {C} and {C,D}.
+  Schema schema = Figure1Schema();
+  Expansion expansion = Expansion::Build(schema).value();
+  CrSystem cr = SystemBuilder::Build(expansion);
+  ASSERT_EQ(cr.class_vars.size(), 2u);
+  // V1 candidates {C},{C,D} each with minc 2 (one constraint each);
+  // V2 candidates {C,D} with maxc 1 (one constraint). Total 3.
+  EXPECT_EQ(cr.system.num_constraints(), 3u);
+
+  // Find the minc row for {C}: sum(rels with {C} at V1) - 2*c_{C} >= 0.
+  int c_index = expansion.ClassIndexOf(CompoundClass(0b01));
+  ASSERT_GE(c_index, 0);
+  VarId c_var = cr.class_vars[c_index];
+  bool found = false;
+  for (const Constraint& constraint : cr.system.constraints()) {
+    if (constraint.expr.CoefficientOf(c_var) == Rational(-2)) {
+      found = true;
+      EXPECT_EQ(constraint.sense, ConstraintSense::kGreaterEqual);
+      // The positive terms are exactly the compound relationships with
+      // {C} at role position 0.
+      RelationshipId r = schema.FindRelationship("R").value();
+      size_t positive_terms = 0;
+      for (const auto& [var, coeff] : constraint.expr.terms()) {
+        if (coeff.IsPositive()) {
+          EXPECT_EQ(coeff, Rational(1));
+          ++positive_terms;
+        }
+      }
+      EXPECT_EQ(positive_terms,
+                expansion.RelationshipsWith(r, 0, c_index).size());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SystemBuilderTest, DefaultCardinalitiesProduceNoConstraints) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddRelationship("R", {{"U", "A"}, {"V", "B"}});
+  Schema schema = builder.Build().value();
+  Expansion expansion = Expansion::Build(schema).value();
+  CrSystem cr = SystemBuilder::Build(expansion);
+  EXPECT_EQ(cr.system.num_constraints(), 0u);
+}
+
+TEST(SystemBuilderTest, PresentationSystemMatchesFigure5Scale) {
+  // Figure 5 shows the full presentation with unknowns for all 7 compound
+  // classes and all 49+49 compound relationships.
+  Schema schema = MeetingSchema();
+  LinearSystem presentation =
+      SystemBuilder::BuildPresentationSystem(schema).value();
+  EXPECT_EQ(presentation.num_variables(), 7 + 49 + 49);
+  // Pinned inconsistent unknowns: classes {D},{D,T} (2) + inconsistent
+  // compound relationships (49-12) + (49-6) = 80. Cardinality rows: 19.
+  EXPECT_EQ(presentation.num_constraints(), 2u + 80u + 19u);
+  EXPECT_TRUE(presentation.IsHomogeneous());
+}
+
+TEST(SystemBuilderTest, PresentationSystemNamesFollowThePaper) {
+  Schema schema = MeetingSchema();
+  LinearSystem presentation =
+      SystemBuilder::BuildPresentationSystem(schema).value();
+  // c1..c7 then Holds_i_j and Participates_i_j blocks.
+  EXPECT_EQ(presentation.VariableName(0), "c1");
+  EXPECT_EQ(presentation.VariableName(6), "c7");
+  EXPECT_EQ(presentation.VariableName(7), "Holds_1_1");
+  EXPECT_EQ(presentation.VariableName(7 + 49), "Participates_1_1");
+}
+
+}  // namespace
+}  // namespace crsat
