@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disjointness_ablation.dir/bench_disjointness_ablation.cc.o"
+  "CMakeFiles/bench_disjointness_ablation.dir/bench_disjointness_ablation.cc.o.d"
+  "bench_disjointness_ablation"
+  "bench_disjointness_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjointness_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

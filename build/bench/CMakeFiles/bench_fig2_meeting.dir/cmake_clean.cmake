@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_meeting.dir/bench_fig2_meeting.cc.o"
+  "CMakeFiles/bench_fig2_meeting.dir/bench_fig2_meeting.cc.o.d"
+  "bench_fig2_meeting"
+  "bench_fig2_meeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_meeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

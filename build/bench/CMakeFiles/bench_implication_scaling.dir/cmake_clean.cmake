@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_implication_scaling.dir/bench_implication_scaling.cc.o"
+  "CMakeFiles/bench_implication_scaling.dir/bench_implication_scaling.cc.o.d"
+  "bench_implication_scaling"
+  "bench_implication_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_implication_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

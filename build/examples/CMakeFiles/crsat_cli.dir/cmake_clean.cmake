@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crsat_cli.dir/crsat_cli.cpp.o"
+  "CMakeFiles/crsat_cli.dir/crsat_cli.cpp.o.d"
+  "crsat_cli"
+  "crsat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crsat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

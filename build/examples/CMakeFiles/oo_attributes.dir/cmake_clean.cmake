@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo_attributes.dir/oo_attributes.cpp.o"
+  "CMakeFiles/oo_attributes.dir/oo_attributes.cpp.o.d"
+  "oo_attributes"
+  "oo_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

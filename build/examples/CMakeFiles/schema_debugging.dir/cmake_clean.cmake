@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_debugging.dir/schema_debugging.cpp.o"
+  "CMakeFiles/schema_debugging.dir/schema_debugging.cpp.o.d"
+  "schema_debugging"
+  "schema_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

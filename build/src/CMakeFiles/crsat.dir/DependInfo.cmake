@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/crsat.dir/base/status.cc.o" "gcc" "src/CMakeFiles/crsat.dir/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/crsat.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/crsat.dir/base/string_util.cc.o.d"
+  "/root/repo/src/baseline/ln_reasoner.cc" "src/CMakeFiles/crsat.dir/baseline/ln_reasoner.cc.o" "gcc" "src/CMakeFiles/crsat.dir/baseline/ln_reasoner.cc.o.d"
+  "/root/repo/src/cr/interpretation.cc" "src/CMakeFiles/crsat.dir/cr/interpretation.cc.o" "gcc" "src/CMakeFiles/crsat.dir/cr/interpretation.cc.o.d"
+  "/root/repo/src/cr/model_checker.cc" "src/CMakeFiles/crsat.dir/cr/model_checker.cc.o" "gcc" "src/CMakeFiles/crsat.dir/cr/model_checker.cc.o.d"
+  "/root/repo/src/cr/schema.cc" "src/CMakeFiles/crsat.dir/cr/schema.cc.o" "gcc" "src/CMakeFiles/crsat.dir/cr/schema.cc.o.d"
+  "/root/repo/src/cr/schema_builder.cc" "src/CMakeFiles/crsat.dir/cr/schema_builder.cc.o" "gcc" "src/CMakeFiles/crsat.dir/cr/schema_builder.cc.o.d"
+  "/root/repo/src/cr/schema_text.cc" "src/CMakeFiles/crsat.dir/cr/schema_text.cc.o" "gcc" "src/CMakeFiles/crsat.dir/cr/schema_text.cc.o.d"
+  "/root/repo/src/cr/state_text.cc" "src/CMakeFiles/crsat.dir/cr/state_text.cc.o" "gcc" "src/CMakeFiles/crsat.dir/cr/state_text.cc.o.d"
+  "/root/repo/src/expansion/compound.cc" "src/CMakeFiles/crsat.dir/expansion/compound.cc.o" "gcc" "src/CMakeFiles/crsat.dir/expansion/compound.cc.o.d"
+  "/root/repo/src/expansion/expansion.cc" "src/CMakeFiles/crsat.dir/expansion/expansion.cc.o" "gcc" "src/CMakeFiles/crsat.dir/expansion/expansion.cc.o.d"
+  "/root/repo/src/flow/max_flow.cc" "src/CMakeFiles/crsat.dir/flow/max_flow.cc.o" "gcc" "src/CMakeFiles/crsat.dir/flow/max_flow.cc.o.d"
+  "/root/repo/src/generator/random_schema.cc" "src/CMakeFiles/crsat.dir/generator/random_schema.cc.o" "gcc" "src/CMakeFiles/crsat.dir/generator/random_schema.cc.o.d"
+  "/root/repo/src/lp/fourier_motzkin.cc" "src/CMakeFiles/crsat.dir/lp/fourier_motzkin.cc.o" "gcc" "src/CMakeFiles/crsat.dir/lp/fourier_motzkin.cc.o.d"
+  "/root/repo/src/lp/homogeneous.cc" "src/CMakeFiles/crsat.dir/lp/homogeneous.cc.o" "gcc" "src/CMakeFiles/crsat.dir/lp/homogeneous.cc.o.d"
+  "/root/repo/src/lp/linear_expr.cc" "src/CMakeFiles/crsat.dir/lp/linear_expr.cc.o" "gcc" "src/CMakeFiles/crsat.dir/lp/linear_expr.cc.o.d"
+  "/root/repo/src/lp/linear_system.cc" "src/CMakeFiles/crsat.dir/lp/linear_system.cc.o" "gcc" "src/CMakeFiles/crsat.dir/lp/linear_system.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/crsat.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/crsat.dir/lp/simplex.cc.o.d"
+  "/root/repo/src/math/bigint.cc" "src/CMakeFiles/crsat.dir/math/bigint.cc.o" "gcc" "src/CMakeFiles/crsat.dir/math/bigint.cc.o.d"
+  "/root/repo/src/math/rational.cc" "src/CMakeFiles/crsat.dir/math/rational.cc.o" "gcc" "src/CMakeFiles/crsat.dir/math/rational.cc.o.d"
+  "/root/repo/src/reasoner/implication.cc" "src/CMakeFiles/crsat.dir/reasoner/implication.cc.o" "gcc" "src/CMakeFiles/crsat.dir/reasoner/implication.cc.o.d"
+  "/root/repo/src/reasoner/implication_engine.cc" "src/CMakeFiles/crsat.dir/reasoner/implication_engine.cc.o" "gcc" "src/CMakeFiles/crsat.dir/reasoner/implication_engine.cc.o.d"
+  "/root/repo/src/reasoner/model_builder.cc" "src/CMakeFiles/crsat.dir/reasoner/model_builder.cc.o" "gcc" "src/CMakeFiles/crsat.dir/reasoner/model_builder.cc.o.d"
+  "/root/repo/src/reasoner/repair.cc" "src/CMakeFiles/crsat.dir/reasoner/repair.cc.o" "gcc" "src/CMakeFiles/crsat.dir/reasoner/repair.cc.o.d"
+  "/root/repo/src/reasoner/satisfiability.cc" "src/CMakeFiles/crsat.dir/reasoner/satisfiability.cc.o" "gcc" "src/CMakeFiles/crsat.dir/reasoner/satisfiability.cc.o.d"
+  "/root/repo/src/reasoner/system_builder.cc" "src/CMakeFiles/crsat.dir/reasoner/system_builder.cc.o" "gcc" "src/CMakeFiles/crsat.dir/reasoner/system_builder.cc.o.d"
+  "/root/repo/src/reasoner/unsat_core.cc" "src/CMakeFiles/crsat.dir/reasoner/unsat_core.cc.o" "gcc" "src/CMakeFiles/crsat.dir/reasoner/unsat_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

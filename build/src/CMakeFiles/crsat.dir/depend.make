@@ -1,0 +1,2 @@
+# Empty dependencies file for crsat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implication_engine_test.dir/implication_engine_test.cc.o"
+  "CMakeFiles/implication_engine_test.dir/implication_engine_test.cc.o.d"
+  "implication_engine_test"
+  "implication_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implication_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

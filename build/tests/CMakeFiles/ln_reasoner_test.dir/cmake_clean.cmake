@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ln_reasoner_test.dir/ln_reasoner_test.cc.o"
+  "CMakeFiles/ln_reasoner_test.dir/ln_reasoner_test.cc.o.d"
+  "ln_reasoner_test"
+  "ln_reasoner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ln_reasoner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

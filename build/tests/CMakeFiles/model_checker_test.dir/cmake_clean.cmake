@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_checker_test.dir/model_checker_test.cc.o"
+  "CMakeFiles/model_checker_test.dir/model_checker_test.cc.o.d"
+  "model_checker_test"
+  "model_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_schema_test.dir/random_schema_test.cc.o"
+  "CMakeFiles/random_schema_test.dir/random_schema_test.cc.o.d"
+  "random_schema_test"
+  "random_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satisfiability_test.dir/satisfiability_test.cc.o"
+  "CMakeFiles/satisfiability_test.dir/satisfiability_test.cc.o.d"
+  "satisfiability_test"
+  "satisfiability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satisfiability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

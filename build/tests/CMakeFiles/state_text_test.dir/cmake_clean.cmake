@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_text_test.dir/state_text_test.cc.o"
+  "CMakeFiles/state_text_test.dir/state_text_test.cc.o.d"
+  "state_text_test"
+  "state_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

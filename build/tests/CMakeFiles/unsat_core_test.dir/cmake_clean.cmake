@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsat_core_test.dir/unsat_core_test.cc.o"
+  "CMakeFiles/unsat_core_test.dir/unsat_core_test.cc.o.d"
+  "unsat_core_test"
+  "unsat_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsat_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
