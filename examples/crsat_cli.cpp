@@ -14,6 +14,11 @@
 //   crsat_cli report <schema-file>   implied-cardinality table (Figure 7
 //                                    generalized to every legal triple)
 //   crsat_cli dot <schema-file>      Graphviz ER diagram on stdout
+//   crsat_cli lint <schema-file> [--json]
+//       structural diagnostics (no expansion/LP): ISA cycles, conflicting
+//       or empty cardinality ranges, redundant ISA edges, unreferenced
+//       entities, trivially-empty relationships. Exits non-zero when any
+//       error-severity finding is reported.
 //
 // Schema files use the DSL documented in src/cr/schema_text.h; state
 // files the DSL in src/cr/state_text.h. Samples live in
@@ -41,7 +46,8 @@ int Usage() {
          "  crsat_cli implies <schema-file> card <Class> <Rel> <Role>\n"
          "  crsat_cli checkstate <schema-file> <state-file>\n"
          "  crsat_cli report <schema-file>\n"
-         "  crsat_cli dot <schema-file>\n";
+         "  crsat_cli dot <schema-file>\n"
+         "  crsat_cli lint <schema-file> [--json]\n";
   return EXIT_FAILURE;
 }
 
@@ -105,6 +111,50 @@ crsat::Result<crsat::ClassId> ResolveClass(const crsat::Schema& schema,
   return *cls;
 }
 
+int RunLint(const std::string& path, bool json) {
+  crsat::Result<std::string> text = ReadFile(path);
+  if (!text.ok()) {
+    std::cerr << text.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  // Parse leniently so empty ranges reach the `empty-range` rule with a
+  // source position instead of failing the build.
+  crsat::ParseSchemaOptions options;
+  options.permit_empty_ranges = true;
+  crsat::Result<crsat::NamedSchema> parsed = crsat::ParseSchema(*text, options);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::vector<crsat::Diagnostic> diagnostics = crsat::RunLint(*parsed);
+  if (json) {
+    std::cout << crsat::DiagnosticsToJson(diagnostics) << "\n";
+  } else {
+    int errors = 0, warnings = 0, notes = 0;
+    for (const crsat::Diagnostic& diagnostic : diagnostics) {
+      std::cout << crsat::FormatDiagnostic(diagnostic, path) << "\n";
+      switch (diagnostic.severity) {
+        case crsat::Severity::kError:
+          ++errors;
+          break;
+        case crsat::Severity::kWarning:
+          ++warnings;
+          break;
+        case crsat::Severity::kNote:
+          ++notes;
+          break;
+      }
+    }
+    if (diagnostics.empty()) {
+      std::cout << "schema '" << parsed->name << "': no findings\n";
+    } else {
+      std::cout << errors << " error(s), " << warnings << " warning(s), "
+                << notes << " note(s)\n";
+    }
+  }
+  return crsat::HasErrors(diagnostics) ? EXIT_FAILURE : EXIT_SUCCESS;
+}
+
 int RunCheck(const crsat::Schema& schema) {
   crsat::Result<crsat::Expansion> expansion = crsat::Expansion::Build(schema);
   if (!expansion.ok()) {
@@ -112,6 +162,10 @@ int RunCheck(const crsat::Schema& schema) {
     return EXIT_FAILURE;
   }
   crsat::SatisfiabilityChecker checker(*expansion);
+  // Feed the lint engine's structural facts to the checker so
+  // provably-empty classes short-circuit without LP work.
+  checker.SetKnownEmptyClasses(
+      crsat::ComputeProvablyEmpty(schema).class_empty);
   crsat::Result<std::vector<bool>> satisfiable = checker.SatisfiableClasses();
   if (!satisfiable.ok()) {
     std::cerr << satisfiable.status() << "\n";
@@ -232,6 +286,13 @@ int main(int argc, char** argv) {
     return Usage();
   }
   const std::string command = argv[1];
+  if (command == "lint") {
+    bool json = argc == 4 && std::string(argv[3]) == "--json";
+    if (argc > 4 || (argc == 4 && !json)) {
+      return Usage();
+    }
+    return RunLint(argv[2], json);
+  }
   crsat::Result<crsat::NamedSchema> parsed = LoadSchema(argv[2]);
   if (!parsed.ok()) {
     std::cerr << parsed.status() << "\n";

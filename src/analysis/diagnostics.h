@@ -1,0 +1,57 @@
+#ifndef CRSAT_ANALYSIS_DIAGNOSTICS_H_
+#define CRSAT_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cr/source_location.h"
+
+namespace crsat {
+
+/// How bad a lint finding is.
+///
+///  * `kError`   — the schema is provably broken (some class or
+///                 relationship can never be populated). `crsat_cli lint`
+///                 exits non-zero when any error is present.
+///  * `kWarning` — almost certainly an authoring mistake (e.g. an ISA
+///                 cycle forcing classes equal), but every class may still
+///                 be satisfiable.
+///  * `kNote`    — stylistic or informational (redundant/unused
+///                 declarations).
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+/// Stable lowercase name ("note", "warning", "error").
+const char* SeverityToString(Severity severity);
+
+/// One structured lint finding. `rule` is the stable rule id (e.g.
+/// "isa-cycle"); `entities` names the affected classes / relationships /
+/// roles; `location` points into the DSL source when the schema was parsed
+/// from text (unknown otherwise).
+struct Diagnostic {
+  std::string rule;
+  Severity severity = Severity::kNote;
+  std::string message;
+  std::vector<std::string> entities;
+  SourceLocation location;
+};
+
+/// Renders "source:line:col: severity: message [rule]" (the location part
+/// is omitted when unknown; `source_name` may be empty).
+std::string FormatDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view source_name);
+
+/// Renders the findings as a JSON array of objects with keys `rule`,
+/// `severity`, `message`, `entities`, and (when known) `line` / `column`.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+/// True iff any finding has `kError` severity.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace crsat
+
+#endif  // CRSAT_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,184 @@
+#include "src/analysis/empty_classes.h"
+
+namespace crsat {
+
+LiftedCardinality LiftCardinality(const Schema& schema, ClassId cls,
+                                  RoleId role) {
+  LiftedCardinality lifted;
+  const std::vector<CardinalityDeclaration>& declarations =
+      schema.cardinality_declarations();
+  for (int i = 0; i < static_cast<int>(declarations.size()); ++i) {
+    const CardinalityDeclaration& decl = declarations[i];
+    if (decl.role != role || !schema.IsSubclassOf(cls, decl.cls)) {
+      continue;
+    }
+    if (decl.cardinality.min > lifted.min) {
+      lifted.min = decl.cardinality.min;
+      lifted.min_decl = i;
+    }
+    if (decl.cardinality.max.has_value() &&
+        (!lifted.max.has_value() || *decl.cardinality.max < *lifted.max)) {
+      lifted.max = decl.cardinality.max;
+      lifted.max_decl = i;
+    }
+  }
+  return lifted;
+}
+
+bool EmptyEntityAnalysis::AnyEmpty() const {
+  for (bool empty : class_empty) {
+    if (empty) {
+      return true;
+    }
+  }
+  for (bool empty : relationship_empty) {
+    if (empty) {
+      return true;
+    }
+  }
+  return false;
+}
+
+EmptyEntityAnalysis ComputeProvablyEmpty(const Schema& schema) {
+  const int num_classes = schema.num_classes();
+  const int num_rels = schema.num_relationships();
+  EmptyEntityAnalysis analysis;
+  analysis.class_empty.assign(num_classes, false);
+  analysis.class_reason.assign(num_classes, "");
+  analysis.relationship_empty.assign(num_rels, false);
+  analysis.relationship_reason.assign(num_rels, "");
+
+  auto mark_class = [&](ClassId cls, const std::string& reason) -> bool {
+    if (analysis.class_empty[cls.value]) {
+      return false;
+    }
+    analysis.class_empty[cls.value] = true;
+    analysis.class_reason[cls.value] = reason;
+    return true;
+  };
+
+  // Seed 1: lifted empty range on any role the class legally participates
+  // in (includes directly-declared `min > max` ranges).
+  for (ClassId cls : schema.AllClasses()) {
+    for (RelationshipId rel : schema.AllRelationships()) {
+      for (RoleId role : schema.RolesOf(rel)) {
+        if (!schema.IsSubclassOf(cls, schema.PrimaryClass(role))) {
+          continue;
+        }
+        LiftedCardinality lifted = LiftCardinality(schema, cls, role);
+        if (lifted.IsEmptyRange()) {
+          mark_class(cls, "inherited bounds on role '" +
+                              schema.RoleName(role) + "' require at least " +
+                              std::to_string(lifted.min) + " but at most " +
+                              std::to_string(*lifted.max) + " links");
+        }
+      }
+    }
+  }
+
+  // Seed 2: a class below two members of one disjointness group.
+  for (const DisjointnessConstraint& group :
+       schema.disjointness_constraints()) {
+    for (ClassId cls : schema.AllClasses()) {
+      for (size_t a = 0; a < group.classes.size(); ++a) {
+        for (size_t b = a + 1; b < group.classes.size(); ++b) {
+          if (schema.IsSubclassOf(cls, group.classes[a]) &&
+              schema.IsSubclassOf(cls, group.classes[b])) {
+            mark_class(cls, "subclass of both disjoint classes '" +
+                                schema.ClassName(group.classes[a]) + "' and '" +
+                                schema.ClassName(group.classes[b]) + "'");
+          }
+        }
+      }
+    }
+  }
+
+  // Fixpoint over the propagation steps.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Subclasses of an empty class are empty.
+    for (ClassId cls : schema.AllClasses()) {
+      if (analysis.class_empty[cls.value]) {
+        continue;
+      }
+      for (ClassId super : schema.SuperclassesOf(cls)) {
+        if (super != cls && analysis.class_empty[super.value]) {
+          changed |= mark_class(cls, "subclass of provably-empty class '" +
+                                         schema.ClassName(super) + "'");
+          break;
+        }
+      }
+    }
+
+    // A relationship with an empty primary class on any role is empty.
+    for (RelationshipId rel : schema.AllRelationships()) {
+      if (analysis.relationship_empty[rel.value]) {
+        continue;
+      }
+      for (RoleId role : schema.RolesOf(rel)) {
+        ClassId primary = schema.PrimaryClass(role);
+        if (analysis.class_empty[primary.value]) {
+          analysis.relationship_empty[rel.value] = true;
+          analysis.relationship_reason[rel.value] =
+              "role '" + schema.RoleName(role) +
+              "' requires a filler from provably-empty class '" +
+              schema.ClassName(primary) + "'";
+          changed = true;
+          break;
+        }
+      }
+    }
+
+    // A class that must participate (lifted min >= 1) in an empty
+    // relationship is empty.
+    for (ClassId cls : schema.AllClasses()) {
+      if (analysis.class_empty[cls.value]) {
+        continue;
+      }
+      for (RelationshipId rel : schema.AllRelationships()) {
+        if (!analysis.relationship_empty[rel.value]) {
+          continue;
+        }
+        for (RoleId role : schema.RolesOf(rel)) {
+          if (!schema.IsSubclassOf(cls, schema.PrimaryClass(role))) {
+            continue;
+          }
+          if (LiftCardinality(schema, cls, role).min >= 1) {
+            changed |= mark_class(
+                cls, "must participate in provably-empty relationship '" +
+                         schema.RelationshipName(rel) + "' via role '" +
+                         schema.RoleName(role) + "'");
+            break;
+          }
+        }
+        if (analysis.class_empty[cls.value]) {
+          break;
+        }
+      }
+    }
+
+    // A covered class whose coverers are all empty is empty.
+    for (const CoveringConstraint& covering : schema.covering_constraints()) {
+      if (analysis.class_empty[covering.covered.value]) {
+        continue;
+      }
+      bool all_empty = true;
+      for (ClassId coverer : covering.coverers) {
+        if (!analysis.class_empty[coverer.value]) {
+          all_empty = false;
+          break;
+        }
+      }
+      if (all_empty) {
+        changed |= mark_class(covering.covered,
+                              "covered exclusively by provably-empty classes");
+      }
+    }
+  }
+
+  return analysis;
+}
+
+}  // namespace crsat

@@ -1,0 +1,63 @@
+#ifndef CRSAT_ANALYSIS_EMPTY_CLASSES_H_
+#define CRSAT_ANALYSIS_EMPTY_CLASSES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// The cardinality bound a class effectively carries for a role after
+/// inheriting every declaration along ISA (Definition 3.1's lifting:
+/// max-of-mins, min-of-maxes over all declarations on superclasses).
+/// `min_decl` / `max_decl` index `schema.cardinality_declarations()` and
+/// identify the declaration responsible for each bound (-1 when the bound
+/// is the implicit default `0` / infinity).
+struct LiftedCardinality {
+  std::uint64_t min = 0;
+  std::optional<std::uint64_t> max;
+  int min_decl = -1;
+  int max_decl = -1;
+
+  /// True iff no instance of the class can satisfy the bounds, i.e.
+  /// `min > max`.
+  bool IsEmptyRange() const { return max.has_value() && *max < min; }
+};
+
+/// Computes the lifted bound of `cls` for `role`. Meaningful when `cls` is
+/// a (reflexive-transitive) subclass of the role's primary class; for
+/// other classes the participation constraint does not apply.
+LiftedCardinality LiftCardinality(const Schema& schema, ClassId cls,
+                                  RoleId role);
+
+/// Classes and relationships that cheap structural reasoning proves empty
+/// in every finite model — no expansion, no LP (compare Theorem 3.3's full
+/// procedure). Sound but deliberately incomplete: Figure 1 of the paper is
+/// unsatisfiable yet structurally clean.
+struct EmptyEntityAnalysis {
+  /// Indexed by ClassId / RelationshipId value. An empty `reason` string
+  /// means "not provably empty".
+  std::vector<bool> class_empty;
+  std::vector<std::string> class_reason;
+  std::vector<bool> relationship_empty;
+  std::vector<std::string> relationship_reason;
+
+  bool AnyEmpty() const;
+};
+
+/// Runs the fixpoint. Derivation steps, iterated until stable:
+///   1. a class whose lifted bound on some role has `min > max` is empty;
+///   2. a class below two members of one disjointness group is empty;
+///   3. subclasses of an empty class are empty;
+///   4. a relationship with an empty primary class on any role is empty;
+///   5. a class with lifted `min >= 1` on a role of an empty relationship
+///      is empty;
+///   6. a covered class whose coverers are all empty is empty.
+EmptyEntityAnalysis ComputeProvablyEmpty(const Schema& schema);
+
+}  // namespace crsat
+
+#endif  // CRSAT_ANALYSIS_EMPTY_CLASSES_H_

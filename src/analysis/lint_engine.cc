@@ -1,0 +1,82 @@
+#include "src/analysis/lint_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+#include "src/analysis/rules.h"
+
+namespace crsat {
+
+LintRuleRegistry LintRuleRegistry::BuiltIn() {
+  LintRuleRegistry registry;
+  registry.Register(MakeIsaCycleRule());
+  registry.Register(MakeEmptyRangeRule());
+  registry.Register(MakeCardRefinementConflictRule());
+  registry.Register(MakeRedundantIsaRule());
+  registry.Register(MakeUnreferencedEntityRule());
+  registry.Register(MakeTriviallyUnsatRelationshipRule());
+  return registry;
+}
+
+void LintRuleRegistry::Register(std::unique_ptr<LintRule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+const LintRule* LintRuleRegistry::Find(std::string_view id) const {
+  for (const std::unique_ptr<LintRule>& rule : rules_) {
+    if (rule->id() == id) {
+      return rule.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Diagnostic> RunLint(const LintRuleRegistry& registry,
+                                const Schema& schema,
+                                const SchemaSourceMap* source_map,
+                                const LintOptions& options) {
+  LintContext context(schema, source_map);
+  std::vector<Diagnostic> diagnostics;
+  for (const std::unique_ptr<LintRule>& rule : registry.rules()) {
+    rule->Run(context, &diagnostics);
+  }
+  if (!options.rules.empty()) {
+    diagnostics.erase(
+        std::remove_if(diagnostics.begin(), diagnostics.end(),
+                       [&](const Diagnostic& d) {
+                         return std::find(options.rules.begin(),
+                                          options.rules.end(),
+                                          d.rule) == options.rules.end();
+                       }),
+        diagnostics.end());
+  }
+  auto sort_key = [](const Diagnostic& d) {
+    int line = d.location.IsKnown() ? d.location.line
+                                    : std::numeric_limits<int>::max();
+    int column = d.location.IsKnown() ? d.location.column
+                                      : std::numeric_limits<int>::max();
+    // Higher severity first at equal positions.
+    return std::make_tuple(line, column, -static_cast<int>(d.severity),
+                           d.rule);
+  };
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     return sort_key(a) < sort_key(b);
+                   });
+  return diagnostics;
+}
+
+std::vector<Diagnostic> RunLint(const Schema& schema,
+                                const SchemaSourceMap* source_map,
+                                const LintOptions& options) {
+  return RunLint(LintRuleRegistry::BuiltIn(), schema, source_map, options);
+}
+
+std::vector<Diagnostic> RunLint(const NamedSchema& named,
+                                const LintOptions& options) {
+  return RunLint(named.schema, &named.source_map, options);
+}
+
+}  // namespace crsat

@@ -1,0 +1,67 @@
+#ifndef CRSAT_ANALYSIS_LINT_ENGINE_H_
+#define CRSAT_ANALYSIS_LINT_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/lint_rule.h"
+
+namespace crsat {
+
+/// An ordered collection of lint rules. `BuiltIn()` returns the default
+/// rule set; callers may assemble custom registries (e.g. tests exercising
+/// one rule in isolation).
+class LintRuleRegistry {
+ public:
+  LintRuleRegistry() = default;
+  LintRuleRegistry(LintRuleRegistry&&) = default;
+  LintRuleRegistry& operator=(LintRuleRegistry&&) = default;
+
+  /// All built-in rules (see src/analysis/rules.h), in reporting order.
+  static LintRuleRegistry BuiltIn();
+
+  /// Adds a rule; later rules run after earlier ones.
+  void Register(std::unique_ptr<LintRule> rule);
+
+  /// The rule whose `id()` matches, or null.
+  const LintRule* Find(std::string_view id) const;
+
+  const std::vector<std::unique_ptr<LintRule>>& rules() const {
+    return rules_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<LintRule>> rules_;
+};
+
+/// Knobs for `RunLint`.
+struct LintOptions {
+  /// When non-empty, keep only diagnostics whose rule id is listed
+  /// (diagnostic-level filter, so ids like "dangling-role" that share an
+  /// implementation with "unused-class" are addressable).
+  std::vector<std::string> rules;
+};
+
+/// Runs every registry rule over the schema and returns the findings
+/// sorted by source position (unknown positions last), then severity
+/// (errors first), then rule id. Purely structural: no expansion, no LP —
+/// linear-ish in the schema size, so safe to run on every load.
+std::vector<Diagnostic> RunLint(const LintRuleRegistry& registry,
+                                const Schema& schema,
+                                const SchemaSourceMap* source_map = nullptr,
+                                const LintOptions& options = {});
+
+/// Convenience: `RunLint` with the built-in registry.
+std::vector<Diagnostic> RunLint(const Schema& schema,
+                                const SchemaSourceMap* source_map = nullptr,
+                                const LintOptions& options = {});
+
+/// Convenience: `RunLint` over a parsed schema, using its source map.
+std::vector<Diagnostic> RunLint(const NamedSchema& named,
+                                const LintOptions& options = {});
+
+}  // namespace crsat
+
+#endif  // CRSAT_ANALYSIS_LINT_ENGINE_H_

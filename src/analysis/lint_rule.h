@@ -1,0 +1,83 @@
+#ifndef CRSAT_ANALYSIS_LINT_RULE_H_
+#define CRSAT_ANALYSIS_LINT_RULE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/cr/schema.h"
+#include "src/cr/schema_text.h"
+
+namespace crsat {
+
+/// Everything a lint rule may look at: the (well-formed) schema and, when
+/// it came from DSL text, the source positions of its declarations. The
+/// accessors tolerate a missing/partial source map so rules never have to
+/// branch on whether the schema was parsed or built programmatically.
+class LintContext {
+ public:
+  /// `source_map` may be null (programmatic schema). Both referents must
+  /// outlive the context.
+  LintContext(const Schema& schema, const SchemaSourceMap* source_map)
+      : schema_(&schema), source_map_(source_map) {}
+
+  const Schema& schema() const { return *schema_; }
+
+  SourceLocation ClassLocation(ClassId cls) const {
+    return At(source_map_ ? &source_map_->classes : nullptr, cls.value);
+  }
+  SourceLocation RelationshipLocation(RelationshipId rel) const {
+    return At(source_map_ ? &source_map_->relationships : nullptr, rel.value);
+  }
+  SourceLocation RoleLocation(RoleId role) const {
+    return At(source_map_ ? &source_map_->roles : nullptr, role.value);
+  }
+  /// Location of the `index`-th entry of `schema().isa_statements()`.
+  SourceLocation IsaLocation(int index) const {
+    return At(source_map_ ? &source_map_->isa_statements : nullptr, index);
+  }
+  /// Location of the `index`-th entry of
+  /// `schema().cardinality_declarations()`.
+  SourceLocation CardinalityLocation(int index) const {
+    return At(source_map_ ? &source_map_->cardinality_declarations : nullptr,
+              index);
+  }
+
+ private:
+  static SourceLocation At(const std::vector<SourceLocation>* locations,
+                           int index) {
+    if (locations == nullptr || index < 0 ||
+        index >= static_cast<int>(locations->size())) {
+      return SourceLocation{};
+    }
+    return (*locations)[index];
+  }
+
+  const Schema* schema_;
+  const SchemaSourceMap* source_map_;
+};
+
+/// One structural diagnostic rule. Implementations live in
+/// `src/analysis/rules/`, one class per file, and are registered with the
+/// `LintRuleRegistry` (see lint_engine.h). Rules must be pure functions of
+/// the context: no LP, no expansion, no global state — linear or
+/// near-linear passes over the schema only.
+class LintRule {
+ public:
+  virtual ~LintRule() = default;
+
+  /// Stable rule id, e.g. "isa-cycle". Used in output, in JSON, and to
+  /// enable/disable rules by name.
+  virtual std::string_view id() const = 0;
+
+  /// One-line human description (for `crsat_cli lint --rules` listings).
+  virtual std::string_view description() const = 0;
+
+  /// Appends this rule's findings to `out`.
+  virtual void Run(const LintContext& context,
+                   std::vector<Diagnostic>* out) const = 0;
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_ANALYSIS_LINT_RULE_H_

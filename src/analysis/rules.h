@@ -1,0 +1,41 @@
+#ifndef CRSAT_ANALYSIS_RULES_H_
+#define CRSAT_ANALYSIS_RULES_H_
+
+// Factory functions for the built-in lint rules, one implementation file
+// per rule under src/analysis/rules/. New rules: add a factory here,
+// implement it in its own file, and register it in
+// `LintRuleRegistry::BuiltIn()` (lint_engine.cc).
+
+#include <memory>
+
+#include "src/analysis/lint_rule.h"
+
+namespace crsat {
+
+/// "isa-cycle" (warning): a cycle of ISA statements forces every class on
+/// the cycle to have the same extension.
+std::unique_ptr<LintRule> MakeIsaCycleRule();
+
+/// "empty-range" (error): a cardinality declaration with `min > max`.
+std::unique_ptr<LintRule> MakeEmptyRangeRule();
+
+/// "card-refinement-conflict" (error): a class whose inherited minimum
+/// along ISA exceeds its inherited maximum (Definition 3.1 lifting),
+/// across at least two distinct declarations.
+std::unique_ptr<LintRule> MakeCardRefinementConflictRule();
+
+/// "redundant-isa" (note): a declared ISA edge already implied by the
+/// other declared edges.
+std::unique_ptr<LintRule> MakeRedundantIsaRule();
+
+/// "unused-class" (note) and "dangling-role" (note): classes referenced by
+/// nothing, and roles whose participation is never constrained.
+std::unique_ptr<LintRule> MakeUnreferencedEntityRule();
+
+/// "trivially-unsat-relationship" (error): a relationship with a role
+/// whose primary class is provably empty (see empty_classes.h).
+std::unique_ptr<LintRule> MakeTriviallyUnsatRelationshipRule();
+
+}  // namespace crsat
+
+#endif  // CRSAT_ANALYSIS_RULES_H_

@@ -1,0 +1,105 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/empty_classes.h"
+#include "src/analysis/rules.h"
+
+namespace crsat {
+
+namespace {
+
+/// Reports classes whose *inherited* bounds conflict: per Definition 3.1,
+/// a class inherits the max of all declared minima and the min of all
+/// declared maxima along ISA, and when two distinct declarations combine
+/// into `min > max` the class is forced empty — detectable without any
+/// expansion or LP. Single-declaration empty ranges are left to the
+/// `empty-range` rule, and a conflict is reported only at the topmost
+/// class exhibiting it (every subclass inherits the same conflict).
+class CardRefinementConflictRule : public LintRule {
+ public:
+  std::string_view id() const override { return "card-refinement-conflict"; }
+  std::string_view description() const override {
+    return "inherited min exceeds inherited max along ISA refinements";
+  }
+
+  void Run(const LintContext& context,
+           std::vector<Diagnostic>* out) const override {
+    const Schema& schema = context.schema();
+
+    // conflicted[c] holds the roles on which class c's lifted bound is an
+    // empty range spanning two distinct declarations.
+    const int n = schema.num_classes();
+    std::vector<std::vector<RoleId>> conflicted_roles(n);
+    std::vector<bool> conflicted(n, false);
+    for (ClassId cls : schema.AllClasses()) {
+      for (RelationshipId rel : schema.AllRelationships()) {
+        for (RoleId role : schema.RolesOf(rel)) {
+          if (!schema.IsSubclassOf(cls, schema.PrimaryClass(role))) {
+            continue;
+          }
+          LiftedCardinality lifted = LiftCardinality(schema, cls, role);
+          if (lifted.IsEmptyRange() && lifted.min_decl != lifted.max_decl) {
+            conflicted[cls.value] = true;
+            conflicted_roles[cls.value].push_back(role);
+          }
+        }
+      }
+    }
+
+    for (ClassId cls : schema.AllClasses()) {
+      if (!conflicted[cls.value]) {
+        continue;
+      }
+      // Report only where the conflict first appears: skip `cls` when a
+      // strictly-higher superclass (not ISA-equivalent to it) already
+      // conflicts.
+      bool dominated = false;
+      for (ClassId super : schema.SuperclassesOf(cls)) {
+        if (super != cls && conflicted[super.value] &&
+            !schema.IsSubclassOf(super, cls)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        continue;
+      }
+      for (RoleId role : conflicted_roles[cls.value]) {
+        LiftedCardinality lifted = LiftCardinality(schema, cls, role);
+        const CardinalityDeclaration& min_decl =
+            schema.cardinality_declarations()[lifted.min_decl];
+        const CardinalityDeclaration& max_decl =
+            schema.cardinality_declarations()[lifted.max_decl];
+        Diagnostic diagnostic;
+        diagnostic.rule = std::string(id());
+        diagnostic.severity = Severity::kError;
+        diagnostic.message =
+            "class '" + schema.ClassName(cls) + "' inherits min " +
+            std::to_string(lifted.min) + " (from card on '" +
+            schema.ClassName(min_decl.cls) + "') but max " +
+            std::to_string(*lifted.max) + " (from card on '" +
+            schema.ClassName(max_decl.cls) + "') for role '" +
+            schema.RoleName(role) + "'; the class can never be populated";
+        diagnostic.entities = {schema.ClassName(cls),
+                               schema.ClassName(min_decl.cls),
+                               schema.ClassName(max_decl.cls),
+                               schema.RoleName(role)};
+        // Point at the refinement declared later in the source — the one
+        // that completed the conflict.
+        diagnostic.location = context.CardinalityLocation(
+            std::max(lifted.min_decl, lifted.max_decl));
+        out->push_back(std::move(diagnostic));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LintRule> MakeCardRefinementConflictRule() {
+  return std::make_unique<CardRefinementConflictRule>();
+}
+
+}  // namespace crsat

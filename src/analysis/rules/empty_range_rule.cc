@@ -1,0 +1,59 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/rules.h"
+
+namespace crsat {
+
+namespace {
+
+/// Reports cardinality declarations whose range is empty (`min > max`).
+/// Such a declaration forbids every participation count, so the declaring
+/// class can never be populated. Schemas with these declarations only
+/// exist under `ParseSchemaOptions::permit_empty_ranges` (the strict
+/// builder rejects them); the lint pipeline parses leniently exactly so
+/// this rule can point at the source line instead of failing the build.
+class EmptyRangeRule : public LintRule {
+ public:
+  std::string_view id() const override { return "empty-range"; }
+  std::string_view description() const override {
+    return "cardinality declarations with min > max force the class empty";
+  }
+
+  void Run(const LintContext& context,
+           std::vector<Diagnostic>* out) const override {
+    const Schema& schema = context.schema();
+    const std::vector<CardinalityDeclaration>& declarations =
+        schema.cardinality_declarations();
+    for (int i = 0; i < static_cast<int>(declarations.size()); ++i) {
+      const CardinalityDeclaration& decl = declarations[i];
+      if (!decl.cardinality.max.has_value() ||
+          *decl.cardinality.max >= decl.cardinality.min) {
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.rule = std::string(id());
+      diagnostic.severity = Severity::kError;
+      diagnostic.message =
+          "cardinality " + decl.cardinality.ToString() + " of ('" +
+          schema.ClassName(decl.cls) + "', '" +
+          schema.RelationshipName(decl.rel) + "', '" +
+          schema.RoleName(decl.role) + "') is an empty range; class '" +
+          schema.ClassName(decl.cls) + "' can never be populated";
+      diagnostic.entities = {schema.ClassName(decl.cls),
+                             schema.RelationshipName(decl.rel),
+                             schema.RoleName(decl.role)};
+      diagnostic.location = context.CardinalityLocation(i);
+      out->push_back(std::move(diagnostic));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LintRule> MakeEmptyRangeRule() {
+  return std::make_unique<EmptyRangeRule>();
+}
+
+}  // namespace crsat

@@ -1,0 +1,100 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/rules.h"
+#include "src/base/string_util.h"
+
+namespace crsat {
+
+namespace {
+
+/// Reports each set of classes forced extensionally equal by a cycle of
+/// ISA statements. Two distinct classes lie on a cycle iff each is a
+/// transitive subclass of the other, so the cycles are exactly the
+/// nontrivial equivalence groups of the ISA closure; a self ISA
+/// (`isa A < A`) is its own degenerate cycle.
+class IsaCycleRule : public LintRule {
+ public:
+  std::string_view id() const override { return "isa-cycle"; }
+  std::string_view description() const override {
+    return "ISA cycles force all classes on the cycle to be equal";
+  }
+
+  void Run(const LintContext& context,
+           std::vector<Diagnostic>* out) const override {
+    const Schema& schema = context.schema();
+    const int n = schema.num_classes();
+
+    std::vector<int> group(n, -1);
+    int num_groups = 0;
+    for (int c = 0; c < n; ++c) {
+      if (group[c] >= 0) {
+        continue;
+      }
+      group[c] = num_groups;
+      for (int d = c + 1; d < n; ++d) {
+        if (group[d] < 0 && schema.IsSubclassOf(ClassId(c), ClassId(d)) &&
+            schema.IsSubclassOf(ClassId(d), ClassId(c))) {
+          group[d] = num_groups;
+        }
+      }
+      ++num_groups;
+    }
+
+    std::vector<std::vector<ClassId>> members(num_groups);
+    for (int c = 0; c < n; ++c) {
+      members[group[c]].push_back(ClassId(c));
+    }
+
+    const std::vector<IsaStatement>& isa = schema.isa_statements();
+    for (const std::vector<ClassId>& cycle : members) {
+      if (cycle.size() < 2) {
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.rule = std::string(id());
+      diagnostic.severity = Severity::kWarning;
+      std::vector<std::string> names;
+      for (ClassId cls : cycle) {
+        names.push_back(schema.ClassName(cls));
+        diagnostic.entities.push_back(schema.ClassName(cls));
+      }
+      diagnostic.message = "ISA cycle forces classes " + Join(names, ", ") +
+                           " to have equal extensions";
+      // Point at the first declared edge inside the cycle.
+      for (int i = 0; i < static_cast<int>(isa.size()); ++i) {
+        if (isa[i].subclass != isa[i].superclass &&
+            group[isa[i].subclass.value] == group[cycle[0].value] &&
+            group[isa[i].superclass.value] == group[cycle[0].value]) {
+          diagnostic.location = context.IsaLocation(i);
+          break;
+        }
+      }
+      out->push_back(std::move(diagnostic));
+    }
+
+    // Degenerate cycles: a class declared ISA of itself.
+    for (int i = 0; i < static_cast<int>(isa.size()); ++i) {
+      if (isa[i].subclass != isa[i].superclass) {
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.rule = std::string(id());
+      diagnostic.severity = Severity::kWarning;
+      diagnostic.message = "class '" + schema.ClassName(isa[i].subclass) +
+                           "' is declared ISA of itself (no effect)";
+      diagnostic.entities.push_back(schema.ClassName(isa[i].subclass));
+      diagnostic.location = context.IsaLocation(i);
+      out->push_back(std::move(diagnostic));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LintRule> MakeIsaCycleRule() {
+  return std::make_unique<IsaCycleRule>();
+}
+
+}  // namespace crsat

@@ -1,0 +1,53 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/empty_classes.h"
+#include "src/analysis/rules.h"
+
+namespace crsat {
+
+namespace {
+
+/// Reports relationships that can never hold a tuple because some role's
+/// primary class is provably empty (per the structural fixpoint of
+/// empty_classes.h). The classes seeding the emptiness are reported by
+/// `empty-range` / `card-refinement-conflict`; this rule surfaces the
+/// downstream blast radius.
+class TriviallyUnsatRelationshipRule : public LintRule {
+ public:
+  std::string_view id() const override {
+    return "trivially-unsat-relationship";
+  }
+  std::string_view description() const override {
+    return "relationships with a role over a provably-empty class";
+  }
+
+  void Run(const LintContext& context,
+           std::vector<Diagnostic>* out) const override {
+    const Schema& schema = context.schema();
+    EmptyEntityAnalysis analysis = ComputeProvablyEmpty(schema);
+    for (RelationshipId rel : schema.AllRelationships()) {
+      if (!analysis.relationship_empty[rel.value]) {
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.rule = std::string(id());
+      diagnostic.severity = Severity::kError;
+      diagnostic.message = "relationship '" + schema.RelationshipName(rel) +
+                           "' can never hold a tuple: " +
+                           analysis.relationship_reason[rel.value];
+      diagnostic.entities = {schema.RelationshipName(rel)};
+      diagnostic.location = context.RelationshipLocation(rel);
+      out->push_back(std::move(diagnostic));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LintRule> MakeTriviallyUnsatRelationshipRule() {
+  return std::make_unique<TriviallyUnsatRelationshipRule>();
+}
+
+}  // namespace crsat

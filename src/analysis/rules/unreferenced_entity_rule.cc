@@ -1,0 +1,109 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/rules.h"
+
+namespace crsat {
+
+namespace {
+
+/// Reports entities no declaration ever refers to:
+///
+///  * "unused-class" — a class that is no role's primary class, appears in
+///    no ISA statement, carries no cardinality refinement, and belongs to
+///    no disjointness or covering group. It cannot affect satisfiability
+///    and is almost always a leftover or a typo'd name.
+///  * "dangling-role" — a role no cardinality declaration constrains (on
+///    its primary class or any subclass), so every participation defaults
+///    to the implicit `(0, *)`. Harmless, but worth surfacing in a model
+///    meant to bound cardinalities.
+class UnreferencedEntityRule : public LintRule {
+ public:
+  std::string_view id() const override { return "unused-class"; }
+  std::string_view description() const override {
+    return "classes referenced by nothing; roles never constrained";
+  }
+
+  void Run(const LintContext& context,
+           std::vector<Diagnostic>* out) const override {
+    const Schema& schema = context.schema();
+
+    std::vector<bool> class_used(schema.num_classes(), false);
+    auto use = [&](ClassId cls) { class_used[cls.value] = true; };
+    for (RelationshipId rel : schema.AllRelationships()) {
+      for (RoleId role : schema.RolesOf(rel)) {
+        use(schema.PrimaryClass(role));
+      }
+    }
+    for (const IsaStatement& isa : schema.isa_statements()) {
+      use(isa.subclass);
+      use(isa.superclass);
+    }
+    for (const CardinalityDeclaration& decl :
+         schema.cardinality_declarations()) {
+      use(decl.cls);
+    }
+    for (const DisjointnessConstraint& group :
+         schema.disjointness_constraints()) {
+      for (ClassId cls : group.classes) {
+        use(cls);
+      }
+    }
+    for (const CoveringConstraint& covering : schema.covering_constraints()) {
+      use(covering.covered);
+      for (ClassId cls : covering.coverers) {
+        use(cls);
+      }
+    }
+
+    for (ClassId cls : schema.AllClasses()) {
+      if (class_used[cls.value]) {
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.rule = "unused-class";
+      diagnostic.severity = Severity::kNote;
+      diagnostic.message = "class '" + schema.ClassName(cls) +
+                           "' is never referenced by any relationship, ISA, "
+                           "or constraint";
+      diagnostic.entities = {schema.ClassName(cls)};
+      diagnostic.location = context.ClassLocation(cls);
+      out->push_back(std::move(diagnostic));
+    }
+
+    std::vector<bool> role_constrained(schema.num_roles(), false);
+    for (const CardinalityDeclaration& decl :
+         schema.cardinality_declarations()) {
+      role_constrained[decl.role.value] = true;
+    }
+    for (RelationshipId rel : schema.AllRelationships()) {
+      for (RoleId role : schema.RolesOf(rel)) {
+        if (role_constrained[role.value]) {
+          continue;
+        }
+        Diagnostic diagnostic;
+        diagnostic.rule = "dangling-role";
+        diagnostic.severity = Severity::kNote;
+        diagnostic.message =
+            "role '" + schema.RoleName(role) + "' of relationship '" +
+            schema.RelationshipName(rel) +
+            "' has no cardinality declaration; participation of '" +
+            schema.ClassName(schema.PrimaryClass(role)) +
+            "' is unconstrained (0, *)";
+        diagnostic.entities = {schema.RoleName(role),
+                               schema.RelationshipName(rel)};
+        diagnostic.location = context.RoleLocation(role);
+        out->push_back(std::move(diagnostic));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LintRule> MakeUnreferencedEntityRule() {
+  return std::make_unique<UnreferencedEntityRule>();
+}
+
+}  // namespace crsat

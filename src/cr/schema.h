@@ -238,6 +238,14 @@ class SchemaBuilder {
   void AddCovering(const std::string& covered,
                    const std::vector<std::string>& coverers);
 
+  /// When enabled, `Build()` accepts cardinality declarations with
+  /// `max < min`. Such a declaration forces its class empty (no instance
+  /// can satisfy the bounds); downstream reasoning handles it soundly, and
+  /// the lint engine's `empty-range` rule reports it. Off by default so
+  /// programmatic construction keeps failing fast on what is almost always
+  /// a typo.
+  void set_permit_empty_ranges(bool permit) { permit_empty_ranges_ = permit; }
+
   /// Validates all declarations and produces the schema. Reports every
   /// detected problem in one error message.
   Result<Schema> Build() const;
@@ -271,6 +279,7 @@ class SchemaBuilder {
   std::vector<PendingCardinality> cardinalities_;
   std::vector<PendingDisjointness> disjointness_;
   std::vector<PendingCovering> coverings_;
+  bool permit_empty_ranges_ = false;
 };
 
 }  // namespace crsat

@@ -216,7 +216,7 @@ Result<Schema> SchemaBuilder::Build() const {
           schema.ClassName(primary) + "' (Definition 2.1)");
       continue;
     }
-    if (pending.cardinality.max.has_value() &&
+    if (!permit_empty_ranges_ && pending.cardinality.max.has_value() &&
         *pending.cardinality.max < pending.cardinality.min) {
       errors.push_back("cardinality declaration on ('" + pending.cls +
                        "', '" + pending.rel + "', '" + pending.role +

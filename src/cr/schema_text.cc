@@ -16,8 +16,10 @@ using internal_text::TokenKind;
 
 class Parser : private TokenCursor {
  public:
-  explicit Parser(std::vector<Token> tokens)
-      : TokenCursor(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const ParseSchemaOptions& options)
+      : TokenCursor(std::move(tokens)) {
+    builder_.set_permit_empty_ranges(options.permit_empty_ranges);
+  }
 
   Result<NamedSchema> Parse() {
     CRSAT_RETURN_IF_ERROR(ExpectKeyword("schema"));
@@ -31,38 +33,49 @@ class Parser : private TokenCursor {
       return ErrorHere("expected end of input after '}'");
     }
     CRSAT_ASSIGN_OR_RETURN(Schema schema, builder_.Build());
-    return NamedSchema{std::move(name), std::move(schema)};
+    // A successful Build keeps every pending declaration, so the location
+    // vectors recorded during parsing line up 1:1 with the schema's
+    // declaration lists.
+    return NamedSchema{std::move(name), std::move(schema),
+                       std::move(source_map_)};
   }
 
  private:
+  SourceLocation Here() const {
+    return SourceLocation{Current().line, Current().column};
+  }
+
   Status ParseDeclaration() {
+    SourceLocation loc = Here();
     CRSAT_ASSIGN_OR_RETURN(std::string keyword,
                            ExpectIdentifier("declaration keyword"));
     if (keyword == "class") {
       return ParseClassDeclaration();
     }
     if (keyword == "isa") {
-      return ParseIsaDeclaration();
+      return ParseIsaDeclaration(loc);
     }
     if (keyword == "relationship") {
-      return ParseRelationshipDeclaration();
+      return ParseRelationshipDeclaration(loc);
     }
     if (keyword == "card") {
-      return ParseCardDeclaration();
+      return ParseCardDeclaration(loc);
     }
     if (keyword == "disjoint") {
-      return ParseDisjointDeclaration();
+      return ParseDisjointDeclaration(loc);
     }
     if (keyword == "cover") {
-      return ParseCoverDeclaration();
+      return ParseCoverDeclaration(loc);
     }
     return ErrorHere("unknown declaration keyword '" + keyword + "'");
   }
 
   Status ParseClassDeclaration() {
     while (true) {
+      SourceLocation loc = Here();
       CRSAT_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("class name"));
       builder_.AddClass(name);
+      source_map_.classes.push_back(loc);
       if (IsPunct(",")) {
         Consume();
         continue;
@@ -71,26 +84,29 @@ class Parser : private TokenCursor {
     }
   }
 
-  Status ParseIsaDeclaration() {
+  Status ParseIsaDeclaration(SourceLocation loc) {
     CRSAT_ASSIGN_OR_RETURN(std::string sub, ExpectIdentifier("subclass name"));
     CRSAT_RETURN_IF_ERROR(ExpectPunct("<"));
     CRSAT_ASSIGN_OR_RETURN(std::string super,
                            ExpectIdentifier("superclass name"));
     builder_.AddIsa(sub, super);
+    source_map_.isa_statements.push_back(loc);
     return ExpectPunct(";");
   }
 
-  Status ParseRelationshipDeclaration() {
+  Status ParseRelationshipDeclaration(SourceLocation loc) {
     CRSAT_ASSIGN_OR_RETURN(std::string name,
                            ExpectIdentifier("relationship name"));
     CRSAT_RETURN_IF_ERROR(ExpectPunct("("));
     std::vector<std::pair<std::string, std::string>> roles;
     while (true) {
+      SourceLocation role_loc = Here();
       CRSAT_ASSIGN_OR_RETURN(std::string role, ExpectIdentifier("role name"));
       CRSAT_RETURN_IF_ERROR(ExpectPunct(":"));
       CRSAT_ASSIGN_OR_RETURN(std::string cls,
                              ExpectIdentifier("primary class name"));
       roles.emplace_back(std::move(role), std::move(cls));
+      source_map_.roles.push_back(role_loc);
       if (IsPunct(",")) {
         Consume();
         continue;
@@ -99,10 +115,11 @@ class Parser : private TokenCursor {
     }
     CRSAT_RETURN_IF_ERROR(ExpectPunct(")"));
     builder_.AddRelationship(name, roles);
+    source_map_.relationships.push_back(loc);
     return ExpectPunct(";");
   }
 
-  Status ParseCardDeclaration() {
+  Status ParseCardDeclaration(SourceLocation loc) {
     CRSAT_ASSIGN_OR_RETURN(std::string cls, ExpectIdentifier("class name"));
     CRSAT_RETURN_IF_ERROR(ExpectKeyword("in"));
     CRSAT_ASSIGN_OR_RETURN(std::string rel,
@@ -123,10 +140,11 @@ class Parser : private TokenCursor {
     }
     CRSAT_RETURN_IF_ERROR(ExpectPunct(")"));
     builder_.SetCardinality(cls, rel, role, cardinality);
+    source_map_.cardinality_declarations.push_back(loc);
     return ExpectPunct(";");
   }
 
-  Status ParseDisjointDeclaration() {
+  Status ParseDisjointDeclaration(SourceLocation loc) {
     std::vector<std::string> classes;
     while (true) {
       CRSAT_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("class name"));
@@ -138,10 +156,11 @@ class Parser : private TokenCursor {
       break;
     }
     builder_.AddDisjointness(classes);
+    source_map_.disjointness_constraints.push_back(loc);
     return ExpectPunct(";");
   }
 
-  Status ParseCoverDeclaration() {
+  Status ParseCoverDeclaration(SourceLocation loc) {
     CRSAT_ASSIGN_OR_RETURN(std::string covered,
                            ExpectIdentifier("covered class name"));
     CRSAT_RETURN_IF_ERROR(ExpectKeyword("by"));
@@ -157,18 +176,25 @@ class Parser : private TokenCursor {
       break;
     }
     builder_.AddCovering(covered, coverers);
+    source_map_.covering_constraints.push_back(loc);
     return ExpectPunct(";");
   }
 
   SchemaBuilder builder_;
+  SchemaSourceMap source_map_;
 };
 
 }  // namespace
 
 Result<NamedSchema> ParseSchema(std::string_view text) {
+  return ParseSchema(text, ParseSchemaOptions{});
+}
+
+Result<NamedSchema> ParseSchema(std::string_view text,
+                                const ParseSchemaOptions& options) {
   Lexer lexer(text);
   CRSAT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), options);
   return parser.Parse();
 }
 

@@ -3,16 +3,45 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/base/result.h"
 #include "src/cr/schema.h"
+#include "src/cr/source_location.h"
 
 namespace crsat {
 
-/// A schema together with the name it was declared under.
+/// Source positions for every declaration of a parsed schema, so
+/// diagnostics (src/analysis/) can point back into the DSL text. Each
+/// vector parallels the corresponding `Schema` accessor: entries are
+/// indexed by id value (classes, relationships, roles) or declaration
+/// order (ISA, cardinality, disjointness, covering). All vectors are empty
+/// for schemas that were built programmatically.
+struct SchemaSourceMap {
+  std::vector<SourceLocation> classes;
+  std::vector<SourceLocation> relationships;
+  std::vector<SourceLocation> roles;
+  std::vector<SourceLocation> isa_statements;
+  std::vector<SourceLocation> cardinality_declarations;
+  std::vector<SourceLocation> disjointness_constraints;
+  std::vector<SourceLocation> covering_constraints;
+};
+
+/// A schema together with the name it was declared under and (when parsed
+/// from text) the source positions of its declarations.
 struct NamedSchema {
   std::string name;
   Schema schema;
+  SchemaSourceMap source_map;
+};
+
+/// Knobs for `ParseSchema`.
+struct ParseSchemaOptions {
+  /// Accept `card ... = (m, n)` with `m > n`. Such a declaration forces
+  /// the class empty; the default strict mode rejects it at build time,
+  /// while the lint pipeline parses leniently so the `empty-range` rule
+  /// can report it with a source position instead.
+  bool permit_empty_ranges = false;
 };
 
 /// Parses the crsat schema DSL. The grammar (comments: `//` or `#` to end
@@ -33,8 +62,13 @@ struct NamedSchema {
 ///   }
 ///
 /// All well-formedness rules of `SchemaBuilder` apply; errors carry
-/// line/column information for syntax problems.
+/// line/column information for syntax problems. The returned
+/// `NamedSchema::source_map` records where each declaration appeared.
 Result<NamedSchema> ParseSchema(std::string_view text);
+
+/// As above, with parsing knobs (see `ParseSchemaOptions`).
+Result<NamedSchema> ParseSchema(std::string_view text,
+                                const ParseSchemaOptions& options);
 
 /// Renders `schema` back into DSL text that `ParseSchema` accepts
 /// (round-trips up to formatting).

@@ -1,0 +1,32 @@
+#ifndef CRSAT_CR_SOURCE_LOCATION_H_
+#define CRSAT_CR_SOURCE_LOCATION_H_
+
+#include <string>
+
+namespace crsat {
+
+/// A 1-based line/column position in schema DSL text. Schemas built
+/// programmatically (via `SchemaBuilder`) have no locations; `IsKnown()`
+/// distinguishes the two so diagnostics degrade gracefully.
+struct SourceLocation {
+  int line = 0;
+  int column = 0;
+
+  bool IsKnown() const { return line > 0; }
+
+  /// Renders "line:column", or "?" when unknown.
+  std::string ToString() const {
+    if (!IsKnown()) {
+      return "?";
+    }
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  bool operator==(const SourceLocation& other) const {
+    return line == other.line && column == other.column;
+  }
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_CR_SOURCE_LOCATION_H_

@@ -21,8 +21,14 @@
 ///
 /// Implication queries live in `ImplicationChecker`, schema debugging in
 /// `MinimizeUnsatCore`, and the ISA-free Lenzerini-Nobili baseline in
-/// `LnReasoner`.
+/// `LnReasoner`. Cheap pre-LP structural diagnostics (the lint engine)
+/// live in `RunLint` / `LintRuleRegistry` (src/analysis/).
 
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/empty_classes.h"
+#include "src/analysis/lint_engine.h"
+#include "src/analysis/lint_rule.h"
+#include "src/analysis/rules.h"
 #include "src/base/result.h"
 #include "src/base/status.h"
 #include "src/baseline/ln_reasoner.h"

@@ -96,13 +96,31 @@ Result<AcceptableSupport> SatisfiabilityChecker::Support() const {
 }
 
 Result<bool> SatisfiabilityChecker::IsClassSatisfiable(ClassId cls) const {
+  if (IsKnownEmpty(cls)) {
+    return false;  // Structural pre-pass already decided; skip the LP.
+  }
   return IsTargetSatisfiable(expansion_->ClassIndicesContaining(cls));
 }
 
 Result<std::vector<bool>> SatisfiabilityChecker::SatisfiableClasses() const {
+  const int num_classes = expansion_->schema().num_classes();
+  // If the structural pre-pass decided every class, skip the LP entirely.
+  bool all_known_empty = true;
+  for (int c = 0; c < num_classes; ++c) {
+    if (!IsKnownEmpty(ClassId(c))) {
+      all_known_empty = false;
+      break;
+    }
+  }
+  if (all_known_empty) {
+    return std::vector<bool>(num_classes, false);
+  }
   CRSAT_ASSIGN_OR_RETURN(AcceptableSupport support, Support());
   std::vector<bool> satisfiable(expansion_->schema().num_classes(), false);
   for (int c = 0; c < expansion_->schema().num_classes(); ++c) {
+    if (IsKnownEmpty(ClassId(c))) {
+      continue;
+    }
     for (int class_index : expansion_->ClassIndicesContaining(ClassId(c))) {
       if (support.positive[cr_system_.class_vars[class_index]]) {
         satisfiable[c] = true;

@@ -105,10 +105,28 @@ class SatisfiabilityChecker {
   /// its component class unknowns).
   const std::vector<Dependency>& dependencies() const { return dependencies_; }
 
+  /// Marks classes already proven unsatisfiable by a cheaper pre-LP pass
+  /// (the lint engine's structural empty-class fixpoint,
+  /// src/analysis/empty_classes.h). Queries about these classes
+  /// short-circuit to "unsatisfiable" without triggering the support
+  /// computation; other classes are unaffected. The hints must be sound —
+  /// only pass facts that hold in every finite model. Indexed by ClassId;
+  /// may be shorter than `num_classes()` (missing entries mean "unknown").
+  void SetKnownEmptyClasses(std::vector<bool> known_empty) {
+    known_empty_ = std::move(known_empty);
+  }
+
  private:
+  bool IsKnownEmpty(ClassId cls) const {
+    return cls.value >= 0 &&
+           cls.value < static_cast<int>(known_empty_.size()) &&
+           known_empty_[cls.value];
+  }
+
   const Expansion* expansion_;
   CrSystem cr_system_;
   std::vector<Dependency> dependencies_;
+  std::vector<bool> known_empty_;
   mutable std::optional<Result<AcceptableSupport>> support_;
 };
 
