@@ -1,7 +1,11 @@
 // crsat_cli — command-line front end for the reasoner.
 //
 // Usage:
-//   crsat_cli check <schema-file>        satisfiability of every class
+//   crsat_cli check <schema-file> [--threads N] [--json]
+//       satisfiability of every class; --threads sets the reasoning
+//       pool's parallelism (0 = auto: CRSAT_THREADS or the hardware),
+//       --json emits a machine-readable report including the effective
+//       thread count
 //   crsat_cli expand <schema-file>       print the expansion (Figure 4 style)
 //   crsat_cli system <schema-file>       print the disequation system
 //   crsat_cli model <schema-file> <Class>    materialize + print a model
@@ -37,7 +41,7 @@ namespace {
 int Usage() {
   std::cerr
       << "usage:\n"
-         "  crsat_cli check  <schema-file>\n"
+         "  crsat_cli check  <schema-file> [--threads N] [--json]\n"
          "  crsat_cli expand <schema-file>\n"
          "  crsat_cli system <schema-file>\n"
          "  crsat_cli model  <schema-file> <Class>\n"
@@ -155,7 +159,19 @@ int RunLint(const std::string& path, bool json) {
   return crsat::HasErrors(diagnostics) ? EXIT_FAILURE : EXIT_SUCCESS;
 }
 
-int RunCheck(const crsat::Schema& schema) {
+std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      escaped += '\\';
+    }
+    escaped += c;
+  }
+  return escaped;
+}
+
+int RunCheck(const crsat::NamedSchema& parsed, bool json) {
+  const crsat::Schema& schema = parsed.schema;
   crsat::Result<crsat::Expansion> expansion = crsat::Expansion::Build(schema);
   if (!expansion.ok()) {
     std::cerr << expansion.status() << "\n";
@@ -173,8 +189,28 @@ int RunCheck(const crsat::Schema& schema) {
   }
   bool all_ok = true;
   for (crsat::ClassId cls : schema.AllClasses()) {
+    all_ok = all_ok && (*satisfiable)[cls.value];
+  }
+  if (json) {
+    std::cout << "{\n  \"schema\": \"" << JsonEscape(parsed.name)
+              << "\",\n  \"threads\": " << crsat::GlobalThreadCount()
+              << ",\n  \"classes\": [\n";
+    bool first = true;
+    for (crsat::ClassId cls : schema.AllClasses()) {
+      if (!first) {
+        std::cout << ",\n";
+      }
+      first = false;
+      std::cout << "    {\"name\": \"" << JsonEscape(schema.ClassName(cls))
+                << "\", \"satisfiable\": "
+                << ((*satisfiable)[cls.value] ? "true" : "false") << "}";
+    }
+    std::cout << "\n  ],\n  \"strongly_satisfiable\": "
+              << (all_ok ? "true" : "false") << "\n}\n";
+    return EXIT_SUCCESS;
+  }
+  for (crsat::ClassId cls : schema.AllClasses()) {
     bool ok = (*satisfiable)[cls.value];
-    all_ok = all_ok && ok;
     std::cout << (ok ? "  satisfiable    " : "  UNSATISFIABLE  ")
               << schema.ClassName(cls) << "\n";
   }
@@ -301,7 +337,24 @@ int main(int argc, char** argv) {
   const crsat::Schema& schema = parsed->schema;
 
   if (command == "check") {
-    return RunCheck(schema);
+    bool json = false;
+    long threads = 0;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        json = true;
+      } else if (arg == "--threads" && i + 1 < argc) {
+        char* end = nullptr;
+        threads = std::strtol(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0' || threads < 0) {
+          return Usage();
+        }
+      } else {
+        return Usage();
+      }
+    }
+    crsat::SetGlobalThreadCount(static_cast<int>(threads));
+    return RunCheck(*parsed, json);
   }
   if (command == "expand") {
     crsat::Result<crsat::Expansion> expansion =

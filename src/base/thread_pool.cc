@@ -1,0 +1,168 @@
+#include "src/base/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace crsat {
+
+namespace {
+
+// Set for the lifetime of a pool worker thread; ParallelFor calls issued
+// from such a thread run inline instead of re-entering the queue.
+thread_local bool tls_inside_pool_worker = false;
+
+}  // namespace
+
+// Shared state of one ParallelFor call. Owns a copy of the loop body so a
+// helper task dequeued after the caller already drained every index (and
+// returned) still touches only live memory.
+struct ThreadPool::ForState {
+  std::function<void(size_t)> fn;
+  size_t n = 0;
+  std::atomic<size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  size_t done = 0;
+
+  void Drain() {
+    size_t completed = 0;
+    while (true) {
+      const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= n) {
+        break;
+      }
+      fn(index);
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      done += completed;
+      if (done == n) {
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_inside_pool_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // Stopping and drained.
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  // Inline paths: trivial loops, single-threaded pools, and nested calls
+  // from inside a worker (which would otherwise deadlock waiting for the
+  // queue they are blocking).
+  if (n == 1 || workers_.empty() || tls_inside_pool_worker) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  auto state = std::make_shared<ForState>();
+  state->fn = fn;
+  state->n = n;
+  const size_t helpers =
+      workers_.size() < n - 1 ? workers_.size() : n - 1;
+  for (size_t i = 0; i < helpers; ++i) {
+    Enqueue([state] { state->Drain(); });
+  }
+  state->Drain();  // The caller is a lane too.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&state] { return state->done == state->n; });
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("CRSAT_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed < 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
+  if (!pool) {
+    pool = std::make_unique<ThreadPool>(ThreadPool::DefaultThreadCount());
+  }
+  return *pool;
+}
+
+void SetGlobalThreadCount(int num_threads) {
+  const int effective =
+      num_threads <= 0 ? ThreadPool::DefaultThreadCount() : num_threads;
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
+  if (pool && pool->num_threads() == effective) {
+    return;
+  }
+  pool = std::make_unique<ThreadPool>(effective);
+}
+
+int GlobalThreadCount() { return GlobalThreadPool().num_threads(); }
+
+}  // namespace crsat

@@ -1,0 +1,82 @@
+#ifndef CRSAT_BASE_THREAD_POOL_H_
+#define CRSAT_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crsat {
+
+/// Fixed-size task pool used by the reasoning core to fan independent LP
+/// probes and implication queries across cores.
+///
+/// A pool of parallelism `n` owns `n - 1` worker threads; the thread that
+/// calls `ParallelFor` participates as the n-th lane, so `ThreadPool(1)`
+/// owns no threads and runs everything inline. Nested `ParallelFor` calls
+/// issued from inside a worker run inline on that worker (no deadlock, no
+/// oversubscription) — the reasoner relies on this when a parallel
+/// implication sweep reaches the parallel probe rounds underneath it.
+///
+/// Determinism contract: `ParallelFor` only schedules; callers that need
+/// bit-identical results across thread counts must make their *work*
+/// independent of scheduling (crsat's probe rounds collect per-index
+/// results and apply them in index order afterwards).
+class ThreadPool {
+ public:
+  /// Creates a pool of parallelism `num_threads` (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The pool's parallelism (worker threads + the calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(0) .. fn(n - 1)`, distributing indices across the pool, and
+  /// blocks until every call has returned. The calling thread executes
+  /// work too. `fn` must be safe to invoke concurrently from multiple
+  /// threads for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// The parallelism requested by the environment: `CRSAT_THREADS` when it
+  /// parses to a positive integer, otherwise `hardware_concurrency()`
+  /// (never less than 1).
+  static int DefaultThreadCount();
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+/// The process-wide pool used by the reasoning core. Lazily constructed at
+/// `DefaultThreadCount()` parallelism on first use.
+ThreadPool& GlobalThreadPool();
+
+/// Replaces the global pool with one of parallelism `num_threads`
+/// (`num_threads <= 0` means `DefaultThreadCount()`). Must not race with
+/// concurrent `ParallelFor` calls on the global pool; intended for CLI
+/// startup and tests.
+void SetGlobalThreadCount(int num_threads);
+
+/// The global pool's current parallelism (constructs the pool if needed).
+int GlobalThreadCount();
+
+}  // namespace crsat
+
+#endif  // CRSAT_BASE_THREAD_POOL_H_

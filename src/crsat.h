@@ -31,6 +31,7 @@
 #include "src/analysis/rules.h"
 #include "src/base/result.h"
 #include "src/base/status.h"
+#include "src/base/thread_pool.h"
 #include "src/baseline/ln_reasoner.h"
 #include "src/cr/interpretation.h"
 #include "src/cr/model_checker.h"

@@ -1,6 +1,10 @@
 #include "src/lp/homogeneous.h"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
+
+#include "src/base/thread_pool.h"
 
 namespace crsat {
 
@@ -59,7 +63,8 @@ std::vector<BigInt> ScaleSolution(const std::vector<BigInt>& values,
 }
 
 Result<SupportResult> ComputeMaximalSupport(
-    const LinearSystem& system, const std::vector<bool>& forced_zero) {
+    const LinearSystem& system, const std::vector<bool>& forced_zero,
+    WarmStartBasis* round0_carry) {
   if (!system.IsHomogeneous()) {
     return InvalidArgumentError(
         "ComputeMaximalSupport requires a homogeneous system");
@@ -105,43 +110,107 @@ Result<SupportResult> ComputeMaximalSupport(
     }
     pinned.AddConstraint(std::move(remapped), constraint.sense);
   }
-  // Group probing. Each round asks one feasibility question:
+  // Parallel group probing. Each probe asks one feasibility question about
+  // a group G of still-undetermined variables:
   //
-  //   sum of the still-undetermined variables >= 1
+  //   sum of G >= 1
   //
-  // (equivalent by scaling to "some undetermined variable positive" on the
-  // cone). Infeasible => *every* remaining variable is zero in every
-  // solution — certified by a single LP, where per-variable probing would
-  // pay one infeasible LP each. Feasible => the witness is folded in and
-  // marks at least one new positive (its undetermined-sum is >= 1), so the
-  // loop runs at most (support size + 1) rounds; in practice a couple,
-  // since each vertex witness makes many variables positive at once.
+  // (equivalent by scaling to "some variable of G positive" on the cone).
+  // Infeasible => *every* variable of G is zero in every solution of the
+  // pinned system — certified by a single LP. Feasible => the witness is a
+  // solution of the shared pinned system, so it is folded into the global
+  // accumulator and marks at least one member of G (its G-sum is >= 1)
+  // plus typically many other variables positive at once.
+  //
+  // Round 0 probes all undetermined variables as ONE group — the common
+  // case (most variables supported, or the whole cone trivial) then costs
+  // a single LP exactly like the serial algorithm did. Later rounds split
+  // the survivors into up to kMaxGroupsPerRound groups probed concurrently
+  // on the global pool: the probes share only the immutable pinned system,
+  // so they are embarrassingly parallel. Every group shrinks the
+  // undetermined set each round (infeasible => members removed as proven
+  // zero; feasible => >= 1 member marked positive), so the loop terminates.
+  //
+  // Determinism: the grouping depends only on the round index and the
+  // undetermined list — never on the thread count — and verdicts are
+  // collected first, then applied in group-index order, so pivot counts,
+  // witnesses, and verdicts are bit-identical at any parallelism.
+  //
+  // Warm starts only apply to the round-0 probe, seeded from
+  // `round0_carry` (a basis exported by a previous *call* on a same-shaped
+  // system). Later rounds probe cold: their groups consist of variables
+  // that were zero at every vertex exported so far, so any old basis
+  // violates the new probe row and would be rejected anyway.
+  constexpr size_t kMaxGroupsPerRound = 8;
   std::vector<VarId> undetermined;
   for (VarId v = 0; v < pinned.num_variables(); ++v) {
     undetermined.push_back(v);
   }
+  int round = 0;
   while (!undetermined.empty()) {
-    LinearSystem probe = pinned;
-    LinearExpr at_least_one;
-    for (VarId v : undetermined) {
-      at_least_one.AddTerm(v, Rational(1));
+    const size_t num_groups =
+        round == 0 ? 1
+                   : std::min(kMaxGroupsPerRound, undetermined.size());
+    ++round;
+    // Contiguous chunks of the (deterministically ordered) undetermined
+    // list; chunk g covers [g*U/G, (g+1)*U/G).
+    std::vector<std::vector<VarId>> groups(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const size_t begin = g * undetermined.size() / num_groups;
+      const size_t end = (g + 1) * undetermined.size() / num_groups;
+      groups[g].assign(undetermined.begin() + begin,
+                       undetermined.begin() + end);
     }
-    at_least_one.AddConstant(Rational(-1));
-    probe.AddGe(std::move(at_least_one));
-    CRSAT_ASSIGN_OR_RETURN(LpResult lp,
-                           SimplexSolver::CheckFeasibility(probe));
-    if (lp.outcome != LpOutcome::kOptimal) {
-      break;  // All remaining variables are zero in every solution.
-    }
-    for (VarId u = 0; u < pinned.num_variables(); ++u) {
-      result.witness[from_probe[u]] += lp.values[u];
-      if (lp.values[u].IsPositive()) {
-        result.positive[from_probe[u]] = true;
+    std::vector<std::optional<Result<LpResult>>> verdicts(num_groups);
+    std::vector<WarmStartBasis> exported(num_groups);
+    GlobalThreadPool().ParallelFor(num_groups, [&](size_t g) {
+      LinearSystem probe = pinned;
+      LinearExpr at_least_one;
+      for (VarId v : groups[g]) {
+        at_least_one.AddTerm(v, Rational(1));
       }
+      at_least_one.AddConstant(Rational(-1));
+      probe.AddGe(std::move(at_least_one));
+      SimplexOptions options;
+      const bool is_round0_probe = round == 1 && g == 0;
+      if (is_round0_probe && round0_carry != nullptr &&
+          !round0_carry->empty()) {
+        options.warm_start = round0_carry;
+      }
+      options.export_basis = &exported[g];
+      verdicts[g] = SimplexSolver::SolveWith(probe, LinearExpr(),
+                                             /*maximize=*/false, options);
+    });
+    // Apply verdicts serially in group-index order.
+    std::vector<bool> proven_zero(pinned.num_variables(), false);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const Result<LpResult>& verdict = *verdicts[g];
+      if (!verdict.ok()) {
+        return verdict.status();
+      }
+      if (verdict->outcome != LpOutcome::kOptimal) {
+        // No solution of the pinned system makes any member of this group
+        // positive; they are settled (and stay out of later witnesses).
+        for (VarId v : groups[g]) {
+          proven_zero[v] = true;
+        }
+        continue;
+      }
+      for (VarId u = 0; u < pinned.num_variables(); ++u) {
+        result.witness[from_probe[u]] += verdict->values[u];
+        if (verdict->values[u].IsPositive()) {
+          result.positive[from_probe[u]] = true;
+        }
+      }
+    }
+    if (round == 1 && round0_carry != nullptr && !exported[0].empty()) {
+      // Hand the first probe's basis back for the caller's next
+      // same-shaped call (round 0 is always a single group).
+      *round0_carry = std::move(exported[0]);
     }
     std::vector<VarId> still_undetermined;
     for (VarId v : undetermined) {
-      if (!result.positive[from_probe[v]]) {
+      if (!proven_zero[v] && !result.positive[from_probe[v]]) {
         still_undetermined.push_back(v);
       }
     }

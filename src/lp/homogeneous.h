@@ -46,10 +46,26 @@ struct SupportResult {
 /// variables, which variables can be strictly positive once the variables
 /// in `forced_zero` are pinned to 0. This is the LP core of the paper's
 /// acceptable-solution search (Theorem 3.4): each probe solves
-/// `system + {x_u = 0 : forced} + {x_v >= 1}`.
+/// `system + {x_u = 0 : forced} + {sum of a group >= 1}`.
 /// `forced_zero.size()` must equal `system.num_variables()`.
+///
+/// Probes within a round are independent (they share only the immutable
+/// pinned system) and run concurrently on the global thread pool. Grouping
+/// and verdict application are independent of the thread count, so results
+/// are bit-identical at any parallelism.
+///
+/// `round0_carry`, when non-null, threads a warm-start basis across
+/// *successive calls* on systems of the same shape (e.g. the implication
+/// engine's bisection probes, which differ only in one overridden
+/// cardinality coefficient): the first probe of this call tries to reuse
+/// the carried basis to skip phase 1, and a feasible first probe writes
+/// its final basis back. (Later rounds never warm start: their probe row
+/// `sum of group >= 1` ranges over variables that were all zero at any
+/// previously exported vertex, so an old basis is never primal-feasible
+/// for them.)
 Result<SupportResult> ComputeMaximalSupport(
-    const LinearSystem& system, const std::vector<bool>& forced_zero);
+    const LinearSystem& system, const std::vector<bool>& forced_zero,
+    WarmStartBasis* round0_carry = nullptr);
 
 }  // namespace crsat
 

@@ -2,7 +2,20 @@
 
 #include <utility>
 
+#include "src/lp/small_rational.h"
+
 namespace crsat {
+
+void SimplexStats::Reset() {
+  solves.store(0, std::memory_order_relaxed);
+  pivots.store(0, std::memory_order_relaxed);
+  phase1_pivots.store(0, std::memory_order_relaxed);
+  fast_solves.store(0, std::memory_order_relaxed);
+  fast_pivots.store(0, std::memory_order_relaxed);
+  tier_fallbacks.store(0, std::memory_order_relaxed);
+  warm_start_hits.store(0, std::memory_order_relaxed);
+  warm_start_misses.store(0, std::memory_order_relaxed);
+}
 
 SimplexStats& GetSimplexStats() {
   static SimplexStats stats;
@@ -11,34 +24,92 @@ SimplexStats& GetSimplexStats() {
 
 namespace {
 
-// Dense exact tableau for the two-phase primal simplex.
+void BumpStat(std::atomic<std::uint64_t>& counter, std::uint64_t amount = 1) {
+  counter.fetch_add(amount, std::memory_order_relaxed);
+}
+
+// Arithmetic-tier glue. Both scalars are exact rationals; the small one
+// abstains (via a sticky thread-local flag) instead of losing precision.
+template <typename Scalar>
+struct ScalarOps;
+
+template <>
+struct ScalarOps<Rational> {
+  static bool FromRational(const Rational& value, Rational* out) {
+    *out = value;
+    return true;
+  }
+  static Rational ToRational(const Rational& value) { return value; }
+  static bool Overflowed() { return false; }
+  static void ClearOverflow() {}
+};
+
+template <>
+struct ScalarOps<SmallRational> {
+  static bool FromRational(const Rational& value, SmallRational* out) {
+    Result<std::int64_t> num = value.numerator().ToInt64();
+    Result<std::int64_t> den = value.denominator().ToInt64();
+    if (!num.ok() || !den.ok()) {
+      return false;
+    }
+    // Rational keeps fractions reduced with a positive denominator, so the
+    // parts can be adopted verbatim.
+    *out = SmallRational::FromReduced(*num, *den);
+    return true;
+  }
+  static Rational ToRational(const SmallRational& value) {
+    return Rational(BigInt(value.numerator()), BigInt(value.denominator()));
+  }
+  static bool Overflowed() { return SmallRational::OverflowSeen(); }
+  static void ClearOverflow() { SmallRational::ClearOverflow(); }
+};
+
+// Tier-independent tableau shape: column layout and sign-normalized rows,
+// still in exact `Rational` form. Computed once per solve and shared by
+// both tiers (the exact fallback must see exactly the system the fast
+// attempt saw).
 //
 // Column layout: [structural columns][slack/surplus columns][artificial
-// columns], plus the right-hand side kept in a separate vector. Structural
-// columns encode user variables: a nonnegative variable occupies one column;
-// a free variable is split into two columns (x = pos - neg).
-class Tableau {
- public:
-  explicit Tableau(const LinearSystem& system) : system_(system) {
+// columns], plus the right-hand side kept separately. Structural columns
+// encode user variables: a nonnegative variable occupies one column; a
+// free variable is split into two columns (x = pos - neg).
+struct TableauLayout {
+  struct Row {
+    std::vector<Rational> coeffs;
+    Rational rhs;
+    ConstraintSense sense = ConstraintSense::kEqual;
+    int slack_column = -1;
+    Rational slack_sign;
+    int artificial_column = -1;
+  };
+
+  std::vector<int> column_of_var;
+  std::vector<int> neg_column_of_var;
+  int num_columns = 0;
+  int num_structural = 0;
+  int num_with_slacks = 0;
+  std::vector<Row> rows;
+
+  explicit TableauLayout(const LinearSystem& system) {
     // Assign structural columns.
-    column_of_var_.resize(system.num_variables());
-    neg_column_of_var_.assign(system.num_variables(), -1);
+    column_of_var.resize(system.num_variables());
+    neg_column_of_var.assign(system.num_variables(), -1);
     for (VarId v = 0; v < system.num_variables(); ++v) {
-      column_of_var_[v] = num_columns_++;
+      column_of_var[v] = num_columns++;
       if (!system.IsNonnegative(v)) {
-        neg_column_of_var_[v] = num_columns_++;
+        neg_column_of_var[v] = num_columns++;
       }
     }
-    num_structural_ = num_columns_;
+    num_structural = num_columns;
 
     // One row per constraint, with b >= 0 after sign normalization.
     for (const Constraint& constraint : system.constraints()) {
       Row row;
-      row.coeffs.assign(num_structural_, Rational());
+      row.coeffs.assign(num_structural, Rational());
       for (const auto& [var, coeff] : constraint.expr.terms()) {
-        row.coeffs[column_of_var_[var]] += coeff;
-        if (neg_column_of_var_[var] >= 0) {
-          row.coeffs[neg_column_of_var_[var]] -= coeff;
+        row.coeffs[column_of_var[var]] += coeff;
+        if (neg_column_of_var[var] >= 0) {
+          row.coeffs[neg_column_of_var[var]] -= coeff;
         }
       }
       row.rhs = -constraint.expr.constant();
@@ -59,73 +130,145 @@ class Tableau {
         }
       }
       row.sense = sense;
-      rows_.push_back(std::move(row));
+      rows.push_back(std::move(row));
     }
 
     // Slack / surplus columns.
-    for (Row& row : rows_) {
+    for (Row& row : rows) {
       if (row.sense == ConstraintSense::kLessEqual) {
-        row.slack_column = num_columns_++;
+        row.slack_column = num_columns++;
         row.slack_sign = Rational(1);
       } else if (row.sense == ConstraintSense::kGreaterEqual) {
-        row.slack_column = num_columns_++;
+        row.slack_column = num_columns++;
         row.slack_sign = Rational(-1);
       }
     }
-    num_with_slacks_ = num_columns_;
+    num_with_slacks = num_columns;
 
     // Artificial columns: needed for == rows and >= rows (whose surplus
     // enters with -1 and cannot start basic). A <= row's slack starts basic.
-    for (Row& row : rows_) {
+    for (Row& row : rows) {
       bool needs_artificial = row.sense != ConstraintSense::kLessEqual;
       if (needs_artificial) {
-        row.artificial_column = num_columns_++;
+        row.artificial_column = num_columns++;
       }
     }
+  }
+};
 
-    // Materialize the dense tableau.
-    size_t m = rows_.size();
-    matrix_.assign(m, std::vector<Rational>(num_columns_, Rational()));
-    rhs_.assign(m, Rational());
+enum class RunOutcome {
+  kOptimal,
+  kUnbounded,
+  // A fast-tier value left the representable range; results are unusable
+  // and the caller restarts the solve on the exact tier.
+  kOverflow,
+};
+
+enum class Phase1Outcome { kFeasible, kInfeasible, kOverflow };
+
+// Dense two-phase primal simplex over an exact scalar type, materialized
+// from a shared `TableauLayout`.
+template <typename Scalar>
+class Tableau {
+ public:
+  Tableau(const LinearSystem& system, const TableauLayout& layout)
+      : system_(&system), layout_(&layout) {
+    const size_t m = layout.rows.size();
+    matrix_.assign(m, std::vector<Scalar>(layout.num_columns, Scalar()));
+    rhs_.assign(m, Scalar());
     basis_.assign(m, -1);
     for (size_t i = 0; i < m; ++i) {
-      const Row& row = rows_[i];
-      for (int j = 0; j < num_structural_; ++j) {
-        matrix_[i][j] = row.coeffs[j];
+      const TableauLayout::Row& row = layout.rows[i];
+      for (int j = 0; j < layout.num_structural; ++j) {
+        if (!ScalarOps<Scalar>::FromRational(row.coeffs[j], &matrix_[i][j])) {
+          ok_ = false;
+          return;
+        }
       }
-      if (row.slack_column >= 0) {
-        matrix_[i][row.slack_column] = row.slack_sign;
+      if (row.slack_column >= 0 &&
+          !ScalarOps<Scalar>::FromRational(row.slack_sign,
+                                           &matrix_[i][row.slack_column])) {
+        ok_ = false;
+        return;
       }
       if (row.artificial_column >= 0) {
-        matrix_[i][row.artificial_column] = Rational(1);
+        matrix_[i][row.artificial_column] = Scalar(1);
         basis_[i] = row.artificial_column;
       } else {
         basis_[i] = row.slack_column;
       }
-      rhs_[i] = row.rhs;
+      if (!ScalarOps<Scalar>::FromRational(row.rhs, &rhs_[i])) {
+        ok_ = false;
+        return;
+      }
     }
   }
 
-  // Runs phase 1. Returns false if the system is infeasible.
-  bool SolvePhase1() {
-    std::vector<Rational> costs(num_columns_, Rational());
-    for (int j = first_artificial(); j < num_columns_; ++j) {
-      costs[j] = Rational(1);
-    }
-    RunSimplex(costs, /*allow_artificials=*/true);
-    Rational value = ObjectiveValue(costs);
-    if (value.IsPositive()) {
+  // False when some input coefficient was not representable in `Scalar`.
+  bool ok() const { return ok_; }
+
+  // Attempts to pivot into `basis` and skip phase 1. Returns true when the
+  // basis is structurally compatible, non-singular, and feasible for this
+  // system. On failure the tableau may be left mid-elimination — the
+  // caller must discard it and rebuild.
+  bool TryWarmStart(const WarmStartBasis& warm) {
+    if (warm.num_columns != layout_->num_columns ||
+        warm.basis.size() != matrix_.size()) {
       return false;
     }
-    EliminateArtificialsFromBasis();
+    for (int column : warm.basis) {
+      if (column < 0 || column >= layout_->num_with_slacks) {
+        return false;  // Artificial or out-of-range column.
+      }
+    }
+    for (size_t i = 0; i < matrix_.size(); ++i) {
+      const int column = warm.basis[i];
+      if (matrix_[i][column].IsZero()) {
+        return false;  // Singular for this system's coefficients.
+      }
+      Pivot(static_cast<int>(i), column);
+      if (ScalarOps<Scalar>::Overflowed()) {
+        return false;
+      }
+    }
+    for (const Scalar& rhs : rhs_) {
+      if (rhs.IsNegative()) {
+        return false;  // Basis no longer primal-feasible.
+      }
+    }
     return true;
   }
 
-  // Runs phase 2 minimizing `costs` over the structural columns; returns
-  // false when unbounded. `costs` has one entry per structural column.
-  bool SolvePhase2(const std::vector<Rational>& structural_costs) {
-    std::vector<Rational> costs(num_columns_, Rational());
-    for (int j = 0; j < num_structural_; ++j) {
+  // Runs phase 1 (minimize the sum of artificials).
+  Phase1Outcome SolvePhase1() {
+    std::vector<Scalar> costs(layout_->num_columns, Scalar());
+    for (int j = first_artificial(); j < layout_->num_columns; ++j) {
+      costs[j] = Scalar(1);
+    }
+    RunOutcome outcome = RunSimplex(costs, /*allow_artificials=*/true);
+    if (outcome == RunOutcome::kOverflow) {
+      return Phase1Outcome::kOverflow;
+    }
+    // Phase 1 is bounded below by 0, so kUnbounded cannot happen.
+    Scalar value = ObjectiveValue(costs);
+    if (ScalarOps<Scalar>::Overflowed()) {
+      return Phase1Outcome::kOverflow;
+    }
+    if (value.IsPositive()) {
+      return Phase1Outcome::kInfeasible;
+    }
+    EliminateArtificialsFromBasis();
+    if (ScalarOps<Scalar>::Overflowed()) {
+      return Phase1Outcome::kOverflow;
+    }
+    return Phase1Outcome::kFeasible;
+  }
+
+  // Runs phase 2 minimizing `costs` over the structural columns; `costs`
+  // has one entry per structural column.
+  RunOutcome SolvePhase2(const std::vector<Scalar>& structural_costs) {
+    std::vector<Scalar> costs(layout_->num_columns, Scalar());
+    for (int j = 0; j < layout_->num_structural; ++j) {
       costs[j] = structural_costs[j];
     }
     return RunSimplex(costs, /*allow_artificials=*/false);
@@ -133,67 +276,70 @@ class Tableau {
 
   // Extracts per-user-variable values from the current basic solution.
   std::vector<Rational> ExtractValues() const {
-    std::vector<Rational> column_values(num_columns_, Rational());
+    std::vector<Scalar> column_values(layout_->num_columns, Scalar());
     for (size_t i = 0; i < basis_.size(); ++i) {
       column_values[basis_[i]] = rhs_[i];
     }
-    std::vector<Rational> values(system_.num_variables(), Rational());
-    for (VarId v = 0; v < system_.num_variables(); ++v) {
-      values[v] = column_values[column_of_var_[v]];
-      if (neg_column_of_var_[v] >= 0) {
-        values[v] -= column_values[neg_column_of_var_[v]];
+    std::vector<Rational> values(system_->num_variables(), Rational());
+    for (VarId v = 0; v < system_->num_variables(); ++v) {
+      values[v] = ScalarOps<Scalar>::ToRational(
+          column_values[layout_->column_of_var[v]]);
+      if (layout_->neg_column_of_var[v] >= 0) {
+        values[v] -= ScalarOps<Scalar>::ToRational(
+            column_values[layout_->neg_column_of_var[v]]);
       }
     }
     return values;
   }
 
-  int num_structural() const { return num_structural_; }
-  int column_of_var(VarId v) const { return column_of_var_[v]; }
-  int neg_column_of_var(VarId v) const { return neg_column_of_var_[v]; }
+  void ExportBasis(WarmStartBasis* out) const {
+    out->basis = basis_;
+    out->num_columns = layout_->num_columns;
+  }
+
+  std::uint64_t pivots() const { return pivots_; }
+  std::uint64_t phase1_pivots() const { return phase1_pivots_; }
 
  private:
-  struct Row {
-    std::vector<Rational> coeffs;
-    Rational rhs;
-    ConstraintSense sense = ConstraintSense::kEqual;
-    int slack_column = -1;
-    Rational slack_sign;
-    int artificial_column = -1;
-  };
+  int first_artificial() const { return layout_->num_with_slacks; }
 
-  int first_artificial() const { return num_with_slacks_; }
+  bool IsArtificial(int column) const {
+    return column >= layout_->num_with_slacks;
+  }
 
-  bool IsArtificial(int column) const { return column >= num_with_slacks_; }
-
-  Rational ObjectiveValue(const std::vector<Rational>& costs) const {
-    Rational total;
+  Scalar ObjectiveValue(const std::vector<Scalar>& costs) const {
+    Scalar total;
     for (size_t i = 0; i < basis_.size(); ++i) {
       total += costs[basis_[i]] * rhs_[i];
     }
     return total;
   }
 
-  // Primal simplex minimizing `costs`. Returns false if unbounded.
-  // Pricing: Dantzig's rule (most negative maintained reduced cost) for
-  // speed, with a permanent-within-the-run switch to Bland's rule after a
-  // long degenerate streak to guarantee termination (cycling can only
-  // happen inside a degenerate sequence; any strict objective improvement
-  // resets the streak). Artificial columns are barred from re-entering the
-  // basis in phase 2.
-  bool RunSimplex(const std::vector<Rational>& costs, bool allow_artificials) {
+  // Primal simplex minimizing `costs`. Pricing: Dantzig's rule (most
+  // negative maintained reduced cost) for speed, with a
+  // permanent-within-the-run switch to Bland's rule after a long
+  // degenerate streak to guarantee termination (cycling can only happen
+  // inside a degenerate sequence; any strict objective improvement resets
+  // the streak). Artificial columns are barred from re-entering the basis
+  // in phase 2. On the fast tier the sticky overflow flag is checked once
+  // per iteration: every in-range intermediate is exact, so a run that
+  // finishes unflagged is bit-for-bit the exact tier's result.
+  RunOutcome RunSimplex(const std::vector<Scalar>& costs,
+                        bool allow_artificials) {
+    const int num_columns = layout_->num_columns;
     // Initialize the maintained reduced-cost row:
     //   z_j = c_j - sum_i c_B(i) * T[i][j],
     // which Pivot then updates in O(columns) like any other row.
-    reduced_.assign(num_columns_, Rational());
-    for (int j = 0; j < num_columns_; ++j) {
+    reduced_.assign(num_columns, Scalar());
+    for (int j = 0; j < num_columns; ++j) {
       reduced_[j] = costs[j];
     }
     for (size_t i = 0; i < basis_.size(); ++i) {
-      const Rational& basis_cost = costs[basis_[i]];
+      const Scalar& basis_cost = costs[basis_[i]];
       if (basis_cost.IsZero()) {
         continue;
       }
-      for (int j = 0; j < num_columns_; ++j) {
+      for (int j = 0; j < num_columns; ++j) {
         if (!matrix_[i][j].IsZero()) {
           reduced_[j] -= basis_cost * matrix_[i][j];
         }
@@ -203,9 +349,12 @@ class Tableau {
     constexpr int kBlandStreak = 30;
     int degenerate_streak = 0;
     while (true) {
+      if (ScalarOps<Scalar>::Overflowed()) {
+        return RunOutcome::kOverflow;
+      }
       const bool use_bland = degenerate_streak >= kBlandStreak;
       int entering = -1;
-      for (int j = 0; j < num_columns_; ++j) {
+      for (int j = 0; j < num_columns; ++j) {
         if (!allow_artificials && IsArtificial(j)) {
           continue;
         }
@@ -221,28 +370,31 @@ class Tableau {
         }
       }
       if (entering < 0) {
-        return true;  // Optimal.
+        return RunOutcome::kOptimal;
       }
       int leaving_row = -1;
-      Rational best_ratio;
+      Scalar best_ratio;
       for (size_t i = 0; i < basis_.size(); ++i) {
         if (!matrix_[i][entering].IsPositive()) {
           continue;
         }
-        Rational ratio = rhs_[i] / matrix_[i][entering];
+        Scalar ratio = rhs_[i] / matrix_[i][entering];
         if (leaving_row < 0 || ratio < best_ratio ||
             (ratio == best_ratio && basis_[i] < basis_[leaving_row])) {
           leaving_row = static_cast<int>(i);
           best_ratio = ratio;
         }
       }
+      if (ScalarOps<Scalar>::Overflowed()) {
+        return RunOutcome::kOverflow;
+      }
       if (leaving_row < 0) {
-        return false;  // Unbounded direction.
+        return RunOutcome::kUnbounded;
       }
       degenerate_streak = best_ratio.IsZero() ? degenerate_streak + 1 : 0;
-      ++GetSimplexStats().pivots;
+      ++pivots_;
       if (allow_artificials) {
-        ++GetSimplexStats().phase1_pivots;
+        ++phase1_pivots_;
       }
       Pivot(leaving_row, entering);
     }
@@ -258,8 +410,9 @@ class Tableau {
   }
 
   void Pivot(int pivot_row, int pivot_column) {
-    Rational pivot = matrix_[pivot_row][pivot_column];
-    for (int j = 0; j < num_columns_; ++j) {
+    const int num_columns = layout_->num_columns;
+    Scalar pivot = matrix_[pivot_row][pivot_column];
+    for (int j = 0; j < num_columns; ++j) {
       matrix_[pivot_row][j] /= pivot;
     }
     rhs_[pivot_row] /= pivot;
@@ -267,11 +420,11 @@ class Tableau {
       if (static_cast<int>(i) == pivot_row) {
         continue;
       }
-      Rational factor = matrix_[i][pivot_column];
+      Scalar factor = matrix_[i][pivot_column];
       if (factor.IsZero()) {
         continue;
       }
-      for (int j = 0; j < num_columns_; ++j) {
+      for (int j = 0; j < num_columns; ++j) {
         if (!matrix_[pivot_row][j].IsZero()) {
           matrix_[i][j] -= factor * matrix_[pivot_row][j];
         }
@@ -280,10 +433,10 @@ class Tableau {
     }
     // The maintained reduced-cost row is eliminated like any other row
     // (only meaningful while RunSimplex is active; stale otherwise).
-    if (reduced_.size() == static_cast<size_t>(num_columns_)) {
-      Rational factor = reduced_[pivot_column];
+    if (reduced_.size() == static_cast<size_t>(num_columns)) {
+      Scalar factor = reduced_[pivot_column];
       if (!factor.IsZero()) {
-        for (int j = 0; j < num_columns_; ++j) {
+        for (int j = 0; j < num_columns; ++j) {
           if (!matrix_[pivot_row][j].IsZero()) {
             reduced_[j] -= factor * matrix_[pivot_row][j];
           }
@@ -303,7 +456,7 @@ class Tableau {
         continue;
       }
       int pivot_column = -1;
-      for (int j = 0; j < num_with_slacks_; ++j) {
+      for (int j = 0; j < layout_->num_with_slacks; ++j) {
         if (!matrix_[i][j].IsZero() && !IsBasic(j)) {
           pivot_column = j;
           break;
@@ -321,53 +474,165 @@ class Tableau {
     }
   }
 
-  const LinearSystem& system_;
-  std::vector<int> column_of_var_;
-  std::vector<int> neg_column_of_var_;
-  int num_columns_ = 0;
-  int num_structural_ = 0;
-  int num_with_slacks_ = 0;
-  std::vector<Row> rows_;
-  std::vector<std::vector<Rational>> matrix_;
-  std::vector<Rational> rhs_;
+  const LinearSystem* system_;
+  const TableauLayout* layout_;
+  bool ok_ = true;
+  std::uint64_t pivots_ = 0;
+  std::uint64_t phase1_pivots_ = 0;
+  std::vector<std::vector<Scalar>> matrix_;
+  std::vector<Scalar> rhs_;
   std::vector<int> basis_;
-  std::vector<Rational> reduced_;
+  std::vector<Scalar> reduced_;
 };
+
+enum class TierOutcome { kCompleted, kOverflow };
+
+// Runs a full two-phase solve on one arithmetic tier. On kCompleted,
+// `*out` holds the verdict (values filled for kOptimal) and `*tier_pivots`
+// the pivot count; on kOverflow the attempt's pivots are still flushed to
+// the global counters by the caller via `*tier_pivots`.
+template <typename Scalar>
+TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
+                        const std::vector<Rational>& structural_costs,
+                        const SimplexOptions& options, LpResult* out,
+                        std::uint64_t* tier_pivots,
+                        std::uint64_t* tier_phase1_pivots, bool* warm_hit) {
+  ScalarOps<Scalar>::ClearOverflow();
+  *tier_pivots = 0;
+  *tier_phase1_pivots = 0;
+  *warm_hit = false;
+
+  std::vector<Scalar> costs(structural_costs.size(), Scalar());
+  for (size_t j = 0; j < structural_costs.size(); ++j) {
+    if (!ScalarOps<Scalar>::FromRational(structural_costs[j], &costs[j])) {
+      return TierOutcome::kOverflow;
+    }
+  }
+
+  Tableau<Scalar> tableau(system, layout);
+  if (!tableau.ok()) {
+    return TierOutcome::kOverflow;
+  }
+
+  bool warm = false;
+  if (options.warm_start != nullptr && !options.warm_start->empty()) {
+    warm = tableau.TryWarmStart(*options.warm_start);
+    if (!warm) {
+      // The failed attempt may have left the tableau mid-elimination (and
+      // possibly overflowed); rebuild and run cold on this tier.
+      ScalarOps<Scalar>::ClearOverflow();
+      tableau = Tableau<Scalar>(system, layout);
+      BumpStat(GetSimplexStats().warm_start_misses);
+    }
+  }
+
+  if (!warm) {
+    Phase1Outcome phase1 = tableau.SolvePhase1();
+    *tier_pivots = tableau.pivots();
+    *tier_phase1_pivots = tableau.phase1_pivots();
+    if (phase1 == Phase1Outcome::kOverflow) {
+      return TierOutcome::kOverflow;
+    }
+    if (phase1 == Phase1Outcome::kInfeasible) {
+      out->outcome = LpOutcome::kInfeasible;
+      return TierOutcome::kCompleted;
+    }
+  }
+
+  RunOutcome phase2 = tableau.SolvePhase2(costs);
+  *tier_pivots = tableau.pivots();
+  *tier_phase1_pivots = tableau.phase1_pivots();
+  if (phase2 == RunOutcome::kOverflow) {
+    return TierOutcome::kOverflow;
+  }
+  if (phase2 == RunOutcome::kUnbounded) {
+    out->outcome = LpOutcome::kUnbounded;
+    *warm_hit = warm;
+    return TierOutcome::kCompleted;
+  }
+  out->outcome = LpOutcome::kOptimal;
+  out->values = tableau.ExtractValues();
+  if (ScalarOps<Scalar>::Overflowed()) {
+    return TierOutcome::kOverflow;
+  }
+  if (options.export_basis != nullptr) {
+    tableau.ExportBasis(options.export_basis);
+  }
+  *warm_hit = warm;
+  return TierOutcome::kCompleted;
+}
 
 }  // namespace
 
-Result<LpResult> SimplexSolver::Solve(const LinearSystem& system,
-                                      const LinearExpr& objective,
-                                      bool maximize) {
+Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
+                                          const LinearExpr& objective,
+                                          bool maximize,
+                                          const SimplexOptions& options) {
   if (system.HasStrictConstraints()) {
     return InvalidArgumentError(
         "SimplexSolver does not accept strict constraints; reduce them via "
         "the homogeneous layer first");
   }
-  ++GetSimplexStats().solves;
-  Tableau tableau(system);
-  LpResult result;
-  if (!tableau.SolvePhase1()) {
-    result.outcome = LpOutcome::kInfeasible;
-    return result;
-  }
-  // Build structural costs for minimization of +/- objective.
-  std::vector<Rational> costs(tableau.num_structural(), Rational());
+  SimplexStats& stats = GetSimplexStats();
+  BumpStat(stats.solves);
+  TableauLayout layout(system);
+
+  // Structural costs for minimization of +/- objective.
+  std::vector<Rational> costs(layout.num_structural, Rational());
   for (const auto& [var, coeff] : objective.terms()) {
     Rational c = maximize ? -coeff : coeff;
-    costs[tableau.column_of_var(var)] += c;
-    if (tableau.neg_column_of_var(var) >= 0) {
-      costs[tableau.neg_column_of_var(var)] -= c;
+    costs[layout.column_of_var[var]] += c;
+    if (layout.neg_column_of_var[var] >= 0) {
+      costs[layout.neg_column_of_var[var]] -= c;
     }
   }
-  if (!tableau.SolvePhase2(costs)) {
-    result.outcome = LpOutcome::kUnbounded;
-    return result;
+
+  std::uint64_t tier_pivots = 0;
+  std::uint64_t tier_phase1_pivots = 0;
+  bool warm_hit = false;
+
+  if (options.tier == SimplexOptions::Tier::kTwoTier) {
+    LpResult fast;
+    TierOutcome outcome =
+        SolveOnTier<SmallRational>(system, layout, costs, options, &fast,
+                                   &tier_pivots, &tier_phase1_pivots,
+                                   &warm_hit);
+    BumpStat(stats.pivots, tier_pivots);
+    BumpStat(stats.phase1_pivots, tier_phase1_pivots);
+    if (outcome == TierOutcome::kCompleted) {
+      BumpStat(stats.fast_solves);
+      BumpStat(stats.fast_pivots, tier_pivots);
+      if (warm_hit) {
+        BumpStat(stats.warm_start_hits);
+      }
+      if (fast.outcome == LpOutcome::kOptimal) {
+        fast.objective = objective.Evaluate(fast.values);
+      }
+      return fast;
+    }
+    BumpStat(stats.tier_fallbacks);
   }
-  result.outcome = LpOutcome::kOptimal;
-  result.values = tableau.ExtractValues();
-  result.objective = objective.Evaluate(result.values);
-  return result;
+
+  LpResult exact;
+  TierOutcome outcome =
+      SolveOnTier<Rational>(system, layout, costs, options, &exact,
+                            &tier_pivots, &tier_phase1_pivots, &warm_hit);
+  BumpStat(stats.pivots, tier_pivots);
+  BumpStat(stats.phase1_pivots, tier_phase1_pivots);
+  (void)outcome;  // The exact tier cannot overflow.
+  if (warm_hit) {
+    BumpStat(stats.warm_start_hits);
+  }
+  if (exact.outcome == LpOutcome::kOptimal) {
+    exact.objective = objective.Evaluate(exact.values);
+  }
+  return exact;
+}
+
+Result<LpResult> SimplexSolver::Solve(const LinearSystem& system,
+                                      const LinearExpr& objective,
+                                      bool maximize) {
+  return SolveWith(system, objective, maximize, SimplexOptions());
 }
 
 Result<LpResult> SimplexSolver::CheckFeasibility(const LinearSystem& system) {

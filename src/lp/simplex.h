@@ -1,6 +1,7 @@
 #ifndef CRSAT_LP_SIMPLEX_H_
 #define CRSAT_LP_SIMPLEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -28,22 +29,80 @@ struct LpResult {
   Rational objective;
 };
 
-/// Cumulative counters for diagnosing solver behaviour (process-wide,
-/// not thread-safe; intended for benchmarks and performance debugging).
+/// Cumulative counters for diagnosing solver behaviour. Process-wide and
+/// safe to update from concurrent solves (relaxed atomics: totals are
+/// exact, momentary reads may be mid-solve). `Reset()` is for benchmarks
+/// and must not race with running solves.
 struct SimplexStats {
-  std::uint64_t solves = 0;
-  std::uint64_t pivots = 0;
-  std::uint64_t phase1_pivots = 0;
+  /// Total `Solve`/`SolveWith` calls.
+  std::atomic<std::uint64_t> solves{0};
+  /// Simplex iterations across both tiers, including those of fast-tier
+  /// attempts later abandoned to overflow.
+  std::atomic<std::uint64_t> pivots{0};
+  /// Subset of `pivots` spent in phase 1.
+  std::atomic<std::uint64_t> phase1_pivots{0};
+  /// Solves completed entirely on the int64 fast tier.
+  std::atomic<std::uint64_t> fast_solves{0};
+  /// Subset of `pivots` performed by *completed* fast-tier solves.
+  std::atomic<std::uint64_t> fast_pivots{0};
+  /// Fast-tier attempts abandoned (overflow or unrepresentable input),
+  /// each followed by an exact-tier solve.
+  std::atomic<std::uint64_t> tier_fallbacks{0};
+  /// Solves that reused a caller-provided basis and skipped phase 1.
+  std::atomic<std::uint64_t> warm_start_hits{0};
+  /// Warm-start attempts rejected (layout mismatch, singular or infeasible
+  /// basis) that fell back to a cold phase 1.
+  std::atomic<std::uint64_t> warm_start_misses{0};
+
+  /// Zeroes every counter.
+  void Reset();
 };
 
 /// Returns a mutable reference to the process-wide solver counters.
 SimplexStats& GetSimplexStats();
 
-/// Exact-rational two-phase primal simplex with Bland's anti-cycling rule.
+/// A feasible basis exported from a completed solve, reusable to skip
+/// phase 1 on later solves of a system with the *same shape* (identical
+/// variables, constraint count, and per-row senses — e.g. successive
+/// support probes that differ only in one row's coefficients). Opaque to
+/// callers; validated structurally before reuse, and rejected bases simply
+/// cost one cold phase 1.
+struct WarmStartBasis {
+  std::vector<int> basis;  // Basic column per tableau row.
+  int num_columns = 0;     // Column-layout fingerprint.
+
+  bool empty() const { return basis.empty(); }
+};
+
+/// Knobs for a single solve.
+struct SimplexOptions {
+  enum class Tier {
+    /// Try the overflow-checked int64 tier first, fall back to exact
+    /// `Rational` pivoting when any value leaves the representable range.
+    /// Verdicts are exact either way (the fast tier is exact-or-flagged).
+    kTwoTier,
+    /// Exact `Rational` pivoting only (reference behaviour; used by the
+    /// cross-tier property tests).
+    kExactOnly,
+  };
+  Tier tier = Tier::kTwoTier;
+  /// When non-null and structurally compatible, the solve pivots into this
+  /// basis and skips phase 1 (falling back to a cold start otherwise).
+  const WarmStartBasis* warm_start = nullptr;
+  /// When non-null, receives the final basis of an optimal solve.
+  WarmStartBasis* export_basis = nullptr;
+};
+
+/// Exact two-phase primal simplex with Bland's anti-cycling rule and a
+/// two-tier arithmetic scheme.
 ///
-/// All arithmetic is over `Rational`, so results are exact: `kInfeasible`
-/// is a proof of infeasibility, not a numeric judgement. Strict (`>`)
-/// constraints are rejected with `InvalidArgument`; the homogeneous layer
+/// Pivoting runs on an overflow-checked `int64` rational fast tier first;
+/// any value that leaves the representable range raises a sticky flag and
+/// the solve transparently restarts on exact `Rational` (BigInt-backed)
+/// arithmetic. Both tiers are exact — the fast tier either computes the
+/// same numbers the exact tier would or abstains — so `kInfeasible` is
+/// always a proof, never a numeric judgement. Strict (`>`) constraints are
+/// rejected with `InvalidArgument`; the homogeneous layer
 /// (`src/lp/homogeneous.h`) reduces them to non-strict ones before calling
 /// in, exploiting that the paper's systems are homogeneous (conic).
 class SimplexSolver {
@@ -55,6 +114,11 @@ class SimplexSolver {
 
   /// Pure feasibility check (zero objective).
   static Result<LpResult> CheckFeasibility(const LinearSystem& system);
+
+  /// `Solve` with explicit tier selection and warm-start plumbing.
+  static Result<LpResult> SolveWith(const LinearSystem& system,
+                                    const LinearExpr& objective, bool maximize,
+                                    const SimplexOptions& options);
 };
 
 }  // namespace crsat

@@ -1,5 +1,8 @@
 #include "src/reasoner/implication.h"
 
+#include <optional>
+
+#include "src/base/thread_pool.h"
 #include "src/reasoner/implication_engine.h"
 #include "src/reasoner/satisfiability.h"
 
@@ -128,36 +131,67 @@ Result<std::optional<std::uint64_t>> ImplicationChecker::TightestImpliedMax(
   return engine.TightestMax(search_limit);
 }
 
+namespace {
+
+Result<ImpliedCardinalityRow> BuildReportRow(const Schema& schema, ClassId cls,
+                                             RelationshipId rel, RoleId role,
+                                             std::uint64_t search_limit,
+                                             const ExpansionOptions& options) {
+  ImpliedCardinalityRow row;
+  row.cls = cls;
+  row.rel = rel;
+  row.role = role;
+  row.declared = schema.GetCardinality(cls, rel, role);
+  CRSAT_ASSIGN_OR_RETURN(
+      CardinalityImplicationEngine engine,
+      CardinalityImplicationEngine::Create(schema, cls, rel, role, options));
+  CRSAT_ASSIGN_OR_RETURN(bool satisfiable, engine.IsBaseClassSatisfiable());
+  if (!satisfiable) {
+    row.vacuous = true;
+    return row;
+  }
+  CRSAT_ASSIGN_OR_RETURN(row.implied_min, engine.TightestMin());
+  CRSAT_ASSIGN_OR_RETURN(row.implied_max, engine.TightestMax(search_limit));
+  return row;
+}
+
+}  // namespace
+
 Result<std::vector<ImpliedCardinalityRow>> BuildImpliedCardinalityReport(
     const Schema& schema, std::uint64_t search_limit,
     const ExpansionOptions& options) {
-  std::vector<ImpliedCardinalityRow> rows;
+  // Enumerate the triples first (row order is part of the API), then build
+  // the rows concurrently: each triple owns a private engine — its own
+  // extended schema and expansion — so the tasks share only the immutable
+  // input schema. Errors are reported for the first failing triple in row
+  // order, matching the serial behaviour.
+  struct Triple {
+    ClassId cls;
+    RelationshipId rel;
+    RoleId role;
+  };
+  std::vector<Triple> triples;
   for (RelationshipId rel : schema.AllRelationships()) {
     for (RoleId role : schema.RolesOf(rel)) {
       ClassId primary = schema.PrimaryClass(role);
       for (ClassId cls : schema.SubclassesOf(primary)) {
-        ImpliedCardinalityRow row;
-        row.cls = cls;
-        row.rel = rel;
-        row.role = role;
-        row.declared = schema.GetCardinality(cls, rel, role);
-        CRSAT_ASSIGN_OR_RETURN(
-            CardinalityImplicationEngine engine,
-            CardinalityImplicationEngine::Create(schema, cls, rel, role,
-                                                 options));
-        CRSAT_ASSIGN_OR_RETURN(bool satisfiable,
-                               engine.IsBaseClassSatisfiable());
-        if (!satisfiable) {
-          row.vacuous = true;
-          rows.push_back(row);
-          continue;
-        }
-        CRSAT_ASSIGN_OR_RETURN(row.implied_min, engine.TightestMin());
-        CRSAT_ASSIGN_OR_RETURN(row.implied_max,
-                               engine.TightestMax(search_limit));
-        rows.push_back(row);
+        triples.push_back(Triple{cls, rel, role});
       }
     }
+  }
+  std::vector<std::optional<Result<ImpliedCardinalityRow>>> built(
+      triples.size());
+  GlobalThreadPool().ParallelFor(triples.size(), [&](size_t i) {
+    built[i] = BuildReportRow(schema, triples[i].cls, triples[i].rel,
+                              triples[i].role, search_limit, options);
+  });
+  std::vector<ImpliedCardinalityRow> rows;
+  rows.reserve(triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) {
+    if (!built[i]->ok()) {
+      return built[i]->status();
+    }
+    rows.push_back(std::move(built[i]->value()));
   }
   return rows;
 }

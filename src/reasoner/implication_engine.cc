@@ -1,8 +1,10 @@
 #include "src/reasoner/implication_engine.h"
 
+#include <optional>
 #include <string>
 #include <utility>
 
+#include "src/base/thread_pool.h"
 #include "src/reasoner/satisfiability.h"
 
 namespace crsat {
@@ -64,30 +66,77 @@ Result<CardinalityImplicationEngine> CardinalityImplicationEngine::Create(
 }
 
 Result<bool> CardinalityImplicationEngine::AuxiliarySatisfiableWith(
-    Cardinality cardinality) const {
+    Cardinality cardinality, WarmStartBasis* carry) const {
   std::vector<CardinalityOverride> overrides = {
       CardinalityOverride{aux_class_, rel_, role_, cardinality}};
   SatisfiabilityChecker checker(*expansion_, &overrides);
+  checker.SetProbeBasisCarry(carry);
   return checker.IsTargetSatisfiable(aux_targets_);
 }
 
-Result<bool> CardinalityImplicationEngine::ImpliesMin(
-    std::uint64_t min) const {
+Result<bool> CardinalityImplicationEngine::ImpliesMinWith(
+    std::uint64_t min, WarmStartBasis* carry) const {
   if (min == 0) {
     return true;  // Trivial bound.
   }
   Cardinality cardinality;
   cardinality.max = min - 1;
-  CRSAT_ASSIGN_OR_RETURN(bool violable, AuxiliarySatisfiableWith(cardinality));
+  CRSAT_ASSIGN_OR_RETURN(bool violable,
+                         AuxiliarySatisfiableWith(cardinality, carry));
   return !violable;
+}
+
+Result<bool> CardinalityImplicationEngine::ImpliesMaxWith(
+    std::uint64_t max, WarmStartBasis* carry) const {
+  Cardinality cardinality;
+  cardinality.min = max + 1;
+  CRSAT_ASSIGN_OR_RETURN(bool violable,
+                         AuxiliarySatisfiableWith(cardinality, carry));
+  return !violable;
+}
+
+Result<bool> CardinalityImplicationEngine::ImpliesMin(
+    std::uint64_t min) const {
+  return ImpliesMinWith(min, &carry_);
 }
 
 Result<bool> CardinalityImplicationEngine::ImpliesMax(
     std::uint64_t max) const {
-  Cardinality cardinality;
-  cardinality.min = max + 1;
-  CRSAT_ASSIGN_OR_RETURN(bool violable, AuxiliarySatisfiableWith(cardinality));
-  return !violable;
+  return ImpliesMaxWith(max, &carry_);
+}
+
+Result<std::vector<bool>> CardinalityImplicationEngine::CheckAll(
+    const std::vector<ImplicationQuery>& queries) const {
+  // Each query is one satisfiability probe against the shared (immutable)
+  // expansion; probes build their own SatisfiabilityChecker, so they are
+  // independent. Verdicts are collected per index and combined in query
+  // order afterwards — results do not depend on scheduling. Every probe
+  // warm starts from a private *copy* of the current carry (they all see
+  // the same snapshot regardless of thread count); the first query (in
+  // query order) that ends up holding a basis donates it back,
+  // deterministically.
+  std::vector<std::optional<Result<bool>>> verdicts(queries.size());
+  std::vector<WarmStartBasis> carries(queries.size(), carry_);
+  GlobalThreadPool().ParallelFor(queries.size(), [&](size_t i) {
+    const ImplicationQuery& query = queries[i];
+    verdicts[i] = query.kind == ImplicationQuery::Kind::kMin
+                      ? ImpliesMinWith(query.bound, &carries[i])
+                      : ImpliesMaxWith(query.bound, &carries[i]);
+  });
+  for (WarmStartBasis& carry : carries) {
+    if (!carry.empty()) {
+      carry_ = std::move(carry);
+      break;
+    }
+  }
+  std::vector<bool> implied(queries.size(), false);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!verdicts[i]->ok()) {
+      return verdicts[i]->status();
+    }
+    implied[i] = verdicts[i]->value();
+  }
+  return implied;
 }
 
 Result<bool> CardinalityImplicationEngine::IsBaseClassSatisfiable() const {

@@ -9,8 +9,17 @@
 #include "src/base/result.h"
 #include "src/cr/schema.h"
 #include "src/expansion/expansion.h"
+#include "src/lp/simplex.h"
 
 namespace crsat {
+
+/// One cardinality-implication question against an engine's triple: does
+/// the schema imply `minc = bound` (kMin) or `maxc = bound` (kMax)?
+struct ImplicationQuery {
+  enum class Kind { kMin, kMax };
+  Kind kind = Kind::kMin;
+  std::uint64_t bound = 0;
+};
 
 /// Answers repeated cardinality-implication questions for one
 /// `(class, relationship, role)` triple.
@@ -39,6 +48,16 @@ class CardinalityImplicationEngine {
   /// True iff `S |= maxc(cls, rel, role) = max`.
   Result<bool> ImpliesMax(std::uint64_t max) const;
 
+  /// Batched form: answers every query, fanning the (mutually independent)
+  /// satisfiability probes across the global thread pool. Each probe
+  /// re-derives only the cheap disequation system against the shared
+  /// expansion, so the batch scales near-linearly with cores. Verdicts are
+  /// returned in query order and are identical to issuing the queries
+  /// serially; on any probe error the first error (in query order) is
+  /// returned.
+  Result<std::vector<bool>> CheckAll(
+      const std::vector<ImplicationQuery>& queries) const;
+
   /// True iff `cls` itself is satisfiable in the base schema (bounds are
   /// vacuously implied otherwise).
   Result<bool> IsBaseClassSatisfiable() const;
@@ -54,8 +73,18 @@ class CardinalityImplicationEngine {
  private:
   CardinalityImplicationEngine() = default;
 
-  // Satisfiability of Cexc under an override bound on it.
-  Result<bool> AuxiliarySatisfiableWith(Cardinality cardinality) const;
+  // Satisfiability of Cexc under an override bound on it. `carry` threads
+  // a warm-start basis between probes: every probe solves a system of the
+  // same shape (only the overridden bound's coefficients change), so a
+  // previous probe's optimal basis frequently remains feasible and skips
+  // phase 1. Serial queries pass `&carry_`; `CheckAll` gives each
+  // concurrent probe a private copy of the current carry so verdicts stay
+  // independent of scheduling.
+  Result<bool> AuxiliarySatisfiableWith(Cardinality cardinality,
+                                        WarmStartBasis* carry) const;
+
+  Result<bool> ImpliesMinWith(std::uint64_t min, WarmStartBasis* carry) const;
+  Result<bool> ImpliesMaxWith(std::uint64_t max, WarmStartBasis* carry) const;
 
   // The extended schema and its expansion; unique_ptr keeps the expansion's
   // schema pointer stable across moves.
@@ -67,6 +96,10 @@ class CardinalityImplicationEngine {
   RoleId role_;
   std::vector<int> aux_targets_;   // Compound classes containing Cexc.
   std::vector<int> base_targets_;  // Compound classes containing cls.
+  // Warm-start basis carried across this engine's serial probes (gallop /
+  // bisection). Queries on one engine are not safe to issue concurrently
+  // from outside — use `CheckAll` for that; it snapshots this carry.
+  mutable WarmStartBasis carry_;
 };
 
 }  // namespace crsat

@@ -30,13 +30,21 @@ Result<std::vector<Rational>> MinimalWitnessForSupport(
 }
 
 Result<AcceptableSupport> ComputeAcceptableSupport(
-    const LinearSystem& system, const std::vector<Dependency>& dependencies) {
+    const LinearSystem& system, const std::vector<Dependency>& dependencies,
+    WarmStartBasis* probe_carry) {
   const int n = system.num_variables();
   std::vector<bool> forced_zero(n, false);
   SupportResult support;
+  bool first_iteration = true;
   while (true) {
-    CRSAT_ASSIGN_OR_RETURN(support,
-                           ComputeMaximalSupport(system, forced_zero));
+    // Only the first fixpoint iteration sees the caller's carried basis:
+    // later iterations pin more variables, which changes the probe
+    // system's shape and would make any carried basis a guaranteed miss.
+    CRSAT_ASSIGN_OR_RETURN(
+        support, ComputeMaximalSupport(system, forced_zero,
+                                       first_iteration ? probe_carry
+                                                       : nullptr));
+    first_iteration = false;
     bool changed = false;
     // (a) Variables the LP proves zero under the current pinning are zero
     // in every acceptable solution (every acceptable solution satisfies
@@ -90,7 +98,8 @@ SatisfiabilityChecker::SatisfiabilityChecker(
 
 Result<AcceptableSupport> SatisfiabilityChecker::Support() const {
   if (!support_.has_value()) {
-    support_ = ComputeAcceptableSupport(cr_system_.system, dependencies_);
+    support_ = ComputeAcceptableSupport(cr_system_.system, dependencies_,
+                                        probe_carry_);
   }
   return *support_;
 }

@@ -53,8 +53,14 @@ Result<std::vector<Rational>> MinimalWitnessForSupport(
 /// dependency propagation, until a fixpoint. Acceptable solutions form a
 /// cone closed under addition, so the surviving variables are exactly the
 /// support of a single (witness) acceptable solution.
+///
+/// `probe_carry`, when non-null, carries a warm-start basis across
+/// successive calls on same-shaped systems (see `ComputeMaximalSupport`):
+/// the first LP probe reuses it to skip phase 1 and writes its own final
+/// basis back when feasible.
 Result<AcceptableSupport> ComputeAcceptableSupport(
-    const LinearSystem& system, const std::vector<Dependency>& dependencies);
+    const LinearSystem& system, const std::vector<Dependency>& dependencies,
+    WarmStartBasis* probe_carry = nullptr);
 
 /// An acceptable solution of Psi_S scaled to nonnegative integers.
 struct IntegerSolution {
@@ -116,6 +122,16 @@ class SatisfiabilityChecker {
     known_empty_ = std::move(known_empty);
   }
 
+  /// Threads a warm-start basis through the (single, cached) support
+  /// computation: its first LP probe reuses `*carry` to skip phase 1 and
+  /// writes its final basis back when feasible. Intended for callers that
+  /// build many short-lived checkers over the same expansion with slightly
+  /// different cardinality overrides (the implication engine's bisection);
+  /// the carried basis must come from a same-shaped system, and a stale or
+  /// mismatched one only costs a rejected warm-start attempt. The pointee
+  /// must outlive the first `Support()` call; pass before any query.
+  void SetProbeBasisCarry(WarmStartBasis* carry) { probe_carry_ = carry; }
+
  private:
   bool IsKnownEmpty(ClassId cls) const {
     return cls.value >= 0 &&
@@ -127,6 +143,7 @@ class SatisfiabilityChecker {
   CrSystem cr_system_;
   std::vector<Dependency> dependencies_;
   std::vector<bool> known_empty_;
+  WarmStartBasis* probe_carry_ = nullptr;
   mutable std::optional<Result<AcceptableSupport>> support_;
 };
 

@@ -1,0 +1,113 @@
+// Tests for the fixed-size task pool backing the reasoner's parallel LP
+// probes (src/base/thread_pool.h).
+
+#include "src/base/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crsat {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndSingleIterationRunInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  // With no workers every index runs inline on the caller, in order.
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(3);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 8;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t i) {
+    // A worker that re-enters ParallelFor must not wait on its own pool.
+    pool.ParallelFor(kInner, [&](size_t j) {
+      counts[i * kInner + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (size_t k = 0; k < counts.size(); ++k) {
+    EXPECT_EQ(counts[k].load(), 1) << "cell " << k;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSumsMatchSerial) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 4096;
+  std::vector<long> values(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    values[i] = static_cast<long>(i) * 3 - 7;
+  });
+  long expected = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    expected += static_cast<long>(i) * 3 - 7;
+  }
+  EXPECT_EQ(std::accumulate(values.begin(), values.end(), 0L), expected);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvironment) {
+  ASSERT_EQ(setenv("CRSAT_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  ASSERT_EQ(setenv("CRSAT_THREADS", "garbage", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);  // Falls back to hardware.
+  ASSERT_EQ(setenv("CRSAT_THREADS", "0", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  ASSERT_EQ(unsetenv("CRSAT_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolRespectsSetGlobalThreadCount) {
+  SetGlobalThreadCount(2);
+  EXPECT_EQ(GlobalThreadCount(), 2);
+  EXPECT_EQ(GlobalThreadPool().num_threads(), 2);
+  SetGlobalThreadCount(1);
+  EXPECT_EQ(GlobalThreadCount(), 1);
+  // 0 = auto.
+  SetGlobalThreadCount(0);
+  EXPECT_EQ(GlobalThreadCount(), ThreadPool::DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, ManyConcurrentSmallLoops) {
+  ThreadPool pool(4);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(7, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 21);
+  }
+}
+
+}  // namespace
+}  // namespace crsat
