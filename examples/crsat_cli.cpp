@@ -1,11 +1,20 @@
 // crsat_cli — command-line front end for the reasoner.
 //
+// Exit codes: 0 = success, 1 = findings (unsatisfiable classes,
+// lint errors, state violations) or a runtime failure, 2 = usage error,
+// 3 = a resource limit tripped (see --timeout-ms & friends).
+//
 // Usage:
 //   crsat_cli check <schema-file> [--threads N] [--json]
+//                   [--timeout-ms N] [--max-compounds N] [--max-memory-mb N]
 //       satisfiability of every class; --threads sets the reasoning
 //       pool's parallelism (0 = auto: CRSAT_THREADS or the hardware),
 //       --json emits a machine-readable report including the effective
-//       thread count
+//       thread count, per-invocation solver stats, and (when any limit
+//       flag is given) the final resource counters. The limit flags bound
+//       the run: wall clock, compound objects materialized by the
+//       expansion, approximate instrumented memory. A tripped limit
+//       aborts cleanly with a structured report and exit code 3.
 //   crsat_cli expand <schema-file>       print the expansion (Figure 4 style)
 //   crsat_cli system <schema-file>       print the disequation system
 //   crsat_cli model <schema-file> <Class>    materialize + print a model
@@ -19,10 +28,12 @@
 //                                    generalized to every legal triple)
 //   crsat_cli dot <schema-file>      Graphviz ER diagram on stdout
 //   crsat_cli lint <schema-file> [--json]
+//                  [--timeout-ms N] [--max-compounds N] [--max-memory-mb N]
 //       structural diagnostics (no expansion/LP): ISA cycles, conflicting
 //       or empty cardinality ranges, redundant ISA edges, unreferenced
-//       entities, trivially-empty relationships. Exits non-zero when any
-//       error-severity finding is reported.
+//       entities, trivially-empty relationships. Exits 1 when any
+//       error-severity finding is reported, 3 when a resource limit
+//       tripped before every rule ran.
 //
 // Schema files use the DSL documented in src/cr/schema_text.h; state
 // files the DSL in src/cr/state_text.h. Samples live in
@@ -38,10 +49,18 @@
 
 namespace {
 
+// Distinct exit codes so scripts can tell outcomes apart.
+constexpr int kExitOk = 0;        // Success, no adverse findings.
+constexpr int kExitFindings = 1;  // Unsat classes, lint errors, failures.
+constexpr int kExitUsage = 2;     // Bad command line.
+constexpr int kExitResource = 3;  // A resource limit tripped.
+
 int Usage() {
   std::cerr
       << "usage:\n"
          "  crsat_cli check  <schema-file> [--threads N] [--json]\n"
+         "                   [--timeout-ms N] [--max-compounds N] "
+         "[--max-memory-mb N]\n"
          "  crsat_cli expand <schema-file>\n"
          "  crsat_cli system <schema-file>\n"
          "  crsat_cli model  <schema-file> <Class>\n"
@@ -51,8 +70,11 @@ int Usage() {
          "  crsat_cli checkstate <schema-file> <state-file>\n"
          "  crsat_cli report <schema-file>\n"
          "  crsat_cli dot <schema-file>\n"
-         "  crsat_cli lint <schema-file> [--json]\n";
-  return EXIT_FAILURE;
+         "  crsat_cli lint <schema-file> [--json]\n"
+         "                 [--timeout-ms N] [--max-compounds N] "
+         "[--max-memory-mb N]\n"
+         "exit codes: 0 ok, 1 findings/failure, 2 usage, 3 resource limit\n";
+  return kExitUsage;
 }
 
 crsat::Result<std::string> ReadFile(const std::string& path) {
@@ -115,7 +137,87 @@ crsat::Result<crsat::ClassId> ResolveClass(const crsat::Schema& schema,
   return *cls;
 }
 
-int RunLint(const std::string& path, bool json) {
+std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      escaped += '\\';
+    }
+    escaped += c;
+  }
+  return escaped;
+}
+
+// Shared flag state for the resource-bounded commands (check, lint).
+struct GuardFlags {
+  crsat::ResourceLimits limits;
+  bool any = false;  // True when at least one limit flag was given.
+};
+
+// Parses one `--timeout-ms/--max-compounds/--max-memory-mb N` pair at
+// argv[i] (advancing i past the value). Returns false when `arg` is not a
+// limit flag; `*bad` reports a malformed value.
+bool ParseGuardFlag(const std::string& arg, int argc, char** argv, int* i,
+                    GuardFlags* flags, bool* bad) {
+  if (arg != "--timeout-ms" && arg != "--max-compounds" &&
+      arg != "--max-memory-mb") {
+    return false;
+  }
+  if (*i + 1 >= argc) {
+    *bad = true;
+    return true;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(argv[++*i], &end, 10);
+  if (end == nullptr || *end != '\0' || value < 0) {
+    *bad = true;
+    return true;
+  }
+  if (arg == "--timeout-ms") {
+    flags->limits.timeout = std::chrono::milliseconds(value);
+  } else if (arg == "--max-compounds") {
+    flags->limits.max_compounds = static_cast<std::uint64_t>(value);
+  } else {
+    flags->limits.max_memory_bytes =
+        static_cast<std::uint64_t>(value) * 1024 * 1024;
+  }
+  flags->any = true;
+  return true;
+}
+
+// Reports a tripped guard (JSON on stdout or text on stderr) and returns
+// the resource exit code.
+int ReportTrip(const crsat::ResourceGuard& guard, bool json) {
+  if (json) {
+    std::cout << "{\n  \"error\": \""
+              << JsonEscape(guard.TripStatus().ToString())
+              << "\",\n  \"resource\": " << guard.report().ToJson()
+              << "\n}\n";
+  } else {
+    std::cerr << guard.TripStatus() << "\n"
+              << guard.report().ToString() << "\n";
+  }
+  return kExitResource;
+}
+
+// Per-invocation solver counters as a JSON object (stats are reset at
+// command start, so these cover exactly this invocation).
+std::string SimplexStatsJson() {
+  const crsat::SimplexStats& stats = crsat::GetSimplexStats();
+  auto load = [](const std::atomic<std::uint64_t>& counter) {
+    return std::to_string(counter.load(std::memory_order_relaxed));
+  };
+  return "{\"solves\": " + load(stats.solves) +
+         ", \"pivots\": " + load(stats.pivots) +
+         ", \"phase1_pivots\": " + load(stats.phase1_pivots) +
+         ", \"fast_solves\": " + load(stats.fast_solves) +
+         ", \"fast_pivots\": " + load(stats.fast_pivots) +
+         ", \"tier_fallbacks\": " + load(stats.tier_fallbacks) +
+         ", \"warm_start_hits\": " + load(stats.warm_start_hits) +
+         ", \"warm_start_misses\": " + load(stats.warm_start_misses) + "}";
+}
+
+int RunLint(const std::string& path, bool json, crsat::ResourceGuard* guard) {
   crsat::Result<std::string> text = ReadFile(path);
   if (!text.ok()) {
     std::cerr << text.status() << "\n";
@@ -130,7 +232,14 @@ int RunLint(const std::string& path, bool json) {
     std::cerr << parsed.status() << "\n";
     return EXIT_FAILURE;
   }
-  std::vector<crsat::Diagnostic> diagnostics = crsat::RunLint(*parsed);
+  crsat::LintOptions lint_options;
+  lint_options.guard = guard;
+  std::vector<crsat::Diagnostic> diagnostics =
+      crsat::RunLint(*parsed, lint_options);
+  if (guard != nullptr && guard->tripped()) {
+    // Truncated run: partial findings are not trustworthy verdicts.
+    return ReportTrip(*guard, json);
+  }
   if (json) {
     std::cout << crsat::DiagnosticsToJson(diagnostics) << "\n";
   } else {
@@ -156,26 +265,22 @@ int RunLint(const std::string& path, bool json) {
                 << notes << " note(s)\n";
     }
   }
-  return crsat::HasErrors(diagnostics) ? EXIT_FAILURE : EXIT_SUCCESS;
+  return crsat::HasErrors(diagnostics) ? kExitFindings : kExitOk;
 }
 
-std::string JsonEscape(const std::string& text) {
-  std::string escaped;
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      escaped += '\\';
-    }
-    escaped += c;
-  }
-  return escaped;
-}
-
-int RunCheck(const crsat::NamedSchema& parsed, bool json) {
+int RunCheck(const crsat::NamedSchema& parsed, bool json,
+             crsat::ResourceGuard* guard) {
   const crsat::Schema& schema = parsed.schema;
-  crsat::Result<crsat::Expansion> expansion = crsat::Expansion::Build(schema);
+  crsat::ExpansionOptions options;
+  options.guard = guard;
+  crsat::Result<crsat::Expansion> expansion =
+      crsat::Expansion::Build(schema, options);
   if (!expansion.ok()) {
+    if (guard != nullptr && guard->tripped()) {
+      return ReportTrip(*guard, json);
+    }
     std::cerr << expansion.status() << "\n";
-    return EXIT_FAILURE;
+    return kExitFindings;
   }
   crsat::SatisfiabilityChecker checker(*expansion);
   // Feed the lint engine's structural facts to the checker so
@@ -184,8 +289,11 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json) {
       crsat::ComputeProvablyEmpty(schema).class_empty);
   crsat::Result<std::vector<bool>> satisfiable = checker.SatisfiableClasses();
   if (!satisfiable.ok()) {
+    if (guard != nullptr && guard->tripped()) {
+      return ReportTrip(*guard, json);
+    }
     std::cerr << satisfiable.status() << "\n";
-    return EXIT_FAILURE;
+    return kExitFindings;
   }
   bool all_ok = true;
   for (crsat::ClassId cls : schema.AllClasses()) {
@@ -206,8 +314,13 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json) {
                 << ((*satisfiable)[cls.value] ? "true" : "false") << "}";
     }
     std::cout << "\n  ],\n  \"strongly_satisfiable\": "
-              << (all_ok ? "true" : "false") << "\n}\n";
-    return EXIT_SUCCESS;
+              << (all_ok ? "true" : "false")
+              << ",\n  \"stats\": " << SimplexStatsJson();
+    if (guard != nullptr) {
+      std::cout << ",\n  \"resource\": " << guard->report().ToJson();
+    }
+    std::cout << "\n}\n";
+    return all_ok ? kExitOk : kExitFindings;
   }
   for (crsat::ClassId cls : schema.AllClasses()) {
     bool ok = (*satisfiable)[cls.value];
@@ -217,7 +330,7 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json) {
   std::cout << (all_ok ? "schema is strongly satisfiable"
                        : "schema has unpopulatable classes (see 'debug')")
             << "\n";
-  return EXIT_SUCCESS;
+  return all_ok ? kExitOk : kExitFindings;
 }
 
 int RunModel(const crsat::Schema& schema, const std::string& class_name) {
@@ -323,11 +436,23 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   if (command == "lint") {
-    bool json = argc == 4 && std::string(argv[3]) == "--json";
-    if (argc > 4 || (argc == 4 && !json)) {
-      return Usage();
+    bool json = false;
+    GuardFlags guard_flags;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      bool bad = false;
+      if (arg == "--json") {
+        json = true;
+      } else if (!ParseGuardFlag(arg, argc, argv, &i, &guard_flags, &bad) ||
+                 bad) {
+        return Usage();
+      }
     }
-    return RunLint(argv[2], json);
+    if (guard_flags.any) {
+      crsat::ResourceGuard guard(guard_flags.limits);
+      return RunLint(argv[2], json, &guard);
+    }
+    return RunLint(argv[2], json, nullptr);
   }
   crsat::Result<crsat::NamedSchema> parsed = LoadSchema(argv[2]);
   if (!parsed.ok()) {
@@ -339,8 +464,10 @@ int main(int argc, char** argv) {
   if (command == "check") {
     bool json = false;
     long threads = 0;
+    GuardFlags guard_flags;
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
+      bool bad = false;
       if (arg == "--json") {
         json = true;
       } else if (arg == "--threads" && i + 1 < argc) {
@@ -349,12 +476,20 @@ int main(int argc, char** argv) {
         if (end == nullptr || *end != '\0' || threads < 0) {
           return Usage();
         }
-      } else {
+      } else if (!ParseGuardFlag(arg, argc, argv, &i, &guard_flags, &bad) ||
+                 bad) {
         return Usage();
       }
     }
     crsat::SetGlobalThreadCount(static_cast<int>(threads));
-    return RunCheck(*parsed, json);
+    // Per-invocation solver stats: start from zero so `--json` reports
+    // exactly this run's counters.
+    crsat::GetSimplexStats().Reset();
+    if (guard_flags.any) {
+      crsat::ResourceGuard guard(guard_flags.limits);
+      return RunCheck(*parsed, json, &guard);
+    }
+    return RunCheck(*parsed, json, nullptr);
   }
   if (command == "expand") {
     crsat::Result<crsat::Expansion> expansion =

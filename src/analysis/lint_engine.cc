@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/analysis/rules.h"
+#include "src/base/resource_guard.h"
 
 namespace crsat {
 
@@ -40,6 +41,10 @@ std::vector<Diagnostic> RunLint(const LintRuleRegistry& registry,
   LintContext context(schema, source_map);
   std::vector<Diagnostic> diagnostics;
   for (const std::unique_ptr<LintRule>& rule : registry.rules()) {
+    if (options.guard != nullptr &&
+        !options.guard->CheckNow("lint/rule").ok()) {
+      break;  // Truncated run; the caller sees guard->tripped().
+    }
     rule->Run(context, &diagnostics);
   }
   if (!options.rules.empty()) {

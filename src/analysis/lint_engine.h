@@ -10,6 +10,8 @@
 
 namespace crsat {
 
+class ResourceGuard;
+
 /// An ordered collection of lint rules. `BuiltIn()` returns the default
 /// rule set; callers may assemble custom registries (e.g. tests exercising
 /// one rule in isolation).
@@ -42,6 +44,12 @@ struct LintOptions {
   /// (diagnostic-level filter, so ids like "dangling-role" that share an
   /// implementation with "unused-class" are addressable).
   std::vector<std::string> rules;
+
+  /// Optional resource guard (src/base/resource_guard.h), polled between
+  /// rules. On a trip, `RunLint` stops running further rules and returns
+  /// the diagnostics gathered so far — callers that care must consult
+  /// `guard->tripped()` to tell a complete run from a truncated one.
+  ResourceGuard* guard = nullptr;
 };
 
 /// Runs every registry rule over the schema and returns the findings

@@ -1,0 +1,234 @@
+#ifndef CRSAT_BASE_RESOURCE_GUARD_H_
+#define CRSAT_BASE_RESOURCE_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/base/status.h"
+
+namespace crsat {
+
+/// Which resource limit a `ResourceGuard` tripped on.
+enum class ResourceLimitKind {
+  kNone = 0,
+  /// The wall-clock deadline passed.
+  kDeadline,
+  /// The compound-object budget (consistent compound classes +
+  /// relationships materialized by the expansion) was exceeded.
+  kCompounds,
+  /// The instrumented-allocation memory budget was exceeded.
+  kMemory,
+  /// `RequestCancel()` was observed.
+  kCancelled,
+};
+
+/// Stable name for a limit kind ("deadline", "compounds", ...).
+const char* ResourceLimitKindToString(ResourceLimitKind kind);
+
+/// Limits for a `ResourceGuard`. Unset fields are unlimited; a
+/// default-constructed `ResourceLimits` guards nothing but still supports
+/// cooperative cancellation.
+struct ResourceLimits {
+  /// Wall-clock budget, measured from guard construction (monotonic clock).
+  std::optional<std::chrono::milliseconds> timeout;
+  /// Maximum compound objects (classes + relationships) the expansion may
+  /// materialize.
+  std::optional<std::uint64_t> max_compounds;
+  /// Approximate cap on instrumented live allocations (expansion tables,
+  /// simplex tableaus). Accounting is deliberately coarse — it bounds the
+  /// dominant allocations, not every byte.
+  std::optional<std::uint64_t> max_memory_bytes;
+};
+
+/// Structured account of a guard trip (or of a guard's current counters
+/// when it has not tripped). Returned by `ResourceGuard::report()` and
+/// surfaced by the CLI as JSON so callers can see which limit tripped,
+/// where in the pipeline, and what the counters were at that moment.
+struct ResourceReport {
+  /// The limit that tripped (`kNone` when the guard has not tripped).
+  ResourceLimitKind tripped = ResourceLimitKind::kNone;
+  /// The check site that observed the trip, e.g. "expansion/classes" or
+  /// "simplex/pivot". Empty when not tripped.
+  std::string site;
+  /// Compound objects accounted so far.
+  std::uint64_t compounds = 0;
+  /// Instrumented live bytes at snapshot time, and the high-water mark.
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t peak_memory_bytes = 0;
+  /// Wall-clock milliseconds since guard construction.
+  double elapsed_ms = 0;
+  /// Total `Check` calls observed (a proxy for how often the guarded code
+  /// polls; useful when tuning check placement).
+  std::uint64_t checks = 0;
+
+  /// "deadline exceeded at simplex/pivot after 102.4 ms ..." (or a
+  /// counters-only summary when not tripped).
+  std::string ToString() const;
+  /// Single-line JSON object with every field above.
+  std::string ToJson() const;
+};
+
+/// A resource guard: monotonic deadline + compound budget + approximate
+/// memory budget + cooperative cancellation token, threaded by pointer
+/// through the expansion, LP, and reasoning layers. A null
+/// `ResourceGuard*` everywhere means "unlimited" and costs nothing.
+///
+/// Thread safety: all methods are safe to call concurrently; accounting
+/// uses relaxed atomics and the first trip is recorded exactly once.
+/// Checks never affect computed *results* — a guarded run that does not
+/// trip is bit-identical to an unguarded one — they only decide whether
+/// the computation is allowed to continue.
+///
+/// Once tripped, a guard stays tripped: every later `Check` returns the
+/// same status (same code, same site), so each layer of a deep call stack
+/// reports the one underlying trip instead of inventing its own.
+class ResourceGuard {
+ public:
+  /// An unlimited guard (still cancellable via `RequestCancel`).
+  ResourceGuard() : ResourceGuard(ResourceLimits{}) {}
+
+  explicit ResourceGuard(const ResourceLimits& limits);
+
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+
+  const ResourceLimits& limits() const { return limits_; }
+
+  /// Cooperative cancellation: guarded loops observe the token at their
+  /// next `Check` and unwind with `kCancelled`. Safe from any thread (e.g.
+  /// a signal-handler-adjacent watchdog or another request).
+  void RequestCancel() { cancel_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
+  /// Accounting. `AddCompounds` counts expansion-materialized compound
+  /// objects; `AddMemory`/`SubMemory` track instrumented allocations.
+  /// Accounting never trips by itself — the next `Check` does — so
+  /// counters may briefly overshoot their budget by one allocation.
+  void AddCompounds(std::uint64_t n) {
+    compounds_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddMemory(std::uint64_t bytes);
+  void SubMemory(std::uint64_t bytes) {
+    memory_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// The guard's poll point. Returns OK while every limit holds; on the
+  /// first violation records a `ResourceReport` naming `site` and returns
+  /// `kDeadlineExceeded` / `kResourceExhausted` / `kCancelled`; after
+  /// that, always returns the recorded trip. Cheap enough for per-pivot
+  /// use: a few relaxed loads, with the clock consulted once every
+  /// `kDeadlineStride` calls (and always on the first).
+  Status Check(const char* site);
+
+  /// `Check` that always consults the clock — for coarse boundaries
+  /// (entering a build, finishing a round) where a prompt deadline trip
+  /// matters more than the nanoseconds saved by striding.
+  Status CheckNow(const char* site);
+
+  /// True once any limit has tripped (or cancellation was observed by a
+  /// check).
+  bool tripped() const {
+    return tripped_kind_.load(std::memory_order_acquire) !=
+           ResourceLimitKind::kNone;
+  }
+
+  /// The status every post-trip `Check` returns; OK when not tripped.
+  Status TripStatus() const;
+
+  /// Counter snapshot; `tripped`/`site` filled in when tripped.
+  ResourceReport report() const;
+
+  std::uint64_t compounds() const {
+    return compounds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memory_bytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+  double elapsed_ms() const;
+
+  /// How many `Check` calls share one clock read (see `Check`).
+  static constexpr std::uint64_t kDeadlineStride = 16;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Status Trip(ResourceLimitKind kind, const char* site);
+  Status MakeStatus(ResourceLimitKind kind, const std::string& site) const;
+
+  const ResourceLimits limits_;
+  const Clock::time_point start_;
+  Clock::time_point deadline_;  // Meaningful iff limits_.timeout.
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::uint64_t> compounds_{0};
+  std::atomic<std::uint64_t> memory_bytes_{0};
+  std::atomic<std::uint64_t> peak_memory_bytes_{0};
+  std::atomic<std::uint64_t> checks_{0};
+  std::atomic<ResourceLimitKind> tripped_kind_{ResourceLimitKind::kNone};
+  mutable std::mutex trip_mutex_;  // Guards trip_site_ (written once).
+  std::string trip_site_;
+};
+
+/// RAII memory charge against a guard: adds `bytes` on construction and
+/// releases them on destruction. Null guard => no-op. Move-only.
+class ScopedMemoryCharge {
+ public:
+  ScopedMemoryCharge() = default;
+  ScopedMemoryCharge(ResourceGuard* guard, std::uint64_t bytes)
+      : guard_(guard), bytes_(bytes) {
+    if (guard_ != nullptr) {
+      guard_->AddMemory(bytes_);
+    }
+  }
+  ~ScopedMemoryCharge() { Release(); }
+
+  ScopedMemoryCharge(ScopedMemoryCharge&& other) noexcept
+      : guard_(std::exchange(other.guard_, nullptr)),
+        bytes_(std::exchange(other.bytes_, 0)) {}
+  ScopedMemoryCharge& operator=(ScopedMemoryCharge&& other) noexcept {
+    if (this != &other) {
+      Release();
+      guard_ = std::exchange(other.guard_, nullptr);
+      bytes_ = std::exchange(other.bytes_, 0);
+    }
+    return *this;
+  }
+
+  /// Charges `more` additional bytes under the same scope.
+  void Add(std::uint64_t more) {
+    if (guard_ != nullptr) {
+      guard_->AddMemory(more);
+    }
+    bytes_ += more;
+  }
+
+ private:
+  void Release() {
+    if (guard_ != nullptr) {
+      guard_->SubMemory(bytes_);
+      guard_ = nullptr;
+    }
+  }
+
+  ResourceGuard* guard_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+/// True for the status codes a guard trip surfaces as. Batch APIs use this
+/// to turn per-item trips into `UNKNOWN` verdicts while still propagating
+/// genuine errors (`kInternal`, `kInvalidArgument`, ...).
+inline bool IsResourceLimitStatus(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kCancelled;
+}
+
+}  // namespace crsat
+
+#endif  // CRSAT_BASE_RESOURCE_GUARD_H_

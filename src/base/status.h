@@ -23,6 +23,13 @@ enum class StatusCode {
   kInternal,
   /// Input text could not be parsed.
   kParseError,
+  /// A `ResourceGuard` wall-clock deadline passed before the computation
+  /// finished (src/base/resource_guard.h).
+  kDeadlineExceeded,
+  /// A `ResourceGuard` compound or memory budget was exceeded.
+  kResourceExhausted,
+  /// A `ResourceGuard` cancellation token was observed.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -77,6 +84,9 @@ Status AlreadyExistsError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
 Status ParseError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status CancelledError(std::string message);
 
 /// Evaluates `expr` (a `Status` expression) and returns it from the current
 /// function if it is not OK.

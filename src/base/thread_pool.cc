@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "src/base/resource_guard.h"
+
 namespace crsat {
 
 namespace {
@@ -22,6 +24,7 @@ thread_local bool tls_inside_pool_worker = false;
 struct ThreadPool::ForState {
   std::function<void(size_t)> fn;
   size_t n = 0;
+  ResourceGuard* guard = nullptr;
   std::atomic<size_t> next{0};
   std::mutex mutex;
   std::condition_variable all_done;
@@ -34,7 +37,11 @@ struct ThreadPool::ForState {
       if (index >= n) {
         break;
       }
-      fn(index);
+      // Cooperative cancellation: once the guard trips, remaining items
+      // are skipped (still counted as done, so the loop drains cleanly).
+      if (guard == nullptr || guard->Check("thread_pool/parallel_for").ok()) {
+        fn(index);
+      }
       ++completed;
     }
     if (completed > 0) {
@@ -91,7 +98,8 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   wake_.notify_one();
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             ResourceGuard* guard) {
   if (n == 0) {
     return;
   }
@@ -100,13 +108,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // queue they are blocking).
   if (n == 1 || workers_.empty() || tls_inside_pool_worker) {
     for (size_t i = 0; i < n; ++i) {
-      fn(i);
+      if (guard == nullptr || guard->Check("thread_pool/parallel_for").ok()) {
+        fn(i);
+      }
     }
     return;
   }
   auto state = std::make_shared<ForState>();
   state->fn = fn;
   state->n = n;
+  state->guard = guard;
   const size_t helpers =
       workers_.size() < n - 1 ? workers_.size() : n - 1;
   for (size_t i = 0; i < helpers; ++i) {

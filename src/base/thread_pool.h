@@ -11,6 +11,8 @@
 
 namespace crsat {
 
+class ResourceGuard;
+
 /// Fixed-size task pool used by the reasoning core to fan independent LP
 /// probes and implication queries across cores.
 ///
@@ -43,7 +45,15 @@ class ThreadPool {
   /// blocks until every call has returned. The calling thread executes
   /// work too. `fn` must be safe to invoke concurrently from multiple
   /// threads for distinct indices.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// When `guard` is non-null, every lane polls it between items
+  /// (`ResourceGuard::Check`): once the guard trips, remaining items are
+  /// *skipped* — never invoked — while the loop still drains cleanly (the
+  /// call returns only after every index was either executed or skipped,
+  /// and the pool is reusable afterwards). Callers detect skipped items by
+  /// their unset per-index results and consult `guard->TripStatus()`.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   ResourceGuard* guard = nullptr);
 
   /// The parallelism requested by the environment: `CRSAT_THREADS` when it
   /// parses to a positive integer, otherwise `hardware_concurrency()`

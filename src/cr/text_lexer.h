@@ -65,16 +65,31 @@ class Lexer {
         token.kind = TokenKind::kPunct;
         token.text = std::string(1, Advance());
       } else {
+        // Adversarial inputs routinely contain non-ASCII and unprintable
+        // bytes; describe them in escaped form so the diagnostic itself
+        // stays printable ASCII.
         return ParseError("line " + std::to_string(line_) + ":" +
                           std::to_string(column_) +
-                          ": unexpected character '" + std::string(1, c) +
-                          "'");
+                          ": unexpected character " + DescribeByte(c));
       }
       tokens.push_back(std::move(token));
     }
   }
 
  private:
+  static std::string DescribeByte(char c) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (byte >= 0x20 && byte < 0x7f) {
+      return "'" + std::string(1, c) + "'";
+    }
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string escaped = "'\\x";
+    escaped += kHex[byte >> 4];
+    escaped += kHex[byte & 0xf];
+    escaped += "'";
+    return escaped;
+  }
+
   char Advance() {
     char c = text_[pos_++];
     if (c == '\n') {
@@ -109,10 +124,20 @@ class Lexer {
 };
 
 /// Shared cursor helpers for recursive-descent parsers over `Token`s.
+///
+/// Hardened against runaway parsers: the token stream always ends in a
+/// `kEnd` sentinel (the lexer guarantees one) and the cursor refuses to
+/// advance past it, so `Current()` stays in bounds no matter how an
+/// error-recovery path mis-counts `Consume()` calls. A defensively
+/// constructed cursor with *no* tokens behaves as an immediate `kEnd`.
 class TokenCursor {
  public:
   explicit TokenCursor(std::vector<Token> tokens)
-      : tokens_(std::move(tokens)) {}
+      : tokens_(std::move(tokens)) {
+    if (tokens_.empty()) {
+      tokens_.push_back(Token{});  // kEnd sentinel; never trust callers.
+    }
+  }
 
   const Token& Current() const { return tokens_[index_]; }
 
@@ -120,13 +145,13 @@ class TokenCursor {
     return Current().kind == TokenKind::kPunct && Current().text == punct;
   }
 
-  void Consume() { ++index_; }
+  void Consume() { Advance(); }
 
   Status ExpectPunct(std::string_view punct) {
     if (!IsPunct(punct)) {
       return ErrorHere("expected '" + std::string(punct) + "'");
     }
-    ++index_;
+    Advance();
     return OkStatus();
   }
 
@@ -135,7 +160,7 @@ class TokenCursor {
         Current().text != keyword) {
       return ErrorHere("expected keyword '" + std::string(keyword) + "'");
     }
-    ++index_;
+    Advance();
     return OkStatus();
   }
 
@@ -143,14 +168,17 @@ class TokenCursor {
     if (Current().kind != TokenKind::kIdentifier) {
       return ErrorHere("expected " + std::string(what));
     }
-    return tokens_[index_++].text;
+    std::string text = Current().text;
+    Advance();
+    return text;
   }
 
   Result<std::uint64_t> ExpectNumber(std::string_view what) {
     if (Current().kind != TokenKind::kNumber) {
       return ErrorHere("expected " + std::string(what) + " (a number)");
     }
-    const std::string& text = tokens_[index_++].text;
+    std::string text = Current().text;
+    Advance();
     std::uint64_t value = 0;
     for (char c : text) {
       if (value > (~std::uint64_t{0} - static_cast<std::uint64_t>(c - '0')) /
@@ -173,6 +201,15 @@ class TokenCursor {
   }
 
  private:
+  // Never advances past the trailing kEnd sentinel: a parser that keeps
+  // consuming at end-of-input sees kEnd forever instead of reading past
+  // the buffer.
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) {
+      ++index_;
+    }
+  }
+
   std::vector<Token> tokens_;
   size_t index_ = 0;
 };

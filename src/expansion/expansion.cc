@@ -46,6 +46,9 @@ class ConsistentClassEnumerator {
 
  private:
   Status Recurse(int next, std::uint64_t included, std::uint64_t excluded) {
+    if (options_.guard != nullptr) {
+      CRSAT_RETURN_IF_ERROR(options_.guard->Check("expansion/classes"));
+    }
     while (next < n_ &&
            ((included | excluded) & (std::uint64_t{1} << next)) != 0) {
       ++next;
@@ -79,6 +82,10 @@ class ConsistentClassEnumerator {
         return UnavailableError(
             "expansion exceeds max_consistent_classes = " +
             std::to_string(options_.max_consistent_classes));
+      }
+      if (options_.guard != nullptr) {
+        options_.guard->AddCompounds(1);
+        options_.guard->AddMemory(sizeof(CompoundClass));
       }
       result_.push_back(compound);
       return OkStatus();
@@ -124,6 +131,11 @@ Result<Expansion> Expansion::Build(const Schema& schema,
         "expansion supports at most " +
         std::to_string(CompoundClass::kMaxClasses) + " classes, got " +
         std::to_string(schema.num_classes()));
+  }
+  if (options.guard != nullptr) {
+    // Unconditional clock read at the layer boundary, so an
+    // already-expired deadline trips before any enumeration starts.
+    CRSAT_RETURN_IF_ERROR(options.guard->CheckNow("expansion/build"));
   }
   Expansion expansion;
   expansion.schema_ = &schema;
@@ -172,6 +184,14 @@ Result<Expansion> Expansion::Build(const Schema& schema,
         return UnavailableError(
             "expansion exceeds max_compound_relationships = " +
             std::to_string(options.max_compound_relationships));
+      }
+      if (options.guard != nullptr) {
+        CRSAT_RETURN_IF_ERROR(
+            options.guard->Check("expansion/relationships"));
+        options.guard->AddCompounds(1);
+        options.guard->AddMemory(sizeof(CompoundRelationship) +
+                                 roles.size() * sizeof(CompoundClass) +
+                                 roles.size() * sizeof(int));
       }
       CompoundRelationship compound;
       compound.rel = rel;

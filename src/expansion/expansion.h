@@ -7,6 +7,7 @@
 #include <tuple>
 #include <vector>
 
+#include "src/base/resource_guard.h"
 #include "src/base/result.h"
 #include "src/cr/schema.h"
 #include "src/expansion/compound.h"
@@ -37,6 +38,16 @@ struct ExpansionOptions {
   /// memory when the (intrinsically exponential) expansion exceeds them.
   std::size_t max_consistent_classes = std::size_t{1} << 20;
   std::size_t max_compound_relationships = std::size_t{1} << 22;
+
+  /// Optional resource guard (deadline / compound budget / memory budget /
+  /// cancellation, src/base/resource_guard.h). Polled throughout expansion
+  /// construction, and — because the options travel with the built
+  /// `Expansion` — by every reasoning layer downstream of it
+  /// (`SatisfiabilityChecker`, the LP probes, the implication engine). The
+  /// pointee must outlive the expansion and all reasoning over it; null
+  /// means unlimited. A guarded run that does not trip computes exactly
+  /// what an unguarded run would.
+  ResourceGuard* guard = nullptr;
 };
 
 /// The *expansion* of a CR-schema (Definition 3.1): the consistent compound

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "src/base/resource_guard.h"
 #include "src/base/thread_pool.h"
 
 namespace crsat {
@@ -64,7 +65,7 @@ std::vector<BigInt> ScaleSolution(const std::vector<BigInt>& values,
 
 Result<SupportResult> ComputeMaximalSupport(
     const LinearSystem& system, const std::vector<bool>& forced_zero,
-    WarmStartBasis* round0_carry) {
+    WarmStartBasis* round0_carry, ResourceGuard* guard) {
   if (!system.IsHomogeneous()) {
     return InvalidArgumentError(
         "ComputeMaximalSupport requires a homogeneous system");
@@ -148,6 +149,11 @@ Result<SupportResult> ComputeMaximalSupport(
   }
   int round = 0;
   while (!undetermined.empty()) {
+    if (guard != nullptr) {
+      // Round boundary: consult the clock unconditionally so deadline
+      // trips surface between rounds even when probes are tiny.
+      CRSAT_RETURN_IF_ERROR(guard->CheckNow("homogeneous/probe_round"));
+    }
     const size_t num_groups =
         round == 0 ? 1
                    : std::min(kMaxGroupsPerRound, undetermined.size());
@@ -178,12 +184,17 @@ Result<SupportResult> ComputeMaximalSupport(
         options.warm_start = round0_carry;
       }
       options.export_basis = &exported[g];
+      options.guard = guard;
       verdicts[g] = SimplexSolver::SolveWith(probe, LinearExpr(),
                                              /*maximize=*/false, options);
-    });
+    }, guard);
     // Apply verdicts serially in group-index order.
     std::vector<bool> proven_zero(pinned.num_variables(), false);
     for (size_t g = 0; g < num_groups; ++g) {
+      if (!verdicts[g].has_value()) {
+        // The pool skipped this probe after a guard trip.
+        return guard->TripStatus();
+      }
       const Result<LpResult>& verdict = *verdicts[g];
       if (!verdict.ok()) {
         return verdict.status();

@@ -63,9 +63,13 @@ struct SupportResult {
 /// `sum of group >= 1` ranges over variables that were all zero at any
 /// previously exported vertex, so an old basis is never primal-feasible
 /// for them.)
+///
+/// `guard`, when non-null, is polled between probe rounds, by every lane of
+/// the parallel probe sweep, and per pivot inside each probe's solve; a
+/// trip aborts the computation with the guard's status.
 Result<SupportResult> ComputeMaximalSupport(
     const LinearSystem& system, const std::vector<bool>& forced_zero,
-    WarmStartBasis* round0_carry = nullptr);
+    WarmStartBasis* round0_carry = nullptr, ResourceGuard* guard = nullptr);
 
 }  // namespace crsat
 

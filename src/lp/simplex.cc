@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/base/resource_guard.h"
 #include "src/lp/small_rational.h"
 
 namespace crsat {
@@ -162,17 +163,21 @@ enum class RunOutcome {
   // A fast-tier value left the representable range; results are unusable
   // and the caller restarts the solve on the exact tier.
   kOverflow,
+  // The resource guard tripped mid-run; the solve is abandoned for good
+  // (no tier fallback — the trip is sticky).
+  kTripped,
 };
 
-enum class Phase1Outcome { kFeasible, kInfeasible, kOverflow };
+enum class Phase1Outcome { kFeasible, kInfeasible, kOverflow, kTripped };
 
 // Dense two-phase primal simplex over an exact scalar type, materialized
 // from a shared `TableauLayout`.
 template <typename Scalar>
 class Tableau {
  public:
-  Tableau(const LinearSystem& system, const TableauLayout& layout)
-      : system_(&system), layout_(&layout) {
+  Tableau(const LinearSystem& system, const TableauLayout& layout,
+          ResourceGuard* guard = nullptr)
+      : system_(&system), layout_(&layout), guard_(guard) {
     const size_t m = layout.rows.size();
     matrix_.assign(m, std::vector<Scalar>(layout.num_columns, Scalar()));
     rhs_.assign(m, Scalar());
@@ -248,6 +253,9 @@ class Tableau {
     RunOutcome outcome = RunSimplex(costs, /*allow_artificials=*/true);
     if (outcome == RunOutcome::kOverflow) {
       return Phase1Outcome::kOverflow;
+    }
+    if (outcome == RunOutcome::kTripped) {
+      return Phase1Outcome::kTripped;
     }
     // Phase 1 is bounded below by 0, so kUnbounded cannot happen.
     Scalar value = ObjectiveValue(costs);
@@ -351,6 +359,9 @@ class Tableau {
     while (true) {
       if (ScalarOps<Scalar>::Overflowed()) {
         return RunOutcome::kOverflow;
+      }
+      if (guard_ != nullptr && !guard_->Check("simplex/pivot").ok()) {
+        return RunOutcome::kTripped;
       }
       const bool use_bland = degenerate_streak >= kBlandStreak;
       int entering = -1;
@@ -476,6 +487,7 @@ class Tableau {
 
   const LinearSystem* system_;
   const TableauLayout* layout_;
+  ResourceGuard* guard_ = nullptr;
   bool ok_ = true;
   std::uint64_t pivots_ = 0;
   std::uint64_t phase1_pivots_ = 0;
@@ -485,7 +497,7 @@ class Tableau {
   std::vector<Scalar> reduced_;
 };
 
-enum class TierOutcome { kCompleted, kOverflow };
+enum class TierOutcome { kCompleted, kOverflow, kTripped };
 
 // Runs a full two-phase solve on one arithmetic tier. On kCompleted,
 // `*out` holds the verdict (values filled for kOptimal) and `*tier_pivots`
@@ -509,7 +521,14 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
     }
   }
 
-  Tableau<Scalar> tableau(system, layout);
+  // Charge the dominant allocation (the dense tableau matrix plus the
+  // maintained rows) against the guard's memory budget for the duration of
+  // this tier's attempt.
+  ScopedMemoryCharge tableau_charge(
+      options.guard, layout.rows.size() *
+                         (static_cast<std::uint64_t>(layout.num_columns) + 2) *
+                         sizeof(Scalar));
+  Tableau<Scalar> tableau(system, layout, options.guard);
   if (!tableau.ok()) {
     return TierOutcome::kOverflow;
   }
@@ -521,7 +540,7 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
       // The failed attempt may have left the tableau mid-elimination (and
       // possibly overflowed); rebuild and run cold on this tier.
       ScalarOps<Scalar>::ClearOverflow();
-      tableau = Tableau<Scalar>(system, layout);
+      tableau = Tableau<Scalar>(system, layout, options.guard);
       BumpStat(GetSimplexStats().warm_start_misses);
     }
   }
@@ -532,6 +551,9 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
     *tier_phase1_pivots = tableau.phase1_pivots();
     if (phase1 == Phase1Outcome::kOverflow) {
       return TierOutcome::kOverflow;
+    }
+    if (phase1 == Phase1Outcome::kTripped) {
+      return TierOutcome::kTripped;
     }
     if (phase1 == Phase1Outcome::kInfeasible) {
       out->outcome = LpOutcome::kInfeasible;
@@ -544,6 +566,9 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
   *tier_phase1_pivots = tableau.phase1_pivots();
   if (phase2 == RunOutcome::kOverflow) {
     return TierOutcome::kOverflow;
+  }
+  if (phase2 == RunOutcome::kTripped) {
+    return TierOutcome::kTripped;
   }
   if (phase2 == RunOutcome::kUnbounded) {
     out->outcome = LpOutcome::kUnbounded;
@@ -573,6 +598,9 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
         "SimplexSolver does not accept strict constraints; reduce them via "
         "the homogeneous layer first");
   }
+  if (options.guard != nullptr) {
+    CRSAT_RETURN_IF_ERROR(options.guard->Check("simplex/solve"));
+  }
   SimplexStats& stats = GetSimplexStats();
   BumpStat(stats.solves);
   TableauLayout layout(system);
@@ -599,6 +627,10 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
                                    &warm_hit);
     BumpStat(stats.pivots, tier_pivots);
     BumpStat(stats.phase1_pivots, tier_phase1_pivots);
+    if (outcome == TierOutcome::kTripped) {
+      // The trip is sticky; an exact-tier restart would trip immediately.
+      return options.guard->TripStatus();
+    }
     if (outcome == TierOutcome::kCompleted) {
       BumpStat(stats.fast_solves);
       BumpStat(stats.fast_pivots, tier_pivots);
@@ -619,6 +651,9 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
                             &tier_pivots, &tier_phase1_pivots, &warm_hit);
   BumpStat(stats.pivots, tier_pivots);
   BumpStat(stats.phase1_pivots, tier_phase1_pivots);
+  if (outcome == TierOutcome::kTripped) {
+    return options.guard->TripStatus();
+  }
   (void)outcome;  // The exact tier cannot overflow.
   if (warm_hit) {
     BumpStat(stats.warm_start_hits);

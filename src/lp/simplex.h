@@ -10,6 +10,8 @@
 
 namespace crsat {
 
+class ResourceGuard;
+
 /// Outcome classification of an LP solve.
 enum class LpOutcome {
   /// A feasible (and, when optimizing, optimal) assignment was found.
@@ -91,6 +93,13 @@ struct SimplexOptions {
   const WarmStartBasis* warm_start = nullptr;
   /// When non-null, receives the final basis of an optimal solve.
   WarmStartBasis* export_basis = nullptr;
+  /// Optional resource guard (src/base/resource_guard.h), polled once per
+  /// pivot. A tripped guard aborts the solve — including the exact-tier
+  /// fallback — and `SolveWith` returns the guard's trip status
+  /// (`kDeadlineExceeded` / `kResourceExhausted` / `kCancelled`).
+  /// Tableau storage is charged against the guard's memory budget for the
+  /// duration of the solve.
+  ResourceGuard* guard = nullptr;
 };
 
 /// Exact two-phase primal simplex with Bland's anti-cycling rule and a

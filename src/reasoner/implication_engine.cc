@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "src/base/resource_guard.h"
 #include "src/base/thread_pool.h"
 #include "src/reasoner/satisfiability.h"
 
@@ -107,6 +108,23 @@ Result<bool> CardinalityImplicationEngine::ImpliesMax(
 
 Result<std::vector<bool>> CardinalityImplicationEngine::CheckAll(
     const std::vector<ImplicationQuery>& queries) const {
+  CRSAT_ASSIGN_OR_RETURN(std::vector<ImplicationVerdict> verdicts,
+                         CheckAllPartial(queries));
+  std::vector<bool> implied(queries.size(), false);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!verdicts[i].known()) {
+      // All-or-nothing contract: surface the underlying trip as the
+      // batch's error (the guard is necessarily set and tripped here).
+      return expansion_->options().guard->TripStatus();
+    }
+    implied[i] = verdicts[i].implied();
+  }
+  return implied;
+}
+
+Result<std::vector<ImplicationVerdict>>
+CardinalityImplicationEngine::CheckAllPartial(
+    const std::vector<ImplicationQuery>& queries) const {
   // Each query is one satisfiability probe against the shared (immutable)
   // expansion; probes build their own SatisfiabilityChecker, so they are
   // independent. Verdicts are collected per index and combined in query
@@ -115,28 +133,46 @@ Result<std::vector<bool>> CardinalityImplicationEngine::CheckAll(
   // the same snapshot regardless of thread count); the first query (in
   // query order) that ends up holding a basis donates it back,
   // deterministically.
-  std::vector<std::optional<Result<bool>>> verdicts(queries.size());
+  ResourceGuard* guard = expansion_->options().guard;
+  std::vector<std::optional<Result<bool>>> probes(queries.size());
   std::vector<WarmStartBasis> carries(queries.size(), carry_);
-  GlobalThreadPool().ParallelFor(queries.size(), [&](size_t i) {
-    const ImplicationQuery& query = queries[i];
-    verdicts[i] = query.kind == ImplicationQuery::Kind::kMin
-                      ? ImpliesMinWith(query.bound, &carries[i])
-                      : ImpliesMaxWith(query.bound, &carries[i]);
-  });
+  GlobalThreadPool().ParallelFor(
+      queries.size(),
+      [&](size_t i) {
+        const ImplicationQuery& query = queries[i];
+        probes[i] = query.kind == ImplicationQuery::Kind::kMin
+                        ? ImpliesMinWith(query.bound, &carries[i])
+                        : ImpliesMaxWith(query.bound, &carries[i]);
+      },
+      guard);
   for (WarmStartBasis& carry : carries) {
     if (!carry.empty()) {
       carry_ = std::move(carry);
       break;
     }
   }
-  std::vector<bool> implied(queries.size(), false);
+  std::vector<ImplicationVerdict> verdicts(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    if (!verdicts[i]->ok()) {
-      return verdicts[i]->status();
+    ImplicationVerdict& verdict = verdicts[i];
+    if (!probes[i].has_value()) {
+      // The pool skipped this probe after the guard tripped.
+      verdict.outcome = ImplicationVerdict::Outcome::kUnknown;
+      verdict.reason = guard->TripStatus().code();
+      continue;
     }
-    implied[i] = verdicts[i]->value();
+    if (!probes[i]->ok()) {
+      if (IsResourceLimitStatus(probes[i]->status().code())) {
+        verdict.outcome = ImplicationVerdict::Outcome::kUnknown;
+        verdict.reason = probes[i]->status().code();
+        continue;
+      }
+      return probes[i]->status();  // Genuine error: fail the batch.
+    }
+    verdict.outcome = probes[i]->value()
+                          ? ImplicationVerdict::Outcome::kImplied
+                          : ImplicationVerdict::Outcome::kNotImplied;
   }
-  return implied;
+  return verdicts;
 }
 
 Result<bool> CardinalityImplicationEngine::IsBaseClassSatisfiable() const {

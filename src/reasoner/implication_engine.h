@@ -21,6 +21,19 @@ struct ImplicationQuery {
   std::uint64_t bound = 0;
 };
 
+/// Per-query answer of `CheckAllPartial`: a definite verdict, or `kUnknown`
+/// when a resource limit stopped that query's probe before it finished.
+struct ImplicationVerdict {
+  enum class Outcome { kImplied, kNotImplied, kUnknown };
+  Outcome outcome = Outcome::kUnknown;
+  /// For `kUnknown`, the limit that interfered (`kDeadlineExceeded`,
+  /// `kResourceExhausted`, or `kCancelled`); `kOk` for definite verdicts.
+  StatusCode reason = StatusCode::kOk;
+
+  bool known() const { return outcome != Outcome::kUnknown; }
+  bool implied() const { return outcome == Outcome::kImplied; }
+};
+
 /// Answers repeated cardinality-implication questions for one
 /// `(class, relationship, role)` triple.
 ///
@@ -56,6 +69,17 @@ class CardinalityImplicationEngine {
   /// serially; on any probe error the first error (in query order) is
   /// returned.
   Result<std::vector<bool>> CheckAll(
+      const std::vector<ImplicationQuery>& queries) const;
+
+  /// Resource-aware batched form. Like `CheckAll`, but when the engine's
+  /// expansion carries a `ResourceGuard` (see `ExpansionOptions::guard`)
+  /// and it trips mid-batch, the call *succeeds* and reports per-query
+  /// verdicts: queries whose probes finished before the trip keep their
+  /// definite answers; unfinished ones come back `kUnknown` with the
+  /// tripped limit as `reason`. Genuine (non-resource) probe errors still
+  /// fail the whole call with the first error in query order. Definite
+  /// verdicts are identical to `CheckAll`'s at any thread count.
+  Result<std::vector<ImplicationVerdict>> CheckAllPartial(
       const std::vector<ImplicationQuery>& queries) const;
 
   /// True iff `cls` itself is satisfiable in the base schema (bounds are

@@ -8,7 +8,7 @@ namespace crsat {
 
 Result<std::vector<Rational>> MinimalWitnessForSupport(
     const LinearSystem& system, const std::vector<bool>& positive,
-    const std::vector<Rational>& fallback) {
+    const std::vector<Rational>& fallback, ResourceGuard* guard) {
   LinearSystem pinned = system;
   LinearExpr total;
   for (VarId v = 0; v < pinned.num_variables(); ++v) {
@@ -21,8 +21,11 @@ Result<std::vector<Rational>> MinimalWitnessForSupport(
       pinned.AddEq(LinearExpr::Var(v));
     }
   }
+  SimplexOptions options;
+  options.guard = guard;
   CRSAT_ASSIGN_OR_RETURN(
-      LpResult lp, SimplexSolver::Solve(pinned, total, /*maximize=*/false));
+      LpResult lp,
+      SimplexSolver::SolveWith(pinned, total, /*maximize=*/false, options));
   if (lp.outcome != LpOutcome::kOptimal) {
     return fallback;
   }
@@ -31,7 +34,7 @@ Result<std::vector<Rational>> MinimalWitnessForSupport(
 
 Result<AcceptableSupport> ComputeAcceptableSupport(
     const LinearSystem& system, const std::vector<Dependency>& dependencies,
-    WarmStartBasis* probe_carry) {
+    WarmStartBasis* probe_carry, ResourceGuard* guard) {
   const int n = system.num_variables();
   std::vector<bool> forced_zero(n, false);
   SupportResult support;
@@ -43,7 +46,8 @@ Result<AcceptableSupport> ComputeAcceptableSupport(
     CRSAT_ASSIGN_OR_RETURN(
         support, ComputeMaximalSupport(system, forced_zero,
                                        first_iteration ? probe_carry
-                                                       : nullptr));
+                                                       : nullptr,
+                                       guard));
     first_iteration = false;
     bool changed = false;
     // (a) Variables the LP proves zero under the current pinning are zero
@@ -99,7 +103,8 @@ SatisfiabilityChecker::SatisfiabilityChecker(
 Result<AcceptableSupport> SatisfiabilityChecker::Support() const {
   if (!support_.has_value()) {
     support_ = ComputeAcceptableSupport(cr_system_.system, dependencies_,
-                                        probe_carry_);
+                                        probe_carry_,
+                                        expansion_->options().guard);
   }
   return *support_;
 }
@@ -160,7 +165,8 @@ Result<IntegerSolution> SatisfiabilityChecker::AcceptableIntegerSolution()
   CRSAT_ASSIGN_OR_RETURN(
       std::vector<Rational> witness,
       MinimalWitnessForSupport(cr_system_.system, support.positive,
-                               support.witness));
+                               support.witness,
+                               expansion_->options().guard));
   std::vector<BigInt> integers = ScaleToIntegerSolution(witness);
   IntegerSolution solution;
   for (VarId var : cr_system_.class_vars) {

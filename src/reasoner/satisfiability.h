@@ -41,7 +41,7 @@ struct Dependency {
 /// happen for a correct support; defensive).
 Result<std::vector<Rational>> MinimalWitnessForSupport(
     const LinearSystem& system, const std::vector<bool>& positive,
-    const std::vector<Rational>& fallback);
+    const std::vector<Rational>& fallback, ResourceGuard* guard = nullptr);
 
 /// Computes the maximal acceptable support of a homogeneous non-strict
 /// `system` under the given dependencies.
@@ -58,9 +58,12 @@ Result<std::vector<Rational>> MinimalWitnessForSupport(
 /// successive calls on same-shaped systems (see `ComputeMaximalSupport`):
 /// the first LP probe reuses it to skip phase 1 and writes its own final
 /// basis back when feasible.
+///
+/// `guard`, when non-null, bounds the whole fixpoint (it is handed down to
+/// every LP probe; see `ComputeMaximalSupport`).
 Result<AcceptableSupport> ComputeAcceptableSupport(
     const LinearSystem& system, const std::vector<Dependency>& dependencies,
-    WarmStartBasis* probe_carry = nullptr);
+    WarmStartBasis* probe_carry = nullptr, ResourceGuard* guard = nullptr);
 
 /// An acceptable solution of Psi_S scaled to nonnegative integers.
 struct IntegerSolution {

@@ -1,0 +1,53 @@
+# Exercises the crsat_cli exit-code contract end to end:
+#   0  success, no findings
+#   1  findings (unsatisfiable classes, lint diagnostics) or failure
+#   2  usage error (bad subcommand, malformed flag value)
+#   3  resource limit tripped (deadline / compound budget / memory budget)
+#
+# Run as: cmake -DCRSAT_CLI=<binary> -DCRSAT_SOURCE_DIR=<repo> -P this-file
+
+if(NOT DEFINED CRSAT_CLI OR NOT DEFINED CRSAT_SOURCE_DIR)
+  message(FATAL_ERROR "pass -DCRSAT_CLI=... and -DCRSAT_SOURCE_DIR=...")
+endif()
+
+set(SCHEMAS "${CRSAT_SOURCE_DIR}/examples/schemas")
+
+function(expect_exit expected)
+  execute_process(
+    COMMAND ${CRSAT_CLI} ${ARGN}
+    RESULT_VARIABLE actual
+    OUTPUT_QUIET ERROR_QUIET)
+  if(NOT actual EQUAL expected)
+    string(JOIN " " argv ${ARGN})
+    message(FATAL_ERROR
+      "crsat_cli ${argv}: expected exit ${expected}, got ${actual}")
+  endif()
+endfunction()
+
+# Usage errors -> 2. (Flags follow the schema path: `check <file> [flags]`.)
+expect_exit(2)
+expect_exit(2 frobnicate)
+expect_exit(2 check)
+expect_exit(2 check "${SCHEMAS}/meeting.cr" --timeout-ms abc)
+expect_exit(2 check "${SCHEMAS}/meeting.cr" --timeout-ms)
+expect_exit(2 check "${SCHEMAS}/meeting.cr" --max-compounds -7)
+
+# Clean runs -> 0 (with and without guard flags; generous limits must not
+# change the verdict).
+expect_exit(0 check "${SCHEMAS}/meeting.cr")
+expect_exit(0 check "${SCHEMAS}/meeting.cr" --json)
+expect_exit(0 check "${SCHEMAS}/meeting.cr" --timeout-ms 60000
+  --max-compounds 1000000 --max-memory-mb 1024)
+
+# Findings -> 1.
+expect_exit(1 check "${SCHEMAS}/figure1.cr")
+expect_exit(1 lint "${SCHEMAS}/lint_demo.cr")
+expect_exit(1 check "${SCHEMAS}/no_such_file.cr")
+
+# Resource trips -> 3, in both output modes.
+expect_exit(3 check "${SCHEMAS}/meeting.cr" --timeout-ms 0)
+expect_exit(3 check "${SCHEMAS}/meeting.cr" --max-compounds 5)
+expect_exit(3 check "${SCHEMAS}/meeting.cr" --json --max-compounds 5)
+expect_exit(3 lint "${SCHEMAS}/lint_demo.cr" --timeout-ms 0)
+
+message(STATUS "cli_exit_test: all exit-code expectations held")

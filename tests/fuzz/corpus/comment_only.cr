@@ -1,0 +1,2 @@
+// only a comment
+# and another comment style

@@ -1,0 +1,10 @@
+// Figure 1 of the paper: a finitely unsatisfiable ER-diagram. The number
+// of R-tuples must be at least 2|C| and at most |D|, while D <= C forces
+// |D| <= |C| — only the empty database state satisfies everything.
+schema Figure1 {
+  class C, D;
+  isa D < C;
+  relationship R(V1: C, V2: D);
+  card C in R.V1 = (2, *);
+  card D in R.V2 = (0, 1);
+}

@@ -1,0 +1,31 @@
+// A deliberately broken schema exercising the lint engine
+// (`crsat_cli lint examples/schemas/lint_demo.cr`). Expected findings:
+//   isa-cycle                     Alpha/Beta/Gamma forced equal
+//   redundant-isa                 Junior < Employee implied via Senior
+//   empty-range                   (3, 2) on Worker in Works.agent
+//   card-refinement-conflict      Senior inherits min 2 > max 1
+//   trivially-unsat-relationship  Works needs a Worker filler
+//   unused-class                  Orphan referenced by nothing
+//   dangling-role                 Tasks.victim never constrained
+schema LintDemo {
+  class Alpha, Beta, Gamma;
+  class Worker, Task, Orphan;
+  class Employee, Senior, Junior;
+
+  isa Alpha < Beta;
+  isa Beta < Gamma;
+  isa Gamma < Alpha;
+
+  isa Senior < Employee;
+  isa Junior < Senior;
+  isa Junior < Employee;
+
+  relationship Works(agent: Worker, job: Task);
+  relationship Tasks(owner: Employee, victim: Task);
+
+  card Worker in Works.agent = (3, 2);
+  card Task in Works.job = (0, 4);
+
+  card Employee in Tasks.owner = (2, *);
+  card Senior in Tasks.owner = (0, 1);
+}

@@ -1,0 +1,8 @@
+// A state that is NOT a model of the meeting schema: the talk has no
+// holder and no participant, and Dan is a discussant who is not a speaker.
+// `crsat_cli checkstate` reports each violated condition of Definition 2.2.
+state Broken of Meeting {
+  individual Dan, lonelyTalk;
+  class Discussant: Dan;
+  class Talk: lonelyTalk;
+}

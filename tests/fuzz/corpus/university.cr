@@ -1,0 +1,28 @@
+// A larger conceptual-design scenario; see examples/university.cpp.
+schema University {
+  class Person, Student, Professor, PhDStudent, Course, Department, Room;
+
+  isa Student < Person;
+  isa Professor < Person;
+  isa PhDStudent < Student;
+  isa PhDStudent < Professor;
+
+  disjoint Person, Course, Room;
+  cover Person by Student, Professor;
+
+  relationship Teaches(teacher: Professor, course: Course);
+  relationship Enrolled(student: Student, enrolled_course: Course);
+  relationship Lecture(lecture_course: Course, room: Room, dept: Department);
+
+  card Professor in Teaches.teacher = (1, 3);
+  card Course in Teaches.course = (1, 1);
+  card PhDStudent in Teaches.teacher = (1, 1);
+
+  card Student in Enrolled.student = (1, 5);
+  card Course in Enrolled.enrolled_course = (2, *);
+  card PhDStudent in Enrolled.student = (1, 2);
+
+  card Course in Lecture.lecture_course = (1, 1);
+  card Room in Lecture.room = (0, 4);
+  card Department in Lecture.dept = (1, *);
+}

@@ -1,0 +1,51 @@
+// Fuzz target: the reasoning pipeline behind a resource guard. Inputs that
+// parse as schemas are pushed through expansion, the disequation system,
+// and the satisfiability fixpoint with tight limits (the expansion step is
+// intrinsically exponential — Section 3.1 of the paper — so unguarded
+// fuzzing would simply hang on the first pathological schema). Any outcome
+// is acceptable except a crash, a hang, or a sanitizer finding: verdicts,
+// parse errors, and resource trips are all normal.
+//
+// See fuzz_schema_text.cc for how the target is built and run.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/crsat.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Single-threaded keeps per-input work bounded and reports deterministic.
+  static const bool pool_pinned = [] {
+    crsat::SetGlobalThreadCount(1);
+    return true;
+  }();
+  (void)pool_pinned;
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  crsat::Result<crsat::NamedSchema> parsed = crsat::ParseSchema(text);
+  if (!parsed.ok()) {
+    return 0;
+  }
+
+  crsat::ResourceLimits limits;
+  limits.timeout = std::chrono::milliseconds(100);
+  limits.max_compounds = 10000;
+  limits.max_memory_bytes = std::uint64_t{64} << 20;
+  crsat::ResourceGuard guard(limits);
+
+  crsat::ExpansionOptions options;
+  options.guard = &guard;
+  crsat::Result<crsat::Expansion> expansion =
+      crsat::Expansion::Build(parsed->schema, options);
+  if (!expansion.ok()) {
+    return 0;  // Includes clean resource trips.
+  }
+  crsat::SatisfiabilityChecker checker(*expansion);
+  checker.SetKnownEmptyClasses(
+      crsat::ComputeProvablyEmpty(parsed->schema).class_empty);
+  (void)checker.SatisfiableClasses();
+  return 0;
+}
