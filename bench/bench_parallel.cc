@@ -394,6 +394,62 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // Workload 4: witness synthesis (src/witness/) over satisfiable
+  // schemas — the minimal-integer LP (warm started across schemas of the
+  // same shape), LCM scaling, tuple assignment, and certification. The
+  // digest is the exact materialized interpretation, so the synthesized
+  // witness itself must be bit-identical across thread counts.
+  {
+    std::vector<crsat::Schema> schemas;
+    std::vector<std::string> names;
+    for (int seed = 1; seed <= num_schemas; ++seed) {
+      crsat::RandomSchemaParams params;
+      params.seed = static_cast<std::uint32_t>(seed) + 500;
+      params.num_classes = 5;
+      params.num_relationships = 3;
+      params.isa_density = 0.3;
+      crsat::Result<crsat::Schema> schema =
+          crsat::GenerateRandomSchema(params);
+      if (!schema.ok()) {
+        std::cerr << schema.status() << "\n";
+        return EXIT_FAILURE;
+      }
+      schemas.push_back(std::move(*schema));
+      names.push_back("random(seed=" + std::to_string(seed + 500) + ")");
+    }
+    workloads.push_back(TimeAtThreadCounts(
+        "witness_synthesis(" + std::to_string(schemas.size()) + " schemas)",
+        thread_counts, repeat, [&schemas, &names]() {
+          std::string digest;
+          for (size_t i = 0; i < schemas.size(); ++i) {
+            crsat::Result<crsat::Expansion> expansion =
+                crsat::Expansion::Build(schemas[i]);
+            if (!expansion.ok()) {
+              std::cerr << names[i] << ": " << expansion.status() << "\n";
+              std::exit(EXIT_FAILURE);
+            }
+            crsat::SatisfiabilityChecker checker(*expansion);
+            crsat::WitnessSynthesizer synthesizer(checker);
+            crsat::WitnessOptions options;
+            options.max_model_size = 2000000;
+            crsat::Result<crsat::CertifiedWitness> witness =
+                synthesizer.Synthesize(options);
+            digest += names[i] + ":";
+            if (witness.ok()) {
+              digest += witness->interpretation().ToString();
+            } else if (witness.status().code() ==
+                       crsat::StatusCode::kInvalidArgument) {
+              digest += "<no satisfiable class>";
+            } else {
+              std::cerr << names[i] << ": " << witness.status() << "\n";
+              std::exit(EXIT_FAILURE);
+            }
+            digest += "\n";
+          }
+          return digest;
+        }));
+  }
+
   bool all_deterministic = true;
   for (const Workload& workload : workloads) {
     all_deterministic = all_deterministic && workload.deterministic;

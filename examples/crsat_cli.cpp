@@ -6,6 +6,7 @@
 //
 // Usage:
 //   crsat_cli check <schema-file> [--threads N] [--json]
+//                   [--witness[=text|json|dot]]
 //                   [--timeout-ms N] [--max-compounds N] [--max-memory-mb N]
 //       satisfiability of every class; --threads sets the reasoning
 //       pool's parallelism (0 = auto: CRSAT_THREADS or the hardware),
@@ -15,6 +16,13 @@
 //       the run: wall clock, compound objects materialized by the
 //       expansion, approximate instrumented memory. A tripped limit
 //       aborts cleanly with a structured report and exit code 3.
+//       --witness additionally synthesizes a ModelChecker-certified
+//       finite model populating every satisfiable class (src/witness/),
+//       rendered as text, JSON, or Graphviz DOT; with --json the witness
+//       is embedded in the report. Synthesis runs under the same resource
+//       limits as the check: a limit tripped *during synthesis* keeps the
+//       satisfiability verdict (and its exit code) and reports the trip
+//       in place of the witness.
 //   crsat_cli expand <schema-file>       print the expansion (Figure 4 style)
 //   crsat_cli system <schema-file>       print the disequation system
 //   crsat_cli model <schema-file> <Class>    materialize + print a model
@@ -42,8 +50,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "src/crsat.h"
 
@@ -59,6 +69,7 @@ int Usage() {
   std::cerr
       << "usage:\n"
          "  crsat_cli check  <schema-file> [--threads N] [--json]\n"
+         "                   [--witness[=text|json|dot]]\n"
          "                   [--timeout-ms N] [--max-compounds N] "
          "[--max-memory-mb N]\n"
          "  crsat_cli expand <schema-file>\n"
@@ -268,8 +279,13 @@ int RunLint(const std::string& path, bool json, crsat::ResourceGuard* guard) {
   return crsat::HasErrors(diagnostics) ? kExitFindings : kExitOk;
 }
 
+// `witness_mode` is "" (off), "text", "json", or "dot". Synthesis only
+// runs when at least one class is satisfiable, and only a certified
+// witness is ever emitted; a resource limit tripped during synthesis
+// downgrades to the plain verdict (the check already completed) with the
+// trip reported in the witness slot.
 int RunCheck(const crsat::NamedSchema& parsed, bool json,
-             crsat::ResourceGuard* guard) {
+             const std::string& witness_mode, crsat::ResourceGuard* guard) {
   const crsat::Schema& schema = parsed.schema;
   crsat::ExpansionOptions options;
   options.guard = guard;
@@ -296,9 +312,37 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json,
     return kExitFindings;
   }
   bool all_ok = true;
+  bool any_satisfiable = false;
   for (crsat::ClassId cls : schema.AllClasses()) {
     all_ok = all_ok && (*satisfiable)[cls.value];
+    any_satisfiable = any_satisfiable || (*satisfiable)[cls.value];
   }
+
+  std::optional<crsat::CertifiedWitness> witness;
+  bool witness_downgraded = false;
+  std::string witness_failure;
+  if (!witness_mode.empty() && any_satisfiable) {
+    crsat::WitnessSynthesizer synthesizer(checker);
+    crsat::WitnessOptions witness_options;
+    witness_options.guard = guard;
+    witness_options.source_map = &parsed.source_map;
+    crsat::Result<crsat::CertifiedWitness> result =
+        synthesizer.Synthesize(witness_options);
+    if (result.ok()) {
+      witness.emplace(std::move(result.value()));
+    } else if (crsat::IsResourceLimitStatus(result.status().code())) {
+      // The verdict predates the trip and stands; only the witness is
+      // dropped. Exit code stays verdict-driven.
+      witness_downgraded = true;
+      witness_failure = result.status().ToString();
+    } else {
+      // Anything else (certification refusal included) is a hard error:
+      // an uncertified witness is never emitted, silently or otherwise.
+      std::cerr << result.status() << "\n";
+      return kExitFindings;
+    }
+  }
+
   if (json) {
     std::cout << "{\n  \"schema\": \"" << JsonEscape(parsed.name)
               << "\",\n  \"threads\": " << crsat::GlobalThreadCount()
@@ -316,6 +360,18 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json,
     std::cout << "\n  ],\n  \"strongly_satisfiable\": "
               << (all_ok ? "true" : "false")
               << ",\n  \"stats\": " << SimplexStatsJson();
+    if (!witness_mode.empty()) {
+      std::cout << ",\n  \"witness\": ";
+      if (witness.has_value()) {
+        std::cout << crsat::WitnessToJson(*witness);
+      } else if (witness_downgraded) {
+        std::cout << "{\"certified\": false, \"error\": \""
+                  << JsonEscape(witness_failure) << "\"}";
+      } else {
+        std::cout << "{\"certified\": false, \"error\": \"no class is "
+                     "satisfiable; nothing to witness\"}";
+      }
+    }
     if (guard != nullptr) {
       std::cout << ",\n  \"resource\": " << guard->report().ToJson();
     }
@@ -330,6 +386,27 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json,
   std::cout << (all_ok ? "schema is strongly satisfiable"
                        : "schema has unpopulatable classes (see 'debug')")
             << "\n";
+  if (witness.has_value()) {
+    if (witness_mode == "json") {
+      std::cout << crsat::WitnessToJson(*witness) << "\n";
+    } else if (witness_mode == "dot") {
+      std::cout << crsat::WitnessToDot(*witness);
+    } else {
+      std::cout << "witness (certified): " << witness->stats().individuals
+                << " individual(s), " << witness->stats().tuples
+                << " tuple(s)\n"
+                << witness->interpretation().ToString();
+    }
+  } else if (witness_downgraded) {
+    std::cerr << "witness synthesis stopped by a resource limit; the "
+                 "verdict above stands without a witness\n"
+              << witness_failure << "\n";
+    if (guard != nullptr) {
+      std::cerr << guard->report().ToString() << "\n";
+    }
+  } else if (!witness_mode.empty()) {
+    std::cout << "no witness: no class is satisfiable\n";
+  }
   return all_ok ? kExitOk : kExitFindings;
 }
 
@@ -464,12 +541,21 @@ int main(int argc, char** argv) {
   if (command == "check") {
     bool json = false;
     long threads = 0;
+    std::string witness_mode;
     GuardFlags guard_flags;
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
       bool bad = false;
       if (arg == "--json") {
         json = true;
+      } else if (arg == "--witness") {
+        witness_mode = "text";
+      } else if (arg.rfind("--witness=", 0) == 0) {
+        witness_mode = arg.substr(std::string("--witness=").size());
+        if (witness_mode != "text" && witness_mode != "json" &&
+            witness_mode != "dot") {
+          return Usage();
+        }
       } else if (arg == "--threads" && i + 1 < argc) {
         char* end = nullptr;
         threads = std::strtol(argv[++i], &end, 10);
@@ -487,9 +573,9 @@ int main(int argc, char** argv) {
     crsat::GetSimplexStats().Reset();
     if (guard_flags.any) {
       crsat::ResourceGuard guard(guard_flags.limits);
-      return RunCheck(*parsed, json, &guard);
+      return RunCheck(*parsed, json, witness_mode, &guard);
     }
-    return RunCheck(*parsed, json, nullptr);
+    return RunCheck(*parsed, json, witness_mode, nullptr);
   }
   if (command == "expand") {
     crsat::Result<crsat::Expansion> expansion =

@@ -1,0 +1,11 @@
+// A deliberately lopsided schema: deciding satisfiability is trivial (two
+// classes, one relationship), but the *smallest* finite model needs 40000
+// tuples — every A must hold 40000 R-edges and every B exactly one. Used
+// by the CLI exit-code tests to trip a resource limit during witness
+// synthesis specifically, after the verdict is already in.
+schema WitnessHeavy {
+  class A, B;
+  relationship R(U1: A, U2: B);
+  card A in R.U1 = (40000, *);
+  card B in R.U2 = (1, 1);
+}

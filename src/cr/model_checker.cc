@@ -1,22 +1,77 @@
 #include "src/cr/model_checker.h"
 
 #include <map>
+#include <utility>
 
 namespace crsat {
 
-std::vector<std::string> ModelChecker::Violations(
-    const Schema& schema, const Interpretation& interpretation) {
-  std::vector<std::string> violations;
+namespace {
+
+// Looks up a declaration site in one of the source map's parallel vectors;
+// out-of-range (older map, programmatic schema) degrades to unknown.
+SourceLocation LocationAt(const SchemaSourceMap* source_map,
+                          const std::vector<SourceLocation>
+                              SchemaSourceMap::*member,
+                          size_t index) {
+  if (source_map == nullptr) {
+    return SourceLocation{};
+  }
+  const std::vector<SourceLocation>& locations = source_map->*member;
+  if (index >= locations.size()) {
+    return SourceLocation{};
+  }
+  return locations[index];
+}
+
+// "declared at 3:5" rendered into the message when the site is known.
+std::string DeclaredAt(const SourceLocation& location) {
+  if (!location.IsKnown()) {
+    return "";
+  }
+  return " (declared at " + location.ToString() + ")";
+}
+
+// Index of the explicit declaration behind a non-default
+// `GetCardinality(cls, rel, role)` answer; -1 when none exists.
+int CardinalityDeclarationIndex(const Schema& schema, ClassId cls,
+                                RelationshipId rel, RoleId role) {
+  const std::vector<CardinalityDeclaration>& declarations =
+      schema.cardinality_declarations();
+  for (size_t i = 0; i < declarations.size(); ++i) {
+    if (declarations[i].cls == cls && declarations[i].rel == rel &&
+        declarations[i].role == role) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<ModelViolation> ModelChecker::CheckModel(
+    const Schema& schema, const Interpretation& interpretation,
+    const SchemaSourceMap* source_map) {
+  std::vector<ModelViolation> violations;
+  auto report = [&violations](ModelViolation::Kind kind,
+                              SourceLocation location, std::string message) {
+    violations.push_back(
+        ModelViolation{kind, std::move(message), location});
+  };
 
   // (A) ISA containment.
-  for (const IsaStatement& isa : schema.isa_statements()) {
+  const std::vector<IsaStatement>& isa_statements = schema.isa_statements();
+  for (size_t i = 0; i < isa_statements.size(); ++i) {
+    const IsaStatement& isa = isa_statements[i];
+    SourceLocation location =
+        LocationAt(source_map, &SchemaSourceMap::isa_statements, i);
     for (Individual individual :
          interpretation.ClassExtension(isa.subclass)) {
       if (!interpretation.IsInstanceOf(isa.superclass, individual)) {
-        violations.push_back(
-            "(A) ISA violated: " + interpretation.IndividualName(individual) +
-            " is in " + schema.ClassName(isa.subclass) + " but not in " +
-            schema.ClassName(isa.superclass));
+        report(ModelViolation::Kind::kIsa, location,
+               "(A) ISA violated" + DeclaredAt(location) + ": " +
+                   interpretation.IndividualName(individual) + " is in " +
+                   schema.ClassName(isa.subclass) + " but not in " +
+                   schema.ClassName(isa.superclass));
       }
     }
   }
@@ -24,17 +79,21 @@ std::vector<std::string> ModelChecker::Violations(
   // (B) Relationship typing.
   for (RelationshipId rel : schema.AllRelationships()) {
     const std::vector<RoleId>& roles = schema.RolesOf(rel);
+    SourceLocation location = LocationAt(
+        source_map, &SchemaSourceMap::relationships,
+        static_cast<size_t>(rel.value));
     for (const std::vector<Individual>& tuple :
          interpretation.RelationshipExtension(rel)) {
       for (size_t k = 0; k < roles.size(); ++k) {
         ClassId primary = schema.PrimaryClass(roles[k]);
         if (!interpretation.IsInstanceOf(primary, tuple[k])) {
-          violations.push_back(
-              "(B) typing violated: component " +
-              interpretation.IndividualName(tuple[k]) + " of a tuple of " +
-              schema.RelationshipName(rel) + " at role " +
-              schema.RoleName(roles[k]) + " is not an instance of " +
-              schema.ClassName(primary));
+          report(ModelViolation::Kind::kTyping, location,
+                 "(B) typing violated" + DeclaredAt(location) +
+                     ": component " +
+                     interpretation.IndividualName(tuple[k]) +
+                     " of a tuple of " + schema.RelationshipName(rel) +
+                     " at role " + schema.RoleName(roles[k]) +
+                     " is not an instance of " + schema.ClassName(primary));
         }
       }
     }
@@ -60,19 +119,27 @@ std::vector<std::string> ModelChecker::Violations(
         if (cardinality.IsDefault()) {
           continue;
         }
+        const int declaration =
+            CardinalityDeclarationIndex(schema, cls, rel, role);
+        SourceLocation location =
+            declaration < 0
+                ? SourceLocation{}
+                : LocationAt(source_map,
+                             &SchemaSourceMap::cardinality_declarations,
+                             static_cast<size_t>(declaration));
         for (Individual individual : interpretation.ClassExtension(cls)) {
           auto it = counts.find(individual);
           std::uint64_t count = it == counts.end() ? 0 : it->second;
           if (count < cardinality.min ||
               (cardinality.max.has_value() && count > *cardinality.max)) {
-            violations.push_back(
-                "(C) cardinality violated: " +
-                interpretation.IndividualName(individual) + " in " +
-                schema.ClassName(cls) + " appears in " +
-                std::to_string(count) + " tuples of " +
-                schema.RelationshipName(rel) + " at role " +
-                schema.RoleName(role) + ", outside " +
-                cardinality.ToString());
+            report(ModelViolation::Kind::kCardinality, location,
+                   "(C) cardinality violated" + DeclaredAt(location) + ": " +
+                       interpretation.IndividualName(individual) + " in " +
+                       schema.ClassName(cls) + " appears in " +
+                       std::to_string(count) + " tuples of " +
+                       schema.RelationshipName(rel) + " at role " +
+                       schema.RoleName(role) + ", outside " +
+                       cardinality.ToString());
           }
         }
       }
@@ -80,18 +147,23 @@ std::vector<std::string> ModelChecker::Violations(
   }
 
   // Disjointness extension.
-  for (const DisjointnessConstraint& group :
-       schema.disjointness_constraints()) {
+  const std::vector<DisjointnessConstraint>& disjointness =
+      schema.disjointness_constraints();
+  for (size_t g = 0; g < disjointness.size(); ++g) {
+    const DisjointnessConstraint& group = disjointness[g];
+    SourceLocation location = LocationAt(
+        source_map, &SchemaSourceMap::disjointness_constraints, g);
     for (size_t i = 0; i < group.classes.size(); ++i) {
       for (size_t j = i + 1; j < group.classes.size(); ++j) {
         for (Individual individual :
              interpretation.ClassExtension(group.classes[i])) {
           if (interpretation.IsInstanceOf(group.classes[j], individual)) {
-            violations.push_back(
-                "disjointness violated: " +
-                interpretation.IndividualName(individual) + " is in both " +
-                schema.ClassName(group.classes[i]) + " and " +
-                schema.ClassName(group.classes[j]));
+            report(ModelViolation::Kind::kDisjointness, location,
+                   "disjointness violated" + DeclaredAt(location) + ": " +
+                       interpretation.IndividualName(individual) +
+                       " is in both " +
+                       schema.ClassName(group.classes[i]) + " and " +
+                       schema.ClassName(group.classes[j]));
           }
         }
       }
@@ -99,7 +171,12 @@ std::vector<std::string> ModelChecker::Violations(
   }
 
   // Covering extension.
-  for (const CoveringConstraint& constraint : schema.covering_constraints()) {
+  const std::vector<CoveringConstraint>& coverings =
+      schema.covering_constraints();
+  for (size_t c = 0; c < coverings.size(); ++c) {
+    const CoveringConstraint& constraint = coverings[c];
+    SourceLocation location =
+        LocationAt(source_map, &SchemaSourceMap::covering_constraints, c);
     for (Individual individual :
          interpretation.ClassExtension(constraint.covered)) {
       bool covered = false;
@@ -110,11 +187,11 @@ std::vector<std::string> ModelChecker::Violations(
         }
       }
       if (!covered) {
-        violations.push_back(
-            "covering violated: " +
-            interpretation.IndividualName(individual) + " is in " +
-            schema.ClassName(constraint.covered) +
-            " but in none of its coverers");
+        report(ModelViolation::Kind::kCovering, location,
+               "covering violated" + DeclaredAt(location) + ": " +
+                   interpretation.IndividualName(individual) + " is in " +
+                   schema.ClassName(constraint.covered) +
+                   " but in none of its coverers");
       }
     }
   }
@@ -122,9 +199,20 @@ std::vector<std::string> ModelChecker::Violations(
   return violations;
 }
 
+std::vector<std::string> ModelChecker::Violations(
+    const Schema& schema, const Interpretation& interpretation,
+    const SchemaSourceMap* source_map) {
+  std::vector<std::string> messages;
+  for (ModelViolation& violation :
+       CheckModel(schema, interpretation, source_map)) {
+    messages.push_back(std::move(violation.message));
+  }
+  return messages;
+}
+
 bool ModelChecker::IsModel(const Schema& schema,
                            const Interpretation& interpretation) {
-  return Violations(schema, interpretation).empty();
+  return CheckModel(schema, interpretation).empty();
 }
 
 }  // namespace crsat

@@ -6,8 +6,35 @@
 
 #include "src/cr/interpretation.h"
 #include "src/cr/schema.h"
+#include "src/cr/schema_text.h"
+#include "src/cr/source_location.h"
 
 namespace crsat {
+
+/// One violated model condition, tied back to the declaration that was
+/// violated. When the schema came from DSL text (and a `SchemaSourceMap`
+/// was supplied), `location` is the declaration site of the violated
+/// statement — the ISA edge, the relationship, the cardinality
+/// declaration, the disjointness group, or the covering constraint — and
+/// the message carries it inline; programmatic schemas degrade to an
+/// unknown location and the bare message.
+struct ModelViolation {
+  enum class Kind {
+    kIsa,           // Condition (A): subclass extension not contained.
+    kTyping,        // Condition (B): tuple component outside the primary.
+    kCardinality,   // Condition (C): per-individual count outside bounds.
+    kDisjointness,  // Section 5: disjoint classes share an instance.
+    kCovering,      // Section 5: covered instance outside every coverer.
+  };
+
+  Kind kind;
+  /// Human-readable description; includes "declared at line:column" when
+  /// the location is known.
+  std::string message;
+  /// Declaration site of the violated statement ("?" when the schema was
+  /// built programmatically or no source map was supplied).
+  SourceLocation location;
+};
 
 /// Verifies whether an `Interpretation` is a *model* of a `Schema`
 /// (Definition 2.2), i.e. whether it satisfies:
@@ -21,14 +48,24 @@ namespace crsat {
 /// covering constraints).
 ///
 /// This is the ground-truth oracle the reasoning pipeline is tested
-/// against: models produced by `ModelBuilder` must check clean, and
-/// (un)satisfiability verdicts are validated by checking candidate models.
+/// against: witnesses produced by `WitnessSynthesizer` (src/witness/) must
+/// check clean before they may be emitted, and (un)satisfiability verdicts
+/// are validated by checking candidate models.
 class ModelChecker {
  public:
+  /// Returns every violated condition with its kind and declaration site.
+  /// Empty means `interpretation` is a model of `schema`. `source_map`,
+  /// when non-null, resolves declaration sites (pass
+  /// `NamedSchema::source_map` for schemas parsed from DSL text).
+  static std::vector<ModelViolation> CheckModel(
+      const Schema& schema, const Interpretation& interpretation,
+      const SchemaSourceMap* source_map = nullptr);
+
   /// Returns a human-readable description of every violated condition;
   /// empty means `interpretation` is a model of `schema`.
   static std::vector<std::string> Violations(
-      const Schema& schema, const Interpretation& interpretation);
+      const Schema& schema, const Interpretation& interpretation,
+      const SchemaSourceMap* source_map = nullptr);
 
   /// Convenience wrapper: true iff there are no violations.
   static bool IsModel(const Schema& schema,

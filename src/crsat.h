@@ -55,5 +55,7 @@
 #include "src/reasoner/satisfiability.h"
 #include "src/reasoner/system_builder.h"
 #include "src/reasoner/unsat_core.h"
+#include "src/witness/witness.h"
+#include "src/witness/witness_text.h"
 
 #endif  // CRSAT_CRSAT_H_

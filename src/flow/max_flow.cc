@@ -56,7 +56,8 @@ std::int64_t MaxFlowGraph::SendFlow(int node, int sink, std::int64_t limit) {
   return 0;
 }
 
-Result<std::int64_t> MaxFlowGraph::Solve(int source, int sink) {
+Result<std::int64_t> MaxFlowGraph::Solve(int source, int sink,
+                                         ResourceGuard* guard) {
   if (source < 0 || source >= num_nodes() || sink < 0 || sink >= num_nodes()) {
     return InvalidArgumentError("MaxFlowGraph::Solve: node id out of range");
   }
@@ -65,6 +66,9 @@ Result<std::int64_t> MaxFlowGraph::Solve(int source, int sink) {
   }
   std::int64_t total = 0;
   while (BuildLevels(source, sink)) {
+    if (guard != nullptr) {
+      CRSAT_RETURN_IF_ERROR(guard->Check("flow/phase"));
+    }
     next_edge_.assign(adjacency_.size(), 0);
     while (std::int64_t pushed = SendFlow(
                source, sink, std::numeric_limits<std::int64_t>::max())) {

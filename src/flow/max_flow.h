@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/resource_guard.h"
 #include "src/base/result.h"
 
 namespace crsat {
@@ -25,8 +26,12 @@ class MaxFlowGraph {
   /// can be used with `EdgeFlow` after solving. Capacity must be >= 0.
   int AddEdge(int from, int to, std::int64_t capacity);
 
-  /// Computes the maximum flow from `source` to `sink`.
-  Result<std::int64_t> Solve(int source, int sink);
+  /// Computes the maximum flow from `source` to `sink`. `guard`, when
+  /// non-null, is polled once per Dinic phase (level-graph rebuild); a trip
+  /// aborts the solve with the guard's status. Dinic runs O(V^2) phases, so
+  /// per-phase polling bounds unguarded work by one augmentation sweep.
+  Result<std::int64_t> Solve(int source, int sink,
+                             ResourceGuard* guard = nullptr);
 
   /// Flow routed through edge `edge_id` by the last `Solve` call.
   std::int64_t EdgeFlow(int edge_id) const;

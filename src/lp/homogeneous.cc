@@ -1,11 +1,15 @@
 #include "src/lp/homogeneous.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
 #include <optional>
 #include <utility>
 
 #include "src/base/resource_guard.h"
 #include "src/base/thread_pool.h"
+#include "src/lp/small_rational.h"
 
 namespace crsat {
 
@@ -30,8 +34,74 @@ Result<LpResult> SolveHomogeneousWithStrict(const LinearSystem& system) {
   return SimplexSolver::CheckFeasibility(relaxed);
 }
 
-std::vector<BigInt> ScaleToIntegerSolution(
-    const std::vector<Rational>& values) {
+namespace {
+
+// The int64 tier of the LCM/scaling stage. Every step is exact or
+// refused: inputs that do not narrow to int64, an LCM that leaves int64,
+// or a scaled numerator flagged by `SmallRational`'s sticky overflow flag
+// all return false, and the caller reruns on BigInt.
+bool ScaleToIntegerSolutionFast(const std::vector<Rational>& values,
+                                std::vector<BigInt>* out) {
+  std::vector<SmallRational> narrow;
+  narrow.reserve(values.size());
+  for (const Rational& value : values) {
+    Result<std::int64_t> num = value.numerator().ToInt64();
+    Result<std::int64_t> den = value.denominator().ToInt64();
+    if (!num.ok() || !den.ok()) {
+      return false;
+    }
+    narrow.push_back(SmallRational::FromReduced(num.value(), den.value()));
+  }
+  std::int64_t lcm = 1;
+  for (const SmallRational& value : narrow) {
+    const std::int64_t den = value.denominator();
+    const std::int64_t gcd = std::gcd(lcm, den);
+    const __int128 wide = static_cast<__int128>(lcm / gcd) * den;
+    if (wide > std::numeric_limits<std::int64_t>::max()) {
+      return false;
+    }
+    lcm = static_cast<std::int64_t>(wide);
+  }
+  SmallRational::ClearOverflow();
+  const SmallRational factor(lcm);
+  std::vector<std::int64_t> scaled;
+  scaled.reserve(narrow.size());
+  std::int64_t gcd = 0;
+  for (const SmallRational& value : narrow) {
+    const SmallRational integer = value * factor;
+    if (SmallRational::OverflowSeen()) {
+      SmallRational::ClearOverflow();
+      return false;
+    }
+    // lcm is a multiple of every denominator, so the reduced product is
+    // integral by construction.
+    scaled.push_back(integer.numerator());
+    gcd = std::gcd(gcd, std::abs(integer.numerator()));
+  }
+  out->clear();
+  out->reserve(scaled.size());
+  for (std::int64_t value : scaled) {
+    out->push_back(BigInt(gcd > 1 ? value / gcd : value));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<BigInt> ScaleToIntegerSolution(const std::vector<Rational>& values,
+                                           IntegerScaleStats* stats) {
+  std::vector<BigInt> fast;
+  if (ScaleToIntegerSolutionFast(values, &fast)) {
+    if (stats != nullptr) {
+      stats->used_fast_path = true;
+      stats->exact_fallback = false;
+    }
+    return fast;
+  }
+  if (stats != nullptr) {
+    stats->used_fast_path = false;
+    stats->exact_fallback = true;
+  }
   BigInt denominator_lcm(1);
   for (const Rational& value : values) {
     denominator_lcm = Lcm(denominator_lcm, value.denominator());

@@ -22,10 +22,30 @@ namespace crsat {
 /// Fails with `InvalidArgument` if `system` is not homogeneous.
 Result<LpResult> SolveHomogeneousWithStrict(const LinearSystem& system);
 
+/// Accounting for one `ScaleToIntegerSolution` run. The witness pipeline's
+/// integer-solution stage surfaces these so tests can pin down which
+/// arithmetic tier actually produced a scaling.
+struct IntegerScaleStats {
+  /// The overflow-checked int64 (`SmallRational`) fast path produced the
+  /// result.
+  bool used_fast_path = false;
+  /// The fast path overflowed (LCM or a scaled numerator left the int64
+  /// range) and the exact BigInt path was run instead.
+  bool exact_fallback = false;
+};
+
 /// Scales a rational solution of a homogeneous system to an integer one:
 /// multiplies by the lcm of all denominators, then divides by the gcd of
 /// the numerators (keeping the vector minimal). All-zero input stays zero.
-std::vector<BigInt> ScaleToIntegerSolution(const std::vector<Rational>& values);
+///
+/// Mirrors the simplex's two-tier arithmetic: the LCM/scaling runs on the
+/// overflow-checked int64 `SmallRational` path first (src/lp/
+/// small_rational.h) and falls back to exact `Rational`/`BigInt`
+/// arithmetic when any intermediate leaves the representable range. Both
+/// tiers compute the identical vector; `stats`, when non-null, records
+/// which tier ran.
+std::vector<BigInt> ScaleToIntegerSolution(const std::vector<Rational>& values,
+                                           IntegerScaleStats* stats = nullptr);
 
 /// Multiplies an integer solution by `factor` (solutions of homogeneous
 /// systems are closed under positive scaling).

@@ -1,241 +1,18 @@
 #include "src/reasoner/model_builder.h"
 
-#include <algorithm>
-#include <map>
-#include <set>
 #include <utility>
 
-#include "src/cr/model_checker.h"
-#include "src/flow/max_flow.h"
+#include "src/witness/witness.h"
 
 namespace crsat {
 
 namespace {
 
-// A partially-built tuple shared by `count` identical copies.
-struct TupleGroup {
-  std::vector<Individual> prefix;
-  std::int64_t count = 0;
-};
-
-// Distributes the value multiset {individuals[i] with multiplicity
-// multiplicities[i]} over the groups, splitting each group into subgroups
-// that append one value to the prefix. Uses a min-congestion transportation
-// flow so identical prefixes receive as many *different* values as
-// possible. Returns the refined groups; a final group with count > 1 means
-// two identical tuples (the caller treats that as failure at this scale).
-Result<std::vector<TupleGroup>> RefineGroupsWithValues(
-    const std::vector<TupleGroup>& groups,
-    const std::vector<Individual>& individuals,
-    const std::vector<std::int64_t>& multiplicities) {
-  const int num_groups = static_cast<int>(groups.size());
-  const int num_values = static_cast<int>(individuals.size());
-  std::int64_t total = 0;
-  for (const TupleGroup& group : groups) {
-    total += group.count;
-  }
-
-  std::int64_t max_multiplicity = 0;
-  for (std::int64_t m : multiplicities) {
-    max_multiplicity = std::max(max_multiplicity, m);
-  }
-
-  // Binary search the smallest per-cell cap (congestion) that still routes
-  // all tuples; the cap is what bounds duplicate prefixes per value.
-  auto feasible_flow =
-      [&](std::int64_t cap,
-          std::vector<std::vector<std::int64_t>>* cells) -> Result<bool> {
-    MaxFlowGraph graph(2 + num_groups + num_values);
-    const int source = 0;
-    const int sink = 1;
-    std::vector<std::vector<int>> edge_ids(num_groups,
-                                           std::vector<int>(num_values, -1));
-    for (int g = 0; g < num_groups; ++g) {
-      graph.AddEdge(source, 2 + g, groups[g].count);
-    }
-    for (int d = 0; d < num_values; ++d) {
-      graph.AddEdge(2 + num_groups + d, sink, multiplicities[d]);
-    }
-    for (int g = 0; g < num_groups; ++g) {
-      for (int d = 0; d < num_values; ++d) {
-        edge_ids[g][d] =
-            graph.AddEdge(2 + g, 2 + num_groups + d,
-                          std::min(cap, groups[g].count));
-      }
-    }
-    CRSAT_ASSIGN_OR_RETURN(std::int64_t flow, graph.Solve(source, sink));
-    if (flow != total) {
-      return false;
-    }
-    if (cells != nullptr) {
-      cells->assign(num_groups, std::vector<std::int64_t>(num_values, 0));
-      for (int g = 0; g < num_groups; ++g) {
-        for (int d = 0; d < num_values; ++d) {
-          (*cells)[g][d] = graph.EdgeFlow(edge_ids[g][d]);
-        }
-      }
-    }
-    return true;
-  };
-
-  std::int64_t low = 1;
-  std::int64_t high = std::max<std::int64_t>(max_multiplicity, 1);
-  CRSAT_ASSIGN_OR_RETURN(bool feasible_at_high, feasible_flow(high, nullptr));
-  if (!feasible_at_high) {
-    return InternalError(
-        "model builder: transportation flow infeasible at full capacity");
-  }
-  while (low < high) {
-    std::int64_t mid = low + (high - low) / 2;
-    CRSAT_ASSIGN_OR_RETURN(bool ok, feasible_flow(mid, nullptr));
-    if (ok) {
-      high = mid;
-    } else {
-      low = mid + 1;
-    }
-  }
-  std::vector<std::vector<std::int64_t>> cells;
-  CRSAT_ASSIGN_OR_RETURN(bool ok, feasible_flow(high, &cells));
-  if (!ok) {
-    return InternalError("model builder: flow became infeasible on replay");
-  }
-
-  std::vector<TupleGroup> refined;
-  for (int g = 0; g < num_groups; ++g) {
-    for (int d = 0; d < num_values; ++d) {
-      if (cells[g][d] == 0) {
-        continue;
-      }
-      TupleGroup subgroup;
-      subgroup.prefix = groups[g].prefix;
-      subgroup.prefix.push_back(individuals[d]);
-      subgroup.count = cells[g][d];
-      refined.push_back(std::move(subgroup));
-    }
-  }
-  return refined;
-}
-
-// One attempt at materializing the model for fixed integer counts. Returns
-// Unavailable when tuple distinctness could not be realized at this scale
-// (the caller scales the solution and retries).
-Result<Interpretation> TryBuild(const Expansion& expansion,
-                                const std::vector<std::int64_t>& class_counts,
-                                const std::vector<std::int64_t>& rel_counts) {
-  const Schema& schema = expansion.schema();
-  Interpretation interpretation(schema);
-
-  // Individuals per compound class.
-  std::vector<std::vector<Individual>> members_of(expansion.classes().size());
-  for (size_t i = 0; i < expansion.classes().size(); ++i) {
-    for (std::int64_t m = 0; m < class_counts[i]; ++m) {
-      Individual individual = interpretation.AddIndividual();
-      members_of[i].push_back(individual);
-      for (ClassId cls : expansion.classes()[i].Members()) {
-        CRSAT_RETURN_IF_ERROR(interpretation.AddToClass(cls, individual));
-      }
-    }
-  }
-
-  // Global rotation offset per (relationship, role position, compound
-  // class index): consecutive tuple slots map to consecutive individuals
-  // modulo the class population, which keeps every individual's count in
-  // the balanced window [floor(T/n), ceil(T/n)] within [minc, maxc].
-  std::map<std::tuple<int, int, int>, std::int64_t> rotation;
-
-  for (size_t j = 0; j < expansion.relationships().size(); ++j) {
-    const std::int64_t t = rel_counts[j];
-    if (t == 0) {
-      continue;
-    }
-    const CompoundRelationship& compound = expansion.relationships()[j];
-    const std::vector<RoleId>& roles = schema.RolesOf(compound.rel);
-    const int arity = static_cast<int>(roles.size());
-
-    std::vector<int> component_index(arity);
-    std::vector<std::int64_t> population(arity);
-    std::vector<std::int64_t> offsets(arity);
-    for (int k = 0; k < arity; ++k) {
-      component_index[k] = expansion.ClassIndexOf(compound.components[k]);
-      if (component_index[k] < 0) {
-        return InternalError("model builder: unknown compound component");
-      }
-      population[k] = class_counts[component_index[k]];
-      if (population[k] == 0) {
-        return InvalidArgumentError(
-            "model builder: solution is not acceptable (populated compound "
-            "relationship with an empty component class)");
-      }
-      auto key = std::make_tuple(compound.rel.value, k, component_index[k]);
-      offsets[k] = rotation[key];
-      rotation[key] = (offsets[k] + t) % population[k];
-    }
-
-    // Fast path: aligned round-robin. Tuples m and m' collide only when
-    // population[k] divides m'-m for every k.
-    bool aligned_ok = true;
-    {
-      std::set<std::vector<Individual>> seen;
-      std::vector<std::vector<Individual>> tuples;
-      tuples.reserve(t);
-      for (std::int64_t m = 0; m < t && aligned_ok; ++m) {
-        std::vector<Individual> tuple(arity);
-        for (int k = 0; k < arity; ++k) {
-          tuple[k] = members_of[component_index[k]]
-                               [(offsets[k] + m) % population[k]];
-        }
-        if (!seen.insert(tuple).second) {
-          aligned_ok = false;
-          break;
-        }
-        tuples.push_back(std::move(tuple));
-      }
-      if (aligned_ok) {
-        for (std::vector<Individual>& tuple : tuples) {
-          CRSAT_RETURN_IF_ERROR(
-              interpretation.AddTuple(compound.rel, tuple));
-        }
-        continue;
-      }
-    }
-
-    // Slow path: realize this compound relationship coordinate by
-    // coordinate with min-congestion flows, preserving the exact value
-    // multisets of the round-robin windows.
-    std::vector<TupleGroup> groups(1);
-    groups[0].count = t;
-    for (int k = 0; k < arity; ++k) {
-      // Window multiset: individual (offsets[k] + s) mod n, s in [0, t).
-      const std::int64_t n = population[k];
-      std::vector<Individual> individuals;
-      std::vector<std::int64_t> multiplicities;
-      for (std::int64_t d = 0; d < n; ++d) {
-        std::int64_t count = t / n;
-        // Individuals hit by the remainder of the window get one extra.
-        std::int64_t rem = t % n;
-        std::int64_t position = (d - offsets[k] % n + n) % n;
-        if (position < rem) {
-          ++count;
-        }
-        if (count > 0) {
-          individuals.push_back(members_of[component_index[k]][d]);
-          multiplicities.push_back(count);
-        }
-      }
-      CRSAT_ASSIGN_OR_RETURN(
-          groups, RefineGroupsWithValues(groups, individuals,
-                                         multiplicities));
-    }
-    for (const TupleGroup& group : groups) {
-      if (group.count != 1) {
-        return UnavailableError(
-            "model builder: duplicate tuples unavoidable at this scale");
-      }
-      CRSAT_RETURN_IF_ERROR(
-          interpretation.AddTuple(compound.rel, group.prefix));
-    }
-  }
-  return interpretation;
+WitnessOptions ToWitnessOptions(const ModelBuildOptions& options) {
+  WitnessOptions witness_options;
+  witness_options.max_scaling_attempts = options.max_scaling_attempts;
+  witness_options.max_model_size = options.max_model_size;
+  return witness_options;
 }
 
 }  // namespace
@@ -243,64 +20,10 @@ Result<Interpretation> TryBuild(const Expansion& expansion,
 Result<Interpretation> ModelBuilder::BuildModel(
     const Expansion& expansion, const IntegerSolution& solution,
     const ModelBuildOptions& options) {
-  if (solution.class_counts.size() != expansion.classes().size() ||
-      solution.rel_counts.size() != expansion.relationships().size()) {
-    return InvalidArgumentError(
-        "model builder: solution size does not match the expansion");
-  }
-  BigInt scale(1);
-  for (int attempt = 0; attempt <= options.max_scaling_attempts; ++attempt) {
-    // Convert scaled counts to int64 and enforce the size cap.
-    std::vector<std::int64_t> class_counts;
-    std::vector<std::int64_t> rel_counts;
-    BigInt total;
-    bool fits = true;
-    auto convert = [&](const std::vector<BigInt>& source,
-                       std::vector<std::int64_t>* target) {
-      for (const BigInt& value : source) {
-        BigInt scaled = value * scale;
-        total += scaled;
-        Result<std::int64_t> narrow = scaled.ToInt64();
-        if (!narrow.ok()) {
-          fits = false;
-          return;
-        }
-        target->push_back(narrow.value());
-      }
-    };
-    convert(solution.class_counts, &class_counts);
-    if (fits) {
-      convert(solution.rel_counts, &rel_counts);
-    }
-    if (!fits ||
-        total > BigInt(static_cast<std::int64_t>(options.max_model_size))) {
-      return UnavailableError(
-          "model builder: model size exceeds max_model_size");
-    }
-
-    Result<Interpretation> built =
-        TryBuild(expansion, class_counts, rel_counts);
-    if (built.ok()) {
-      std::vector<std::string> violations =
-          ModelChecker::Violations(expansion.schema(), built.value());
-      if (!violations.empty()) {
-        std::string message =
-            "model builder produced an invalid model (bug):";
-        for (const std::string& violation : violations) {
-          message += "\n  - " + violation;
-        }
-        return InternalError(std::move(message));
-      }
-      return built;
-    }
-    if (built.status().code() != StatusCode::kUnavailable) {
-      return built.status();
-    }
-    scale *= BigInt(2);
-  }
-  return UnavailableError(
-      "model builder: retry budget exhausted without a duplicate-free "
-      "realization");
+  CRSAT_ASSIGN_OR_RETURN(CertifiedWitness witness,
+                         WitnessSynthesizer::SynthesizeFromSolution(
+                             expansion, solution, ToWitnessOptions(options)));
+  return std::move(witness).TakeInterpretation();
 }
 
 Result<Interpretation> ModelBuilder::BuildModelForClass(
@@ -312,9 +35,10 @@ Result<Interpretation> ModelBuilder::BuildModelForClass(
         "class '" + checker.expansion().schema().ClassName(cls) +
         "' is unsatisfiable; no model can populate it");
   }
-  CRSAT_ASSIGN_OR_RETURN(IntegerSolution solution,
-                         checker.AcceptableIntegerSolution());
-  return ModelBuilder::BuildModel(checker.expansion(), solution, options);
+  WitnessSynthesizer synthesizer(checker);
+  CRSAT_ASSIGN_OR_RETURN(CertifiedWitness witness,
+                         synthesizer.Synthesize(ToWitnessOptions(options)));
+  return std::move(witness).TakeInterpretation();
 }
 
 }  // namespace crsat

@@ -26,17 +26,13 @@ struct ModelBuildOptions {
 /// nonnegative integer solution of Psi_S — the constructive half of the
 /// paper's completeness argument (Section 3.3, Figure 6).
 ///
-/// For each consistent compound class with count `t`, `t` fresh individuals
-/// are created and added to the member classes' extensions. Tuples of each
-/// compound relationship draw their role fillers round-robin from a global
-/// per-(relationship, role, compound class) rotation, which keeps every
-/// individual's tuple count within the lifted `[minc, maxc]` window.
-/// Relationship extensions are sets, so tuples within one compound
-/// relationship must also be pairwise distinct; when round-robin collides,
-/// the builder re-realizes that compound relationship coordinate by
-/// coordinate using a min-congestion max-flow assignment, and as a last
-/// resort doubles the whole solution and retries. The result is always
-/// verified against `ModelChecker` before being returned.
+/// This is a thin compatibility facade over the staged witness pipeline in
+/// src/witness/ (`WitnessSynthesizer`): tuple assignment distributes role
+/// fillers round-robin, falls back to a min-congestion max-flow per
+/// compound relationship when round-robin collides, doubles the solution
+/// as a last resort, and every result is `ModelChecker`-certified before
+/// it is returned. Use `WitnessSynthesizer` directly for synthesis stats,
+/// resource-guard plumbing, and warm-started repeated synthesis.
 class ModelBuilder {
  public:
   /// Materializes a model realizing `solution` (possibly scaled up).

@@ -8,7 +8,8 @@ namespace crsat {
 
 Result<std::vector<Rational>> MinimalWitnessForSupport(
     const LinearSystem& system, const std::vector<bool>& positive,
-    const std::vector<Rational>& fallback, ResourceGuard* guard) {
+    const std::vector<Rational>& fallback, ResourceGuard* guard,
+    WarmStartBasis* basis_carry) {
   LinearSystem pinned = system;
   LinearExpr total;
   for (VarId v = 0; v < pinned.num_variables(); ++v) {
@@ -23,11 +24,21 @@ Result<std::vector<Rational>> MinimalWitnessForSupport(
   }
   SimplexOptions options;
   options.guard = guard;
+  WarmStartBasis exported;
+  if (basis_carry != nullptr) {
+    if (!basis_carry->empty()) {
+      options.warm_start = basis_carry;
+    }
+    options.export_basis = &exported;
+  }
   CRSAT_ASSIGN_OR_RETURN(
       LpResult lp,
       SimplexSolver::SolveWith(pinned, total, /*maximize=*/false, options));
   if (lp.outcome != LpOutcome::kOptimal) {
     return fallback;
+  }
+  if (basis_carry != nullptr && !exported.empty()) {
+    *basis_carry = std::move(exported);
   }
   return std::move(lp.values);
 }

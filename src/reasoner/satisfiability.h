@@ -39,9 +39,16 @@ struct Dependency {
 /// support witness is a sum of many LP vertices whose denominators
 /// multiply up. Falls back to `fallback` if the LP is not optimal (cannot
 /// happen for a correct support; defensive).
+///
+/// `basis_carry`, when non-null, threads a warm-start basis across
+/// successive calls on same-shaped pinned systems (the witness
+/// synthesizer's repeated syntheses over one expansion): a carried basis
+/// skips phase 1, and an optimal solve writes its final basis back. A
+/// stale or mismatched carry only costs a rejected warm-start attempt.
 Result<std::vector<Rational>> MinimalWitnessForSupport(
     const LinearSystem& system, const std::vector<bool>& positive,
-    const std::vector<Rational>& fallback, ResourceGuard* guard = nullptr);
+    const std::vector<Rational>& fallback, ResourceGuard* guard = nullptr,
+    WarmStartBasis* basis_carry = nullptr);
 
 /// Computes the maximal acceptable support of a homogeneous non-strict
 /// `system` under the given dependencies.

@@ -1,0 +1,33 @@
+#ifndef CRSAT_WITNESS_INTEGER_SOLUTION_H_
+#define CRSAT_WITNESS_INTEGER_SOLUTION_H_
+
+#include "src/base/result.h"
+#include "src/reasoner/satisfiability.h"
+#include "src/witness/witness.h"
+
+namespace crsat {
+
+/// Stage 1 of witness synthesis: turns the checker's cached maximal
+/// acceptable support into a *minimal* acceptable nonnegative integer
+/// solution of Psi_S.
+///
+/// Refuses with `kInvalidArgument` — before any solver work — when the
+/// support has no positive class variable (an all-unsatisfiable schema has
+/// nothing to witness; tests assert via `SimplexStats` that this path runs
+/// zero additional solves). Otherwise runs one minimization LP
+/// (`MinimalWitnessForSupport`, warm started through `basis_carry`),
+/// scales the rational solution to integers via the LCM of denominators
+/// (int64 `SmallRational` fast path with exact BigInt fallback; recorded
+/// in `stats`), and re-verifies the acceptability side-condition on the
+/// integers: a zero compound-class count with a positive dependent
+/// relationship count is a pipeline bug and fails with `kInternal`.
+///
+/// `basis_carry` and `stats` may be null.
+Result<IntegerSolution> SolveIntegerStage(const SatisfiabilityChecker& checker,
+                                          const WitnessOptions& options,
+                                          WarmStartBasis* basis_carry,
+                                          WitnessStats* stats);
+
+}  // namespace crsat
+
+#endif  // CRSAT_WITNESS_INTEGER_SOLUTION_H_

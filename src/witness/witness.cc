@@ -1,0 +1,78 @@
+#include "src/witness/witness.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/witness/integer_solution.h"
+#include "src/witness/tuple_assignment.h"
+
+namespace crsat {
+
+namespace {
+
+ResourceGuard* ResolveGuard(const WitnessOptions& options,
+                            const Expansion& expansion) {
+  return options.guard != nullptr ? options.guard : expansion.options().guard;
+}
+
+}  // namespace
+
+Result<CertifiedWitness> CertifiedWitness::Certify(
+    const Schema& schema, Interpretation interpretation, WitnessStats stats,
+    const SchemaSourceMap* source_map) {
+  std::vector<ModelViolation> violations =
+      ModelChecker::CheckModel(schema, interpretation, source_map);
+  if (!violations.empty()) {
+    std::string message =
+        "witness certification refused: synthesized interpretation is not a "
+        "model (bug):";
+    for (const ModelViolation& violation : violations) {
+      message += "\n  - " + violation.message;
+    }
+    return InternalError(std::move(message));
+  }
+  stats.individuals = static_cast<std::uint64_t>(interpretation.domain_size());
+  stats.tuples = 0;
+  for (RelationshipId rel : schema.AllRelationships()) {
+    stats.tuples += interpretation.RelationshipExtension(rel).size();
+  }
+  return CertifiedWitness(std::move(interpretation), std::move(stats));
+}
+
+Result<CertifiedWitness> WitnessSynthesizer::Synthesize(
+    const WitnessOptions& options) {
+  const Expansion& expansion = checker_->expansion();
+  ResourceGuard* guard = ResolveGuard(options, expansion);
+  WitnessStats stats;
+  CRSAT_ASSIGN_OR_RETURN(
+      IntegerSolution solution,
+      SolveIntegerStage(*checker_, options, &minimal_witness_carry_, &stats));
+  CRSAT_ASSIGN_OR_RETURN(
+      Interpretation interpretation,
+      AssignTuples(expansion, solution, options, &stats, guard));
+  if (guard != nullptr) {
+    CRSAT_RETURN_IF_ERROR(guard->CheckNow("witness/certify"));
+  }
+  return CertifiedWitness::Certify(expansion.schema(),
+                                   std::move(interpretation), stats,
+                                   options.source_map);
+}
+
+Result<CertifiedWitness> WitnessSynthesizer::SynthesizeFromSolution(
+    const Expansion& expansion, const IntegerSolution& solution,
+    const WitnessOptions& options) {
+  ResourceGuard* guard = ResolveGuard(options, expansion);
+  WitnessStats stats;
+  CRSAT_ASSIGN_OR_RETURN(
+      Interpretation interpretation,
+      AssignTuples(expansion, solution, options, &stats, guard));
+  if (guard != nullptr) {
+    CRSAT_RETURN_IF_ERROR(guard->CheckNow("witness/certify"));
+  }
+  return CertifiedWitness::Certify(expansion.schema(),
+                                   std::move(interpretation), stats,
+                                   options.source_map);
+}
+
+}  // namespace crsat

@@ -1,0 +1,140 @@
+#ifndef CRSAT_WITNESS_WITNESS_H_
+#define CRSAT_WITNESS_WITNESS_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/base/resource_guard.h"
+#include "src/base/result.h"
+#include "src/cr/interpretation.h"
+#include "src/cr/model_checker.h"
+#include "src/expansion/expansion.h"
+#include "src/reasoner/satisfiability.h"
+
+namespace crsat {
+
+/// Knobs for witness synthesis (src/witness/).
+struct WitnessOptions {
+  /// How many times the integer solution may be doubled when
+  /// tuple-distinctness cannot be realized at the current scale (solutions
+  /// of the homogeneous system are closed under positive scaling).
+  int max_scaling_attempts = 8;
+
+  /// Refuse to materialize witnesses larger than this many individuals
+  /// plus tuples (the decision procedure never needs materialization; this
+  /// is a safety valve for the constructive API).
+  std::uint64_t max_model_size = 1000000;
+
+  /// Optional resource guard; overrides the expansion's own
+  /// `ExpansionOptions::guard` when non-null. Every stage — the minimal
+  /// integer LP, tuple assignment (including its max-flow refinements),
+  /// and certification — polls it, so `--witness` work respects the same
+  /// deadlines/budgets as the verdict it decorates. A trip surfaces as a
+  /// resource-limit status and no witness is produced.
+  ResourceGuard* guard = nullptr;
+
+  /// Optional declaration-site map (from `NamedSchema::source_map`). Only
+  /// consulted if certification ever fails: the refusal message then
+  /// points at the violated declarations.
+  const SchemaSourceMap* source_map = nullptr;
+};
+
+/// Deterministic accounting of one synthesis run.
+struct WitnessStats {
+  /// The LCM/scaling stage completed on the overflow-checked int64
+  /// (`SmallRational`) fast path.
+  bool integer_fast_path = false;
+  /// The fast path overflowed and the exact BigInt path ran instead.
+  bool integer_exact_fallback = false;
+  /// Doublings performed beyond the initial scale during tuple assignment.
+  int scaling_attempts = 0;
+  /// Compound relationships whose tuples needed the min-congestion
+  /// max-flow refinement (round-robin alone collided).
+  std::uint64_t flow_refinements = 0;
+  /// Size of the certified witness.
+  std::uint64_t individuals = 0;
+  std::uint64_t tuples = 0;
+};
+
+/// A finite interpretation that passed `ModelChecker` with zero
+/// violations. The constructor is private and `Certify` is the only
+/// factory, so holding a `CertifiedWitness` *is* the certificate: there is
+/// no code path that emits an unchecked interpretation as a witness.
+class CertifiedWitness {
+ public:
+  /// Runs `interpretation` through `ModelChecker::CheckModel` and wraps it
+  /// on success. Any violation refuses certification with `kInternal`
+  /// (an uncertifiable synthesis result is a bug in the pipeline, never a
+  /// user error); the message lists every violation, with declaration
+  /// sites when `source_map` is supplied.
+  static Result<CertifiedWitness> Certify(
+      const Schema& schema, Interpretation interpretation, WitnessStats stats,
+      const SchemaSourceMap* source_map = nullptr);
+
+  const Interpretation& interpretation() const { return interpretation_; }
+  const WitnessStats& stats() const { return stats_; }
+
+  /// Moves the interpretation out (for callers that only need the model,
+  /// e.g. the legacy `ModelBuilder` facade).
+  Interpretation&& TakeInterpretation() && {
+    return std::move(interpretation_);
+  }
+
+ private:
+  CertifiedWitness(Interpretation interpretation, WitnessStats stats)
+      : interpretation_(std::move(interpretation)), stats_(std::move(stats)) {}
+
+  Interpretation interpretation_;
+  WitnessStats stats_;
+};
+
+/// The constructive half of the paper's completeness proof (Section 3.3),
+/// as a three-stage pipeline over a satisfiable schema's expansion:
+///
+///   1. *Integer solution*: the checker's cached maximal acceptable
+///      support is turned into a minimal rational witness (one LP, warm
+///      started across calls), then scaled to nonnegative integers by the
+///      LCM of denominators — int64 fast path, exact BigInt fallback. The
+///      acceptability side-condition (a zero compound-class count forces
+///      every dependent relationship count to zero) is re-verified on the
+///      integers.
+///   2. *Tuple assignment*: compound-class populations are materialized
+///      and relationship tuples distributed across role slots round-robin,
+///      falling back to a min-congestion max-flow per compound
+///      relationship when bounds are tight, and doubling the whole
+///      solution when distinctness is unrealizable at the current scale.
+///   3. *Certification*: the interpretation is run back through
+///      `ModelChecker`; only a zero-violation result is emitted (as a
+///      `CertifiedWitness` — uncertified witnesses cannot be constructed).
+///
+/// The synthesizer reuses the `SatisfiabilityChecker`'s cached support, so
+/// after a SAT verdict no support LP is re-run; on an all-UNSAT schema it
+/// refuses immediately without any solver work (tests assert this via
+/// `SimplexStats`).
+class WitnessSynthesizer {
+ public:
+  /// The checker (and its expansion) must outlive the synthesizer.
+  explicit WitnessSynthesizer(const SatisfiabilityChecker& checker)
+      : checker_(&checker) {}
+
+  /// Runs the full pipeline. Fails with `kInvalidArgument` when no class
+  /// is satisfiable (nothing to witness), `kUnavailable` when the retry
+  /// budget or `max_model_size` is exhausted, a resource-limit status when
+  /// the guard trips, and `kInternal` when certification refuses.
+  Result<CertifiedWitness> Synthesize(const WitnessOptions& options = {});
+
+  /// Stages 2–3 only, from a caller-provided acceptable integer solution.
+  static Result<CertifiedWitness> SynthesizeFromSolution(
+      const Expansion& expansion, const IntegerSolution& solution,
+      const WitnessOptions& options = {});
+
+ private:
+  const SatisfiabilityChecker* checker_;
+  // Warm-start carry for the minimal-witness LP across successive
+  // `Synthesize` calls on this (same-shaped) system.
+  WarmStartBasis minimal_witness_carry_;
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_WITNESS_WITNESS_H_

@@ -1,0 +1,23 @@
+#ifndef CRSAT_WITNESS_WITNESS_TEXT_H_
+#define CRSAT_WITNESS_WITNESS_TEXT_H_
+
+#include <string>
+
+#include "src/witness/witness.h"
+
+namespace crsat {
+
+/// Single-line JSON rendering of a certified witness: certification flag,
+/// sizes, synthesis stats, class extensions, and relationship extensions
+/// (each tuple in `Schema::RolesOf` order). Only a `CertifiedWitness` can
+/// be rendered, so serialized output is certified by construction.
+std::string WitnessToJson(const CertifiedWitness& witness);
+
+/// Graphviz DOT rendering: one ellipse node per individual (labeled with
+/// its class memberships), one box node per relationship tuple, and one
+/// edge per tuple component labeled with the role name.
+std::string WitnessToDot(const CertifiedWitness& witness);
+
+}  // namespace crsat
+
+#endif  // CRSAT_WITNESS_WITNESS_TEXT_H_

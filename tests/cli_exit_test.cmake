@@ -44,6 +44,23 @@ expect_exit(1 check "${SCHEMAS}/figure1.cr")
 expect_exit(1 lint "${SCHEMAS}/lint_demo.cr")
 expect_exit(1 check "${SCHEMAS}/no_such_file.cr")
 
+# --witness keeps the verdict-driven exit code: certified witness on a
+# satisfiable schema, nothing to witness on an all-unsat one, and bad
+# renderer names are usage errors.
+expect_exit(0 check "${SCHEMAS}/meeting.cr" --witness)
+expect_exit(0 check "${SCHEMAS}/meeting.cr" --witness=json --json)
+expect_exit(0 check "${SCHEMAS}/meeting.cr" --witness=dot)
+expect_exit(1 check "${SCHEMAS}/figure1.cr" --witness)
+expect_exit(2 check "${SCHEMAS}/meeting.cr" --witness=yaml)
+
+# A resource limit tripped *during witness synthesis* downgrades to the
+# already-computed SAT verdict (exit 0, witness replaced by the trip
+# report); the same limit tripping before the verdict still exits 3.
+expect_exit(0 check "${SCHEMAS}/witness_heavy.cr" --witness --max-memory-mb 1)
+expect_exit(0 check "${SCHEMAS}/witness_heavy.cr" --witness=json --json
+  --max-memory-mb 1)
+expect_exit(3 check "${SCHEMAS}/witness_heavy.cr" --witness --timeout-ms 0)
+
 # Resource trips -> 3, in both output modes.
 expect_exit(3 check "${SCHEMAS}/meeting.cr" --timeout-ms 0)
 expect_exit(3 check "${SCHEMAS}/meeting.cr" --max-compounds 5)

@@ -1,0 +1,74 @@
+// Fuzz target: the witness synthesis pipeline behind a resource guard.
+// Inputs that parse as schemas run through expansion, satisfiability, and
+// — when some class is satisfiable — full witness synthesis ending in the
+// certification gate. The pipeline's own invariant does the heavy lifting:
+// `CertifiedWitness::Certify` returns `kInternal` if a synthesized
+// interpretation is not a model, and that (like any crash, hang, or
+// sanitizer finding) trips the fuzzer; verdicts, parse errors, size-cap
+// refusals, and resource trips are all normal.
+//
+// See fuzz_schema_text.cc for how the target is built and run.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "src/crsat.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Single-threaded keeps per-input work bounded and reports deterministic.
+  static const bool pool_pinned = [] {
+    crsat::SetGlobalThreadCount(1);
+    return true;
+  }();
+  (void)pool_pinned;
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  crsat::Result<crsat::NamedSchema> parsed = crsat::ParseSchema(text);
+  if (!parsed.ok()) {
+    return 0;
+  }
+
+  crsat::ResourceLimits limits;
+  limits.timeout = std::chrono::milliseconds(100);
+  limits.max_compounds = 10000;
+  limits.max_memory_bytes = std::uint64_t{64} << 20;
+  crsat::ResourceGuard guard(limits);
+
+  crsat::ExpansionOptions options;
+  options.guard = &guard;
+  crsat::Result<crsat::Expansion> expansion =
+      crsat::Expansion::Build(parsed->schema, options);
+  if (!expansion.ok()) {
+    return 0;  // Includes clean resource trips.
+  }
+  crsat::SatisfiabilityChecker checker(*expansion);
+  crsat::Result<std::vector<bool>> satisfiable = checker.SatisfiableClasses();
+  if (!satisfiable.ok()) {
+    return 0;
+  }
+
+  crsat::WitnessSynthesizer synthesizer(checker);
+  crsat::WitnessOptions witness_options;
+  witness_options.guard = &guard;
+  witness_options.source_map = &parsed->source_map;
+  witness_options.max_model_size = 100000;
+  crsat::Result<crsat::CertifiedWitness> witness =
+      synthesizer.Synthesize(witness_options);
+  if (!witness.ok()) {
+    // `kInternal` means the pipeline emitted something certification had
+    // to refuse — exactly the bug class this target exists to catch.
+    if (witness.status().code() == crsat::StatusCode::kInternal) {
+      std::abort();
+    }
+    return 0;
+  }
+  // Exercise the renderers on whatever certified; they must not crash on
+  // any schema shape (odd names, empty extensions, high arities).
+  (void)crsat::WitnessToJson(*witness);
+  (void)crsat::WitnessToDot(*witness);
+  return 0;
+}

@@ -594,6 +594,7 @@ TEST(ExampleSchemasTest, EveryShippedSchemaHasTheExpectedDiagnostics) {
       {"figure1.cr", {}},
       {"meeting.cr", {}},
       {"university.cr", {}},
+      {"witness_heavy.cr", {}},
       {"lint_demo.cr",
        {"isa-cycle", "redundant-isa", "empty-range",
         "card-refinement-conflict", "trivially-unsat-relationship",

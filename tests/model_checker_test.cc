@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cr/interpretation.h"
+#include "src/cr/schema_text.h"
 #include "tests/test_schemas.h"
 
 namespace crsat {
@@ -173,6 +174,63 @@ TEST(ModelCheckerTest, DetectsCoveringViolation) {
       ModelChecker::Violations(schema, interpretation);
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_NE(violations[0].find("covering violated"), std::string::npos);
+}
+
+TEST(ModelCheckerTest, ViolationsCarryDeclarationSites) {
+  // Line/column positions below refer to this literal; the raw string
+  // starts with a newline, so `class` is on line 3.
+  NamedSchema parsed = ParseSchema(R"(
+    schema Located {
+      class Sub, Super, T;
+      isa Sub < Super;
+      relationship R(U1: Sub, U2: T);
+      card Sub in R.U1 = (1, 1);
+    }
+  )")
+                           .value();
+  const Schema& schema = parsed.schema;
+  Interpretation interpretation(schema);
+  Individual d = interpretation.AddIndividual();
+  // In Sub but not Super (ISA violation) and in no R tuple (cardinality
+  // violation).
+  ASSERT_TRUE(
+      interpretation.AddToClass(schema.FindClass("Sub").value(), d).ok());
+
+  std::vector<ModelViolation> violations =
+      ModelChecker::CheckModel(schema, interpretation, &parsed.source_map);
+  ASSERT_EQ(violations.size(), 2u);
+
+  const ModelViolation& isa = violations[0];
+  EXPECT_EQ(isa.kind, ModelViolation::Kind::kIsa);
+  EXPECT_TRUE(isa.location.IsKnown());
+  EXPECT_EQ(isa.location.line, 4);  // `isa Sub < Super;`
+  EXPECT_NE(isa.message.find("declared at"), std::string::npos)
+      << isa.message;
+  EXPECT_NE(isa.message.find(isa.location.ToString()), std::string::npos)
+      << isa.message;
+
+  const ModelViolation& card = violations[1];
+  EXPECT_EQ(card.kind, ModelViolation::Kind::kCardinality);
+  EXPECT_TRUE(card.location.IsKnown());
+  EXPECT_EQ(card.location.line, 6);  // `card Sub in R.U1 = (1, 1);`
+  EXPECT_NE(card.message.find("declared at"), std::string::npos)
+      << card.message;
+}
+
+TEST(ModelCheckerTest, ViolationsWithoutSourceMapDegradeToUnknownSites) {
+  Schema schema = MeetingSchema();
+  Interpretation interpretation(schema);
+  Individual d = interpretation.AddIndividual();
+  ClassId discussant = schema.FindClass("Discussant").value();
+  ASSERT_TRUE(interpretation.AddToClass(discussant, d).ok());
+  std::vector<ModelViolation> violations =
+      ModelChecker::CheckModel(schema, interpretation);
+  ASSERT_FALSE(violations.empty());
+  for (const ModelViolation& violation : violations) {
+    EXPECT_FALSE(violation.location.IsKnown());
+    EXPECT_EQ(violation.message.find("declared at"), std::string::npos)
+        << violation.message;
+  }
 }
 
 TEST(InterpretationTest, DuplicateTupleRejected) {
