@@ -92,6 +92,11 @@ struct Timing {
   double wall_ms = 0;
   StatsSnapshot stats;
   std::string digest;  // Canonical result string; must match across runs.
+  // True when the row was not run because the machine has no real
+  // parallelism (see single_core below): timing a 4-thread pool on one
+  // core only measures scheduler noise, and the committed BENCH numbers
+  // would show meaningless sub-1.0 "speedups".
+  bool skipped_single_core = false;
 };
 
 struct Workload {
@@ -110,10 +115,19 @@ std::string DigestReport(const crsat::Schema& schema,
 template <typename Fn>
 Workload TimeAtThreadCounts(const std::string& name,
                             const std::vector<int>& thread_counts, int repeat,
-                            Fn run) {
+                            bool single_core, Fn run) {
   Workload workload;
   workload.name = name;
   for (int threads : thread_counts) {
+    if (single_core && threads > 1) {
+      Timing timing;
+      timing.threads = threads;
+      timing.skipped_single_core = true;
+      workload.timings.push_back(std::move(timing));
+      std::cerr << "[bench_parallel] " << name << " threads=" << threads
+                << " skipped (single core)\n";
+      continue;
+    }
     crsat::SetGlobalThreadCount(threads);
     crsat::GetSimplexStats().Reset();
     Timing timing;
@@ -129,7 +143,8 @@ Workload TimeAtThreadCounts(const std::string& name,
     workload.timings.push_back(std::move(timing));
   }
   for (const Timing& timing : workload.timings) {
-    if (timing.digest != workload.timings.front().digest) {
+    if (!timing.skipped_single_core &&
+        timing.digest != workload.timings.front().digest) {
       workload.deterministic = false;
     }
   }
@@ -173,6 +188,12 @@ std::string ToJson(const std::vector<Workload>& workloads,
         << ",\n      \"runs\": [\n";
     for (size_t t = 0; t < workload.timings.size(); ++t) {
       const Timing& timing = workload.timings[t];
+      if (timing.skipped_single_core) {
+        out << "        {\"threads\": " << timing.threads
+            << ", \"skipped_single_core\": true}"
+            << (t + 1 < workload.timings.size() ? "," : "") << "\n";
+        continue;
+      }
       const StatsSnapshot& stats = timing.stats;
       double speedup = timing.wall_ms > 0 ? base_ms / timing.wall_ms : 1.0;
       double fast_fraction =
@@ -234,6 +255,10 @@ int main(int argc, char** argv) {
   if (hardware > 4) {
     thread_counts.push_back(hardware);
   }
+  // On a single-core machine the multi-thread rows measure nothing but
+  // scheduler noise; emit them as explicitly skipped instead of recording
+  // misleading sub-1.0 speedups.
+  const bool single_core = hardware <= 1;
 
   std::vector<Workload> workloads;
 
@@ -244,7 +269,7 @@ int main(int argc, char** argv) {
     workloads.push_back(TimeAtThreadCounts(
         "implied_cardinality_report(chain depth=" + std::to_string(depth) +
             ")",
-        thread_counts, repeat, [&schema]() {
+        thread_counts, repeat, single_core, [&schema]() {
           crsat::Result<std::vector<crsat::ImpliedCardinalityRow>> report =
               crsat::BuildImpliedCardinalityReport(schema);
           if (!report.ok()) {
@@ -274,7 +299,7 @@ int main(int argc, char** argv) {
     workloads.push_back(TimeAtThreadCounts(
         "implication_check_all(" + std::to_string(queries.size()) +
             " queries)",
-        thread_counts, repeat, [&schema, bottom, rel, role, &queries]() {
+        thread_counts, repeat, single_core, [&schema, bottom, rel, role, &queries]() {
           crsat::Result<crsat::CardinalityImplicationEngine> engine =
               crsat::CardinalityImplicationEngine::Create(schema, bottom, rel,
                                                           role);
@@ -364,7 +389,7 @@ int main(int argc, char** argv) {
     }
     workloads.push_back(TimeAtThreadCounts(
         "support_sweep(" + std::to_string(schemas.size()) + " schemas)",
-        thread_counts, repeat, [&schemas, &names]() {
+        thread_counts, repeat, single_core, [&schemas, &names]() {
           std::string digest;
           for (size_t i = 0; i < schemas.size(); ++i) {
             crsat::Result<crsat::Expansion> expansion =
@@ -419,7 +444,7 @@ int main(int argc, char** argv) {
     }
     workloads.push_back(TimeAtThreadCounts(
         "witness_synthesis(" + std::to_string(schemas.size()) + " schemas)",
-        thread_counts, repeat, [&schemas, &names]() {
+        thread_counts, repeat, single_core, [&schemas, &names]() {
           std::string digest;
           for (size_t i = 0; i < schemas.size(); ++i) {
             crsat::Result<crsat::Expansion> expansion =
@@ -462,6 +487,11 @@ int main(int argc, char** argv) {
               << "\n";
     double base_ms = workload.timings.front().wall_ms;
     for (const Timing& timing : workload.timings) {
+      if (timing.skipped_single_core) {
+        std::cout << "  threads=" << timing.threads
+                  << "  skipped (single core)\n";
+        continue;
+      }
       const StatsSnapshot& stats = timing.stats;
       std::cout << "  threads=" << timing.threads << "  wall_ms=" << timing.wall_ms
                 << "  speedup=" << (timing.wall_ms > 0 ? base_ms / timing.wall_ms : 1.0)

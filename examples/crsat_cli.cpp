@@ -42,6 +42,17 @@
 //       entities, trivially-empty relationships. Exits 1 when any
 //       error-severity finding is reported, 3 when a resource limit
 //       tripped before every rule ran.
+//   crsat_cli conform [--seeds N] [--seed-start S] [--bound K]
+//                     [--tuple-bound T] [--classes N] [--relationships N]
+//                     [--json] [--no-baseline] [--no-metamorphic]
+//                     [--no-minimize] [--dump-dir DIR]
+//       differential conformance sweep: for each generator seed, the
+//       production reasoner is cross-checked against a brute-force
+//       bounded oracle (domain size <= K), the Lenzerini-Nobili baseline
+//       on ISA-free siblings, its own verdicts under metamorphic schema
+//       rewrites, and its certified witnesses. Exits 1 if any
+//       disagreement is found; each disagreeing schema is minimized and
+//       printed (and written under --dump-dir when given).
 //
 // Schema files use the DSL documented in src/cr/schema_text.h; state
 // files the DSL in src/cr/state_text.h. Samples live in
@@ -84,6 +95,11 @@ int Usage() {
          "  crsat_cli lint <schema-file> [--json]\n"
          "                 [--timeout-ms N] [--max-compounds N] "
          "[--max-memory-mb N]\n"
+         "  crsat_cli conform [--seeds N] [--seed-start S] [--bound K]\n"
+         "                    [--tuple-bound T] [--classes N] "
+         "[--relationships N]\n"
+         "                    [--json] [--no-baseline] [--no-metamorphic]\n"
+         "                    [--no-minimize] [--dump-dir DIR]\n"
          "exit codes: 0 ok, 1 findings/failure, 2 usage, 3 resource limit\n";
   return kExitUsage;
 }
@@ -505,13 +521,105 @@ int RunImplies(const crsat::Schema& schema, int argc, char** argv) {
   return Usage();
 }
 
+// Differential conformance sweep (src/oracle/): generated schemas, the
+// production reasoner cross-checked against the brute-force oracle, the
+// LN baseline, metamorphic contracts and certified witnesses. Exits 1
+// when any disagreement is found. `--dump-dir` writes each disagreeing
+// schema (and its minimized form) as .schema files for artifact upload.
+int RunConform(int argc, char** argv) {
+  crsat::ConformanceOptions options;
+  bool json = false;
+  std::string dump_dir;
+  auto parse_int = [&](int* i, long min_value, long* out) {
+    if (*i + 1 >= argc) {
+      return false;
+    }
+    char* end = nullptr;
+    const long value = std::strtol(argv[++*i], &end, 10);
+    if (end == nullptr || *end != '\0' || value < min_value) {
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long value = 0;
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--seeds" && parse_int(&i, 1, &value)) {
+      options.num_seeds = static_cast<int>(value);
+    } else if (arg == "--seed-start" && parse_int(&i, 0, &value)) {
+      options.first_seed = static_cast<std::uint32_t>(value);
+    } else if (arg == "--bound" && parse_int(&i, 1, &value)) {
+      options.oracle.max_domain = static_cast<int>(value);
+    } else if (arg == "--tuple-bound" && parse_int(&i, 1, &value)) {
+      options.oracle.max_tuples_per_relationship =
+          static_cast<std::uint64_t>(value);
+    } else if (arg == "--classes" && parse_int(&i, 1, &value)) {
+      options.num_classes = static_cast<int>(value);
+    } else if (arg == "--relationships" && parse_int(&i, 0, &value)) {
+      options.num_relationships = static_cast<int>(value);
+    } else if (arg == "--no-baseline") {
+      options.check_baseline = false;
+    } else if (arg == "--no-metamorphic") {
+      options.check_metamorphic = false;
+    } else if (arg == "--no-minimize") {
+      options.minimize = false;
+    } else if (arg == "--dump-dir" && i + 1 < argc) {
+      dump_dir = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  crsat::Result<crsat::ConformanceReport> report =
+      crsat::RunConformance(options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return crsat::IsResourceLimitStatus(report.status().code())
+               ? kExitResource
+               : kExitFindings;
+  }
+  if (!dump_dir.empty()) {
+    int index = 0;
+    for (const crsat::ConformanceDisagreement& d : report->disagreements) {
+      const std::string stem = dump_dir + "/disagreement_" +
+                               std::to_string(index++) + "_seed" +
+                               std::to_string(d.seed);
+      std::ofstream(stem + ".schema") << d.schema_text;
+      if (!d.minimized_schema_text.empty()) {
+        std::ofstream(stem + ".min.schema") << d.minimized_schema_text;
+      }
+    }
+  }
+  if (json) {
+    std::cout << report->ToJson() << "\n";
+  } else {
+    std::cout << report->Summary() << "\n";
+    for (const crsat::ConformanceDisagreement& d : report->disagreements) {
+      std::cout << "\nseed " << d.seed << " [" << d.kind << "] class "
+                << d.class_name << ": " << d.detail << "\n"
+                << (d.minimized_schema_text.empty()
+                        ? d.schema_text
+                        : d.minimized_schema_text);
+    }
+  }
+  return report->disagreements.empty() ? kExitOk : kExitFindings;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  if (argc < 2) {
     return Usage();
   }
   const std::string command = argv[1];
+  if (command == "conform") {
+    return RunConform(argc, argv);
+  }
+  if (argc < 3) {
+    return Usage();
+  }
   if (command == "lint") {
     bool json = false;
     GuardFlags guard_flags;

@@ -22,7 +22,9 @@
 /// Implication queries live in `ImplicationChecker`, schema debugging in
 /// `MinimizeUnsatCore`, and the ISA-free Lenzerini-Nobili baseline in
 /// `LnReasoner`. Cheap pre-LP structural diagnostics (the lint engine)
-/// live in `RunLint` / `LintRuleRegistry` (src/analysis/).
+/// live in `RunLint` / `LintRuleRegistry` (src/analysis/). The
+/// independent brute-force ground truth and the differential conformance
+/// harness live in `BruteForceOracle` / `RunConformance` (src/oracle/).
 
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/empty_classes.h"
@@ -48,6 +50,10 @@
 #include "src/lp/simplex.h"
 #include "src/math/bigint.h"
 #include "src/math/rational.h"
+#include "src/oracle/brute_force.h"
+#include "src/oracle/conformance.h"
+#include "src/oracle/metamorphic.h"
+#include "src/oracle/schema_parts.h"
 #include "src/reasoner/implication.h"
 #include "src/reasoner/implication_engine.h"
 #include "src/reasoner/model_builder.h"

@@ -1,8 +1,9 @@
 #include "src/generator/random_schema.h"
 
-#include <random>
 #include <string>
 #include <vector>
+
+#include "src/generator/deterministic.h"
 
 namespace crsat {
 
@@ -13,13 +14,13 @@ Result<Schema> GenerateRandomSchema(const RandomSchemaParams& params) {
   if (params.min_arity < 2 || params.max_arity < params.min_arity) {
     return InvalidArgumentError("arity range must satisfy 2 <= min <= max");
   }
-  std::mt19937 rng(params.seed);
-  auto coin = [&rng](double probability) {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
-           probability;
-  };
+  // All draws go through DeterministicRng so a seed reproduces the
+  // identical schema on every toolchain (std::uniform_int_distribution
+  // sequences are implementation-defined; see deterministic.h).
+  DeterministicRng rng(params.seed);
+  auto coin = [&rng](double probability) { return rng.Coin(probability); };
   auto uniform_int = [&rng](int low, int high) {
-    return std::uniform_int_distribution<int>(low, high)(rng);
+    return rng.UniformInt(low, high);
   };
 
   SchemaBuilder builder;

@@ -1,0 +1,694 @@
+#include "src/oracle/brute_force.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <queue>
+#include <string>
+#include <utility>
+
+namespace crsat {
+
+namespace {
+
+constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max();
+
+/// A locally consistent class-membership profile: the exact set of classes
+/// one individual belongs to, as a bit mask, plus the per-role count
+/// bounds any individual carrying the profile must satisfy.
+struct Profile {
+  std::uint32_t mask = 0;
+  /// Indexed by global RoleId value. `in_extent[r]` iff the profile
+  /// contains the primary class of role r (so its individuals may — and
+  /// when `lo > 0` must — appear at that role). Bounds are the
+  /// intersection of every applicable cardinality declaration.
+  std::vector<bool> in_extent;
+  std::vector<std::uint64_t> lo;
+  std::vector<std::uint64_t> hi;  // kInfinity encodes "no maximum".
+};
+
+// ---------------------------------------------------------------------------
+// Self-contained max-flow with lower bounds (for the arity-2 exact case).
+// Deliberately independent of src/flow/ so the oracle shares no solver code
+// with the witness pipeline it cross-checks. Graphs here have at most
+// 2*max_domain + 4 nodes; a simple BFS augmenting-path flow is plenty.
+// ---------------------------------------------------------------------------
+
+class TinyFlow {
+ public:
+  explicit TinyFlow(int nodes) : head_(nodes, -1) {}
+
+  int AddEdge(int from, int to, std::uint64_t capacity) {
+    edges_.push_back({to, head_[from], capacity});
+    head_[from] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({from, head_[to], 0});
+    head_[to] = static_cast<int>(edges_.size()) - 1;
+    return static_cast<int>(edges_.size()) - 2;
+  }
+
+  /// Flow pushed through forward edge `id` after MaxFlow.
+  std::uint64_t FlowOn(int id) const { return edges_[id ^ 1].capacity; }
+
+  std::uint64_t MaxFlow(int source, int sink) {
+    std::uint64_t total = 0;
+    while (true) {
+      // BFS for a shortest augmenting path.
+      std::vector<int> parent_edge(head_.size(), -1);
+      std::vector<bool> seen(head_.size(), false);
+      std::queue<int> frontier;
+      frontier.push(source);
+      seen[source] = true;
+      while (!frontier.empty() && !seen[sink]) {
+        int node = frontier.front();
+        frontier.pop();
+        for (int e = head_[node]; e != -1; e = edges_[e].next) {
+          if (edges_[e].capacity == 0 || seen[edges_[e].to]) {
+            continue;
+          }
+          seen[edges_[e].to] = true;
+          parent_edge[edges_[e].to] = e;
+          frontier.push(edges_[e].to);
+        }
+      }
+      if (!seen[sink]) {
+        return total;
+      }
+      std::uint64_t bottleneck = kInfinity;
+      for (int node = sink; node != source;
+           node = edges_[parent_edge[node] ^ 1].to) {
+        bottleneck = std::min(bottleneck, edges_[parent_edge[node]].capacity);
+      }
+      for (int node = sink; node != source;
+           node = edges_[parent_edge[node] ^ 1].to) {
+        edges_[parent_edge[node]].capacity -= bottleneck;
+        edges_[parent_edge[node] ^ 1].capacity += bottleneck;
+      }
+      total += bottleneck;
+    }
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int next;
+    std::uint64_t capacity;
+  };
+  std::vector<int> head_;
+  std::vector<Edge> edges_;
+};
+
+/// Per-individual degree bounds on one side of an arity-2 relationship.
+struct DegreeBound {
+  int individual;  // Index into the assignment's individual list.
+  std::uint64_t lo;
+  std::uint64_t hi;
+};
+
+/// Decides — exactly — whether a duplicate-free 0/1 incidence between
+/// `rows` and `cols` exists where row i has degree in [rows[i].lo, .hi],
+/// column j likewise, and the total edge count is at most `max_total`.
+/// On success appends the chosen (row individual, col individual) pairs.
+/// This is a circulation-with-lower-bounds instance: S -> row (degree
+/// range), row -> col (0/1), col -> T (degree range), T -> S (<= total).
+bool SolveBipartite(const std::vector<DegreeBound>& rows,
+                    const std::vector<DegreeBound>& cols,
+                    std::uint64_t max_total,
+                    std::vector<std::pair<int, int>>* out_pairs) {
+  const int num_rows = static_cast<int>(rows.size());
+  const int num_cols = static_cast<int>(cols.size());
+  // Quick necessary checks before building the graph.
+  for (const DegreeBound& row : rows) {
+    if (row.lo > row.hi ||
+        row.lo > static_cast<std::uint64_t>(num_cols)) {
+      return false;
+    }
+  }
+  for (const DegreeBound& col : cols) {
+    if (col.lo > col.hi ||
+        col.lo > static_cast<std::uint64_t>(num_rows)) {
+      return false;
+    }
+  }
+  // Node layout: 0 = S, 1 = T, 2..= rows, then cols, then SS, TT.
+  const int node_s = 0;
+  const int node_t = 1;
+  const int row_base = 2;
+  const int col_base = row_base + num_rows;
+  const int node_ss = col_base + num_cols;
+  const int node_tt = node_ss + 1;
+  TinyFlow flow(node_tt + 1);
+
+  std::uint64_t lower_bound_total = 0;
+  // excess[v] accumulates (lower bounds in) - (lower bounds out).
+  std::vector<std::int64_t> excess(node_tt + 1, 0);
+  auto add_bounded = [&](int from, int to, std::uint64_t lo,
+                         std::uint64_t hi) {
+    const std::uint64_t slack = hi == kInfinity ? kInfinity : hi - lo;
+    int id = flow.AddEdge(from, to, slack);
+    excess[to] += static_cast<std::int64_t>(lo);
+    excess[from] -= static_cast<std::int64_t>(lo);
+    lower_bound_total += lo;
+    return id;
+  };
+
+  for (int i = 0; i < num_rows; ++i) {
+    std::uint64_t hi =
+        std::min(rows[i].hi, static_cast<std::uint64_t>(num_cols));
+    add_bounded(node_s, row_base + i, rows[i].lo, hi);
+  }
+  for (int j = 0; j < num_cols; ++j) {
+    std::uint64_t hi =
+        std::min(cols[j].hi, static_cast<std::uint64_t>(num_rows));
+    add_bounded(col_base + j, node_t, cols[j].lo, hi);
+  }
+  std::vector<int> cell_edges;
+  cell_edges.reserve(static_cast<size_t>(num_rows) * num_cols);
+  for (int i = 0; i < num_rows; ++i) {
+    for (int j = 0; j < num_cols; ++j) {
+      cell_edges.push_back(flow.AddEdge(row_base + i, col_base + j, 1));
+    }
+  }
+  flow.AddEdge(node_t, node_s, max_total);  // Circulation return edge.
+
+  std::uint64_t required = 0;
+  for (int v = 0; v <= node_tt; ++v) {
+    if (excess[v] > 0) {
+      flow.AddEdge(node_ss, v, static_cast<std::uint64_t>(excess[v]));
+      required += static_cast<std::uint64_t>(excess[v]);
+    } else if (excess[v] < 0) {
+      flow.AddEdge(v, node_tt, static_cast<std::uint64_t>(-excess[v]));
+    }
+  }
+  if (flow.MaxFlow(node_ss, node_tt) != required) {
+    return false;
+  }
+  if (out_pairs != nullptr) {
+    for (int i = 0; i < num_rows; ++i) {
+      for (int j = 0; j < num_cols; ++j) {
+        if (flow.FlowOn(cell_edges[static_cast<size_t>(i) * num_cols + j]) >
+            0) {
+          out_pairs->emplace_back(rows[i].individual, cols[j].individual);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Exact backtracking for relationships of arity >= 3.
+// ---------------------------------------------------------------------------
+
+struct GridSearch {
+  /// candidates[t] is a full tuple (individual per role position).
+  std::vector<std::vector<int>> candidates;
+  /// Per (position, individual) bounds and running counts.
+  std::vector<std::map<int, std::pair<std::uint64_t, std::uint64_t>>> bounds;
+  std::vector<std::map<int, std::uint64_t>> counts;
+  /// remaining[k][x] = candidates not yet decided containing x at k.
+  std::vector<std::map<int, std::uint64_t>> remaining;
+  std::uint64_t budget = 0;
+  std::uint64_t max_total = 0;
+  std::uint64_t chosen_total = 0;
+  bool exhausted = false;
+
+  bool Violates() const {
+    for (size_t k = 0; k < bounds.size(); ++k) {
+      for (const auto& [individual, bound] : bounds[k]) {
+        auto count_it = counts[k].find(individual);
+        const std::uint64_t count =
+            count_it == counts[k].end() ? 0 : count_it->second;
+        if (count > bound.second) {
+          return true;
+        }
+        auto remaining_it = remaining[k].find(individual);
+        const std::uint64_t slack =
+            remaining_it == remaining[k].end() ? 0 : remaining_it->second;
+        if (count + slack < bound.first) {
+          return true;  // Mins can no longer be met.
+        }
+      }
+    }
+    return false;
+  }
+
+  bool Search(size_t index, std::vector<bool>* chosen) {
+    if (budget == 0) {
+      exhausted = true;
+      return false;
+    }
+    --budget;
+    if (Violates()) {
+      return false;
+    }
+    if (index == candidates.size()) {
+      // All counts are within [lo, hi] (Violates covered both sides once
+      // nothing remains undecided).
+      return true;
+    }
+    const std::vector<int>& tuple = candidates[index];
+    for (size_t k = 0; k < tuple.size(); ++k) {
+      --remaining[k][tuple[k]];
+    }
+    // Try including the tuple first (biases toward meeting mins early).
+    if (chosen_total < max_total) {
+      for (size_t k = 0; k < tuple.size(); ++k) {
+        ++counts[k][tuple[k]];
+      }
+      ++chosen_total;
+      (*chosen)[index] = true;
+      if (Search(index + 1, chosen)) {
+        return true;
+      }
+      (*chosen)[index] = false;
+      --chosen_total;
+      for (size_t k = 0; k < tuple.size(); ++k) {
+        --counts[k][tuple[k]];
+      }
+    }
+    if (!exhausted && Search(index + 1, chosen)) {
+      return true;
+    }
+    for (size_t k = 0; k < tuple.size(); ++k) {
+      ++remaining[k][tuple[k]];
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The enumeration itself.
+// ---------------------------------------------------------------------------
+
+/// One fully specified candidate-model skeleton: how many individuals
+/// carry each profile.
+struct Assignment {
+  std::vector<int> counts;  // Parallel to the profile list.
+  int total = 0;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const Schema& schema, const OracleOptions& options)
+      : schema_(schema), options_(options) {}
+
+  Result<OracleReport> Run() {
+    if (schema_.num_classes() > 16) {
+      return InvalidArgumentError(
+          "brute-force oracle supports at most 16 classes (got " +
+          std::to_string(schema_.num_classes()) + ")");
+    }
+    BuildProfiles();
+    report_.classes.assign(schema_.num_classes(), OracleClassResult{});
+    report_.models.resize(schema_.num_classes());
+    undecided_ = (1u << schema_.num_classes()) - 1u;
+
+    // Increasing domain size, so the first model found per class is also a
+    // smallest one (witnesses stay readable, dumps stay minimal).
+    Assignment assignment;
+    assignment.counts.assign(profiles_.size(), 0);
+    for (int domain = 1;
+         domain <= options_.max_domain && undecided_ != 0; ++domain) {
+      Status status = Extend(&assignment, 0, domain);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    return std::move(report_);
+  }
+
+ private:
+  /// Enumerates count vectors summing exactly to `remaining` over
+  /// profiles[first..], checking each completed assignment.
+  Status Extend(Assignment* assignment, size_t first, int remaining) {
+    if (undecided_ == 0) {
+      return OkStatus();
+    }
+    if (remaining == 0) {
+      return Check(*assignment);
+    }
+    if (first == profiles_.size()) {
+      return OkStatus();
+    }
+    for (int count = remaining; count >= 0; --count) {
+      assignment->counts[first] = count;
+      assignment->total += count;
+      Status status = Extend(assignment, first + 1, remaining - count);
+      assignment->total -= count;
+      assignment->counts[first] = 0;
+      if (!status.ok()) {
+        return status;
+      }
+      if (undecided_ == 0) {
+        return OkStatus();
+      }
+    }
+    return OkStatus();
+  }
+
+  /// Decides whether `assignment` extends to a model; on success certifies
+  /// it and marks every populated class satisfiable.
+  Status Check(const Assignment& assignment) {
+    if (report_.assignments_examined >= options_.max_assignments) {
+      return Status(StatusCode::kResourceExhausted,
+                    "brute-force oracle: assignment budget (" +
+                        std::to_string(options_.max_assignments) +
+                        ") exhausted before all classes were decided");
+    }
+    ++report_.assignments_examined;
+
+    std::uint32_t populated = 0;
+    for (size_t p = 0; p < profiles_.size(); ++p) {
+      if (assignment.counts[p] > 0) {
+        populated |= profiles_[p].mask;
+      }
+    }
+    if ((populated & undecided_) == 0) {
+      return OkStatus();  // Cannot decide anything new.
+    }
+
+    // Individuals, grouped so equal profiles are adjacent.
+    std::vector<int> profile_of;  // individual -> profile index
+    for (size_t p = 0; p < profiles_.size(); ++p) {
+      for (int i = 0; i < assignment.counts[p]; ++i) {
+        profile_of.push_back(static_cast<int>(p));
+      }
+    }
+
+    // Every relationship independently: tuples of R only affect counts at
+    // R's own roles, so feasibility decomposes per relationship once the
+    // class assignment is fixed.
+    std::vector<std::vector<std::vector<int>>> tuples(
+        schema_.num_relationships());
+    for (RelationshipId rel : schema_.AllRelationships()) {
+      bool feasible = false;
+      Status status =
+          SolveRelationship(rel, profile_of, assignment,
+                            &tuples[rel.value], &feasible);
+      if (!status.ok()) {
+        return status;
+      }
+      if (!feasible) {
+        return OkStatus();
+      }
+    }
+
+    // Materialize and certify.
+    Interpretation interpretation(schema_);
+    for (int profile : profile_of) {
+      Individual individual = interpretation.AddIndividual();
+      for (ClassId cls : schema_.AllClasses()) {
+        if ((profiles_[profile].mask >> cls.value) & 1u) {
+          Status status = interpretation.AddToClass(cls, individual);
+          if (!status.ok()) {
+            return status;
+          }
+        }
+      }
+    }
+    for (RelationshipId rel : schema_.AllRelationships()) {
+      for (const std::vector<int>& tuple : tuples[rel.value]) {
+        Status status = interpretation.AddTuple(rel, tuple);
+        if (!status.ok()) {
+          return status;
+        }
+      }
+    }
+    std::vector<ModelViolation> violations =
+        ModelChecker::CheckModel(schema_, interpretation);
+    if (!violations.empty()) {
+      // The search's feasibility argument disagrees with the judge: an
+      // oracle bug. Refuse loudly rather than report an uncertified SAT.
+      return Status(StatusCode::kInternal,
+                    "brute-force oracle: constructed interpretation failed "
+                    "certification: " +
+                        violations.front().message);
+    }
+
+    for (ClassId cls : schema_.AllClasses()) {
+      const std::uint32_t bit = 1u << cls.value;
+      if ((populated & bit) != 0 && (undecided_ & bit) != 0) {
+        report_.classes[cls.value].verdict = OracleVerdict::kSatisfiable;
+        report_.classes[cls.value].model_domain_size =
+            interpretation.domain_size();
+        report_.models[cls.value].emplace(interpretation);
+        undecided_ &= ~bit;
+      }
+    }
+    return OkStatus();
+  }
+
+  /// Does a duplicate-free tuple set for `rel` exist over the assigned
+  /// individuals meeting every applicable cardinality declaration?
+  Status SolveRelationship(RelationshipId rel,
+                           const std::vector<int>& profile_of,
+                           const Assignment& assignment,
+                           std::vector<std::vector<int>>* out_tuples,
+                           bool* feasible) {
+    const std::vector<RoleId>& roles = schema_.RolesOf(rel);
+
+    // Feasibility depends only on the counts of profiles that can appear
+    // at some role of this relationship — memoize on that projection so
+    // enumeration over unrelated profiles reuses the verdict.
+    std::vector<int> key;
+    key.reserve(profiles_.size());
+    for (size_t p = 0; p < profiles_.size(); ++p) {
+      bool relevant = false;
+      for (RoleId role : roles) {
+        relevant = relevant || profiles_[p].in_extent[role.value];
+      }
+      key.push_back(relevant ? assignment.counts[p] : 0);
+    }
+    auto memo_it = feasibility_memo_[rel.value].find(key);
+    if (memo_it != feasibility_memo_[rel.value].end() && !memo_it->second) {
+      *feasible = false;
+      return OkStatus();
+    }
+
+    Status status = OkStatus();
+    if (roles.size() == 2) {
+      *feasible = SolveArity2(rel, profile_of, out_tuples);
+    } else {
+      status = SolveGeneral(rel, profile_of, out_tuples, feasible);
+    }
+    if (status.ok()) {
+      feasibility_memo_[rel.value][std::move(key)] = *feasible;
+    }
+    return status;
+  }
+
+  bool SolveArity2(RelationshipId rel, const std::vector<int>& profile_of,
+                   std::vector<std::vector<int>>* out_tuples) {
+    const std::vector<RoleId>& roles = schema_.RolesOf(rel);
+    std::vector<DegreeBound> rows;
+    std::vector<DegreeBound> cols;
+    for (size_t i = 0; i < profile_of.size(); ++i) {
+      const Profile& profile = profiles_[profile_of[i]];
+      if (profile.in_extent[roles[0].value]) {
+        rows.push_back({static_cast<int>(i), profile.lo[roles[0].value],
+                        profile.hi[roles[0].value]});
+      }
+      if (profile.in_extent[roles[1].value]) {
+        cols.push_back({static_cast<int>(i), profile.lo[roles[1].value],
+                        profile.hi[roles[1].value]});
+      }
+    }
+    std::vector<std::pair<int, int>> pairs;
+    if (!SolveBipartite(rows, cols, options_.max_tuples_per_relationship,
+                        &pairs)) {
+      return false;
+    }
+    for (const auto& [row, col] : pairs) {
+      out_tuples->push_back({row, col});
+    }
+    return true;
+  }
+
+  Status SolveGeneral(RelationshipId rel, const std::vector<int>& profile_of,
+                      std::vector<std::vector<int>>* out_tuples,
+                      bool* feasible) {
+    const std::vector<RoleId>& roles = schema_.RolesOf(rel);
+    GridSearch search;
+    search.budget = options_.max_search_nodes;
+    search.max_total = options_.max_tuples_per_relationship;
+    search.bounds.resize(roles.size());
+    search.counts.resize(roles.size());
+    search.remaining.resize(roles.size());
+
+    std::vector<std::vector<int>> extents(roles.size());
+    for (size_t k = 0; k < roles.size(); ++k) {
+      for (size_t i = 0; i < profile_of.size(); ++i) {
+        const Profile& profile = profiles_[profile_of[i]];
+        if (profile.in_extent[roles[k].value]) {
+          extents[k].push_back(static_cast<int>(i));
+          search.bounds[k][static_cast<int>(i)] = {
+              profile.lo[roles[k].value], profile.hi[roles[k].value]};
+        }
+      }
+      if (extents[k].empty()) {
+        // No typed filler for this role: only the empty extension is
+        // possible; it works iff no populated individual has a minimum.
+        for (const auto& [individual, bound] : search.bounds[k]) {
+          (void)individual;
+          if (bound.first > 0) {
+            *feasible = false;
+            return OkStatus();
+          }
+        }
+      }
+    }
+    // Candidate grid (product of the role extents), in lexicographic
+    // order — deterministic.
+    std::vector<size_t> cursor(roles.size(), 0);
+    bool any_empty = false;
+    for (const std::vector<int>& extent : extents) {
+      any_empty = any_empty || extent.empty();
+    }
+    if (!any_empty) {
+      while (true) {
+        std::vector<int> tuple(roles.size());
+        for (size_t k = 0; k < roles.size(); ++k) {
+          tuple[k] = extents[k][cursor[k]];
+        }
+        search.candidates.push_back(std::move(tuple));
+        size_t k = roles.size();
+        while (k > 0) {
+          --k;
+          if (++cursor[k] < extents[k].size()) {
+            break;
+          }
+          cursor[k] = 0;
+          if (k == 0) {
+            goto grid_done;
+          }
+        }
+      }
+    }
+  grid_done:
+    for (size_t t = 0; t < search.candidates.size(); ++t) {
+      for (size_t k = 0; k < roles.size(); ++k) {
+        ++search.remaining[k][search.candidates[t][k]];
+      }
+    }
+    std::vector<bool> chosen(search.candidates.size(), false);
+    const bool found = search.Search(0, &chosen);
+    if (search.exhausted) {
+      return Status(StatusCode::kResourceExhausted,
+                    "brute-force oracle: backtracking budget exhausted on "
+                    "relationship " +
+                        schema_.RelationshipName(rel));
+    }
+    *feasible = found;
+    if (found) {
+      for (size_t t = 0; t < search.candidates.size(); ++t) {
+        if (chosen[t]) {
+          out_tuples->push_back(search.candidates[t]);
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  /// Enumerates every locally consistent profile and its per-role bounds.
+  /// Dropping locally inconsistent masks is sound: conditions (A),
+  /// disjointness and covering are per-individual, so no individual of any
+  /// model carries one; dropping bound-empty masks (some role with
+  /// lo > hi) is likewise sound because condition (C) is per-individual.
+  void BuildProfiles() {
+    const int num_classes = schema_.num_classes();
+    feasibility_memo_.assign(schema_.num_relationships(), {});
+    for (std::uint32_t mask = 1; mask < (1u << num_classes); ++mask) {
+      bool consistent = true;
+      for (int c = 0; c < num_classes && consistent; ++c) {
+        if (((mask >> c) & 1u) == 0) {
+          continue;
+        }
+        // ISA closure: members of a class are members of its superclasses.
+        for (ClassId super : schema_.SuperclassesOf(ClassId(c))) {
+          if (((mask >> super.value) & 1u) == 0) {
+            consistent = false;
+            break;
+          }
+        }
+        for (int d = c + 1; d < num_classes && consistent; ++d) {
+          if (((mask >> d) & 1u) != 0 &&
+              schema_.AreDeclaredDisjoint(ClassId(c), ClassId(d))) {
+            consistent = false;
+          }
+        }
+      }
+      for (const CoveringConstraint& covering :
+           schema_.covering_constraints()) {
+        if (!consistent) {
+          break;
+        }
+        if (((mask >> covering.covered.value) & 1u) == 0) {
+          continue;
+        }
+        bool covered = false;
+        for (ClassId coverer : covering.coverers) {
+          covered = covered || ((mask >> coverer.value) & 1u) != 0;
+        }
+        consistent = consistent && covered;
+      }
+      if (!consistent) {
+        continue;
+      }
+
+      Profile profile;
+      profile.mask = mask;
+      profile.in_extent.assign(schema_.num_roles(), false);
+      profile.lo.assign(schema_.num_roles(), 0);
+      profile.hi.assign(schema_.num_roles(), kInfinity);
+      bool bounds_consistent = true;
+      for (RelationshipId rel : schema_.AllRelationships()) {
+        for (RoleId role : schema_.RolesOf(rel)) {
+          ClassId primary = schema_.PrimaryClass(role);
+          if (((mask >> primary.value) & 1u) == 0) {
+            continue;  // Typing forbids appearing at this role at all.
+          }
+          profile.in_extent[role.value] = true;
+          for (const CardinalityDeclaration& decl :
+               schema_.cardinality_declarations()) {
+            if (decl.rel != rel || decl.role != role ||
+                ((mask >> decl.cls.value) & 1u) == 0) {
+              continue;
+            }
+            profile.lo[role.value] =
+                std::max(profile.lo[role.value], decl.cardinality.min);
+            if (decl.cardinality.max.has_value()) {
+              profile.hi[role.value] =
+                  std::min(profile.hi[role.value], *decl.cardinality.max);
+            }
+          }
+          bounds_consistent =
+              bounds_consistent &&
+              profile.lo[role.value] <= profile.hi[role.value] &&
+              profile.lo[role.value] <= options_.max_tuples_per_relationship;
+        }
+      }
+      if (bounds_consistent) {
+        profiles_.push_back(std::move(profile));
+      }
+    }
+  }
+
+  const Schema& schema_;
+  const OracleOptions& options_;
+  std::vector<Profile> profiles_;
+  std::uint32_t undecided_ = 0;
+  OracleReport report_;
+  /// Per relationship: projected profile-count vector -> feasibility.
+  std::vector<std::map<std::vector<int>, bool>> feasibility_memo_;
+};
+
+}  // namespace
+
+Result<OracleReport> BruteForceOracle::Decide(const Schema& schema,
+                                              const OracleOptions& options) {
+  Enumerator enumerator(schema, options);
+  return enumerator.Run();
+}
+
+}  // namespace crsat

@@ -1,0 +1,98 @@
+#ifndef CRSAT_ORACLE_BRUTE_FORCE_H_
+#define CRSAT_ORACLE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cr/interpretation.h"
+#include "src/cr/model_checker.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// Bounds for the brute-force oracle. The oracle's verdicts are always
+/// relative to these bounds: "unsatisfiable up to bound" means no model
+/// with at most `max_domain` individuals and at most
+/// `max_tuples_per_relationship` tuples per relationship exists — it is
+/// *not* a claim about larger models.
+struct OracleOptions {
+  /// Largest domain (number of individuals) searched.
+  int max_domain = 4;
+  /// Largest relationship extension searched.
+  std::uint64_t max_tuples_per_relationship = 24;
+  /// Budget on complete class assignments examined before the search gives
+  /// up with `kResourceExhausted` (a verdict is never guessed).
+  std::uint64_t max_assignments = 4'000'000;
+  /// Budget on backtracking nodes for relationships of arity >= 3 (arity-2
+  /// relationships use an exact flow argument and never backtrack).
+  std::uint64_t max_search_nodes = 2'000'000;
+};
+
+/// Per-class verdict of the bounded search.
+enum class OracleVerdict {
+  kSatisfiable,            // A ModelChecker-certified model was found.
+  kUnsatisfiableUpToBound  // Exhaustive: no model within the bounds.
+};
+
+struct OracleClassResult {
+  OracleVerdict verdict = OracleVerdict::kUnsatisfiableUpToBound;
+  /// Domain size of the (first, smallest) found model; -1 when unsat.
+  int model_domain_size = -1;
+};
+
+/// Outcome of `BruteForceOracle::Decide`. `models[c]` holds a
+/// ModelChecker-certified exemplar model populating class `c` for every
+/// satisfiable class (it references the schema passed to `Decide`, which
+/// must outlive the report).
+struct OracleReport {
+  std::vector<OracleClassResult> classes;
+  std::vector<std::optional<Interpretation>> models;
+  std::uint64_t assignments_examined = 0;
+
+  bool Satisfiable(ClassId cls) const {
+    return classes[cls.value].verdict == OracleVerdict::kSatisfiable;
+  }
+};
+
+/// An independent, bounded ground-truth decision procedure for finite
+/// class satisfiability, used to cross-check the expansion + disequation
+/// reasoner (src/reasoner/) in the conformance harness.
+///
+/// The oracle works directly over `Schema` semantics (Definition 2.2) and
+/// certifies every SAT verdict by running `ModelChecker` on an explicit
+/// `Interpretation`; it shares *no* code with `expansion/` or `lp/` (the
+/// build enforces this: the `crsat_oracle` library links only against
+/// `crsat_core`). Its only semantic dependency is the model checker — the
+/// same judge that certifies the reasoner's witnesses — so a bug in the
+/// fast pipeline cannot silently cancel out here.
+///
+/// Method: individuals in a model are interchangeable up to their class
+/// membership set, and the model conditions decompose per individual
+/// (ISA, disjointness, covering) and per relationship (typing,
+/// cardinality). The search therefore enumerates multisets of *locally
+/// consistent* class-membership profiles (ISA-closed, disjointness- and
+/// covering-respecting bit sets — any individual of a model must carry
+/// one) by increasing domain size, and for each assignment decides every
+/// relationship independently: does a duplicate-free tuple set over the
+/// populated primaries exist whose per-individual role counts meet every
+/// applicable cardinality declaration? Arity-2 relationships reduce
+/// exactly to a degree-constrained bipartite subgraph found by a
+/// self-contained max-flow with lower bounds; higher arities use exact
+/// backtracking under `max_search_nodes`. Any witness found is
+/// materialized and certified before a SAT verdict is reported.
+class BruteForceOracle {
+ public:
+  /// Decides bounded satisfiability of every class. Fails with
+  /// `kResourceExhausted` when a budget runs out (never guesses),
+  /// `kInternal` if a constructed witness unexpectedly fails
+  /// certification, and `kInvalidArgument` for schemas too wide to
+  /// enumerate (more than 16 classes).
+  static Result<OracleReport> Decide(const Schema& schema,
+                                     const OracleOptions& options = {});
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_ORACLE_BRUTE_FORCE_H_

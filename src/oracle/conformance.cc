@@ -1,0 +1,581 @@
+#include "src/oracle/conformance.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "src/analysis/empty_classes.h"
+#include "src/baseline/ln_reasoner.h"
+#include "src/cr/interpretation.h"
+#include "src/cr/model_checker.h"
+#include "src/cr/schema_text.h"
+#include "src/expansion/expansion.h"
+#include "src/generator/random_schema.h"
+#include "src/oracle/metamorphic.h"
+#include "src/oracle/schema_parts.h"
+#include "src/reasoner/satisfiability.h"
+#include "src/witness/witness.h"
+
+namespace crsat {
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool IsResourceLimit(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+/// Witness-synthesis failures that do not convict anyone: budget and
+/// guard exhaustion (`WitnessSynthesizer::Synthesize` contract). What is
+/// NOT here is deliberate — `kInternal` means certification refused a
+/// synthesized model, and `kInvalidArgument` means the pipeline saw no
+/// satisfiable class right after the reasoner reported one.
+bool IsBenignWitnessFailure(StatusCode code) {
+  return IsResourceLimit(code) || code == StatusCode::kUnavailable ||
+         code == StatusCode::kCancelled;
+}
+
+/// The production verdict path — the same expansion -> known-empty feed ->
+/// satisfiability pipeline `crsat_cli check` runs. `inject_flip_class`
+/// (when in range) flips one verdict, simulating a reasoner bug.
+Result<std::vector<bool>> ReasonerVerdicts(const Schema& schema,
+                                           int inject_flip_class) {
+  Result<Expansion> expansion = Expansion::Build(schema);
+  if (!expansion.ok()) {
+    return expansion.status();
+  }
+  SatisfiabilityChecker checker(*expansion);
+  checker.SetKnownEmptyClasses(ComputeProvablyEmpty(schema).class_empty);
+  Result<std::vector<bool>> verdicts = checker.SatisfiableClasses();
+  if (!verdicts.ok()) {
+    return verdicts.status();
+  }
+  std::vector<bool> result = std::move(verdicts).value();
+  if (inject_flip_class >= 0 &&
+      inject_flip_class < static_cast<int>(result.size())) {
+    result[inject_flip_class] = !result[inject_flip_class];
+  }
+  return result;
+}
+
+/// Synthesizes a certified witness when some class is satisfiable.
+/// Failure statuses propagate so the caller can tell a benign resource
+/// limit from a semantic failure: the production pipeline promises that
+/// whenever it reports a satisfiable class it can also certify a model,
+/// so "reasoner says SAT but synthesis failed" is a conformance
+/// disagreement, not bad luck.
+Result<Interpretation> SynthesizeWitness(const Schema& schema) {
+  Result<Expansion> expansion = Expansion::Build(schema);
+  if (!expansion.ok()) {
+    return expansion.status();
+  }
+  SatisfiabilityChecker checker(*expansion);
+  Result<std::vector<bool>> verdicts = checker.SatisfiableClasses();
+  if (!verdicts.ok()) {
+    return verdicts.status();
+  }
+  if (std::none_of(verdicts->begin(), verdicts->end(),
+                   [](bool satisfiable) { return satisfiable; })) {
+    return Status(StatusCode::kInvalidArgument, "no satisfiable class");
+  }
+  WitnessSynthesizer synthesizer(checker);
+  Result<CertifiedWitness> witness = synthesizer.Synthesize();
+  if (!witness.ok()) {
+    return witness.status();
+  }
+  return std::move(witness).value().TakeInterpretation();
+}
+
+/// Degraded form for minimization predicates, where candidate schemas may
+/// legitimately have no witness.
+std::optional<Interpretation> TrySynthesizeWitness(const Schema& schema) {
+  Result<Interpretation> witness = SynthesizeWitness(schema);
+  if (!witness.ok()) {
+    return std::nullopt;
+  }
+  return std::move(witness).value();
+}
+
+/// True iff the certified witness would have been found by an oracle run
+/// with these bounds (domain and every relationship extension inside the
+/// caps) — in which case an UNSAT-up-to-bound verdict convicts the oracle.
+bool WitnessFitsBounds(const Interpretation& witness,
+                       const OracleOptions& bounds) {
+  if (witness.domain_size() > bounds.max_domain) {
+    return false;
+  }
+  for (RelationshipId rel : witness.schema().AllRelationships()) {
+    if (witness.RelationshipExtension(rel).size() >
+        bounds.max_tuples_per_relationship) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Greedy delta-debugging over SchemaParts: repeatedly drop any single
+/// declaration (covering, disjointness, cardinality, ISA edge, or a whole
+/// relationship with its cardinalities) as long as `disagrees` still holds
+/// on the rebuilt schema. Classes are never dropped so class ids stay
+/// stable for the predicate. Returns the shrunk schema's text, or "" when
+/// nothing was removable.
+std::string MinimizeDisagreement(
+    const Schema& schema, const std::function<bool(const Schema&)>& disagrees,
+    int budget) {
+  SchemaParts parts = SchemaParts::FromSchema(schema);
+  int evaluations = 0;
+  auto still_disagrees = [&](const SchemaParts& candidate) {
+    if (evaluations >= budget) {
+      return false;
+    }
+    ++evaluations;
+    Result<Schema> built = candidate.Build();
+    return built.ok() && disagrees(*built);
+  };
+  auto try_drop_each = [&](size_t count,
+                           const std::function<void(SchemaParts*, size_t)>&
+                               erase) {
+    for (size_t i = 0; i < count; ++i) {
+      SchemaParts candidate = parts;
+      erase(&candidate, i);
+      if (still_disagrees(candidate)) {
+        parts = std::move(candidate);
+        return true;
+      }
+    }
+    return false;
+  };
+  bool removed_anything = false;
+  bool progress = true;
+  while (progress) {
+    progress =
+        try_drop_each(parts.coverings.size(),
+                      [](SchemaParts* p, size_t i) {
+                        p->coverings.erase(p->coverings.begin() + i);
+                      }) ||
+        try_drop_each(parts.disjointness.size(),
+                      [](SchemaParts* p, size_t i) {
+                        p->disjointness.erase(p->disjointness.begin() + i);
+                      }) ||
+        try_drop_each(parts.cards.size(),
+                      [](SchemaParts* p, size_t i) {
+                        p->cards.erase(p->cards.begin() + i);
+                      }) ||
+        try_drop_each(parts.isa.size(),
+                      [](SchemaParts* p, size_t i) {
+                        p->isa.erase(p->isa.begin() + i);
+                      }) ||
+        try_drop_each(
+            parts.relationships.size(), [](SchemaParts* p, size_t i) {
+              const std::string name = p->relationships[i].name;
+              p->relationships.erase(p->relationships.begin() + i);
+              p->cards.erase(
+                  std::remove_if(p->cards.begin(), p->cards.end(),
+                                 [&name](const SchemaParts::Card& card) {
+                                   return card.rel == name;
+                                 }),
+                  p->cards.end());
+            });
+    removed_anything = removed_anything || progress;
+  }
+  if (!removed_anything) {
+    return "";
+  }
+  Result<Schema> built = parts.Build();
+  if (!built.ok()) {
+    return "";
+  }
+  return SchemaToText(*built, "minimized");
+}
+
+bool RelationHolds(VerdictRelation relation, bool original_sat,
+                   bool mutant_sat) {
+  switch (relation) {
+    case VerdictRelation::kEquisatisfiable:
+      return original_sat == mutant_sat;
+    case VerdictRelation::kSatPreserved:
+      return !original_sat || mutant_sat;
+    case VerdictRelation::kUnsatPreserved:
+      return original_sat || !mutant_sat;
+  }
+  return false;
+}
+
+RandomSchemaParams SweepParams(const ConformanceOptions& options,
+                               std::uint32_t seed) {
+  RandomSchemaParams params;
+  params.seed = seed;
+  params.num_classes = options.num_classes;
+  params.num_relationships = options.num_relationships;
+  params.isa_density = options.isa_density;
+  // Exercise the Section 5 extensions on a third of the sweep: enough to
+  // cover disjointness interaction without making most schemas trivially
+  // unsatisfiable.
+  params.num_disjointness_groups = (seed % 3 == 0) ? 1 : 0;
+  return params;
+}
+
+}  // namespace
+
+std::string ConformanceReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schemas_checked\": " << schemas_checked << ",\n"
+      << "  \"class_verdicts_compared\": " << class_verdicts_compared
+      << ",\n"
+      << "  \"sat_confirmed_by_oracle\": " << sat_confirmed_by_oracle
+      << ",\n"
+      << "  \"unsat_consistent_up_to_bound\": " << unsat_consistent_up_to_bound
+      << ",\n"
+      << "  \"sat_beyond_bound\": " << sat_beyond_bound << ",\n"
+      << "  \"oracle_exhausted\": " << oracle_exhausted << ",\n"
+      << "  \"baseline_schemas\": " << baseline_schemas << ",\n"
+      << "  \"metamorphic_mutants\": " << metamorphic_mutants << ",\n"
+      << "  \"witnesses_certified\": " << witnesses_certified << ",\n"
+      << "  \"disagreements\": [";
+  bool first = true;
+  for (const ConformanceDisagreement& d : disagreements) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"seed\": " << d.seed << ", \"kind\": \""
+        << JsonEscape(d.kind) << "\", \"class\": \""
+        << JsonEscape(d.class_name) << "\", \"detail\": \""
+        << JsonEscape(d.detail) << "\", \"schema\": \""
+        << JsonEscape(d.schema_text) << "\", \"minimized\": \""
+        << JsonEscape(d.minimized_schema_text) << "\"}";
+  }
+  out << (disagreements.empty() ? "]" : "\n  ]") << "\n}";
+  return out.str();
+}
+
+std::string ConformanceReport::Summary() const {
+  std::ostringstream out;
+  out << schemas_checked << " schemas, " << class_verdicts_compared
+      << " class verdicts vs oracle (" << sat_confirmed_by_oracle
+      << " sat confirmed, " << unsat_consistent_up_to_bound
+      << " unsat consistent, " << sat_beyond_bound << " sat beyond bound, "
+      << oracle_exhausted << " oracle budget skips), " << baseline_schemas
+      << " baseline schemas, " << metamorphic_mutants
+      << " metamorphic mutants, " << witnesses_certified
+      << " witnesses certified: " << disagreements.size()
+      << " disagreement(s)";
+  return out.str();
+}
+
+Result<ConformanceReport> RunConformance(const ConformanceOptions& options) {
+  ConformanceReport report;
+  for (int i = 0; i < options.num_seeds; ++i) {
+    const std::uint32_t seed = options.first_seed +
+                               static_cast<std::uint32_t>(i);
+    const RandomSchemaParams params = SweepParams(options, seed);
+    Result<Schema> generated = GenerateRandomSchema(params);
+    if (!generated.ok()) {
+      return generated.status();
+    }
+    const Schema& schema = *generated;
+    const std::string schema_text = SchemaToText(schema, "conformance");
+
+    Result<std::vector<bool>> reasoner =
+        ReasonerVerdicts(schema, options.inject_flip_class);
+    if (!reasoner.ok()) {
+      return Status(reasoner.status().code(),
+                    "reasoner failed on seed " + std::to_string(seed) +
+                        ": " + reasoner.status().message());
+    }
+    ++report.schemas_checked;
+
+    auto record = [&](const std::string& kind, ClassId cls,
+                      const std::string& detail,
+                      const std::function<bool(const Schema&)>& predicate) {
+      ConformanceDisagreement disagreement;
+      disagreement.seed = seed;
+      disagreement.kind = kind;
+      disagreement.class_name = schema.ClassName(cls);
+      disagreement.detail = detail;
+      disagreement.schema_text = schema_text;
+      if (options.minimize) {
+        disagreement.minimized_schema_text = MinimizeDisagreement(
+            schema, predicate, options.minimize_budget);
+      }
+      report.disagreements.push_back(std::move(disagreement));
+    };
+
+    // --- Witness cross-check ------------------------------------------
+    // Whenever the reasoner reports any satisfiable class, make the
+    // production pipeline put up a witness and re-judge it here, outside
+    // that pipeline. The synthesizer certifies internally, but this
+    // invocation is the harness's own: a witness that fails it is a
+    // disagreement, not an exception.
+    std::optional<Interpretation> witness;
+    const bool any_sat =
+        std::any_of(reasoner->begin(), reasoner->end(), [](bool b) {
+          return b;
+        });
+    if (options.check_witnesses && any_sat) {
+      Result<Interpretation> synthesized = SynthesizeWitness(schema);
+      if (synthesized.ok()) {
+        witness = std::move(synthesized).value();
+        if (ModelChecker::IsModel(schema, *witness)) {
+          ++report.witnesses_certified;
+        } else {
+          record("witness-not-a-model", ClassId{0},
+                 "synthesized witness with domain size " +
+                     std::to_string(witness->domain_size()) +
+                     " fails ModelChecker",
+                 [&options](const Schema& candidate) {
+                   Result<std::vector<bool>> v = ReasonerVerdicts(
+                       candidate, options.inject_flip_class);
+                   if (!v.ok() ||
+                       std::none_of(v->begin(), v->end(),
+                                    [](bool b) { return b; })) {
+                     return false;
+                   }
+                   std::optional<Interpretation> w =
+                       TrySynthesizeWitness(candidate);
+                   return w.has_value() &&
+                          !ModelChecker::IsModel(candidate, *w);
+                 });
+          witness.reset();  // Not a model; useless against the oracle.
+        }
+      } else if (!IsBenignWitnessFailure(synthesized.status().code())) {
+        // The reasoner reported a satisfiable class, yet its own witness
+        // pipeline cannot put up a certified model. Either the verdict is
+        // an unsound SAT or the synthesizer is broken; both are findings.
+        record("witness-synthesis-failed", ClassId{0},
+               "reasoner reports satisfiable classes but synthesis "
+               "failed: " +
+                   synthesized.status().message(),
+               [&options](const Schema& candidate) {
+                 Result<std::vector<bool>> v = ReasonerVerdicts(
+                     candidate, options.inject_flip_class);
+                 if (!v.ok() || std::none_of(v->begin(), v->end(),
+                                             [](bool b) { return b; })) {
+                   return false;
+                 }
+                 Result<Interpretation> w = SynthesizeWitness(candidate);
+                 return !w.ok() &&
+                        !IsBenignWitnessFailure(w.status().code());
+               });
+      }
+    }
+
+    // --- Reasoner vs brute-force oracle -------------------------------
+    Result<OracleReport> oracle =
+        BruteForceOracle::Decide(schema, options.oracle);
+    if (!oracle.ok() && IsResourceLimit(oracle.status().code())) {
+      ++report.oracle_exhausted;
+    } else if (!oracle.ok()) {
+      return Status(oracle.status().code(),
+                    "oracle failed on seed " + std::to_string(seed) + ": " +
+                        oracle.status().message());
+    } else {
+      for (ClassId cls : schema.AllClasses()) {
+        const bool reasoner_sat = (*reasoner)[cls.value];
+        const bool oracle_sat = oracle->Satisfiable(cls);
+        ++report.class_verdicts_compared;
+        if (reasoner_sat && oracle_sat) {
+          ++report.sat_confirmed_by_oracle;
+          continue;
+        }
+        if (!reasoner_sat && !oracle_sat) {
+          ++report.unsat_consistent_up_to_bound;
+          continue;
+        }
+        if (!reasoner_sat && oracle_sat) {
+          // The oracle holds a ModelChecker-certified model of a class the
+          // reasoner claims cannot be populated: a soundness bug.
+          record("reasoner-unsat-oracle-sat", cls,
+                 "oracle found a certified model with domain size " +
+                     std::to_string(
+                         oracle->classes[cls.value].model_domain_size),
+                 [&options, cls](const Schema& candidate) {
+                   Result<std::vector<bool>> v = ReasonerVerdicts(
+                       candidate, options.inject_flip_class);
+                   Result<OracleReport> o =
+                       BruteForceOracle::Decide(candidate, options.oracle);
+                   return v.ok() && o.ok() && !(*v)[cls.value] &&
+                          o->Satisfiable(cls);
+                 });
+          continue;
+        }
+        // reasoner SAT, oracle UNSAT up to bound. Only a disagreement if a
+        // certified witness proves a model exists *within* the bounds.
+        if (witness.has_value() &&
+            WitnessFitsBounds(*witness, options.oracle) &&
+            !witness->ClassExtension(cls).empty()) {
+          record("oracle-missed-witness", cls,
+                 "certified witness with domain size " +
+                     std::to_string(witness->domain_size()) +
+                     " fits the oracle bounds",
+                 [&options, cls](const Schema& candidate) {
+                   Result<std::vector<bool>> v = ReasonerVerdicts(
+                       candidate, options.inject_flip_class);
+                   Result<OracleReport> o =
+                       BruteForceOracle::Decide(candidate, options.oracle);
+                   if (!v.ok() || !o.ok() || !(*v)[cls.value] ||
+                       o->Satisfiable(cls)) {
+                     return false;
+                   }
+                   std::optional<Interpretation> w =
+                       TrySynthesizeWitness(candidate);
+                   return w.has_value() &&
+                          WitnessFitsBounds(*w, options.oracle) &&
+                          !w->ClassExtension(cls).empty();
+                 });
+        } else {
+          ++report.sat_beyond_bound;
+        }
+      }
+    }
+
+    // --- Reasoner vs the Lenzerini–Nobili baseline --------------------
+    // The baseline refuses ISA, so the comparison runs on an ISA-free
+    // sibling schema generated from the same seed.
+    if (options.check_baseline) {
+      RandomSchemaParams ln_params = params;
+      ln_params.isa_density = 0.0;
+      ln_params.refinement_probability = 0.0;
+      ln_params.num_disjointness_groups = 0;
+      Result<Schema> ln_schema = GenerateRandomSchema(ln_params);
+      if (!ln_schema.ok()) {
+        return ln_schema.status();
+      }
+      Result<LnReasoner> baseline = LnReasoner::Create(*ln_schema);
+      if (!baseline.ok()) {
+        return Status(StatusCode::kInternal,
+                      "ISA-free schema rejected by the LN baseline: " +
+                          baseline.status().message());
+      }
+      Result<std::vector<bool>> baseline_verdicts =
+          baseline->SatisfiableClasses();
+      Result<std::vector<bool>> reasoner_on_ln =
+          ReasonerVerdicts(*ln_schema, options.inject_flip_class);
+      if (!baseline_verdicts.ok() || !reasoner_on_ln.ok()) {
+        return Status(StatusCode::kInternal,
+                      "baseline comparison failed on seed " +
+                          std::to_string(seed));
+      }
+      ++report.baseline_schemas;
+      for (ClassId cls : ln_schema->AllClasses()) {
+        if ((*baseline_verdicts)[cls.value] ==
+            (*reasoner_on_ln)[cls.value]) {
+          continue;
+        }
+        ConformanceDisagreement disagreement;
+        disagreement.seed = seed;
+        disagreement.kind = "reasoner-vs-baseline";
+        disagreement.class_name = ln_schema->ClassName(cls);
+        disagreement.detail =
+            std::string("reasoner says ") +
+            ((*reasoner_on_ln)[cls.value] ? "sat" : "unsat") +
+            ", LN baseline says " +
+            ((*baseline_verdicts)[cls.value] ? "sat" : "unsat");
+        disagreement.schema_text = SchemaToText(*ln_schema, "conformance");
+        if (options.minimize) {
+          disagreement.minimized_schema_text = MinimizeDisagreement(
+              *ln_schema,
+              [&options, cls](const Schema& candidate) {
+                Result<LnReasoner> b = LnReasoner::Create(candidate);
+                if (!b.ok()) {
+                  return false;
+                }
+                Result<std::vector<bool>> bv = b->SatisfiableClasses();
+                Result<std::vector<bool>> rv = ReasonerVerdicts(
+                    candidate, options.inject_flip_class);
+                return bv.ok() && rv.ok() &&
+                       (*bv)[cls.value] != (*rv)[cls.value];
+              },
+              options.minimize_budget);
+        }
+        report.disagreements.push_back(std::move(disagreement));
+      }
+    }
+
+    // --- Reasoner vs itself under metamorphic rewrites ----------------
+    if (options.check_metamorphic) {
+      Result<std::vector<MutatedSchema>> mutants =
+          ApplyMetamorphicRules(schema, seed);
+      if (!mutants.ok()) {
+        return mutants.status();
+      }
+      for (const MutatedSchema& mutant : *mutants) {
+        Result<std::vector<bool>> mutant_verdicts =
+            ReasonerVerdicts(mutant.schema, /*inject_flip_class=*/-1);
+        if (!mutant_verdicts.ok()) {
+          return Status(mutant_verdicts.status().code(),
+                        "reasoner failed on mutant '" + mutant.rule_name +
+                            "' of seed " + std::to_string(seed) + ": " +
+                            mutant_verdicts.status().message());
+        }
+        ++report.metamorphic_mutants;
+        for (ClassId cls : schema.AllClasses()) {
+          const bool original_sat = (*reasoner)[cls.value];
+          const bool mutant_sat =
+              (*mutant_verdicts)[mutant.class_map[cls.value].value];
+          if (RelationHolds(mutant.relation, original_sat, mutant_sat)) {
+            continue;
+          }
+          const std::string rule = mutant.rule_name;
+          record(
+              "metamorphic:" + rule, cls,
+              std::string(VerdictRelationToString(mutant.relation)) +
+                  " violated: original " +
+                  (original_sat ? "sat" : "unsat") + ", mutant " +
+                  (mutant_sat ? "sat" : "unsat"),
+              [&options, cls, rule, seed](const Schema& candidate) {
+                Result<std::vector<bool>> original = ReasonerVerdicts(
+                    candidate, options.inject_flip_class);
+                if (!original.ok()) {
+                  return false;
+                }
+                Result<std::vector<MutatedSchema>> remutated =
+                    ApplyMetamorphicRules(candidate, seed);
+                if (!remutated.ok()) {
+                  return false;
+                }
+                for (const MutatedSchema& m : *remutated) {
+                  if (m.rule_name != rule) {
+                    continue;
+                  }
+                  Result<std::vector<bool>> mv =
+                      ReasonerVerdicts(m.schema, -1);
+                  return mv.ok() &&
+                         !RelationHolds(
+                             m.relation, (*original)[cls.value],
+                             (*mv)[m.class_map[cls.value].value]);
+                }
+                return false;
+              });
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace crsat

@@ -1,0 +1,112 @@
+#ifndef CRSAT_ORACLE_CONFORMANCE_H_
+#define CRSAT_ORACLE_CONFORMANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/oracle/brute_force.h"
+
+namespace crsat {
+
+/// Knobs for one conformance sweep (see RunConformance below).
+struct ConformanceOptions {
+  /// How many generator seeds to sweep, starting at `first_seed`.
+  int num_seeds = 100;
+  std::uint32_t first_seed = 1;
+
+  /// Bounds for the brute-force ground-truth oracle.
+  OracleOptions oracle;
+
+  /// Shape of the generated schemas. Small on purpose: the oracle is
+  /// exponential in these, and small schemas are where reasoner bugs
+  /// minimize to anyway.
+  int num_classes = 4;
+  int num_relationships = 3;
+  double isa_density = 0.25;
+
+  /// Cross-check against the Lenzerini–Nobili baseline on an ISA-free
+  /// sibling schema (same seed, ISA/refinements/extensions disabled).
+  bool check_baseline = true;
+
+  /// Re-run the reasoner on every metamorphic mutant and check the rule's
+  /// verdict relation.
+  bool check_metamorphic = true;
+
+  /// Synthesize a certified witness for SAT schemas; a certified witness
+  /// that fits inside the oracle bounds while the oracle said
+  /// UNSAT-up-to-bound convicts the *oracle* (completeness bug).
+  bool check_witnesses = true;
+
+  /// Greedily shrink disagreeing schemas before reporting.
+  bool minimize = true;
+  /// Cap on predicate evaluations per minimization (each one is a full
+  /// reasoner + oracle run).
+  int minimize_budget = 200;
+
+  /// Test hook: flip the reasoner's verdict for this class id on the
+  /// original schema of every seed (-1 = off). Simulates a reasoner
+  /// soundness/completeness bug so tests can prove the harness catches
+  /// one without committing a broken reasoner.
+  int inject_flip_class = -1;
+};
+
+/// One reasoner-vs-ground-truth (or reasoner-vs-contract) conflict.
+struct ConformanceDisagreement {
+  std::uint32_t seed = 0;
+  /// Machine-readable taxonomy:
+  ///   "reasoner-unsat-oracle-sat"  — oracle holds a certified model the
+  ///                                  reasoner claims cannot exist
+  ///                                  (reasoner soundness bug);
+  ///   "oracle-missed-witness"      — certified witness fits the oracle
+  ///                                  bounds yet the oracle said UNSAT
+  ///                                  (oracle completeness bug);
+  ///   "reasoner-vs-baseline"       — LN fragment, two solvers disagree;
+  ///   "metamorphic:<rule>"         — a verdict-relation theorem violated.
+  std::string kind;
+  std::string class_name;
+  std::string detail;
+  /// Schema text (`ParseSchema`-compatible) reproducing the disagreement.
+  std::string schema_text;
+  /// Greedily shrunk variant that still disagrees (empty when minimization
+  /// is off or nothing could be removed).
+  std::string minimized_schema_text;
+};
+
+/// Counters + disagreements from a sweep. A clean run is
+/// `disagreements.empty()` with the positive-evidence counters nonzero —
+/// zero disagreements over zero comparisons proves nothing, so the tests
+/// assert on the counters too.
+struct ConformanceReport {
+  int schemas_checked = 0;
+  int class_verdicts_compared = 0;
+  int sat_confirmed_by_oracle = 0;
+  int unsat_consistent_up_to_bound = 0;
+  /// Reasoner said SAT, oracle hit its bound, and the certified witness
+  /// (when available) was genuinely larger than the bound — consistent.
+  int sat_beyond_bound = 0;
+  int oracle_exhausted = 0;
+  int baseline_schemas = 0;
+  int metamorphic_mutants = 0;
+  int witnesses_certified = 0;
+  std::vector<ConformanceDisagreement> disagreements;
+
+  std::string ToJson() const;
+  /// One-paragraph human summary.
+  std::string Summary() const;
+};
+
+/// The differential driver: for each seed, generates a schema, runs the
+/// production reasoner (expansion -> satisfiability, the same path as
+/// `crsat_cli check`), and cross-checks it four ways — against the
+/// brute-force oracle, against the LN baseline on the ISA-free fragment,
+/// against itself under metamorphic rewrites, and against its own
+/// certified witnesses. Any conflict is recorded (and minimized); a
+/// harness-level failure (e.g. the generator itself erroring) aborts with
+/// a non-ok status instead of being swallowed.
+Result<ConformanceReport> RunConformance(const ConformanceOptions& options);
+
+}  // namespace crsat
+
+#endif  // CRSAT_ORACLE_CONFORMANCE_H_

@@ -1,0 +1,59 @@
+#ifndef CRSAT_ORACLE_METAMORPHIC_H_
+#define CRSAT_ORACLE_METAMORPHIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// How a metamorphic rewrite relates the mutant's per-class satisfiability
+/// verdicts to the original's. Each relation is a *theorem* about CR
+/// semantics, independent of any reasoner — so a reasoner whose verdicts
+/// violate one has a bug, with no oracle needed.
+enum class VerdictRelation {
+  /// verdict(original, C) == verdict(mutant, map(C)) for every original
+  /// class C. Holds for meaning-preserving rewrites (renaming, role
+  /// permutation, redundant ISA, interposition, dead grafting, duplicate
+  /// disjointness).
+  kEquisatisfiable,
+  /// SAT(original, C) implies SAT(mutant, map(C)): every model of the
+  /// original is a model of the mutant (constraint relaxation).
+  kSatPreserved,
+  /// UNSAT(original, C) implies UNSAT(mutant, map(C)): every model of the
+  /// mutant is a model of the original (constraint tightening).
+  kUnsatPreserved,
+};
+
+const char* VerdictRelationToString(VerdictRelation relation);
+
+/// A rewritten schema plus the contract the rewrite guarantees.
+struct MutatedSchema {
+  std::string rule_name;
+  VerdictRelation relation;
+  Schema schema;
+  /// `class_map[c.value]` is the mutant's id for the original class `c`.
+  /// Fresh classes introduced by the rewrite have no preimage and are not
+  /// part of the contract.
+  std::vector<ClassId> class_map;
+};
+
+/// Names of all rules, in application order (stable; used for reporting).
+std::vector<std::string> MetamorphicRuleNames();
+
+/// Applies every applicable metamorphic rule to `schema`, drawing any
+/// random choices deterministically from `seed` (same seed, same mutants,
+/// any platform). Rules that do not apply (e.g. redundant-ISA insertion on
+/// a schema with no composable ISA chain) are skipped. Fails only on
+/// internal errors — a rule producing a schema that does not build is a
+/// bug in the rule, not in the input.
+Result<std::vector<MutatedSchema>> ApplyMetamorphicRules(
+    const Schema& schema, std::uint32_t seed);
+
+}  // namespace crsat
+
+#endif  // CRSAT_ORACLE_METAMORPHIC_H_

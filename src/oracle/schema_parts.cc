@@ -1,0 +1,72 @@
+#include "src/oracle/schema_parts.h"
+
+namespace crsat {
+
+SchemaParts SchemaParts::FromSchema(const Schema& schema) {
+  SchemaParts parts;
+  for (ClassId cls : schema.AllClasses()) {
+    parts.classes.push_back(schema.ClassName(cls));
+  }
+  for (RelationshipId rel : schema.AllRelationships()) {
+    Relationship relationship;
+    relationship.name = schema.RelationshipName(rel);
+    for (RoleId role : schema.RolesOf(rel)) {
+      relationship.roles.emplace_back(
+          schema.RoleName(role),
+          schema.ClassName(schema.PrimaryClass(role)));
+    }
+    parts.relationships.push_back(std::move(relationship));
+  }
+  for (const IsaStatement& isa : schema.isa_statements()) {
+    parts.isa.push_back({schema.ClassName(isa.subclass),
+                         schema.ClassName(isa.superclass)});
+  }
+  for (const CardinalityDeclaration& decl :
+       schema.cardinality_declarations()) {
+    parts.cards.push_back({schema.ClassName(decl.cls),
+                           schema.RelationshipName(decl.rel),
+                           schema.RoleName(decl.role), decl.cardinality});
+  }
+  for (const DisjointnessConstraint& group :
+       schema.disjointness_constraints()) {
+    std::vector<std::string> names;
+    for (ClassId cls : group.classes) {
+      names.push_back(schema.ClassName(cls));
+    }
+    parts.disjointness.push_back(std::move(names));
+  }
+  for (const CoveringConstraint& constraint : schema.covering_constraints()) {
+    Cover cover;
+    cover.covered = schema.ClassName(constraint.covered);
+    for (ClassId cls : constraint.coverers) {
+      cover.coverers.push_back(schema.ClassName(cls));
+    }
+    parts.coverings.push_back(std::move(cover));
+  }
+  return parts;
+}
+
+Result<Schema> SchemaParts::Build() const {
+  SchemaBuilder builder;
+  for (const std::string& name : classes) {
+    builder.AddClass(name);
+  }
+  for (const Relationship& relationship : relationships) {
+    builder.AddRelationship(relationship.name, relationship.roles);
+  }
+  for (const Isa& statement : isa) {
+    builder.AddIsa(statement.subclass, statement.superclass);
+  }
+  for (const Card& card : cards) {
+    builder.SetCardinality(card.cls, card.rel, card.role, card.cardinality);
+  }
+  for (const std::vector<std::string>& group : disjointness) {
+    builder.AddDisjointness(group);
+  }
+  for (const Cover& cover : coverings) {
+    builder.AddCovering(cover.covered, cover.coverers);
+  }
+  return builder.Build();
+}
+
+}  // namespace crsat

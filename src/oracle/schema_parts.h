@@ -1,0 +1,53 @@
+#ifndef CRSAT_ORACLE_SCHEMA_PARTS_H_
+#define CRSAT_ORACLE_SCHEMA_PARTS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// A `Schema` exploded into freely editable, name-based declarations —
+/// the working representation for schema surgery: the metamorphic rewrites
+/// (src/oracle/metamorphic.h) edit parts and rebuild, and the conformance
+/// minimizer drops parts one by one while a disagreement persists.
+struct SchemaParts {
+  struct Relationship {
+    std::string name;
+    /// (role name, primary class name) in declaration order.
+    std::vector<std::pair<std::string, std::string>> roles;
+  };
+  struct Isa {
+    std::string subclass;
+    std::string superclass;
+  };
+  struct Card {
+    std::string cls;
+    std::string rel;
+    std::string role;
+    Cardinality cardinality;
+  };
+  struct Cover {
+    std::string covered;
+    std::vector<std::string> coverers;
+  };
+
+  std::vector<std::string> classes;
+  std::vector<Relationship> relationships;
+  std::vector<Isa> isa;
+  std::vector<Card> cards;
+  std::vector<std::vector<std::string>> disjointness;
+  std::vector<Cover> coverings;
+
+  static SchemaParts FromSchema(const Schema& schema);
+
+  /// Rebuilds through `SchemaBuilder` (all well-formedness rules apply).
+  Result<Schema> Build() const;
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_ORACLE_SCHEMA_PARTS_H_

@@ -1,0 +1,92 @@
+// Tests for the differential conformance harness (src/oracle/conformance).
+//
+// The sweep test is the repo's standing cross-check that the production
+// reasoner agrees with the brute-force oracle, the LN baseline and the
+// metamorphic contracts; the injected-bug test proves the harness has
+// teeth (a flipped verdict IS caught and minimized). CI runs bigger
+// sweeps through `crsat_cli conform`.
+
+#include <gtest/gtest.h>
+
+#include "src/cr/schema_text.h"
+#include "src/oracle/conformance.h"
+
+namespace crsat {
+namespace {
+
+ConformanceOptions SmallSweep() {
+  ConformanceOptions options;
+  options.num_seeds = 40;
+  options.oracle.max_domain = 4;
+  options.num_classes = 4;
+  options.num_relationships = 2;
+  return options;
+}
+
+TEST(Conformance, SweepFindsNoDisagreements) {
+  Result<ConformanceReport> report = RunConformance(SmallSweep());
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (const ConformanceDisagreement& d : report->disagreements) {
+    ADD_FAILURE() << "seed " << d.seed << " [" << d.kind << "] "
+                  << d.class_name << ": " << d.detail << "\n"
+                  << d.schema_text;
+  }
+  // Zero disagreements over zero comparisons proves nothing: insist the
+  // sweep actually exercised every cross-check.
+  EXPECT_EQ(report->schemas_checked, 40);
+  EXPECT_GT(report->class_verdicts_compared, 0);
+  EXPECT_GT(report->sat_confirmed_by_oracle, 0);
+  EXPECT_GT(report->unsat_consistent_up_to_bound, 0);
+  EXPECT_GT(report->baseline_schemas, 0);
+  EXPECT_GT(report->metamorphic_mutants, 0);
+  EXPECT_GT(report->witnesses_certified, 0);
+}
+
+TEST(Conformance, InjectedReasonerBugIsCaught) {
+  ConformanceOptions options = SmallSweep();
+  options.num_seeds = 10;
+  // Simulate a reasoner bug: flip the verdict of class 0 on every
+  // original schema. Either direction of flip must be caught — as a
+  // soundness conflict with the oracle's certified model, as a witness
+  // fitting the bounds the oracle missed, or as a metamorphic violation.
+  options.inject_flip_class = 0;
+  Result<ConformanceReport> report = RunConformance(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->disagreements.empty());
+}
+
+TEST(Conformance, DisagreementsAreMinimizedAndReparseable) {
+  ConformanceOptions options = SmallSweep();
+  options.num_seeds = 6;
+  options.inject_flip_class = 0;
+  Result<ConformanceReport> report = RunConformance(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_FALSE(report->disagreements.empty());
+  bool any_minimized = false;
+  for (const ConformanceDisagreement& d : report->disagreements) {
+    // Every reported schema must reproduce from its text alone.
+    EXPECT_TRUE(ParseSchema(d.schema_text).ok()) << d.schema_text;
+    if (!d.minimized_schema_text.empty()) {
+      any_minimized = true;
+      EXPECT_TRUE(ParseSchema(d.minimized_schema_text).ok())
+          << d.minimized_schema_text;
+      // Minimization must not grow the schema.
+      EXPECT_LE(d.minimized_schema_text.size(), d.schema_text.size());
+    }
+  }
+  EXPECT_TRUE(any_minimized);
+}
+
+TEST(Conformance, ReportSerializesToJson) {
+  ConformanceOptions options = SmallSweep();
+  options.num_seeds = 3;
+  Result<ConformanceReport> report = RunConformance(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"schemas_checked\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"disagreements\": []"), std::string::npos) << json;
+  EXPECT_FALSE(report->Summary().empty());
+}
+
+}  // namespace
+}  // namespace crsat

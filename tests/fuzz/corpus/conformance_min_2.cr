@@ -1,0 +1,6 @@
+schema minimized {
+  class C0;
+  class C1;
+  class C2;
+  class C3;
+}

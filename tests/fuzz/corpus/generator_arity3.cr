@@ -1,0 +1,19 @@
+schema gen1234 {
+  class C0;
+  class C1;
+  class C2;
+  class C3;
+  class C4;
+  isa C0 < C1;
+  relationship R0(R0_U0: C0, R0_U1: C1);
+  relationship R1(R1_U0: C1, R1_U1: C3, R1_U2: C4);
+  relationship R2(R2_U0: C3, R2_U1: C4, R2_U2: C0);
+  card C0 in R0.R0_U0 = (2, 4);
+  card C0 in R0.R0_U1 = (0, 1);
+  card C1 in R1.R1_U0 = (0, 0);
+  card C3 in R1.R1_U1 = (0, *);
+  card C4 in R1.R1_U2 = (2, *);
+  card C4 in R2.R2_U1 = (2, 3);
+  card C0 in R2.R2_U2 = (1, 3);
+  disjoint C2, C3;
+}

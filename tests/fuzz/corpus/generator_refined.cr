@@ -1,0 +1,24 @@
+schema gen77 {
+  class C0;
+  class C1;
+  class C2;
+  class C3;
+  class C4;
+  isa C0 < C2;
+  isa C0 < C4;
+  isa C1 < C3;
+  isa C1 < C4;
+  isa C2 < C4;
+  isa C3 < C4;
+  relationship R0(R0_U0: C4, R0_U1: C1, R0_U2: C3);
+  relationship R1(R1_U0: C1, R1_U1: C4, R1_U2: C3);
+  relationship R2(R2_U0: C3, R2_U1: C1);
+  card C4 in R0.R0_U0 = (2, *);
+  card C2 in R0.R0_U0 = (2, 3);
+  card C1 in R0.R0_U2 = (2, *);
+  card C1 in R1.R1_U0 = (1, 1);
+  card C3 in R1.R1_U2 = (2, *);
+  card C3 in R2.R2_U0 = (0, 2);
+  card C1 in R2.R2_U1 = (0, 1);
+  disjoint C4, C0;
+}

@@ -91,6 +91,64 @@ TEST(RandomSchemaTest, InvalidParamsRejected) {
   EXPECT_FALSE(GenerateRandomSchema(inverted_arity).ok());
 }
 
+// Golden digest over a parameter sweep. The generator draws through
+// DeterministicRng (src/generator/deterministic.h), whose bounded-draw
+// algorithm is pinned down to the bit — unlike
+// std::uniform_int_distribution, whose mapping from engine output to
+// range is implementation-defined and differs across standard libraries.
+// This digest is therefore a *cross-platform* contract: the same seed
+// must produce byte-identical schemas on every toolchain, or committed
+// seeds (fuzz corpora, conformance repro commands, benchmark inputs)
+// silently mean different schemas on different machines. If this test
+// fails, the generator's output changed: bump the expected digest ONLY if
+// that was intentional, and say so in the commit message.
+TEST(RandomSchemaTest, GoldenDigestIsStableAcrossPlatforms) {
+  std::uint64_t digest = 14695981039346656037ull;  // FNV-1a offset basis.
+  auto absorb = [&digest](const std::string& text) {
+    for (unsigned char c : text) {
+      digest ^= c;
+      digest *= 1099511628211ull;  // FNV-1a prime.
+    }
+  };
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    RandomSchemaParams params;
+    params.seed = seed;
+    params.num_classes = 5;
+    params.num_relationships = 3;
+    params.isa_density = 0.3;
+    params.refinement_probability = 0.4;
+    params.num_disjointness_groups = static_cast<int>(seed % 2);
+    absorb(SchemaToText(GenerateRandomSchema(params).value(),
+                        "golden" + std::to_string(seed)));
+  }
+  EXPECT_EQ(digest, 4793896845200224457ull);
+}
+
+// One exact-text golden so a digest mismatch has a readable diff.
+TEST(RandomSchemaTest, GoldenTextSeed42) {
+  RandomSchemaParams params;
+  params.seed = 42;
+  params.num_classes = 3;
+  params.num_relationships = 2;
+  params.isa_density = 0.4;
+  const std::string expected =
+      "schema golden {\n"
+      "  class C0;\n"
+      "  class C1;\n"
+      "  class C2;\n"
+      "  isa C0 < C1;\n"
+      "  relationship R0(R0_U0: C2, R0_U1: C2);\n"
+      "  relationship R1(R1_U0: C1, R1_U1: C1);\n"
+      "  card C2 in R0.R0_U0 = (1, *);\n"
+      "  card C2 in R0.R0_U1 = (0, *);\n"
+      "  card C1 in R1.R1_U0 = (2, 2);\n"
+      "  card C0 in R1.R1_U0 = (2, 4);\n"
+      "  card C1 in R1.R1_U1 = (0, *);\n"
+      "}\n";
+  EXPECT_EQ(SchemaToText(GenerateRandomSchema(params).value(), "golden"),
+            expected);
+}
+
 TEST(RandomSchemaTest, ManySeedsAllBuild) {
   for (std::uint32_t seed = 0; seed < 50; ++seed) {
     RandomSchemaParams params;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/generator/random_schema.h"
+
 namespace crsat {
 namespace {
 
@@ -130,6 +132,32 @@ TEST(SchemaTextTest, CommentsAndWhitespaceIgnored) {
       "}\n";
   NamedSchema parsed = ParseSchema(kText).value();
   EXPECT_EQ(parsed.schema.num_classes(), 2);
+}
+
+// parse(render(schema)) must be the identity over the whole space the
+// generator can produce — refinements, high arities, disjointness. Text
+// equality after a second render proves the fixpoint without needing a
+// structural Schema comparison.
+TEST(SchemaTextTest, RendererAndParserRoundTripOverGeneratorSweep) {
+  for (std::uint32_t seed = 1; seed <= 30; ++seed) {
+    RandomSchemaParams params;
+    params.seed = seed;
+    params.num_classes = 6;
+    params.num_relationships = 4;
+    params.min_arity = 2;
+    params.max_arity = 3;
+    params.isa_density = 0.3;
+    params.refinement_probability = 0.5;
+    params.num_disjointness_groups = static_cast<int>(seed % 3);
+    Result<Schema> schema = GenerateRandomSchema(params);
+    ASSERT_TRUE(schema.ok()) << "seed " << seed;
+    const std::string rendered = SchemaToText(*schema, "roundtrip");
+    Result<NamedSchema> reparsed = ParseSchema(rendered);
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << seed << ": " << reparsed.status() << "\n" << rendered;
+    EXPECT_EQ(SchemaToText(reparsed->schema, "roundtrip"), rendered)
+        << "seed " << seed;
+  }
 }
 
 TEST(SchemaTextTest, InfinityOnlyInMaxPosition) {
