@@ -108,7 +108,7 @@ Status ResourceGuard::Trip(ResourceLimitKind kind, const char* site) {
   ResourceLimitKind expected = ResourceLimitKind::kNone;
   if (tripped_kind_.compare_exchange_strong(expected, kind,
                                             std::memory_order_acq_rel)) {
-    std::lock_guard<std::mutex> lock(trip_mutex_);
+    MutexLock lock(trip_mutex_);
     trip_site_ = site;
   }
   return TripStatus();
@@ -121,7 +121,7 @@ Status ResourceGuard::TripStatus() const {
   }
   std::string site;
   {
-    std::lock_guard<std::mutex> lock(trip_mutex_);
+    MutexLock lock(trip_mutex_);
     site = trip_site_;
   }
   return MakeStatus(kind, site);
@@ -168,7 +168,7 @@ ResourceReport ResourceGuard::report() const {
   ResourceReport report;
   report.tripped = tripped_kind_.load(std::memory_order_acquire);
   if (report.tripped != ResourceLimitKind::kNone) {
-    std::lock_guard<std::mutex> lock(trip_mutex_);
+    MutexLock lock(trip_mutex_);
     report.site = trip_site_;
   }
   report.compounds = compounds();

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "src/base/annotations.h"
+#include "src/base/mutex.h"
 #include "src/base/status.h"
 
 namespace crsat {
@@ -171,8 +172,11 @@ class ResourceGuard {
   std::atomic<std::uint64_t> peak_memory_bytes_{0};
   std::atomic<std::uint64_t> checks_{0};
   std::atomic<ResourceLimitKind> tripped_kind_{ResourceLimitKind::kNone};
-  mutable std::mutex trip_mutex_;  // Guards trip_site_ (written once).
-  std::string trip_site_;
+  // Written exactly once (by the winning Trip); the mutex makes that
+  // write visible to every later reader, and the annotation makes the
+  // discipline machine-checked.
+  mutable Mutex trip_mutex_;
+  std::string trip_site_ CRSAT_GUARDED_BY(trip_mutex_);
 };
 
 /// RAII memory charge against a guard: adds `bytes` on construction and

@@ -16,8 +16,11 @@ namespace crsat {
 /// `absl::StatusOr` / `arrow::Result`). Accessing the value of an error
 /// result aborts the process with a diagnostic; callers must check `ok()`
 /// first or use `CRSAT_ASSIGN_OR_RETURN`.
+///
+/// `[[nodiscard]]` for the same reason as `Status`: a discarded
+/// `Result<T>` throws away both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -38,7 +41,7 @@ class Result {
   Result& operator=(Result&&) = default;
 
   /// True iff a value is present.
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// The error status (OK when a value is present).
   const Status& status() const { return status_; }

@@ -40,7 +40,14 @@ const char* StatusCodeToString(StatusCode code);
 /// crsat never throws exceptions across its public API; fallible operations
 /// return `Status` (or `Result<T>` when they also produce a value). A
 /// default-constructed `Status` is OK. The class is cheaply copyable.
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a returned `Status` is how a
+/// resource trip or parse failure turns into a wrong verdict instead of a
+/// refusal, so every discarded return is a compile error
+/// (`-Werror=unused-result`). A call whose failure is *provably*
+/// irrelevant must say so in code — consume the status and handle or
+/// document it — not by ignoring the return.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -56,7 +63,7 @@ class Status {
   Status& operator=(Status&&) = default;
 
   /// True iff the operation succeeded.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
 
   /// The failure category (kOk on success).
   StatusCode code() const { return code_; }

@@ -1,13 +1,14 @@
 #ifndef CRSAT_BASE_THREAD_POOL_H_
 #define CRSAT_BASE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/base/annotations.h"
+#include "src/base/mutex.h"
 
 namespace crsat {
 
@@ -27,6 +28,11 @@ class ResourceGuard;
 /// bit-identical results across thread counts must make their *work*
 /// independent of scheduling (crsat's probe rounds collect per-index
 /// results and apply them in index order afterwards).
+///
+/// Lock discipline (statically checked under Clang `-Wthread-safety`):
+/// `mutex_` guards the task queue and the stop flag; `wake_` signals
+/// queue-not-empty or stopping. Workers never hold `mutex_` while running
+/// a task.
 class ThreadPool {
  public:
   /// Creates a pool of parallelism `num_threads` (clamped to >= 1).
@@ -53,7 +59,7 @@ class ThreadPool {
   /// and the pool is reusable afterwards). Callers detect skipped items by
   /// their unset per-index results and consult `guard->TripStatus()`.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                   ResourceGuard* guard = nullptr);
+                   ResourceGuard* guard = nullptr) CRSAT_EXCLUDES(mutex_);
 
   /// The parallelism requested by the environment: `CRSAT_THREADS` when it
   /// parses to a positive integer, otherwise `hardware_concurrency()`
@@ -63,15 +69,15 @@ class ThreadPool {
  private:
   struct ForState;
 
-  void WorkerLoop();
-  void Enqueue(std::function<void()> task);
+  void WorkerLoop() CRSAT_EXCLUDES(mutex_);
+  void Enqueue(std::function<void()> task) CRSAT_EXCLUDES(mutex_);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar wake_;  // Signaled on enqueue and on stop, under mutex_.
+  std::deque<std::function<void()>> tasks_ CRSAT_GUARDED_BY(mutex_);
+  bool stopping_ CRSAT_GUARDED_BY(mutex_) = false;
 };
 
 /// The process-wide pool used by the reasoning core. Lazily constructed at

@@ -1,5 +1,9 @@
 #include "src/expansion/compound.h"
 
+// srclint: allow(unguarded-loop): per-object helpers, O(classes +
+// constraints) each; the exponential enumeration over compound classes
+// lives in expansion.cc and polls its ResourceGuard there.
+
 namespace crsat {
 
 CompoundClass CompoundClass::Of(const std::vector<ClassId>& classes) {

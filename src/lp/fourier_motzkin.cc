@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "src/base/resource_guard.h"
+
 namespace crsat {
 
 namespace {
@@ -48,7 +50,8 @@ std::string KeyOf(const Inequality& ineq) {
 
 }  // namespace
 
-Result<FmResult> FourierMotzkinSolver::Solve(const LinearSystem& system) {
+Result<FmResult> FourierMotzkinSolver::Solve(const LinearSystem& system,
+                                             ResourceGuard* guard) {
   // Normalize all constraints to `expr >= 0` / `expr > 0` form. Equalities
   // become two opposite inequalities.
   std::vector<Inequality> pool;
@@ -82,6 +85,9 @@ Result<FmResult> FourierMotzkinSolver::Solve(const LinearSystem& system) {
   // back-substitution pass.
   std::vector<std::vector<Inequality>> stages;
   for (VarId v = system.num_variables() - 1; v >= 0; --v) {
+    if (guard != nullptr) {
+      CRSAT_RETURN_IF_ERROR(guard->CheckNow("fm/eliminate"));
+    }
     stages.push_back(pool);
     std::vector<Inequality> lower;   // coeff(v) > 0: v >= -rest/coeff.
     std::vector<Inequality> upper;   // coeff(v) < 0.
@@ -110,6 +116,11 @@ Result<FmResult> FourierMotzkinSolver::Solve(const LinearSystem& system) {
     }
     for (const Inequality& lo : lower) {
       for (const Inequality& hi : upper) {
+        // The lower×upper product is where the constraint count squares
+        // per stage; poll the guard on every combination.
+        if (guard != nullptr) {
+          CRSAT_RETURN_IF_ERROR(guard->Check("fm/combine"));
+        }
         Rational a = lo.expr.CoefficientOf(v);        // > 0
         Rational b = hi.expr.CoefficientOf(v);        // < 0
         // (-b) * lo + a * hi eliminates v and preserves direction.

@@ -9,6 +9,8 @@
 
 namespace crsat {
 
+class ResourceGuard;
+
 /// Result of a Fourier-Motzkin feasibility check.
 struct FmResult {
   bool feasible = false;
@@ -28,8 +30,13 @@ struct FmResult {
 class FourierMotzkinSolver {
  public:
   /// Decides feasibility of `system` (variable nonnegativity flags are
-  /// honored as additional constraints).
-  static Result<FmResult> Solve(const LinearSystem& system);
+  /// honored as additional constraints). `guard`, when non-null, is
+  /// polled once per eliminated variable and once per lower×upper
+  /// combination — the doubly-exponential step — so a deadline or memory
+  /// budget bounds the elimination; a trip aborts with the guard's
+  /// status.
+  static Result<FmResult> Solve(const LinearSystem& system,
+                                ResourceGuard* guard = nullptr);
 };
 
 }  // namespace crsat

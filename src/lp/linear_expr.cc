@@ -1,5 +1,9 @@
 #include "src/lp/linear_expr.h"
 
+// srclint: allow(unguarded-loop): all loops are O(terms) over one
+// expression; the solvers that multiply expressions together poll their
+// ResourceGuard per pivot/combination instead.
+
 namespace crsat {
 
 LinearExpr LinearExpr::Term(VarId var, Rational coeff) {

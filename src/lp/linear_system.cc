@@ -1,5 +1,9 @@
 #include "src/lp/linear_system.h"
 
+// srclint: allow(unguarded-loop): construction/printing helpers, linear
+// in the system size; system *growth* is charged to the guard by the
+// builders (reasoner/system_builder.cc) and solvers.
+
 namespace crsat {
 
 const char* ConstraintSenseToString(ConstraintSense sense) {

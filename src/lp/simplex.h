@@ -35,6 +35,13 @@ struct LpResult {
 /// safe to update from concurrent solves (relaxed atomics: totals are
 /// exact, momentary reads may be mid-solve). `Reset()` is for benchmarks
 /// and must not race with running solves.
+///
+/// Thread-safety annotation policy (src/base/annotations.h): every field
+/// is its own `std::atomic` capability, so no `CRSAT_GUARDED_BY` mutex is
+/// involved — the type system already forbids unsynchronized access, and
+/// Clang `-Wthread-safety` has nothing further to prove here. Keep it
+/// that way: adding a non-atomic field to this struct would require a
+/// `Mutex` + `CRSAT_GUARDED_BY` or it will race under TSan.
 struct SimplexStats {
   /// Total `Solve`/`SolveWith` calls.
   std::atomic<std::uint64_t> solves{0};

@@ -153,6 +153,15 @@ class SatisfiabilityChecker {
   CrSystem cr_system_;
   std::vector<Dependency> dependencies_;
   std::vector<bool> known_empty_;
+  // Thread confinement (not a lock): a `SatisfiabilityChecker` is
+  // *thread-compatible*, not thread-safe — `Support()` mutates both the
+  // lazily-cached `support_` and the carried basis behind `probe_carry_`,
+  // so a checker (and any `WarmStartBasis` it carries) must be confined
+  // to one thread at a time. The parallelism inside `Support()` is
+  // internal (`ThreadPool::ParallelFor` over per-probe state) and does
+  // not touch either field concurrently. There is deliberately no mutex
+  // here — callers that want concurrent queries build one checker per
+  // thread over the shared (immutable) expansion.
   WarmStartBasis* probe_carry_ = nullptr;
   mutable std::optional<Result<AcceptableSupport>> support_;
 };

@@ -1,0 +1,33 @@
+#include "src/witness/certify.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crsat {
+
+Result<CertifiedWitness> CertifiedWitness::Certify(
+    const Schema& schema, Interpretation interpretation, WitnessStats stats,
+    const SchemaSourceMap* source_map) {
+  std::vector<ModelViolation> violations =
+      ModelChecker::CheckModel(schema, interpretation, source_map);
+  if (!violations.empty()) {
+    std::string message =
+        "witness certification refused: synthesized interpretation is not a "
+        "model (bug):";
+    for (const ModelViolation& violation : violations) {
+      message += "\n  - " + violation.message;
+    }
+    return InternalError(std::move(message));
+  }
+  stats.individuals = static_cast<std::uint64_t>(interpretation.domain_size());
+  stats.tuples = 0;
+  // srclint: allow(unguarded-loop): post-certification accounting over an
+  // already-size-capped witness; bounded by WitnessOptions::max_model_size.
+  for (RelationshipId rel : schema.AllRelationships()) {
+    stats.tuples += interpretation.RelationshipExtension(rel).size();
+  }
+  return CertifiedWitness(std::move(interpretation), std::move(stats));
+}
+
+}  // namespace crsat

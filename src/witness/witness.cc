@@ -18,28 +18,6 @@ ResourceGuard* ResolveGuard(const WitnessOptions& options,
 
 }  // namespace
 
-Result<CertifiedWitness> CertifiedWitness::Certify(
-    const Schema& schema, Interpretation interpretation, WitnessStats stats,
-    const SchemaSourceMap* source_map) {
-  std::vector<ModelViolation> violations =
-      ModelChecker::CheckModel(schema, interpretation, source_map);
-  if (!violations.empty()) {
-    std::string message =
-        "witness certification refused: synthesized interpretation is not a "
-        "model (bug):";
-    for (const ModelViolation& violation : violations) {
-      message += "\n  - " + violation.message;
-    }
-    return InternalError(std::move(message));
-  }
-  stats.individuals = static_cast<std::uint64_t>(interpretation.domain_size());
-  stats.tuples = 0;
-  for (RelationshipId rel : schema.AllRelationships()) {
-    stats.tuples += interpretation.RelationshipExtension(rel).size();
-  }
-  return CertifiedWitness(std::move(interpretation), std::move(stats));
-}
-
 Result<CertifiedWitness> WitnessSynthesizer::Synthesize(
     const WitnessOptions& options) {
   const Expansion& expansion = checker_->expansion();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/resource_guard.h"
+
 namespace crsat {
 namespace {
 
@@ -131,6 +133,27 @@ TEST(FourierMotzkinTest, HomogeneousStrictConicSystem) {
   tight.AddGe(Expr({{c2, 3}, {h2, -1}}));
   tight.AddGt(Expr({{c2, 1}}));
   EXPECT_FALSE(FourierMotzkinSolver::Solve(tight).value().feasible);
+}
+
+TEST(FourierMotzkinTest, CancelledGuardUnwindsBeforeEliminating) {
+  LinearSystem system;
+  VarId x = system.AddVariable("x");
+  VarId y = system.AddVariable("y");
+  system.AddGe(Expr({{x, 1}, {y, 1}}, -1));
+  system.AddGe(Expr({{x, -1}, {y, 1}}, 3));
+
+  // Same system solves fine with a live guard...
+  ResourceGuard live;
+  EXPECT_TRUE(FourierMotzkinSolver::Solve(system, &live).ok());
+
+  // ...and unwinds with kCancelled (not a wrong verdict) once cancelled:
+  // elimination polls the guard per variable via CheckNow.
+  ResourceGuard cancelled;
+  cancelled.RequestCancel();
+  Result<FmResult> result = FourierMotzkinSolver::Solve(system, &cancelled);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.report().site, "fm/eliminate");
 }
 
 }  // namespace

@@ -1,0 +1,268 @@
+// Tests for tools/srclint: tokenizer behavior, every rule family against
+// a violating and a clean fixture tree (tools/srclint/testdata/), the
+// escape-hatch policy, and a mutation-style end-to-end check that plants
+// a forbidden include into a copy of a real oracle file and expects the
+// scan (library and CLI binary both) to turn red.
+
+#include "tools/srclint/srclint.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using srclint::CheckSource;
+using srclint::CheckTree;
+using srclint::Finding;
+using srclint::ScannedFile;
+using srclint::Token;
+using srclint::TokenKind;
+using srclint::Tokenize;
+
+std::string Testdata(const std::string& tree) {
+  return std::string(CRSAT_SOURCE_DIR) + "/tools/srclint/testdata/" + tree;
+}
+
+std::set<std::string> Rules(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& finding : findings) {
+    rules.insert(finding.rule);
+  }
+  return rules;
+}
+
+// --- Tokenizer ------------------------------------------------------------
+
+TEST(SrclintTokenizerTest, CommentsAreNotTokensButYieldPragmas) {
+  ScannedFile scan = Tokenize(
+      "// srclint: allow(unguarded-loop): bounded by construction\n"
+      "int x; /* srclint: allow(float-arith): fixture */\n");
+  ASSERT_EQ(scan.allows.size(), 2u);
+  EXPECT_EQ(scan.allows[0].rule, "unguarded-loop");
+  EXPECT_EQ(scan.allows[0].reason, "bounded by construction");
+  EXPECT_EQ(scan.allows[0].line, 1);
+  EXPECT_EQ(scan.allows[1].rule, "float-arith");
+  EXPECT_EQ(scan.allows[1].line, 2);
+  // Only `int` and `x` and `;` survive as tokens.
+  ASSERT_EQ(scan.tokens.size(), 3u);
+  EXPECT_EQ(scan.tokens[0].text, "int");
+  EXPECT_EQ(scan.tokens[2].kind, TokenKind::kPunct);
+}
+
+TEST(SrclintTokenizerTest, PragmaWithoutReasonHasEmptyReason) {
+  ScannedFile scan = Tokenize("// srclint: allow(unguarded-loop)\n");
+  ASSERT_EQ(scan.allows.size(), 1u);
+  EXPECT_EQ(scan.allows[0].reason, "");
+}
+
+TEST(SrclintTokenizerTest, StringContentsDoNotLeakTokens) {
+  ScannedFile scan = Tokenize(
+      "const char* s = \"for (std::rand) while\";\n"
+      "const char* r = R\"(new int[3] for while)\";\n"
+      "char c = '\\'';\n");
+  for (const Token& token : scan.tokens) {
+    EXPECT_NE(token.text, "for") << "loop keyword leaked from a literal";
+    EXPECT_NE(token.text, "rand");
+    EXPECT_NE(token.text, "new");
+  }
+}
+
+TEST(SrclintTokenizerTest, PreprocessorDirectiveIsOneTokenWithContinuation) {
+  ScannedFile scan = Tokenize(
+      "#define PLUS(a, b) \\\n  ((a) + (b))\n"
+      "#include \"src/base/status.h\"\n"
+      "int y;\n");
+  ASSERT_GE(scan.tokens.size(), 2u);
+  EXPECT_EQ(scan.tokens[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(scan.tokens[0].text.find("(a) + (b)"), std::string::npos);
+  EXPECT_EQ(scan.tokens[1].kind, TokenKind::kPreprocessor);
+  EXPECT_EQ(scan.tokens[1].line, 3);
+  // The directive's interior never shows up as identifier tokens.
+  EXPECT_EQ(scan.tokens[2].text, "int");
+}
+
+TEST(SrclintTokenizerTest, TracksLineNumbers) {
+  ScannedFile scan = Tokenize("a\n\nb\n  c\n");
+  ASSERT_EQ(scan.tokens.size(), 3u);
+  EXPECT_EQ(scan.tokens[0].line, 1);
+  EXPECT_EQ(scan.tokens[1].line, 3);
+  EXPECT_EQ(scan.tokens[2].line, 4);
+}
+
+// --- Rule fixtures: one violating + one clean tree per family -------------
+
+TEST(SrclintRuleTest, LayeringViolationCaught) {
+  std::vector<Finding> findings = CheckTree(Testdata("layering_violation"));
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "include-layering");
+  EXPECT_EQ(findings[0].file, "src/oracle/peek.cc");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(SrclintRuleTest, LayeringCleanPasses) {
+  EXPECT_TRUE(CheckTree(Testdata("layering_clean")).empty());
+}
+
+TEST(SrclintRuleTest, UnguardedLoopCaught) {
+  std::vector<Finding> findings = CheckTree(Testdata("unguarded_violation"));
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "unguarded-loop");
+  EXPECT_EQ(findings[0].file, "src/flow/pump.cc");
+}
+
+TEST(SrclintRuleTest, GuardedLoopPasses) {
+  EXPECT_TRUE(CheckTree(Testdata("unguarded_clean")).empty());
+}
+
+TEST(SrclintRuleTest, ReasonedHatchSuppressesUnguardedLoop) {
+  EXPECT_TRUE(CheckTree(Testdata("unguarded_allowed")).empty());
+}
+
+TEST(SrclintRuleTest, BannedConstructsCaught) {
+  std::vector<Finding> findings = CheckTree(Testdata("banned_violation"));
+  // new[], std::rand, argless time() — one finding each.
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "banned-construct");
+  }
+}
+
+TEST(SrclintRuleTest, BannedCleanPasses) {
+  EXPECT_TRUE(CheckTree(Testdata("banned_clean")).empty());
+}
+
+TEST(SrclintRuleTest, FloatInExactTierCaught) {
+  std::vector<Finding> findings =
+      CheckTree(Testdata("banned_float_violation"));
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "banned-construct");
+  EXPECT_NE(findings[0].message.find("double"), std::string::npos);
+}
+
+TEST(SrclintRuleTest, CertifyBypassCaught) {
+  std::vector<Finding> findings = CheckTree(Testdata("certify_violation"));
+  // Definition, direct construction, out-of-pipeline Certify call.
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "certify-non-bypass");
+  }
+}
+
+TEST(SrclintRuleTest, CertifyLegitimateUsePasses) {
+  EXPECT_TRUE(CheckTree(Testdata("certify_clean")).empty());
+}
+
+TEST(SrclintRuleTest, BadAllowCaught) {
+  std::vector<Finding> findings = CheckTree(Testdata("badallow_violation"));
+  std::set<std::string> rules = Rules(findings);
+  // The reasonless hatch is flagged AND stays ineffective: the loop it
+  // tried to waive is still reported.
+  EXPECT_TRUE(rules.count("bad-allow"));
+  EXPECT_TRUE(rules.count("unguarded-loop"));
+}
+
+// --- CheckSource details --------------------------------------------------
+
+TEST(SrclintRuleTest, ConformanceDriverIsLayeringExempt) {
+  EXPECT_TRUE(CheckSource("src/oracle/conformance.cc",
+                          "#include \"src/reasoner/satisfiability.h\"\n")
+                  .empty());
+  EXPECT_FALSE(CheckSource("src/oracle/brute_force.cc",
+                           "#include \"src/reasoner/satisfiability.h\"\n")
+                   .empty());
+}
+
+TEST(SrclintRuleTest, HeadersExemptFromUnguardedLoop) {
+  // The guard-threading rule targets .cc files; a header-only helper
+  // loop (e.g. an inline accessor) is the including file's business.
+  EXPECT_TRUE(CheckSource("src/lp/helper.h",
+                          "inline int S(int n) {\n"
+                          "  int t = 0;\n"
+                          "  for (int i = 0; i < n; ++i) t += i;\n"
+                          "  return t;\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(SrclintRuleTest, QualifiedRandAndMemberTimeAllowed) {
+  EXPECT_TRUE(CheckSource("src/cr/ok.cc",
+                          "int f(MyRng& rng, Clock& c) {\n"
+                          "  return myns::rand() + rng.rand() + c.time(3);\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(SrclintRuleTest, FindingsRenderWithFileLineAndRule) {
+  std::vector<Finding> findings = CheckTree(Testdata("layering_violation"));
+  ASSERT_FALSE(findings.empty());
+  std::string text = srclint::FindingsToText(findings);
+  EXPECT_NE(text.find("src/oracle/peek.cc:2:"), std::string::npos);
+  EXPECT_NE(text.find("[include-layering]"), std::string::npos);
+  std::string json = srclint::FindingsToJson(findings);
+  EXPECT_NE(json.find("\"rule\": \"include-layering\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": "), std::string::npos);
+}
+
+// --- Mutation-style end-to-end check --------------------------------------
+
+class SrclintMutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("srclint_mutation_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+    fs::create_directories(root_ / "src" / "oracle");
+    std::ifstream in(fs::path(CRSAT_SOURCE_DIR) / "src" / "oracle" /
+                     "brute_force.cc");
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    original_ = buffer.str();
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void WriteCopy(const std::string& content) {
+    std::ofstream out(root_ / "src" / "oracle" / "brute_force.cc");
+    out << content;
+  }
+
+  int RunBinary() {
+    std::string command = std::string(SRCLINT_BINARY) + " --root " +
+                          root_.string() + " > /dev/null 2>&1";
+    int status = std::system(command.c_str());
+    return WEXITSTATUS(status);
+  }
+
+  fs::path root_;
+  std::string original_;
+};
+
+TEST_F(SrclintMutationTest, UnmutatedOracleFileIsClean) {
+  WriteCopy(original_);
+  EXPECT_TRUE(CheckTree(root_.string()).empty());
+  EXPECT_EQ(RunBinary(), 0);
+}
+
+TEST_F(SrclintMutationTest, PlantedForbiddenIncludeTurnsTheScanRed) {
+  WriteCopy("#include \"src/lp/simplex.h\"\n" + original_);
+  std::vector<Finding> findings = CheckTree(root_.string());
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "include-layering");
+  EXPECT_EQ(findings[0].file, "src/oracle/brute_force.cc");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(RunBinary(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,743 @@
+#include "tools/srclint/srclint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace srclint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Escape-hatch pragmas
+// ---------------------------------------------------------------------------
+
+// Extracts every `srclint: allow(<rule>)[: <reason>]` from one comment.
+// `first_line` is the line the comment starts on; newlines inside the
+// comment advance the pragma's recorded line.
+void CollectAllows(std::string_view comment, int first_line,
+                   std::vector<AllowPragma>* out) {
+  int line = first_line;
+  size_t scanned = 0;
+  while (true) {
+    size_t at = comment.find("srclint:", scanned);
+    if (at == std::string_view::npos) {
+      return;
+    }
+    line += static_cast<int>(
+        std::count(comment.begin() + scanned, comment.begin() + at, '\n'));
+    scanned = at + 8;  // Past "srclint:".
+    size_t pos = scanned;
+    while (pos < comment.size() && comment[pos] == ' ') {
+      ++pos;
+    }
+    if (comment.substr(pos, 6) != "allow(") {
+      continue;  // Not a pragma ("srclint:" in prose); keep scanning.
+    }
+    pos += 6;
+    size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) {
+      continue;
+    }
+    AllowPragma pragma;
+    pragma.rule = std::string(comment.substr(pos, close - pos));
+    pragma.line = line;
+    pos = close + 1;
+    while (pos < comment.size() && comment[pos] == ' ') {
+      ++pos;
+    }
+    if (pos < comment.size() && comment[pos] == ':') {
+      ++pos;
+      // Reason runs to end of comment line; comment decorations like a
+      // leading "// " on continuation lines stay part of the reason text,
+      // which only needs to be non-empty and human-readable.
+      size_t eol = comment.find('\n', pos);
+      std::string_view reason = comment.substr(
+          pos, eol == std::string_view::npos ? comment.size() - pos
+                                             : eol - pos);
+      while (!reason.empty() && reason.front() == ' ') {
+        reason.remove_prefix(1);
+      }
+      while (!reason.empty() &&
+             (reason.back() == ' ' || reason.back() == '\r')) {
+        reason.remove_suffix(1);
+      }
+      pragma.reason = std::string(reason);
+    }
+    out->push_back(std::move(pragma));
+    scanned = pos;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tokenizer (the text_lexer.h idiom, extended to C++ surface syntax)
+// ---------------------------------------------------------------------------
+
+ScannedFile Tokenize(std::string_view text) {
+  ScannedFile scan;
+  size_t pos = 0;
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the last newline.
+
+  auto advance = [&](size_t n) {
+    for (size_t i = 0; i < n && pos < text.size(); ++i) {
+      if (text[pos] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+      ++pos;
+    }
+  };
+
+  while (pos < text.size()) {
+    const char c = text[pos];
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && pos + 1 < text.size() && text[pos + 1] == '/') {
+      size_t end = text.find('\n', pos);
+      if (end == std::string_view::npos) {
+        end = text.size();
+      }
+      CollectAllows(text.substr(pos, end - pos), line, &scan.allows);
+      advance(end - pos);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && pos + 1 < text.size() && text[pos + 1] == '*') {
+      size_t end = text.find("*/", pos + 2);
+      if (end == std::string_view::npos) {
+        end = text.size();
+      } else {
+        end += 2;
+      }
+      CollectAllows(text.substr(pos, end - pos), line, &scan.allows);
+      advance(end - pos);
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line; honors backslash
+    // continuations. Collapsed into one token holding the full text.
+    if (c == '#' && at_line_start) {
+      Token token{TokenKind::kPreprocessor, "", line};
+      size_t end = pos;
+      while (end < text.size()) {
+        size_t eol = text.find('\n', end);
+        if (eol == std::string_view::npos) {
+          eol = text.size();
+        }
+        size_t last = eol;
+        while (last > end &&
+               (text[last - 1] == '\r' || text[last - 1] == ' ')) {
+          --last;
+        }
+        if (last > end && text[last - 1] == '\\') {
+          end = eol + 1;  // Continuation: keep consuming.
+          continue;
+        }
+        end = eol;
+        break;
+      }
+      token.text = std::string(text.substr(pos, end - pos));
+      scan.tokens.push_back(std::move(token));
+      advance(end - pos);
+      continue;
+    }
+    at_line_start = false;
+
+    // String / char literal (with escapes).
+    if (c == '"' || c == '\'') {
+      // Raw string: the lexer below folds prefixes like R/u8R into the
+      // preceding identifier token, so a quote right after such an
+      // identifier is handled there; a bare '"' here is always cooked.
+      Token token{TokenKind::kString, std::string(1, c), line};
+      size_t end = pos + 1;
+      while (end < text.size() && text[end] != c) {
+        if (text[end] == '\\' && end + 1 < text.size()) {
+          ++end;
+        }
+        ++end;
+      }
+      if (end < text.size()) {
+        ++end;  // Closing quote.
+      }
+      token.text = std::string(text.substr(pos, end - pos));
+      scan.tokens.push_back(std::move(token));
+      advance(end - pos);
+      continue;
+    }
+
+    // Identifier (or raw-string prefix).
+    if (IsIdentStart(c)) {
+      size_t end = pos;
+      while (end < text.size() && IsIdentChar(text[end])) {
+        ++end;
+      }
+      std::string ident(text.substr(pos, end - pos));
+      const bool raw_prefix =
+          (ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+           ident == "u8R") &&
+          end < text.size() && text[end] == '"';
+      if (raw_prefix) {
+        // R"delim( ... )delim"
+        size_t open = text.find('(', end);
+        std::string delim =
+            open == std::string_view::npos
+                ? std::string()
+                : std::string(text.substr(end + 1, open - end - 1));
+        std::string closer = ")" + delim + "\"";
+        size_t close = open == std::string_view::npos
+                           ? std::string_view::npos
+                           : text.find(closer, open + 1);
+        size_t stop = close == std::string_view::npos
+                          ? text.size()
+                          : close + closer.size();
+        scan.tokens.push_back(Token{
+            TokenKind::kString, std::string(text.substr(pos, stop - pos)),
+            line});
+        advance(stop - pos);
+        continue;
+      }
+      scan.tokens.push_back(Token{TokenKind::kIdentifier, std::move(ident),
+                                  line});
+      advance(end - pos);
+      continue;
+    }
+
+    // Number (loose: digits, digit separators, hex/float spellings).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = pos;
+      while (end < text.size() &&
+             (IsIdentChar(text[end]) || text[end] == '.' ||
+              (text[end] == '\'' && end + 1 < text.size() &&
+               IsIdentChar(text[end + 1])))) {
+        ++end;
+      }
+      scan.tokens.push_back(Token{TokenKind::kNumber,
+                                  std::string(text.substr(pos, end - pos)),
+                                  line});
+      advance(end - pos);
+      continue;
+    }
+
+    // Everything else: one punctuation character per token.
+    scan.tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Rule machinery
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The declarative layering table for src/. `allowed` lists the OTHER
+// src/ directories a file in `dir` may include (its own directory is
+// always allowed). This is the source-level twin of the CMake link
+// layering in src/CMakeLists.txt: crsat_core at the bottom, the oracle
+// beside (not atop) the production stack, and only the differential
+// driver (exempt below) allowed to see both worlds.
+struct LayerRule {
+  const char* dir;
+  const char* allowed;  // Space-separated directory names.
+};
+
+constexpr LayerRule kLayering[] = {
+    {"base", ""},
+    {"math", "base"},
+    {"cr", "base math"},
+    {"generator", "base math cr"},
+    {"analysis", "base math cr"},
+    {"flow", "base math"},
+    {"lp", "base math"},
+    {"expansion", "base math cr"},
+    {"reasoner", "base math cr lp expansion witness"},
+    {"witness", "base math cr lp flow expansion reasoner"},
+    {"baseline", "base math cr lp reasoner"},
+    // The conformance ground truth: bare CR semantics only. Including
+    // expansion/, lp/, or flow/ here would let the system under test
+    // leak into its own oracle (see src/CMakeLists.txt layering).
+    {"oracle", "base math cr generator"},
+};
+
+// Files exempt from the layering rule: the public umbrella header and
+// the differential driver, which by design sees both worlds.
+bool LayeringExempt(const std::string& path) {
+  return path == "src/crsat.h" || path == "src/oracle/conformance.h" ||
+         path == "src/oracle/conformance.cc";
+}
+
+// Directories whose .cc files must thread a ResourceGuard through loops.
+constexpr const char* kGuardedDirs[] = {"expansion", "lp", "flow", "witness"};
+
+// Directories holding exact-arithmetic tiers where double/float are
+// banned (a single rounding would turn a proof into a guess).
+constexpr const char* kExactDirs[] = {"lp", "math"};
+
+// Escape-hatch rules a `srclint: allow(...)` pragma may name.
+constexpr const char* kAllowableRules[] = {"unguarded-loop", "float-arith"};
+
+// "src/lp/simplex.cc" -> "lp"; "src/crsat.h" -> ""; non-src -> "".
+std::string SrcDirOf(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) {
+    return "";
+  }
+  size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) {
+    return "";
+  }
+  return path.substr(4, slash - 4);
+}
+
+bool InList(const std::string& needle, const char* space_separated) {
+  std::istringstream stream(space_separated);
+  std::string word;
+  while (stream >> word) {
+    if (word == needle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasAllow(const ScannedFile& scan, const std::string& rule) {
+  for (const AllowPragma& pragma : scan.allows) {
+    if (pragma.rule == rule && !pragma.reason.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Extracts the include target from a `#include` directive, or "".
+std::string IncludeTarget(const std::string& directive) {
+  size_t pos = directive.find_first_not_of(" \t", 1);  // Past '#'.
+  if (pos == std::string::npos ||
+      directive.compare(pos, 7, "include") != 0) {
+    return "";
+  }
+  size_t open = directive.find_first_of("\"<", pos + 7);
+  if (open == std::string::npos) {
+    return "";
+  }
+  const char close = directive[open] == '"' ? '"' : '>';
+  size_t end = directive.find(close, open + 1);
+  if (end == std::string::npos) {
+    return "";
+  }
+  return directive.substr(open + 1, end - open - 1);
+}
+
+void Emit(std::vector<Finding>* findings, const std::string& file, int line,
+          const char* rule, std::string message) {
+  findings->push_back(Finding{file, line, rule, std::move(message)});
+}
+
+// --- Rule: include-layering -----------------------------------------------
+
+void CheckLayering(const std::string& path, const ScannedFile& scan,
+                   std::vector<Finding>* findings) {
+  if (LayeringExempt(path)) {
+    return;
+  }
+  const std::string dir = SrcDirOf(path);
+  if (dir.empty()) {
+    return;
+  }
+  const LayerRule* rule = nullptr;
+  for (const LayerRule& candidate : kLayering) {
+    if (dir == candidate.dir) {
+      rule = &candidate;
+      break;
+    }
+  }
+  for (const Token& token : scan.tokens) {
+    if (token.kind != TokenKind::kPreprocessor) {
+      continue;
+    }
+    const std::string target = IncludeTarget(token.text);
+    const std::string target_dir = SrcDirOf(target);
+    if (target_dir.empty() || target_dir == dir) {
+      continue;  // System header, src/-root header, or own directory.
+    }
+    if (rule == nullptr) {
+      Emit(findings, path, token.line, "include-layering",
+           "directory src/" + dir +
+               "/ is missing from the layering table in "
+               "tools/srclint/srclint.cc; add it before including \"" +
+               target + "\"");
+      return;
+    }
+    if (!InList(target_dir, rule->allowed)) {
+      Emit(findings, path, token.line, "include-layering",
+           "src/" + dir + "/ may not include \"" + target + "\" (allowed: " +
+               (rule->allowed[0] == '\0' ? "only src/" + dir + "/"
+                                         : std::string(rule->allowed)) +
+               "); see the layering table in tools/srclint/srclint.cc");
+    }
+  }
+}
+
+// --- Rule: unguarded-loop -------------------------------------------------
+
+void CheckUnguardedLoops(const std::string& path, const ScannedFile& scan,
+                         std::vector<Finding>* findings) {
+  const std::string dir = SrcDirOf(path);
+  bool applies = path.size() > 3 &&
+                 path.compare(path.size() - 3, 3, ".cc") == 0;
+  applies = applies && std::any_of(std::begin(kGuardedDirs),
+                                   std::end(kGuardedDirs),
+                                   [&](const char* d) { return dir == d; });
+  if (!applies || HasAllow(scan, "unguarded-loop")) {
+    return;
+  }
+  int first_loop_line = 0;
+  bool references_guard = false;
+  for (size_t i = 0; i < scan.tokens.size(); ++i) {
+    const Token& token = scan.tokens[i];
+    if (token.kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    if (first_loop_line == 0 && (token.text == "for" || token.text == "while") &&
+        i + 1 < scan.tokens.size() && scan.tokens[i + 1].kind == TokenKind::kPunct &&
+        scan.tokens[i + 1].text == "(") {
+      first_loop_line = token.line;
+    }
+    if (token.text == "ResourceGuard" || token.text == "guard" ||
+        token.text == "guard_") {
+      references_guard = true;
+    }
+  }
+  if (first_loop_line != 0 && !references_guard) {
+    Emit(findings, path, first_loop_line, "unguarded-loop",
+         "loop in src/" + dir +
+             "/ without any ResourceGuard reference: hot paths must be "
+             "resource-bounded (DESIGN.md §9); thread a guard through, or "
+             "explain why the loops are bounded with "
+             "`// srclint: allow(unguarded-loop): <reason>`");
+  }
+}
+
+// --- Rule: banned-construct -----------------------------------------------
+
+void CheckBannedConstructs(const std::string& path, const ScannedFile& scan,
+                           std::vector<Finding>* findings) {
+  const std::string dir = SrcDirOf(path);
+  const bool exact_tier =
+      std::any_of(std::begin(kExactDirs), std::end(kExactDirs),
+                  [&](const char* d) { return dir == d; });
+  const bool float_allowed = HasAllow(scan, "float-arith");
+  const std::vector<Token>& tokens = scan.tokens;
+
+  auto is_punct = [&](size_t i, const char* p) {
+    return i < tokens.size() && tokens[i].kind == TokenKind::kPunct &&
+           tokens[i].text == p;
+  };
+  auto is_ident = [&](size_t i, const char* name) {
+    return i < tokens.size() && tokens[i].kind == TokenKind::kIdentifier &&
+           tokens[i].text == name;
+  };
+  // True when the identifier at `i` is reached through a member or
+  // namespace qualifier (`.x`, `->x`, `ns::x`).
+  auto qualified = [&](size_t i) {
+    if (i == 0) {
+      return false;
+    }
+    return is_punct(i - 1, ".") || is_punct(i - 1, ":") ||
+           (i >= 2 && is_punct(i - 1, ">") && is_punct(i - 2, "-"));
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::kIdentifier) {
+      continue;
+    }
+
+    // std::rand / unqualified rand(.
+    if (token.text == "rand" && is_punct(i + 1, "(")) {
+      bool std_qualified = i >= 3 && is_punct(i - 1, ":") &&
+                           is_punct(i - 2, ":") && is_ident(i - 3, "std");
+      if (std_qualified || !qualified(i)) {
+        Emit(findings, path, token.line, "banned-construct",
+             "std::rand is non-reentrant and implementation-defined; use "
+             "DeterministicRng (src/generator/deterministic.h)");
+      }
+    }
+
+    // Argless time(): time(), time(0), time(NULL), time(nullptr).
+    if (token.text == "time" && is_punct(i + 1, "(") && !qualified(i)) {
+      const bool argless =
+          is_punct(i + 2, ")") ||
+          ((is_ident(i + 2, "NULL") || is_ident(i + 2, "nullptr") ||
+            (i + 2 < tokens.size() &&
+             tokens[i + 2].kind == TokenKind::kNumber &&
+             tokens[i + 2].text == "0")) &&
+           is_punct(i + 3, ")"));
+      if (argless) {
+        Emit(findings, path, token.line, "banned-construct",
+             "argless time() makes runs non-reproducible; take a "
+             "std::chrono clock or a ResourceGuard deadline instead");
+      }
+    }
+
+    // Raw new[]: `new` followed by a type spelling then '['.
+    if (token.text == "new" && !qualified(i)) {
+      for (size_t j = i + 1; j < tokens.size(); ++j) {
+        const Token& t = tokens[j];
+        const bool type_spelling =
+            t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kNumber ||
+            (t.kind == TokenKind::kPunct &&
+             (t.text == ":" || t.text == "<" || t.text == ">" ||
+              t.text == "," || t.text == "*"));
+        if (!type_spelling) {
+          if (t.kind == TokenKind::kPunct && t.text == "[") {
+            Emit(findings, path, token.line, "banned-construct",
+                 "raw new[] has no owner; use std::vector or "
+                 "std::make_unique<T[]>");
+          }
+          break;
+        }
+      }
+    }
+
+    // double/float arithmetic inside the exact tiers.
+    if (exact_tier && !float_allowed &&
+        (token.text == "double" || token.text == "float")) {
+      Emit(findings, path, token.line, "banned-construct",
+           "`" + token.text + "` inside src/" + dir +
+               "/ (exact arithmetic tier): one rounding turns an "
+               "infeasibility proof into a guess; use Rational / "
+               "SmallRational, or justify with "
+               "`// srclint: allow(float-arith): <reason>`");
+    }
+  }
+}
+
+// --- Rule: certify-non-bypass ---------------------------------------------
+
+void CheckCertifyNonBypass(const std::string& path, const ScannedFile& scan,
+                           std::vector<Finding>* findings) {
+  if (path.rfind("src/witness/certify.", 0) == 0) {
+    return;  // The one home of the class.
+  }
+  const bool in_witness_pipeline = path.rfind("src/witness/", 0) == 0;
+  const std::vector<Token>& tokens = scan.tokens;
+  auto is_punct = [&](size_t i, const char* p) {
+    return i < tokens.size() && tokens[i].kind == TokenKind::kPunct &&
+           tokens[i].text == p;
+  };
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        tokens[i].text != "CertifiedWitness") {
+      continue;
+    }
+    const int line = tokens[i].line;
+    if (i > 0 && tokens[i - 1].kind == TokenKind::kIdentifier &&
+        (tokens[i - 1].text == "class" || tokens[i - 1].text == "struct")) {
+      Emit(findings, path, line, "certify-non-bypass",
+           "CertifiedWitness may only be defined (or forward-declared) in "
+           "src/witness/certify.h — include it instead");
+      continue;
+    }
+    bool befriended = false;
+    for (size_t back = 1; back <= 3 && back <= i; ++back) {
+      if (tokens[i - back].kind == TokenKind::kIdentifier &&
+          tokens[i - back].text == "friend") {
+        befriended = true;
+      }
+    }
+    if (befriended) {
+      Emit(findings, path, line, "certify-non-bypass",
+           "befriending CertifiedWitness would bypass the "
+           "private-constructor guarantee (only ModelChecker-certified "
+           "interpretations become witnesses)");
+      continue;
+    }
+    if (is_punct(i + 1, "(")) {
+      Emit(findings, path, line, "certify-non-bypass",
+           "direct construction of CertifiedWitness outside "
+           "src/witness/certify.*: the only factory is "
+           "CertifiedWitness::Certify, which runs ModelChecker");
+      continue;
+    }
+    if (!in_witness_pipeline && is_punct(i + 1, ":") && is_punct(i + 2, ":") &&
+        i + 3 < tokens.size() && tokens[i + 3].kind == TokenKind::kIdentifier &&
+        tokens[i + 3].text == "Certify") {
+      Emit(findings, path, line, "certify-non-bypass",
+           "CertifiedWitness::Certify may only be invoked from the witness "
+           "pipeline (src/witness/); call WitnessSynthesizer instead");
+    }
+  }
+}
+
+// --- Rule: bad-allow ------------------------------------------------------
+
+void CheckAllowPragmas(const std::string& path, const ScannedFile& scan,
+                       std::vector<Finding>* findings) {
+  for (const AllowPragma& pragma : scan.allows) {
+    const bool known =
+        std::any_of(std::begin(kAllowableRules), std::end(kAllowableRules),
+                    [&](const char* r) { return pragma.rule == r; });
+    if (!known) {
+      Emit(findings, path, pragma.line, "bad-allow",
+           "unknown escape-hatch rule '" + pragma.rule +
+               "' (allowed: unguarded-loop, float-arith)");
+    } else if (pragma.reason.empty()) {
+      Emit(findings, path, pragma.line, "bad-allow",
+           "escape hatch allow(" + pragma.rule +
+               ") requires a reason: `// srclint: allow(" + pragma.rule +
+               "): <why this is safe>` — a hatch without a rationale is "
+               "denied");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> CheckSource(const std::string& path,
+                                 std::string_view content) {
+  std::vector<Finding> findings;
+  const ScannedFile scan = Tokenize(content);
+  CheckLayering(path, scan, &findings);
+  CheckUnguardedLoops(path, scan, &findings);
+  CheckBannedConstructs(path, scan, &findings);
+  CheckCertifyNonBypass(path, scan, &findings);
+  CheckAllowPragmas(path, scan, &findings);
+  return findings;
+}
+
+std::vector<Finding> CheckTree(const std::string& repo_root,
+                               std::vector<std::string>* scanned) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  const fs::path src_root = fs::path(repo_root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src_root, ec)) {
+    findings.push_back(Finding{src_root.generic_string(), 1, "io-error",
+                               "not a directory (pass the repo root via "
+                               "--root)"});
+    return findings;
+  }
+  std::vector<std::string> files;
+  for (fs::recursive_directory_iterator it(src_root, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file()) {
+      continue;
+    }
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") {
+      files.push_back(
+          fs::relative(it->path(), repo_root, ec).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(fs::path(repo_root) / file, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{file, 1, "io-error", "unreadable file"});
+      continue;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    std::vector<Finding> file_findings = CheckSource(file, content.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+    if (scanned != nullptr) {
+      scanned->push_back(file);
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.file != b.file ? a.file < b.file
+                                             : a.line < b.line;
+                   });
+  return findings;
+}
+
+std::string FindingsToText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += finding.file + ":" + std::to_string(finding.line) + ": [" +
+           finding.rule + "] " + finding.message + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::string out = "{\"findings\": [";
+  bool first = true;
+  for (const Finding& finding : findings) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "{\"file\": \"" + JsonEscape(finding.file) +
+           "\", \"line\": " + std::to_string(finding.line) + ", \"rule\": \"" +
+           JsonEscape(finding.rule) + "\", \"message\": \"" +
+           JsonEscape(finding.message) + "\"}";
+  }
+  out += "], \"count\": " + std::to_string(findings.size()) + "}";
+  return out;
+}
+
+}  // namespace srclint

@@ -1,0 +1,10 @@
+// Fixture: a reasonless hatch plus a typo'd rule name.
+// srclint: allow(unguarded-loop)
+// srclint: allow(ungarded-loop): note the typo
+int Hatch() {
+  int total = 0;
+  for (int i = 0; i < 3; ++i) {
+    total += i;
+  }
+  return total;
+}

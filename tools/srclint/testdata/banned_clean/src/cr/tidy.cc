@@ -1,0 +1,19 @@
+#include <chrono>
+#include <memory>
+#include <vector>
+
+// Fixture: the sanctioned spellings. `random()` and `time_point` must not
+// trip the rand/time matchers; a placement-style `new Widget` (no
+// brackets) must not trip new[]; member calls like clock.time() are fine.
+struct Clock {
+  long time(long base) { return base; }
+};
+
+long Tidy() {
+  std::vector<int> slots(8);
+  auto widget = std::make_unique<std::vector<int>>(4);
+  Clock clock;
+  auto now = std::chrono::steady_clock::now();
+  (void)now;
+  return clock.time(7) + slots[0] + static_cast<long>(widget->size());
+}

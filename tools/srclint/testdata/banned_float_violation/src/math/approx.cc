@@ -1,0 +1,2 @@
+// Fixture: floating point inside the exact-arithmetic tier.
+double Approximate(int n) { return n / 3.0; }

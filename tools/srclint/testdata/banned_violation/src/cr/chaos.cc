@@ -1,0 +1,10 @@
+#include <cstdlib>
+#include <ctime>
+
+// Fixture: every portable banned construct in one file.
+int Chaos() {
+  int* slots = new int[8];
+  slots[0] = std::rand();
+  slots[1] = static_cast<int>(time(nullptr));
+  return slots[0] + slots[1];
+}

@@ -1,0 +1,8 @@
+#include "src/witness/certify.h"
+
+// Fixture: legitimate pipeline use — naming the type from outside
+// certify.* is allowed; only defining, befriending, or constructing it
+// is not. (No loops here, so no unguarded-loop hatch is needed.)
+void Use(const CertifiedWitness& witness) {
+  (void)witness;
+}

@@ -1,0 +1,11 @@
+// Fixture: three ways to mint an uncertified witness.
+class CertifiedWitness {
+ public:
+  static int Certify(int x) { return x; }
+};
+
+int Forge() {
+  CertifiedWitness forged = CertifiedWitness();
+  (void)forged;
+  return CertifiedWitness::Certify(1);
+}

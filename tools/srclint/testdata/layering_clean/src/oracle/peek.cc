@@ -1,0 +1,7 @@
+// Fixture: the oracle sticking to its allowed layers.
+#include "src/base/status.h"
+#include "src/cr/schema.h"
+#include "src/generator/random_schema.h"
+#include "src/oracle/brute_force.h"
+
+int StayInLane() { return 0; }

@@ -1,0 +1,11 @@
+#include <vector>
+
+// srclint: allow(unguarded-loop): fixture — iterates a caller-provided
+// vector once; the caller bounded its size.
+int Walk(const std::vector<int>& steps) {
+  int total = 0;
+  for (int step : steps) {
+    total += step;
+  }
+  return total;
+}

@@ -1,0 +1,12 @@
+// Fixture: the same loop, resource-bounded.
+class ResourceGuard;
+
+int Pump(int rounds, ResourceGuard* guard) {
+  int total = 0;
+  for (int i = 0; i < rounds; ++i) {
+    if (guard != nullptr) {
+      total += i;
+    }
+  }
+  return total;
+}

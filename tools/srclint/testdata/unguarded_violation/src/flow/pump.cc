@@ -1,0 +1,8 @@
+// Fixture: a hot loop with no resource bound and no escape hatch.
+int Pump(int rounds) {
+  int total = 0;
+  for (int i = 0; i < rounds; ++i) {
+    total += i;
+  }
+  return total;
+}
