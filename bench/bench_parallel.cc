@@ -70,6 +70,14 @@ struct StatsSnapshot {
   std::uint64_t tier_fallbacks = 0;
   std::uint64_t warm_start_hits = 0;
   std::uint64_t warm_start_misses = 0;
+  std::uint64_t dual_pivots = 0;
+  std::uint64_t incremental_hits = 0;
+  std::uint64_t incremental_fallbacks = 0;
+  std::uint64_t dominance_lookups = 0;
+  std::uint64_t dominance_hits = 0;
+  std::uint64_t derived_disjoint_pairs = 0;
+  std::uint64_t pruned_subtrees = 0;
+  std::uint64_t ln_short_circuits = 0;
 
   static StatsSnapshot Take() {
     const crsat::SimplexStats& stats = crsat::GetSimplexStats();
@@ -82,7 +90,26 @@ struct StatsSnapshot {
     snapshot.tier_fallbacks = stats.tier_fallbacks.load();
     snapshot.warm_start_hits = stats.warm_start_hits.load();
     snapshot.warm_start_misses = stats.warm_start_misses.load();
+    snapshot.dual_pivots = stats.dual_pivots.load();
+    snapshot.incremental_hits = stats.incremental_hits.load();
+    snapshot.incremental_fallbacks = stats.incremental_fallbacks.load();
+    snapshot.dominance_lookups =
+        crsat::GetImplicationStats().dominance_lookups.load();
+    snapshot.dominance_hits =
+        crsat::GetImplicationStats().dominance_hits.load();
+    snapshot.derived_disjoint_pairs =
+        crsat::GetExpansionStats().derived_disjoint_pairs.load();
+    snapshot.pruned_subtrees = crsat::GetExpansionStats().pruned_subtrees.load();
+    snapshot.ln_short_circuits =
+        crsat::GetFastPathStats().ln_short_circuits.load();
     return snapshot;
+  }
+
+  static void ResetAll() {
+    crsat::GetSimplexStats().Reset();
+    crsat::GetImplicationStats().Reset();
+    crsat::GetExpansionStats().Reset();
+    crsat::GetFastPathStats().Reset();
   }
 };
 
@@ -129,7 +156,7 @@ Workload TimeAtThreadCounts(const std::string& name,
       continue;
     }
     crsat::SetGlobalThreadCount(threads);
-    crsat::GetSimplexStats().Reset();
+    StatsSnapshot::ResetAll();
     Timing timing;
     timing.threads = crsat::GlobalThreadCount();
     std::cerr << "[bench_parallel] " << name << " threads=" << timing.threads
@@ -213,7 +240,15 @@ std::string ToJson(const std::vector<Workload>& workloads,
           << ", \"fast_pivot_fraction\": " << fast_fraction
           << ", \"tier_fallback_rate\": " << fallback_rate
           << ", \"warm_start_hits\": " << stats.warm_start_hits
-          << ", \"warm_start_misses\": " << stats.warm_start_misses << "}"
+          << ", \"warm_start_misses\": " << stats.warm_start_misses
+          << ", \"dual_pivots\": " << stats.dual_pivots
+          << ", \"incremental_hits\": " << stats.incremental_hits
+          << ", \"incremental_fallbacks\": " << stats.incremental_fallbacks
+          << ", \"dominance_lookups\": " << stats.dominance_lookups
+          << ", \"dominance_hits\": " << stats.dominance_hits
+          << ", \"derived_disjoint_pairs\": " << stats.derived_disjoint_pairs
+          << ", \"pruned_subtrees\": " << stats.pruned_subtrees
+          << ", \"ln_short_circuits\": " << stats.ln_short_circuits << "}"
           << (t + 1 < workload.timings.size() ? "," : "") << "\n";
     }
     out << "      ]\n    }" << (w + 1 < workloads.size() ? "," : "") << "\n";
@@ -499,7 +534,13 @@ int main(int argc, char** argv) {
                 << "  fast_pivots=" << stats.fast_pivots
                 << "  fallbacks=" << stats.tier_fallbacks
                 << "  warm_hits=" << stats.warm_start_hits
-                << "  warm_misses=" << stats.warm_start_misses << "\n";
+                << "  warm_misses=" << stats.warm_start_misses
+                << "  dual_pivots=" << stats.dual_pivots
+                << "  incr_hits=" << stats.incremental_hits
+                << "  incr_fallbacks=" << stats.incremental_fallbacks
+                << "  dom_hits=" << stats.dominance_hits << "/"
+                << stats.dominance_lookups
+                << "  pruned=" << stats.pruned_subtrees << "\n";
     }
   }
 

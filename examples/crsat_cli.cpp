@@ -241,7 +241,29 @@ std::string SimplexStatsJson() {
          ", \"fast_pivots\": " + load(stats.fast_pivots) +
          ", \"tier_fallbacks\": " + load(stats.tier_fallbacks) +
          ", \"warm_start_hits\": " + load(stats.warm_start_hits) +
-         ", \"warm_start_misses\": " + load(stats.warm_start_misses) + "}";
+         ", \"warm_start_misses\": " + load(stats.warm_start_misses) +
+         ", \"dual_pivots\": " + load(stats.dual_pivots) +
+         ", \"incremental_hits\": " + load(stats.incremental_hits) +
+         ", \"incremental_fallbacks\": " + load(stats.incremental_fallbacks) +
+         ", \"dominance_lookups\": " +
+         load(crsat::GetImplicationStats().dominance_lookups) +
+         ", \"dominance_hits\": " +
+         load(crsat::GetImplicationStats().dominance_hits) +
+         ", \"derived_disjoint_pairs\": " +
+         load(crsat::GetExpansionStats().derived_disjoint_pairs) +
+         ", \"pruned_subtrees\": " +
+         load(crsat::GetExpansionStats().pruned_subtrees) +
+         ", \"ln_short_circuits\": " +
+         load(crsat::GetFastPathStats().ln_short_circuits) + "}";
+}
+
+// Zeroes every per-invocation counter family reported by
+// `SimplexStatsJson` so a `--json` report covers exactly one run.
+void ResetAllStats() {
+  crsat::GetSimplexStats().Reset();
+  crsat::GetImplicationStats().Reset();
+  crsat::GetExpansionStats().Reset();
+  crsat::GetFastPathStats().Reset();
 }
 
 int RunLint(const std::string& path, bool json, crsat::ResourceGuard* guard) {
@@ -303,29 +325,51 @@ int RunLint(const std::string& path, bool json, crsat::ResourceGuard* guard) {
 int RunCheck(const crsat::NamedSchema& parsed, bool json,
              const std::string& witness_mode, crsat::ResourceGuard* guard) {
   const crsat::Schema& schema = parsed.schema;
-  crsat::ExpansionOptions options;
-  options.guard = guard;
-  crsat::Result<crsat::Expansion> expansion =
-      crsat::Expansion::Build(schema, options);
-  if (!expansion.ok()) {
-    if (guard != nullptr && guard->tripped()) {
-      return ReportTrip(*guard, json);
+  // ISA-free schemas skip the expansion pipeline entirely: the
+  // Lenzerini-Nobili baseline computes the same verdicts with one unknown
+  // per class. Witness synthesis needs the full checker, so the fast path
+  // only applies to plain checks.
+  std::optional<std::vector<bool>> satisfiable;
+  if (witness_mode.empty()) {
+    crsat::Result<std::optional<std::vector<bool>>> fast =
+        crsat::TryLnSatisfiableClasses(schema);
+    if (!fast.ok()) {
+      std::cerr << fast.status() << "\n";
+      return kExitFindings;
     }
-    std::cerr << expansion.status() << "\n";
-    return kExitFindings;
+    satisfiable = std::move(fast.value());
   }
-  crsat::SatisfiabilityChecker checker(*expansion);
-  // Feed the lint engine's structural facts to the checker so
-  // provably-empty classes short-circuit without LP work.
-  checker.SetKnownEmptyClasses(
-      crsat::ComputeProvablyEmpty(schema).class_empty);
-  crsat::Result<std::vector<bool>> satisfiable = checker.SatisfiableClasses();
-  if (!satisfiable.ok()) {
-    if (guard != nullptr && guard->tripped()) {
-      return ReportTrip(*guard, json);
+  std::optional<crsat::Expansion> expansion;
+  std::optional<crsat::SatisfiabilityChecker> checker;
+  // Structural emptiness facts feed both the expansion's compound pruning
+  // and the checker's per-class short-circuit.
+  std::vector<bool> known_empty;
+  if (!satisfiable.has_value()) {
+    known_empty = crsat::ComputeProvablyEmpty(schema).class_empty;
+    crsat::ExpansionOptions options;
+    options.guard = guard;
+    options.known_empty_classes = &known_empty;
+    crsat::Result<crsat::Expansion> built =
+        crsat::Expansion::Build(schema, options);
+    if (!built.ok()) {
+      if (guard != nullptr && guard->tripped()) {
+        return ReportTrip(*guard, json);
+      }
+      std::cerr << built.status() << "\n";
+      return kExitFindings;
     }
-    std::cerr << satisfiable.status() << "\n";
-    return kExitFindings;
+    expansion.emplace(std::move(built.value()));
+    checker.emplace(*expansion);
+    checker->SetKnownEmptyClasses(known_empty);
+    crsat::Result<std::vector<bool>> verdicts = checker->SatisfiableClasses();
+    if (!verdicts.ok()) {
+      if (guard != nullptr && guard->tripped()) {
+        return ReportTrip(*guard, json);
+      }
+      std::cerr << verdicts.status() << "\n";
+      return kExitFindings;
+    }
+    satisfiable.emplace(std::move(verdicts.value()));
   }
   bool all_ok = true;
   bool any_satisfiable = false;
@@ -338,7 +382,7 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json,
   bool witness_downgraded = false;
   std::string witness_failure;
   if (!witness_mode.empty() && any_satisfiable) {
-    crsat::WitnessSynthesizer synthesizer(checker);
+    crsat::WitnessSynthesizer synthesizer(*checker);
     crsat::WitnessOptions witness_options;
     witness_options.guard = guard;
     witness_options.source_map = &parsed.source_map;
@@ -572,6 +616,9 @@ int RunConform(int argc, char** argv) {
       return Usage();
     }
   }
+  // Start counters from zero so the report's stats block covers exactly
+  // this sweep.
+  ResetAllStats();
   crsat::Result<crsat::ConformanceReport> report =
       crsat::RunConformance(options);
   if (!report.ok()) {
@@ -678,7 +725,7 @@ int main(int argc, char** argv) {
     crsat::SetGlobalThreadCount(static_cast<int>(threads));
     // Per-invocation solver stats: start from zero so `--json` reports
     // exactly this run's counters.
-    crsat::GetSimplexStats().Reset();
+    ResetAllStats();
     if (guard_flags.any) {
       crsat::ResourceGuard guard(guard_flags.limits);
       return RunCheck(*parsed, json, witness_mode, &guard);

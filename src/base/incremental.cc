@@ -1,0 +1,40 @@
+#include "src/base/incremental.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace crsat {
+
+namespace {
+
+// -1 = no override; 0/1 = forced value (ScopedIncrementalOverride).
+std::atomic<int> g_override{-1};
+
+bool EnvironmentDefault() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("CRSAT_NO_INCREMENTAL");
+    return value == nullptr || value[0] == '\0' ||
+           (value[0] == '0' && value[1] == '\0');
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool IncrementalReasoningEnabled() {
+  const int forced = g_override.load(std::memory_order_acquire);
+  if (forced >= 0) {
+    return forced != 0;
+  }
+  return EnvironmentDefault();
+}
+
+ScopedIncrementalOverride::ScopedIncrementalOverride(bool enabled)
+    : previous_(g_override.exchange(enabled ? 1 : 0,
+                                    std::memory_order_acq_rel)) {}
+
+ScopedIncrementalOverride::~ScopedIncrementalOverride() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace crsat

@@ -1,0 +1,43 @@
+#ifndef CRSAT_BASE_INCREMENTAL_H_
+#define CRSAT_BASE_INCREMENTAL_H_
+
+namespace crsat {
+
+/// True when the incremental reasoning fast paths are enabled: dual-simplex
+/// warm-start repair (src/lp/simplex.cc), bound-dominance memoization
+/// (src/reasoner/implication_engine.h), declared-bound expansion pruning
+/// (src/expansion/expansion.cc) and the Lenzerini–Nobili ISA-free
+/// short-circuit (src/baseline/fast_path.h).
+///
+/// Defaults to true. Setting the environment variable
+/// `CRSAT_NO_INCREMENTAL` to any value other than empty or `0` forces
+/// every layer onto the cold reference path — verdicts are identical
+/// either way (the fast paths are exact), so the toggle exists for the
+/// incremental-vs-cold differential tests and for bisecting perf
+/// regressions, not for correctness. The environment is read once per
+/// process.
+bool IncrementalReasoningEnabled();
+
+/// Scoped programmatic override of `IncrementalReasoningEnabled`, for the
+/// differential tests (flipping an environment variable mid-process races
+/// with `getenv` on other threads; this does not). Overrides nest by
+/// restoring the previous state on destruction. Create and destroy only
+/// from a single thread, outside `ParallelFor` regions — concurrent
+/// reasoning *reads* are fine (the state is atomic), concurrent overrides
+/// are not meaningful.
+class ScopedIncrementalOverride {
+ public:
+  explicit ScopedIncrementalOverride(bool enabled);
+  ~ScopedIncrementalOverride();
+
+  ScopedIncrementalOverride(const ScopedIncrementalOverride&) = delete;
+  ScopedIncrementalOverride& operator=(const ScopedIncrementalOverride&) =
+      delete;
+
+ private:
+  int previous_;  // -1 = no override, otherwise 0/1.
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_BASE_INCREMENTAL_H_

@@ -1,0 +1,47 @@
+#ifndef CRSAT_BASELINE_FAST_PATH_H_
+#define CRSAT_BASELINE_FAST_PATH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// Process-wide counter for the ISA-free short-circuit. Same policy as
+/// `SimplexStats`: relaxed atomics, exact totals, `Reset()` must not race
+/// with running checks.
+struct FastPathStats {
+  /// Satisfiability checks answered by the Lenzerini–Nobili baseline
+  /// instead of the full expansion pipeline.
+  std::atomic<std::uint64_t> ln_short_circuits{0};
+
+  /// Zeroes every counter.
+  void Reset();
+};
+
+/// Returns a mutable reference to the process-wide fast-path counters.
+FastPathStats& GetFastPathStats();
+
+/// Answers `SatisfiableClasses` for ISA-free schemas via the
+/// Lenzerini–Nobili baseline (src/baseline/ln_reasoner.h), skipping the
+/// expansion pipeline entirely: with no ISA, disjointness, covering or
+/// refinements, the expansion is the identity (one singleton compound per
+/// class) and the full method's disequation system collapses to the
+/// baseline's, so both compute the same verdicts — the baseline just does
+/// it with one unknown per class instead of per compound.
+///
+/// Returns `nullopt` when the schema is outside the Lenzerini–Nobili
+/// fragment or `IncrementalReasoningEnabled()` is false (the forced-cold
+/// reference path always runs the full pipeline); the caller then falls
+/// through to the expansion-based checker. Any other error from the
+/// baseline is propagated.
+Result<std::optional<std::vector<bool>>> TryLnSatisfiableClasses(
+    const Schema& schema);
+
+}  // namespace crsat
+
+#endif  // CRSAT_BASELINE_FAST_PATH_H_

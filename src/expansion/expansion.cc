@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/base/incremental.h"
+
 namespace crsat {
+
+void ExpansionStats::Reset() {
+  derived_disjoint_pairs.store(0, std::memory_order_relaxed);
+  pruned_subtrees.store(0, std::memory_order_relaxed);
+}
+
+ExpansionStats& GetExpansionStats() {
+  static ExpansionStats stats;
+  return stats;
+}
 
 namespace {
 
@@ -34,6 +46,9 @@ class ConsistentClassEnumerator {
         }
         disjoint_masks_.push_back(mask);
       }
+    }
+    if (options.prune_structurally_empty && IncrementalReasoningEnabled()) {
+      DeriveEmptinessFacts();
     }
   }
 
@@ -94,7 +109,15 @@ class ConsistentClassEnumerator {
     // Branch 1: include `next`, along with all its superclasses.
     std::uint64_t with_supers = included | super_mask_[next];
     if ((with_supers & excluded) == 0 && !ViolatesDisjointness(with_supers)) {
-      CRSAT_RETURN_IF_ERROR(Recurse(next + 1, with_supers, excluded));
+      if (ViolatesDerivedEmptiness(with_supers)) {
+        // Every compound under this branch is provably empty in every
+        // model (Lemma 3.2 applied to derived facts) — cut the subtree
+        // before any of its unknowns reach the disequation system.
+        GetExpansionStats().pruned_subtrees.fetch_add(
+            1, std::memory_order_relaxed);
+      } else {
+        CRSAT_RETURN_IF_ERROR(Recurse(next + 1, with_supers, excluded));
+      }
     }
     // Branch 2: exclude `next`, along with all its subclasses.
     std::uint64_t with_subs = excluded | sub_mask_[next];
@@ -113,12 +136,85 @@ class ConsistentClassEnumerator {
     return false;
   }
 
+  // Derives, from cardinality declarations alone, (a) classes empty in
+  // every model — an empty declared range `minc(a) > maxc(a)`, or a
+  // caller-supplied `known_empty_classes` fact — and (b) disjoint pairs
+  // `{a, b}`: distinct subclasses of one role's primary class with
+  // `minc(a) > maxc(b)` declared, so any compound containing both has an
+  // empty lifted range. This is the paper's Section 5 observation
+  // ("Talk ∦ Speaker") turned into an enumeration-time filter; pairwise
+  // derivation is complete for declared-range emptiness (see
+  // `ExpansionOptions::prune_structurally_empty`).
+  void DeriveEmptinessFacts() {
+    if (options_.known_empty_classes != nullptr) {
+      const std::vector<bool>& known = *options_.known_empty_classes;
+      for (int c = 0; c < n_ && c < static_cast<int>(known.size()); ++c) {
+        if (known[c]) {
+          derived_empty_mask_ |= std::uint64_t{1} << c;
+        }
+      }
+    }
+    ExpansionStats& stats = GetExpansionStats();
+    for (RelationshipId rel : schema_.AllRelationships()) {
+      for (RoleId role : schema_.RolesOf(rel)) {
+        ClassId primary = schema_.PrimaryClass(role);
+        for (int a = 0; a < n_; ++a) {
+          if (!schema_.IsSubclassOf(ClassId(a), primary)) {
+            continue;
+          }
+          Cardinality decl_a = schema_.GetCardinality(ClassId(a), rel, role);
+          if (decl_a.min == 0) {
+            continue;
+          }
+          for (int b = 0; b < n_; ++b) {
+            if (!schema_.IsSubclassOf(ClassId(b), primary)) {
+              continue;
+            }
+            Cardinality decl_b =
+                schema_.GetCardinality(ClassId(b), rel, role);
+            if (!decl_b.max.has_value() || *decl_b.max >= decl_a.min) {
+              continue;
+            }
+            if (a == b) {
+              derived_empty_mask_ |= std::uint64_t{1} << a;
+            } else {
+              const std::uint64_t pair =
+                  (std::uint64_t{1} << a) | (std::uint64_t{1} << b);
+              if (std::find(derived_pair_masks_.begin(),
+                            derived_pair_masks_.end(),
+                            pair) == derived_pair_masks_.end()) {
+                derived_pair_masks_.push_back(pair);
+                stats.derived_disjoint_pairs.fetch_add(
+                    1, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  bool ViolatesDerivedEmptiness(std::uint64_t included) const {
+    if ((included & derived_empty_mask_) != 0) {
+      return true;
+    }
+    for (std::uint64_t pair : derived_pair_masks_) {
+      if ((included & pair) == pair) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   const Schema& schema_;
   const ExpansionOptions& options_;
   int n_;
   std::vector<std::uint64_t> super_mask_;
   std::vector<std::uint64_t> sub_mask_;
   std::vector<std::uint64_t> disjoint_masks_;
+  // Derived facts (see DeriveEmptinessFacts); empty unless pruning is on.
+  std::uint64_t derived_empty_mask_ = 0;
+  std::vector<std::uint64_t> derived_pair_masks_;
   std::vector<CompoundClass> result_;
 };
 

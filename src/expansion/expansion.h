@@ -1,6 +1,7 @@
 #ifndef CRSAT_EXPANSION_EXPANSION_H_
 #define CRSAT_EXPANSION_EXPANSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -13,6 +14,26 @@
 #include "src/expansion/compound.h"
 
 namespace crsat {
+
+/// Process-wide counters for the expansion-level pruning. Same policy as
+/// `SimplexStats`: relaxed atomics, exact totals, `Reset()` must not race
+/// with running builds.
+struct ExpansionStats {
+  /// Disjointness facts *derived* from cardinality declarations (pairs
+  /// `{a, b}` with `minc(a) > maxc(b)` for a shared role), counted once
+  /// per `Expansion::Build`.
+  std::atomic<std::uint64_t> derived_disjoint_pairs{0};
+  /// Enumeration subtrees cut by derived-disjointness / known-empty
+  /// pruning (each would have produced at least one compound class that
+  /// the disequation system then proved empty the hard way).
+  std::atomic<std::uint64_t> pruned_subtrees{0};
+
+  /// Zeroes every counter.
+  void Reset();
+};
+
+/// Returns a mutable reference to the process-wide expansion counters.
+ExpansionStats& GetExpansionStats();
 
 /// A cardinality declaration applied on top of a schema's own declarations
 /// (replacing the schema's value for the same triple, if any) when
@@ -38,6 +59,35 @@ struct ExpansionOptions {
   /// memory when the (intrinsically exponential) expansion exceeds them.
   std::size_t max_consistent_classes = std::size_t{1} << 20;
   std::size_t max_compound_relationships = std::size_t{1} << 22;
+
+  /// Prune compound classes that are *provably empty in every model* from
+  /// declared cardinalities alone: a compound containing classes `a, b`
+  /// (possibly `a == b`) with `minc(a) > maxc(b)` declared for a shared
+  /// role has an empty lifted range, so Lemma 3.2 applies to it exactly as
+  /// to an inconsistent compound — skipping it never changes a verdict, it
+  /// only keeps the disequation system from carrying unknowns the LP would
+  /// prove zero. Pairwise checking is complete: an empty lifted range
+  /// always has a max-of-mins contributor `a` and a min-of-maxes
+  /// contributor `b` forming such a pair. Effective only while
+  /// `IncrementalReasoningEnabled()` (src/base/incremental.h), so the
+  /// forced-cold reference path builds the historical expansion.
+  ///
+  /// Soundness caveat: the derivation reads the *declared* schema bounds,
+  /// so callers probing the expansion with `CardinalityOverride`s must
+  /// only override triples whose declared bounds do not contribute (the
+  /// implication engine overrides its fresh auxiliary class, whose
+  /// declared bounds are the default `(0, inf)`) — an override that
+  /// *relaxed* a declared bound could resurrect a pruned compound.
+  bool prune_structurally_empty = true;
+
+  /// Optional per-schema-class "provably empty in every model" facts (from
+  /// `ComputeProvablyEmpty`'s fixpoint, src/analysis/empty_classes.h, which
+  /// sees rules the local pairwise derivation cannot). Indexed by ClassId;
+  /// may be shorter than `num_classes()` (missing entries mean "unknown").
+  /// Compounds containing a flagged class are pruned like derived-disjoint
+  /// ones, under the same incremental gate. The pointee must outlive
+  /// `Build`. The facts must be sound — an unsound entry changes verdicts.
+  const std::vector<bool>* known_empty_classes = nullptr;
 
   /// Optional resource guard (deadline / compound budget / memory budget /
   /// cancellation, src/base/resource_guard.h). Polled throughout expansion

@@ -74,22 +74,28 @@ struct SupportResult {
 /// and verdict application are independent of the thread count, so results
 /// are bit-identical at any parallelism.
 ///
-/// `round0_carry`, when non-null, threads a warm-start basis across
-/// *successive calls* on systems of the same shape (e.g. the implication
-/// engine's bisection probes, which differ only in one overridden
-/// cardinality coefficient): the first probe of this call tries to reuse
-/// the carried basis to skip phase 1, and a feasible first probe writes
-/// its final basis back. (Later rounds never warm start: their probe row
-/// `sum of group >= 1` ranges over variables that were all zero at any
-/// previously exported vertex, so an old basis is never primal-feasible
-/// for them.)
+/// `basis_cache`, when non-null, threads warm-start bases across
+/// *successive calls* (e.g. the implication engine's bisection probes,
+/// which differ only in one overridden cardinality coefficient, or a
+/// satisfiability fixpoint whose pinned-out set grows between iterations).
+/// Every probe of this call shares one shape — the pinned system plus a
+/// single `>= 1` row — so the call keeps a local carry: it is seeded from
+/// the cache entry for that shape, every probe (in every round) offers it
+/// to the solver, after each round the first feasible probe's exported
+/// basis (in group order, so deterministic at any thread count) becomes
+/// the new carry, and the final carry is stored back. A carried basis that
+/// is no longer primal-feasible for a probe is repaired by dual pivots
+/// (see `SimplexOptions::warm_start`); reuse affects cost only, never
+/// verdicts. The cache is touched only outside the parallel region —
+/// concurrent probes share the carry read-only.
 ///
 /// `guard`, when non-null, is polled between probe rounds, by every lane of
 /// the parallel probe sweep, and per pivot inside each probe's solve; a
 /// trip aborts the computation with the guard's status.
 Result<SupportResult> ComputeMaximalSupport(
     const LinearSystem& system, const std::vector<bool>& forced_zero,
-    WarmStartBasis* round0_carry = nullptr, ResourceGuard* guard = nullptr);
+    WarmStartBasisCache* basis_cache = nullptr,
+    ResourceGuard* guard = nullptr);
 
 }  // namespace crsat
 

@@ -1,7 +1,9 @@
 #include "src/lp/simplex.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/base/incremental.h"
 #include "src/base/resource_guard.h"
 #include "src/lp/small_rational.h"
 
@@ -16,11 +18,50 @@ void SimplexStats::Reset() {
   tier_fallbacks.store(0, std::memory_order_relaxed);
   warm_start_hits.store(0, std::memory_order_relaxed);
   warm_start_misses.store(0, std::memory_order_relaxed);
+  dual_pivots.store(0, std::memory_order_relaxed);
+  incremental_hits.store(0, std::memory_order_relaxed);
+  incremental_fallbacks.store(0, std::memory_order_relaxed);
 }
 
 SimplexStats& GetSimplexStats() {
   static SimplexStats stats;
   return stats;
+}
+
+const WarmStartBasis* WarmStartBasisCache::Lookup(int num_variables,
+                                                  int num_constraints) {
+  for (size_t i = entries_.size(); i > 0; --i) {
+    Entry& entry = entries_[i - 1];
+    if (entry.num_variables == num_variables &&
+        entry.num_constraints == num_constraints) {
+      // Move to the back (most recently used) so eviction hits stale
+      // shapes first.
+      std::rotate(entries_.begin() + (i - 1), entries_.begin() + i,
+                  entries_.end());
+      return &entries_.back().basis;
+    }
+  }
+  return nullptr;
+}
+
+void WarmStartBasisCache::Store(int num_variables, int num_constraints,
+                                WarmStartBasis basis) {
+  if (basis.empty()) {
+    return;
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].num_variables == num_variables &&
+        entries_[i].num_constraints == num_constraints) {
+      entries_[i].basis = std::move(basis);
+      std::rotate(entries_.begin() + i, entries_.begin() + i + 1,
+                  entries_.end());
+      return;
+    }
+  }
+  if (entries_.size() >= kMaxEntries) {
+    entries_.erase(entries_.begin());  // Least recently used.
+  }
+  entries_.push_back(Entry{num_variables, num_constraints, std::move(basis)});
 }
 
 namespace {
@@ -170,6 +211,26 @@ enum class RunOutcome {
 
 enum class Phase1Outcome { kFeasible, kInfeasible, kOverflow, kTripped };
 
+// Result of pivoting into a carried basis (see Tableau::TryWarmStart).
+enum class WarmStartOutcome {
+  // The basis pivoted in and is primal-feasible; skip phase 1.
+  kFeasible,
+  // The basis pivoted in infeasible and dual pivots repaired it; skip
+  // phase 1.
+  kRepaired,
+  // Dual repair exposed an infeasibility certificate: the system has no
+  // solution (a proof, not a heuristic — see RepairPrimalFeasibility).
+  kInfeasibleProof,
+  // The adopted basis is primal-feasible (rhs >= 0) but an artificial is
+  // still basic: continue phase 1 from this tableau instead of rebuilding.
+  kPartial,
+  // Layout mismatch, overflow, or repair pivot cap; the caller discards
+  // the tableau and runs cold.
+  kRejected,
+  // The resource guard tripped mid-repair.
+  kTripped,
+};
+
 // Dense two-phase primal simplex over an exact scalar type, materialized
 // from a shared `TableauLayout`.
 template <typename Scalar>
@@ -177,7 +238,8 @@ class Tableau {
  public:
   Tableau(const LinearSystem& system, const TableauLayout& layout,
           ResourceGuard* guard = nullptr)
-      : system_(&system), layout_(&layout), guard_(guard) {
+      : system_(&system), layout_(&layout), guard_(guard),
+        live_columns_(layout.num_columns) {
     const size_t m = layout.rows.size();
     matrix_.assign(m, std::vector<Scalar>(layout.num_columns, Scalar()));
     rhs_.assign(m, Scalar());
@@ -212,36 +274,156 @@ class Tableau {
   // False when some input coefficient was not representable in `Scalar`.
   bool ok() const { return ok_; }
 
-  // Attempts to pivot into `basis` and skip phase 1. Returns true when the
-  // basis is structurally compatible, non-singular, and feasible for this
-  // system. On failure the tableau may be left mid-elimination — the
-  // caller must discard it and rebuild.
-  bool TryWarmStart(const WarmStartBasis& warm) {
-    if (warm.num_columns != layout_->num_columns ||
-        warm.basis.size() != matrix_.size()) {
-      return false;
+  // Attempts to adopt a carried basis and skip (or at least warm) phase 1.
+  // The carried columns are treated as a *candidate set*, not a row
+  // assignment: each is pivoted into whichever not-yet-claimed row has a
+  // nonzero entry for it (preferring rows whose current basic variable is
+  // an artificial, since evicting those is the whole point), and columns
+  // that have gone linearly dependent under the changed system are simply
+  // skipped. This makes pivot-in total: row counts may differ (redundant
+  // rows get dropped from exported bases), bases may be degenerate, and
+  // the order the previous solve happened to leave them in never matters.
+  //
+  // A landing with negative rhs entries is handed to the dual-simplex
+  // repair when `allow_dual_repair` is set (`*attempted_repair` reports
+  // whether that happened, for fallback accounting). If any artificial is
+  // still basic afterwards the result is kPartial: the tableau is a valid
+  // primal-feasible phase-1 start (rhs >= 0), so the caller continues
+  // phase 1 from it instead of from scratch — phase 2 must never see a
+  // basic artificial, even a degenerate one (a pivot elsewhere in its row
+  // could push it positive again). On kRejected the tableau may be left
+  // mid-elimination — the caller must discard it and rebuild.
+  WarmStartOutcome TryWarmStart(const WarmStartBasis& warm,
+                                bool allow_dual_repair,
+                                bool* attempted_repair) {
+    *attempted_repair = false;
+    if (warm.num_columns != layout_->num_columns) {
+      return WarmStartOutcome::kRejected;  // Differently-shaped system.
     }
+    std::vector<bool> row_claimed(matrix_.size(), false);
     for (int column : warm.basis) {
       if (column < 0 || column >= layout_->num_with_slacks) {
-        return false;  // Artificial or out-of-range column.
+        continue;  // Artificials are never adopted from a carry.
       }
-    }
-    for (size_t i = 0; i < matrix_.size(); ++i) {
-      const int column = warm.basis[i];
-      if (matrix_[i][column].IsZero()) {
-        return false;  // Singular for this system's coefficients.
+      // Already basic (a slack that starts basic, or a duplicate): claim
+      // its row so a later column does not evict it.
+      bool already_basic = false;
+      for (size_t i = 0; i < matrix_.size(); ++i) {
+        if (basis_[i] == column) {
+          row_claimed[i] = true;
+          already_basic = true;
+          break;
+        }
       }
-      Pivot(static_cast<int>(i), column);
+      if (already_basic) {
+        continue;
+      }
+      int row = -1;
+      for (int prefer_artificial = 1; prefer_artificial >= 0 && row < 0;
+           --prefer_artificial) {
+        for (size_t i = 0; i < matrix_.size(); ++i) {
+          if (row_claimed[i] || matrix_[i][column].IsZero()) {
+            continue;
+          }
+          if (prefer_artificial == 1 && !IsArtificial(basis_[i])) {
+            continue;
+          }
+          row = static_cast<int>(i);
+          break;
+        }
+      }
+      if (row < 0) {
+        continue;  // Dependent on the columns already placed; skip it.
+      }
+      Pivot(row, column);
       if (ScalarOps<Scalar>::Overflowed()) {
-        return false;
+        return WarmStartOutcome::kRejected;
       }
+      row_claimed[row] = true;
     }
+    bool any_negative = false;
     for (const Scalar& rhs : rhs_) {
       if (rhs.IsNegative()) {
-        return false;  // Basis no longer primal-feasible.
+        any_negative = true;
+        break;
       }
     }
-    return true;
+    if (any_negative) {
+      if (!allow_dual_repair) {
+        return WarmStartOutcome::kRejected;
+      }
+      *attempted_repair = true;
+      WarmStartOutcome repaired = RepairPrimalFeasibility();
+      if (repaired != WarmStartOutcome::kRepaired) {
+        return repaired;
+      }
+      return AnyArtificialBasic() ? WarmStartOutcome::kPartial
+                                  : WarmStartOutcome::kRepaired;
+    }
+    return AnyArtificialBasic() ? WarmStartOutcome::kPartial
+                                : WarmStartOutcome::kFeasible;
+  }
+
+  bool AnyArtificialBasic() const {
+    for (int column : basis_) {
+      if (IsArtificial(column)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Dual-simplex repair against the zero objective. Every reduced cost is
+  // zero, so the current basis is trivially dual-feasible and *stays* so
+  // under any pivot; Bland-ordered dual pivots (leaving: smallest basic
+  // index among negative-rhs rows; entering: smallest eligible column)
+  // either restore rhs >= 0 or expose an infeasibility certificate: a row
+  // with negative rhs and no negative coefficient in any real column.
+  // That certificate is sound — the row reads `sum a_j x_j = b < 0` with
+  // every real `a_j >= 0` over nonnegative columns, and artificial
+  // columns (excluded from entering) are zero in any solution of the real
+  // system. A pivot cap bounds pathological cases; the caller then falls
+  // back to a cold phase 1, so the cap affects cost only, never verdicts.
+  WarmStartOutcome RepairPrimalFeasibility() {
+    const std::uint64_t max_pivots =
+        64 + 4 * static_cast<std::uint64_t>(basis_.size());
+    while (true) {
+      if (ScalarOps<Scalar>::Overflowed()) {
+        return WarmStartOutcome::kRejected;
+      }
+      if (guard_ != nullptr && !guard_->Check("simplex/dual_pivot").ok()) {
+        return WarmStartOutcome::kTripped;
+      }
+      int leaving_row = -1;
+      for (size_t i = 0; i < basis_.size(); ++i) {
+        if (rhs_[i].IsNegative() &&
+            (leaving_row < 0 || basis_[i] < basis_[leaving_row])) {
+          leaving_row = static_cast<int>(i);
+        }
+      }
+      if (leaving_row < 0) {
+        return WarmStartOutcome::kRepaired;
+      }
+      int entering = -1;
+      for (int j = 0; j < layout_->num_with_slacks; ++j) {
+        if (matrix_[leaving_row][j].IsNegative()) {
+          entering = j;
+          break;
+        }
+      }
+      if (ScalarOps<Scalar>::Overflowed()) {
+        return WarmStartOutcome::kRejected;
+      }
+      if (entering < 0) {
+        return WarmStartOutcome::kInfeasibleProof;
+      }
+      if (dual_pivots_ >= max_pivots) {
+        return WarmStartOutcome::kRejected;
+      }
+      ++pivots_;
+      ++dual_pivots_;
+      Pivot(leaving_row, entering);
+    }
   }
 
   // Runs phase 1 (minimize the sum of artificials).
@@ -275,6 +457,15 @@ class Tableau {
   // Runs phase 2 minimizing `costs` over the structural columns; `costs`
   // has one entry per structural column.
   RunOutcome SolvePhase2(const std::vector<Scalar>& structural_costs) {
+    // Once no artificial is basic, none can ever become basic again
+    // (phase 2 bars them from entering), so their columns are dead
+    // weight: shrink every per-column sweep — pricing, the pivot row
+    // eliminations, the maintained reduced-cost row — to the structural
+    // and slack range. On big phase-2-heavy solves (the maximal-support
+    // cover LP) artificials are a fifth of the tableau width.
+    if (!AnyArtificialBasic()) {
+      live_columns_ = layout_->num_with_slacks;
+    }
     std::vector<Scalar> costs(layout_->num_columns, Scalar());
     for (int j = 0; j < layout_->num_structural; ++j) {
       costs[j] = structural_costs[j];
@@ -307,6 +498,7 @@ class Tableau {
 
   std::uint64_t pivots() const { return pivots_; }
   std::uint64_t phase1_pivots() const { return phase1_pivots_; }
+  std::uint64_t dual_pivots() const { return dual_pivots_; }
 
  private:
   int first_artificial() const { return layout_->num_with_slacks; }
@@ -334,7 +526,7 @@ class Tableau {
   // finishes unflagged is bit-for-bit the exact tier's result.
   RunOutcome RunSimplex(const std::vector<Scalar>& costs,
                         bool allow_artificials) {
-    const int num_columns = layout_->num_columns;
+    const int num_columns = live_columns_;
     // Initialize the maintained reduced-cost row:
     //   z_j = c_j - sum_i c_B(i) * T[i][j],
     // which Pivot then updates in O(columns) like any other row.
@@ -421,7 +613,7 @@ class Tableau {
   }
 
   void Pivot(int pivot_row, int pivot_column) {
-    const int num_columns = layout_->num_columns;
+    const int num_columns = live_columns_;
     Scalar pivot = matrix_[pivot_row][pivot_column];
     for (int j = 0; j < num_columns; ++j) {
       matrix_[pivot_row][j] /= pivot;
@@ -488,9 +680,13 @@ class Tableau {
   const LinearSystem* system_;
   const TableauLayout* layout_;
   ResourceGuard* guard_ = nullptr;
+  // Upper bound of every per-column sweep; shrunk to num_with_slacks by
+  // SolvePhase2 once artificial columns can never be touched again.
+  int live_columns_ = 0;
   bool ok_ = true;
   std::uint64_t pivots_ = 0;
   std::uint64_t phase1_pivots_ = 0;
+  std::uint64_t dual_pivots_ = 0;
   std::vector<std::vector<Scalar>> matrix_;
   std::vector<Scalar> rhs_;
   std::vector<int> basis_;
@@ -499,20 +695,36 @@ class Tableau {
 
 enum class TierOutcome { kCompleted, kOverflow, kTripped };
 
+// What happened to the caller-provided basis during one tier's attempt.
+// The completing tier's disposition drives the warm-start accounting in
+// `SolveWith`: exactly one of hits/misses per attempted solve, plus the
+// incremental (dual-repair) sub-counters.
+struct WarmDisposition {
+  bool attempted = false;        // A non-empty basis was handed in.
+  bool used = false;             // It replaced phase 1 (as-is or repaired).
+  bool repaired = false;         // Dual pivots were needed (subset of used;
+                                 // includes infeasibility proofs).
+  bool repair_fallback = false;  // Repair was attempted but abandoned and
+                                 // this tier ran a cold phase 1 instead.
+};
+
 // Runs a full two-phase solve on one arithmetic tier. On kCompleted,
-// `*out` holds the verdict (values filled for kOptimal) and `*tier_pivots`
-// the pivot count; on kOverflow the attempt's pivots are still flushed to
-// the global counters by the caller via `*tier_pivots`.
+// `*out` holds the verdict (values filled for kOptimal) and the pivot
+// out-params the tier's counts; on kOverflow the attempt's pivots are
+// still flushed to the global counters by the caller.
 template <typename Scalar>
 TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
                         const std::vector<Rational>& structural_costs,
                         const SimplexOptions& options, LpResult* out,
                         std::uint64_t* tier_pivots,
-                        std::uint64_t* tier_phase1_pivots, bool* warm_hit) {
+                        std::uint64_t* tier_phase1_pivots,
+                        std::uint64_t* tier_dual_pivots,
+                        WarmDisposition* warm) {
   ScalarOps<Scalar>::ClearOverflow();
   *tier_pivots = 0;
   *tier_phase1_pivots = 0;
-  *warm_hit = false;
+  *tier_dual_pivots = 0;
+  *warm = WarmDisposition();
 
   std::vector<Scalar> costs(structural_costs.size(), Scalar());
   for (size_t j = 0; j < structural_costs.size(); ++j) {
@@ -533,22 +745,100 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
     return TierOutcome::kOverflow;
   }
 
-  bool warm = false;
+  // Pivots spent on a warm-start attempt whose tableau was then discarded
+  // (repair cap / overflow); still real work, still reported.
+  std::uint64_t discarded_pivots = 0;
+  std::uint64_t discarded_dual_pivots = 0;
+
+  bool skip_phase1 = false;
+  bool tableau_adopted = false;  // Carried-basis pivots applied (not fresh).
   if (options.warm_start != nullptr && !options.warm_start->empty()) {
-    warm = tableau.TryWarmStart(*options.warm_start);
-    if (!warm) {
-      // The failed attempt may have left the tableau mid-elimination (and
-      // possibly overflowed); rebuild and run cold on this tier.
-      ScalarOps<Scalar>::ClearOverflow();
-      tableau = Tableau<Scalar>(system, layout, options.guard);
-      BumpStat(GetSimplexStats().warm_start_misses);
+    warm->attempted = true;
+    bool attempted_repair = false;
+    WarmStartOutcome pivot_in = tableau.TryWarmStart(
+        *options.warm_start, /*allow_dual_repair=*/true, &attempted_repair);
+    *tier_pivots = tableau.pivots();
+    *tier_dual_pivots = tableau.dual_pivots();
+    switch (pivot_in) {
+      case WarmStartOutcome::kFeasible:
+        skip_phase1 = true;
+        warm->used = true;
+        break;
+      case WarmStartOutcome::kRepaired:
+        skip_phase1 = true;
+        warm->used = true;
+        warm->repaired = true;
+        break;
+      case WarmStartOutcome::kPartial:
+        // Primal-feasible but an artificial survived: run phase 1 from
+        // the adopted tableau (it converges in a handful of pivots from
+        // here — the whole point of carrying the basis).
+        warm->used = true;
+        warm->repaired = attempted_repair;
+        tableau_adopted = true;
+        break;
+      case WarmStartOutcome::kInfeasibleProof:
+        warm->used = true;
+        warm->repaired = true;
+        out->outcome = LpOutcome::kInfeasible;
+        return TierOutcome::kCompleted;
+      case WarmStartOutcome::kTripped:
+        return TierOutcome::kTripped;
+      case WarmStartOutcome::kRejected:
+        // The failed attempt may have left the tableau mid-elimination
+        // (and possibly overflowed); rebuild and run cold on this tier.
+        warm->repair_fallback = attempted_repair;
+        discarded_pivots = tableau.pivots();
+        discarded_dual_pivots = tableau.dual_pivots();
+        ScalarOps<Scalar>::ClearOverflow();
+        tableau = Tableau<Scalar>(system, layout, options.guard);
+        if (!tableau.ok()) {
+          return TierOutcome::kOverflow;
+        }
+        break;
     }
   }
 
-  if (!warm) {
+  // Crash basis: only on a fresh tableau (a partially-adopted carry is
+  // already a better phase-1 start than any crash). Outcomes that are not
+  // immediately primal-feasible just fall through to the cold phase 1;
+  // kRejected means the greedy pivot-in left the tableau mid-elimination,
+  // so rebuild first. Never touches the warm-start disposition — a crash
+  // is a structural hint from the caller, not a carried basis.
+  if (!skip_phase1 && !tableau_adopted && options.crash_vars != nullptr &&
+      !options.crash_vars->empty()) {
+    WarmStartBasis crash;
+    crash.num_columns = layout.num_columns;
+    crash.basis.reserve(options.crash_vars->size());
+    for (VarId v : *options.crash_vars) {
+      crash.basis.push_back(layout.column_of_var[v]);
+    }
+    bool crash_repair = false;
+    const WarmStartOutcome crashed =
+        tableau.TryWarmStart(crash, /*allow_dual_repair=*/false,
+                             &crash_repair);
+    if (crashed == WarmStartOutcome::kFeasible) {
+      skip_phase1 = true;
+    } else if (crashed == WarmStartOutcome::kTripped) {
+      return TierOutcome::kTripped;
+    } else if (crashed == WarmStartOutcome::kRejected) {
+      discarded_pivots += tableau.pivots();
+      discarded_dual_pivots += tableau.dual_pivots();
+      ScalarOps<Scalar>::ClearOverflow();
+      tableau = Tableau<Scalar>(system, layout, options.guard);
+      if (!tableau.ok()) {
+        return TierOutcome::kOverflow;
+      }
+    }
+    // kPartial: rhs >= 0 with some artificial still basic — a valid (and
+    // cheaper) phase-1 start; keep the tableau.
+  }
+
+  if (!skip_phase1) {
     Phase1Outcome phase1 = tableau.SolvePhase1();
-    *tier_pivots = tableau.pivots();
+    *tier_pivots = discarded_pivots + tableau.pivots();
     *tier_phase1_pivots = tableau.phase1_pivots();
+    *tier_dual_pivots = discarded_dual_pivots + tableau.dual_pivots();
     if (phase1 == Phase1Outcome::kOverflow) {
       return TierOutcome::kOverflow;
     }
@@ -562,8 +852,9 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
   }
 
   RunOutcome phase2 = tableau.SolvePhase2(costs);
-  *tier_pivots = tableau.pivots();
+  *tier_pivots = discarded_pivots + tableau.pivots();
   *tier_phase1_pivots = tableau.phase1_pivots();
+  *tier_dual_pivots = discarded_dual_pivots + tableau.dual_pivots();
   if (phase2 == RunOutcome::kOverflow) {
     return TierOutcome::kOverflow;
   }
@@ -572,7 +863,6 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
   }
   if (phase2 == RunOutcome::kUnbounded) {
     out->outcome = LpOutcome::kUnbounded;
-    *warm_hit = warm;
     return TierOutcome::kCompleted;
   }
   out->outcome = LpOutcome::kOptimal;
@@ -583,8 +873,26 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
   if (options.export_basis != nullptr) {
     tableau.ExportBasis(options.export_basis);
   }
-  *warm_hit = warm;
   return TierOutcome::kCompleted;
+}
+
+// Records the completing tier's warm-start disposition: one hit or miss
+// per solve that attempted reuse, plus the dual-repair sub-counters.
+void RecordWarmDisposition(SimplexStats& stats, const WarmDisposition& warm) {
+  if (!warm.attempted) {
+    return;
+  }
+  if (warm.used) {
+    BumpStat(stats.warm_start_hits);
+    if (warm.repaired) {
+      BumpStat(stats.incremental_hits);
+    }
+  } else {
+    BumpStat(stats.warm_start_misses);
+    if (warm.repair_fallback) {
+      BumpStat(stats.incremental_fallbacks);
+    }
+  }
 }
 
 }  // namespace
@@ -603,6 +911,15 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
   }
   SimplexStats& stats = GetSimplexStats();
   BumpStat(stats.solves);
+
+  // The forced-cold reference path (CRSAT_NO_INCREMENTAL /
+  // ScopedIncrementalOverride) ignores carried bases entirely so every
+  // solve runs the exact code path the differential tests compare against.
+  SimplexOptions effective = options;
+  if (effective.warm_start != nullptr && !IncrementalReasoningEnabled()) {
+    effective.warm_start = nullptr;
+  }
+
   TableauLayout layout(system);
 
   // Structural costs for minimization of +/- objective.
@@ -617,26 +934,25 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
 
   std::uint64_t tier_pivots = 0;
   std::uint64_t tier_phase1_pivots = 0;
-  bool warm_hit = false;
+  std::uint64_t tier_dual_pivots = 0;
+  WarmDisposition warm;
 
-  if (options.tier == SimplexOptions::Tier::kTwoTier) {
+  if (effective.tier == SimplexOptions::Tier::kTwoTier) {
     LpResult fast;
-    TierOutcome outcome =
-        SolveOnTier<SmallRational>(system, layout, costs, options, &fast,
-                                   &tier_pivots, &tier_phase1_pivots,
-                                   &warm_hit);
+    TierOutcome outcome = SolveOnTier<SmallRational>(
+        system, layout, costs, effective, &fast, &tier_pivots,
+        &tier_phase1_pivots, &tier_dual_pivots, &warm);
     BumpStat(stats.pivots, tier_pivots);
     BumpStat(stats.phase1_pivots, tier_phase1_pivots);
+    BumpStat(stats.dual_pivots, tier_dual_pivots);
     if (outcome == TierOutcome::kTripped) {
       // The trip is sticky; an exact-tier restart would trip immediately.
-      return options.guard->TripStatus();
+      return effective.guard->TripStatus();
     }
     if (outcome == TierOutcome::kCompleted) {
       BumpStat(stats.fast_solves);
       BumpStat(stats.fast_pivots, tier_pivots);
-      if (warm_hit) {
-        BumpStat(stats.warm_start_hits);
-      }
+      RecordWarmDisposition(stats, warm);
       if (fast.outcome == LpOutcome::kOptimal) {
         fast.objective = objective.Evaluate(fast.values);
       }
@@ -646,18 +962,17 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
   }
 
   LpResult exact;
-  TierOutcome outcome =
-      SolveOnTier<Rational>(system, layout, costs, options, &exact,
-                            &tier_pivots, &tier_phase1_pivots, &warm_hit);
+  TierOutcome outcome = SolveOnTier<Rational>(
+      system, layout, costs, effective, &exact, &tier_pivots,
+      &tier_phase1_pivots, &tier_dual_pivots, &warm);
   BumpStat(stats.pivots, tier_pivots);
   BumpStat(stats.phase1_pivots, tier_phase1_pivots);
+  BumpStat(stats.dual_pivots, tier_dual_pivots);
   if (outcome == TierOutcome::kTripped) {
-    return options.guard->TripStatus();
+    return effective.guard->TripStatus();
   }
   (void)outcome;  // The exact tier cannot overflow.
-  if (warm_hit) {
-    BumpStat(stats.warm_start_hits);
-  }
+  RecordWarmDisposition(stats, warm);
   if (exact.outcome == LpOutcome::kOptimal) {
     exact.objective = objective.Evaluate(exact.values);
   }

@@ -2,6 +2,7 @@
 #define CRSAT_LP_SIMPLEX_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -57,11 +58,25 @@ struct SimplexStats {
   /// Fast-tier attempts abandoned (overflow or unrepresentable input),
   /// each followed by an exact-tier solve.
   std::atomic<std::uint64_t> tier_fallbacks{0};
-  /// Solves that reused a caller-provided basis and skipped phase 1.
+  /// Solves that reused a caller-provided basis and skipped phase 1 —
+  /// either because the basis was still primal-feasible or because dual
+  /// pivots repaired it (see `incremental_hits`).
   std::atomic<std::uint64_t> warm_start_hits{0};
-  /// Warm-start attempts rejected (layout mismatch, singular or infeasible
-  /// basis) that fell back to a cold phase 1.
+  /// Warm-start attempts that ended in a cold phase 1: layout mismatch,
+  /// singular basis, fast-tier overflow during pivot-in, or a dual repair
+  /// that hit its pivot cap. Exactly one of hits/misses is recorded per
+  /// solve that was handed a non-empty basis, so hits + misses = attempts.
   std::atomic<std::uint64_t> warm_start_misses{0};
+  /// Dual-simplex pivots spent repairing carried bases (subset of
+  /// `pivots`, disjoint from `phase1_pivots`).
+  std::atomic<std::uint64_t> dual_pivots{0};
+  /// Subset of `warm_start_hits` where the carried basis was *not* primal
+  /// feasible and dual pivots repaired it (or proved the system
+  /// infeasible) in place of a cold phase 1.
+  std::atomic<std::uint64_t> incremental_hits{0};
+  /// Dual repairs abandoned (pivot cap or fast-tier overflow) that fell
+  /// back to a cold phase 1; subset of `warm_start_misses`.
+  std::atomic<std::uint64_t> incremental_fallbacks{0};
 
   /// Zeroes every counter.
   void Reset();
@@ -83,6 +98,38 @@ struct WarmStartBasis {
   bool empty() const { return basis.empty(); }
 };
 
+/// A small shape-keyed store of exported bases. Successive reasoner probes
+/// alternate between a handful of system shapes (the pinned-out variable
+/// set varies with the probed bound and the fixpoint iteration), so a
+/// single carried `WarmStartBasis` thrashes: each differently-shaped solve
+/// overwrites the carry the next same-shaped solve needed. Keying by
+/// (variable count, constraint count) lets every shape family warm-start
+/// within itself; the dual-repair path then absorbs the remaining
+/// same-shape coefficient differences. Thread-compatible, not thread-safe:
+/// confine a cache to one thread, and give concurrent probes private
+/// copies (see `CardinalityImplicationEngine::CheckAllPartial`).
+class WarmStartBasisCache {
+ public:
+  /// The stored basis for this shape, or nullptr. The pointer is
+  /// invalidated by the next non-const call.
+  const WarmStartBasis* Lookup(int num_variables, int num_constraints);
+
+  /// Stores (or replaces) the basis for this shape, evicting the least
+  /// recently used entry when full. Empty bases are ignored.
+  void Store(int num_variables, int num_constraints, WarmStartBasis basis);
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    int num_variables = 0;
+    int num_constraints = 0;
+    WarmStartBasis basis;
+  };
+  static constexpr std::size_t kMaxEntries = 8;
+  std::vector<Entry> entries_;  // Most recently used at the back.
+};
+
 /// Knobs for a single solve.
 struct SimplexOptions {
   enum class Tier {
@@ -96,10 +143,24 @@ struct SimplexOptions {
   };
   Tier tier = Tier::kTwoTier;
   /// When non-null and structurally compatible, the solve pivots into this
-  /// basis and skips phase 1 (falling back to a cold start otherwise).
+  /// basis and skips phase 1. A basis that pivots in cleanly but is no
+  /// longer primal-feasible (the common case after a probe bound changed)
+  /// is repaired by dual-simplex pivots against the zero objective instead
+  /// of being rejected; only a layout mismatch, a singular basis, or a
+  /// repair that exceeds its pivot cap falls back to a cold start. Ignored
+  /// entirely when `IncrementalReasoningEnabled()` is false
+  /// (src/base/incremental.h) — the forced-cold reference path.
   const WarmStartBasis* warm_start = nullptr;
   /// When non-null, receives the final basis of an optimal solve.
   WarmStartBasis* export_basis = nullptr;
+  /// Optional crash basis: structural variables to pivot into the initial
+  /// basis when no carried basis applied (absent or rejected). Callers use
+  /// this for variables they KNOW form a cheap feasible basis — e.g. the
+  /// per-row cover variables of the maximal-support LP, whose unit columns
+  /// evict every artificial in one pivot each — turning phase 1 into a
+  /// no-op. Purely an acceleration: a crash that does not land feasible
+  /// falls through to the ordinary cold phase 1.
+  const std::vector<VarId>* crash_vars = nullptr;
   /// Optional resource guard (src/base/resource_guard.h), polled once per
   /// pivot. A tripped guard aborts the solve — including the exact-tier
   /// fallback — and `SolveWith` returns the guard's trip status

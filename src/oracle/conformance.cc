@@ -7,7 +7,10 @@
 #include <utility>
 
 #include "src/analysis/empty_classes.h"
+#include "src/baseline/fast_path.h"
 #include "src/baseline/ln_reasoner.h"
+#include "src/lp/simplex.h"
+#include "src/reasoner/implication_engine.h"
 #include "src/cr/interpretation.h"
 #include "src/cr/model_checker.h"
 #include "src/cr/schema_text.h"
@@ -256,8 +259,32 @@ std::string ConformanceReport::ToJson() const {
       << "  \"oracle_exhausted\": " << oracle_exhausted << ",\n"
       << "  \"baseline_schemas\": " << baseline_schemas << ",\n"
       << "  \"metamorphic_mutants\": " << metamorphic_mutants << ",\n"
-      << "  \"witnesses_certified\": " << witnesses_certified << ",\n"
-      << "  \"disagreements\": [";
+      << "  \"witnesses_certified\": " << witnesses_certified << ",\n";
+  {
+    // Process-wide solver counters at report time; with the CLI's
+    // reset-at-command-start discipline they cover exactly this sweep.
+    const SimplexStats& lp = GetSimplexStats();
+    const ImplicationStats& probe = GetImplicationStats();
+    const ExpansionStats& expand = GetExpansionStats();
+    auto load = [](const std::atomic<std::uint64_t>& counter) {
+      return counter.load(std::memory_order_relaxed);
+    };
+    out << "  \"stats\": {\"solves\": " << load(lp.solves)
+        << ", \"pivots\": " << load(lp.pivots)
+        << ", \"warm_start_hits\": " << load(lp.warm_start_hits)
+        << ", \"warm_start_misses\": " << load(lp.warm_start_misses)
+        << ", \"dual_pivots\": " << load(lp.dual_pivots)
+        << ", \"incremental_hits\": " << load(lp.incremental_hits)
+        << ", \"incremental_fallbacks\": " << load(lp.incremental_fallbacks)
+        << ", \"dominance_lookups\": " << load(probe.dominance_lookups)
+        << ", \"dominance_hits\": " << load(probe.dominance_hits)
+        << ", \"derived_disjoint_pairs\": "
+        << load(expand.derived_disjoint_pairs)
+        << ", \"pruned_subtrees\": " << load(expand.pruned_subtrees)
+        << ", \"ln_short_circuits\": "
+        << load(GetFastPathStats().ln_short_circuits) << "},\n";
+  }
+  out << "  \"disagreements\": [";
   bool first = true;
   for (const ConformanceDisagreement& d : disagreements) {
     out << (first ? "\n" : ",\n");

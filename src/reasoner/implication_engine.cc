@@ -1,14 +1,70 @@
 #include "src/reasoner/implication_engine.h"
 
+#include <algorithm>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "src/base/incremental.h"
 #include "src/base/resource_guard.h"
 #include "src/base/thread_pool.h"
 #include "src/reasoner/satisfiability.h"
 
 namespace crsat {
+
+void ImplicationStats::Reset() {
+  dominance_lookups.store(0, std::memory_order_relaxed);
+  dominance_hits.store(0, std::memory_order_relaxed);
+}
+
+ImplicationStats& GetImplicationStats() {
+  static ImplicationStats stats;
+  return stats;
+}
+
+std::optional<bool> BoundDominanceCache::LookupMin(std::uint64_t min) {
+  MutexLock lock(mutex_);
+  if (min <= greatest_implied_min_) {
+    return true;
+  }
+  if (least_refuted_min_.has_value() && min >= *least_refuted_min_) {
+    return false;
+  }
+  return std::nullopt;
+}
+
+void BoundDominanceCache::RecordMin(std::uint64_t min, bool implied) {
+  MutexLock lock(mutex_);
+  if (implied) {
+    greatest_implied_min_ = std::max(greatest_implied_min_, min);
+  } else {
+    least_refuted_min_ =
+        std::min(least_refuted_min_.value_or(min), min);
+  }
+}
+
+std::optional<bool> BoundDominanceCache::LookupMax(std::uint64_t max) {
+  MutexLock lock(mutex_);
+  if (least_implied_max_.has_value() && max >= *least_implied_max_) {
+    return true;
+  }
+  if (greatest_refuted_max_.has_value() && max <= *greatest_refuted_max_) {
+    return false;
+  }
+  return std::nullopt;
+}
+
+void BoundDominanceCache::RecordMax(std::uint64_t max, bool implied) {
+  MutexLock lock(mutex_);
+  if (implied) {
+    least_implied_max_ =
+        std::min(least_implied_max_.value_or(max), max);
+  } else {
+    greatest_refuted_max_ =
+        std::max(greatest_refuted_max_.value_or(max), max);
+  }
+}
 
 namespace {
 
@@ -18,6 +74,26 @@ std::string FreshClassName(const Schema& schema) {
     name += "_";
   }
   return name;
+}
+
+// Consults a triple's dominance cache for a probe at `bound`; counts the
+// lookup and any hit. Returns nullopt (and counts nothing) when the cache
+// is absent or the incremental paths are disabled.
+std::optional<bool> ConsultDominance(BoundDominanceCache* cache,
+                                     ImplicationQuery::Kind kind,
+                                     std::uint64_t bound) {
+  if (cache == nullptr || !IncrementalReasoningEnabled()) {
+    return std::nullopt;
+  }
+  ImplicationStats& stats = GetImplicationStats();
+  stats.dominance_lookups.fetch_add(1, std::memory_order_relaxed);
+  std::optional<bool> verdict = kind == ImplicationQuery::Kind::kMin
+                                    ? cache->LookupMin(bound)
+                                    : cache->LookupMax(bound);
+  if (verdict.has_value()) {
+    stats.dominance_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return verdict;
 }
 
 }  // namespace
@@ -63,47 +139,84 @@ Result<CardinalityImplicationEngine> CardinalityImplicationEngine::Create(
       engine.expansion_->ClassIndicesContaining(engine.aux_class_);
   engine.base_targets_ =
       engine.expansion_->ClassIndicesContaining(engine.base_class_);
+
+  // Seed the dominance memo from the bounds declared on cls and its
+  // superclasses (within the role's primary hierarchy): every instance of
+  // cls is an instance of each such superclass, so a declared
+  // `minc(D) = m` / `maxc(D) = n` is implied for cls in every model. This
+  // lets gallop/bisection skip the LP for every bound the schema states
+  // outright.
+  const Schema& ext = *engine.extended_schema_;
+  engine.dominance_ = std::make_unique<BoundDominanceCache>();
+  for (ClassId super : ext.AllClasses()) {
+    if (!ext.IsSubclassOf(engine.base_class_, super) ||
+        !ext.IsSubclassOf(super, ext.PrimaryClass(engine.role_))) {
+      continue;
+    }
+    Cardinality declared = ext.GetCardinality(super, engine.rel_,
+                                              engine.role_);
+    if (declared.min > 0) {
+      engine.dominance_->RecordMin(declared.min, /*implied=*/true);
+    }
+    if (declared.max.has_value()) {
+      engine.dominance_->RecordMax(*declared.max, /*implied=*/true);
+    }
+  }
   return engine;
 }
 
 Result<bool> CardinalityImplicationEngine::AuxiliarySatisfiableWith(
-    Cardinality cardinality, WarmStartBasis* carry) const {
+    Cardinality cardinality, WarmStartBasisCache* cache) const {
   std::vector<CardinalityOverride> overrides = {
       CardinalityOverride{aux_class_, rel_, role_, cardinality}};
   SatisfiabilityChecker checker(*expansion_, &overrides);
-  checker.SetProbeBasisCarry(carry);
+  checker.SetProbeBasisCache(cache);
   return checker.IsTargetSatisfiable(aux_targets_);
 }
 
 Result<bool> CardinalityImplicationEngine::ImpliesMinWith(
-    std::uint64_t min, WarmStartBasis* carry) const {
+    std::uint64_t min, WarmStartBasisCache* cache) const {
   if (min == 0) {
     return true;  // Trivial bound.
+  }
+  if (std::optional<bool> dominated = ConsultDominance(
+          dominance_.get(), ImplicationQuery::Kind::kMin, min)) {
+    return *dominated;
   }
   Cardinality cardinality;
   cardinality.max = min - 1;
   CRSAT_ASSIGN_OR_RETURN(bool violable,
-                         AuxiliarySatisfiableWith(cardinality, carry));
+                         AuxiliarySatisfiableWith(cardinality, cache));
+  if (dominance_ != nullptr && IncrementalReasoningEnabled()) {
+    dominance_->RecordMin(min, !violable);
+  }
   return !violable;
 }
 
 Result<bool> CardinalityImplicationEngine::ImpliesMaxWith(
-    std::uint64_t max, WarmStartBasis* carry) const {
+    std::uint64_t max, WarmStartBasisCache* cache) const {
+  if (std::optional<bool> dominated = ConsultDominance(
+          dominance_.get(), ImplicationQuery::Kind::kMax, max)) {
+    return *dominated;
+  }
   Cardinality cardinality;
   cardinality.min = max + 1;
   CRSAT_ASSIGN_OR_RETURN(bool violable,
-                         AuxiliarySatisfiableWith(cardinality, carry));
+                         AuxiliarySatisfiableWith(cardinality, cache));
+  if (dominance_ != nullptr && IncrementalReasoningEnabled()) {
+    dominance_->RecordMax(max, !violable);
+  }
   return !violable;
 }
 
 Result<bool> CardinalityImplicationEngine::ImpliesMin(
     std::uint64_t min) const {
-  return ImpliesMinWith(min, &carry_);
+  return ImpliesMinWith(min, &carry_cache_);
 }
 
 Result<bool> CardinalityImplicationEngine::ImpliesMax(
     std::uint64_t max) const {
-  return ImpliesMaxWith(max, &carry_);
+  return ImpliesMaxWith(max, &carry_cache_);
 }
 
 Result<std::vector<bool>> CardinalityImplicationEngine::CheckAll(
@@ -129,25 +242,27 @@ CardinalityImplicationEngine::CheckAllPartial(
   // expansion; probes build their own SatisfiabilityChecker, so they are
   // independent. Verdicts are collected per index and combined in query
   // order afterwards — results do not depend on scheduling. Every probe
-  // warm starts from a private *copy* of the current carry (they all see
-  // the same snapshot regardless of thread count); the first query (in
-  // query order) that ends up holding a basis donates it back,
-  // deterministically.
+  // warm starts from a private *copy* of the current basis cache (they all
+  // see the same snapshot regardless of thread count); the first query (in
+  // query order) that ends up holding bases donates its cache back,
+  // deterministically. The dominance memo is shared as-is — it is
+  // thread-safe and only ever accumulates sound facts, so verdicts stay
+  // schedule-independent even when probes race to record.
   ResourceGuard* guard = expansion_->options().guard;
   std::vector<std::optional<Result<bool>>> probes(queries.size());
-  std::vector<WarmStartBasis> carries(queries.size(), carry_);
+  std::vector<WarmStartBasisCache> caches(queries.size(), carry_cache_);
   GlobalThreadPool().ParallelFor(
       queries.size(),
       [&](size_t i) {
         const ImplicationQuery& query = queries[i];
         probes[i] = query.kind == ImplicationQuery::Kind::kMin
-                        ? ImpliesMinWith(query.bound, &carries[i])
-                        : ImpliesMaxWith(query.bound, &carries[i]);
+                        ? ImpliesMinWith(query.bound, &caches[i])
+                        : ImpliesMaxWith(query.bound, &caches[i]);
       },
       guard);
-  for (WarmStartBasis& carry : carries) {
-    if (!carry.empty()) {
-      carry_ = std::move(carry);
+  for (WarmStartBasisCache& cache : caches) {
+    if (!cache.empty()) {
+      carry_cache_ = std::move(cache);
       break;
     }
   }

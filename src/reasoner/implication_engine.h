@@ -1,17 +1,67 @@
 #ifndef CRSAT_REASONER_IMPLICATION_ENGINE_H_
 #define CRSAT_REASONER_IMPLICATION_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/base/mutex.h"
 #include "src/base/result.h"
 #include "src/cr/schema.h"
 #include "src/expansion/expansion.h"
 #include "src/lp/simplex.h"
 
 namespace crsat {
+
+/// Process-wide counters for the probe-layer memoization. Same policy as
+/// `SimplexStats`: relaxed atomics, exact totals, `Reset()` must not race
+/// with running queries.
+struct ImplicationStats {
+  /// Dominance-cache consultations by `ImpliesMin`/`ImpliesMax` probes
+  /// (only counted while `IncrementalReasoningEnabled()`).
+  std::atomic<std::uint64_t> dominance_lookups{0};
+  /// Subset of `dominance_lookups` answered without an LP solve.
+  std::atomic<std::uint64_t> dominance_hits{0};
+
+  /// Zeroes every counter.
+  void Reset();
+};
+
+/// Returns a mutable reference to the process-wide probe-layer counters.
+ImplicationStats& GetImplicationStats();
+
+/// Monotone memo over one triple's probed bounds, exploiting the dominance
+/// lattice of cardinality implication: implied-min bounds are downward
+/// closed (if `minc >= m` is implied, so is every `m' <= m`) and
+/// implied-max bounds are upward closed — so each refutation is likewise
+/// monotone on the opposite side (a refuted `minc >= m` refutes every
+/// `m' >= m`; a refuted `maxc <= n` refutes every `n' <= n`). Four stored
+/// frontiers answer every dominated query without an LP solve. Recorded
+/// facts must be sound (true implication verdicts, or declared-bound seeds
+/// that hold in every model): then the cache is schedule-independent —
+/// whichever concurrent probe records first, every answer equals the LP's.
+/// Thread-safe; `CheckAllPartial` probes share one instance.
+class BoundDominanceCache {
+ public:
+  /// The cached verdict for `S |= minc = min`, or nullopt if undominated.
+  std::optional<bool> LookupMin(std::uint64_t min);
+  /// Records an LP verdict for `minc = min`.
+  void RecordMin(std::uint64_t min, bool implied);
+  /// The cached verdict for `S |= maxc = max`, or nullopt if undominated.
+  std::optional<bool> LookupMax(std::uint64_t max);
+  /// Records an LP verdict for `maxc = max`.
+  void RecordMax(std::uint64_t max, bool implied);
+
+ private:
+  Mutex mutex_;
+  // Frontiers; the gaps between them are the undecided band.
+  std::uint64_t greatest_implied_min_ CRSAT_GUARDED_BY(mutex_) = 0;
+  std::optional<std::uint64_t> least_refuted_min_ CRSAT_GUARDED_BY(mutex_);
+  std::optional<std::uint64_t> least_implied_max_ CRSAT_GUARDED_BY(mutex_);
+  std::optional<std::uint64_t> greatest_refuted_max_ CRSAT_GUARDED_BY(mutex_);
+};
 
 /// One cardinality-implication question against an engine's triple: does
 /// the schema imply `minc = bound` (kMin) or `maxc = bound` (kMax)?
@@ -97,18 +147,20 @@ class CardinalityImplicationEngine {
  private:
   CardinalityImplicationEngine() = default;
 
-  // Satisfiability of Cexc under an override bound on it. `carry` threads
-  // a warm-start basis between probes: every probe solves a system of the
-  // same shape (only the overridden bound's coefficients change), so a
-  // previous probe's optimal basis frequently remains feasible and skips
-  // phase 1. Serial queries pass `&carry_`; `CheckAll` gives each
-  // concurrent probe a private copy of the current carry so verdicts stay
-  // independent of scheduling.
+  // Satisfiability of Cexc under an override bound on it. `cache` threads
+  // warm-start bases between probes: successive probes alternate between a
+  // handful of system shapes (only the overridden bound's coefficients
+  // change within a shape), so a previous probe's optimal basis is reused
+  // as-is or dual-repaired instead of a cold phase 1. Serial queries pass
+  // `&carry_cache_`; `CheckAll` gives each concurrent probe a private copy
+  // of the current cache so verdicts stay independent of scheduling.
   Result<bool> AuxiliarySatisfiableWith(Cardinality cardinality,
-                                        WarmStartBasis* carry) const;
+                                        WarmStartBasisCache* cache) const;
 
-  Result<bool> ImpliesMinWith(std::uint64_t min, WarmStartBasis* carry) const;
-  Result<bool> ImpliesMaxWith(std::uint64_t max, WarmStartBasis* carry) const;
+  Result<bool> ImpliesMinWith(std::uint64_t min,
+                              WarmStartBasisCache* cache) const;
+  Result<bool> ImpliesMaxWith(std::uint64_t max,
+                              WarmStartBasisCache* cache) const;
 
   // The extended schema and its expansion; unique_ptr keeps the expansion's
   // schema pointer stable across moves.
@@ -120,10 +172,16 @@ class CardinalityImplicationEngine {
   RoleId role_;
   std::vector<int> aux_targets_;   // Compound classes containing Cexc.
   std::vector<int> base_targets_;  // Compound classes containing cls.
-  // Warm-start basis carried across this engine's serial probes (gallop /
+  // Warm-start bases carried across this engine's serial probes (gallop /
   // bisection). Queries on one engine are not safe to issue concurrently
-  // from outside — use `CheckAll` for that; it snapshots this carry.
-  mutable WarmStartBasis carry_;
+  // from outside — use `CheckAll` for that; it snapshots this cache.
+  mutable WarmStartBasisCache carry_cache_;
+  // The triple's dominance memo, shared by serial and batched probes
+  // (thread-safe; behind unique_ptr so the engine stays movable). Seeded
+  // in `Create` from the declared bounds of `cls`'s superclasses — sound,
+  // since declared constraints hold in every model. Consulted only while
+  // `IncrementalReasoningEnabled()`.
+  std::unique_ptr<BoundDominanceCache> dominance_;
 };
 
 }  // namespace crsat

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/base/incremental.h"
 #include "src/lp/simplex.h"
 
 namespace crsat {
@@ -45,21 +46,20 @@ Result<std::vector<Rational>> MinimalWitnessForSupport(
 
 Result<AcceptableSupport> ComputeAcceptableSupport(
     const LinearSystem& system, const std::vector<Dependency>& dependencies,
-    WarmStartBasis* probe_carry, ResourceGuard* guard) {
+    WarmStartBasisCache* probe_cache, ResourceGuard* guard,
+    const std::vector<bool>* seed_zero) {
   const int n = system.num_variables();
-  std::vector<bool> forced_zero(n, false);
+  std::vector<bool> forced_zero =
+      seed_zero != nullptr ? *seed_zero : std::vector<bool>(n, false);
   SupportResult support;
-  bool first_iteration = true;
   while (true) {
-    // Only the first fixpoint iteration sees the caller's carried basis:
-    // later iterations pin more variables, which changes the probe
-    // system's shape and would make any carried basis a guaranteed miss.
+    // Every iteration sees the shape-keyed cache: later iterations pin
+    // more variables (a different probe shape), so they miss the earlier
+    // iterations' entries but warm-start within their own shape family —
+    // and across calls on similarly-pinned systems.
     CRSAT_ASSIGN_OR_RETURN(
-        support, ComputeMaximalSupport(system, forced_zero,
-                                       first_iteration ? probe_carry
-                                                       : nullptr,
-                                       guard));
-    first_iteration = false;
+        support,
+        ComputeMaximalSupport(system, forced_zero, probe_cache, guard));
     bool changed = false;
     // (a) Variables the LP proves zero under the current pinning are zero
     // in every acceptable solution (every acceptable solution satisfies
@@ -111,11 +111,56 @@ SatisfiabilityChecker::SatisfiabilityChecker(
   }
 }
 
+const std::vector<bool>& SatisfiabilityChecker::StructurallyDeadCompounds()
+    const {
+  if (!dead_compounds_.has_value()) {
+    std::vector<bool> dead = cr_system_.empty_class_compounds;
+    if (!known_empty_.empty()) {
+      for (size_t i = 0; i < expansion_->classes().size(); ++i) {
+        if (dead[i]) {
+          continue;
+        }
+        for (ClassId member : expansion_->classes()[i].Members()) {
+          if (IsKnownEmpty(member)) {
+            dead[i] = true;
+            break;
+          }
+        }
+      }
+    }
+    dead_compounds_ = std::move(dead);
+  }
+  return *dead_compounds_;
+}
+
 Result<AcceptableSupport> SatisfiabilityChecker::Support() const {
   if (!support_.has_value()) {
+    // Seed the fixpoint with structurally dead unknowns (and, via one step
+    // of dependency propagation, the relationship unknowns touching them)
+    // so the LP never spends probe rounds proving them zero. The seeds are
+    // sound, so the resulting support is the one the unseeded fixpoint
+    // would reach; gated on the incremental toggle purely so the forced
+    // cold reference path runs the historical solve sequence.
+    std::vector<bool> seed;
+    if (IncrementalReasoningEnabled()) {
+      const std::vector<bool>& dead = StructurallyDeadCompounds();
+      seed.assign(cr_system_.system.num_variables(), false);
+      for (size_t i = 0; i < cr_system_.class_vars.size(); ++i) {
+        seed[cr_system_.class_vars[i]] = dead[i];
+      }
+      for (const Dependency& dependency : dependencies_) {
+        for (VarId source : dependency.depends_on) {
+          if (seed[source]) {
+            seed[dependency.dependent] = true;
+            break;
+          }
+        }
+      }
+    }
     support_ = ComputeAcceptableSupport(cr_system_.system, dependencies_,
-                                        probe_carry_,
-                                        expansion_->options().guard);
+                                        probe_cache_,
+                                        expansion_->options().guard,
+                                        seed.empty() ? nullptr : &seed);
   }
   return *support_;
 }
@@ -158,6 +203,23 @@ Result<std::vector<bool>> SatisfiabilityChecker::SatisfiableClasses() const {
 
 Result<bool> SatisfiabilityChecker::IsTargetSatisfiable(
     const std::vector<int>& target_class_indices) const {
+  if (IncrementalReasoningEnabled()) {
+    // If every target compound is structurally dead the verdict is already
+    // settled — skip the support computation entirely. This is the big win
+    // for tight implication probes, where the overridden bound empties
+    // every compound containing the probed class.
+    const std::vector<bool>& dead = StructurallyDeadCompounds();
+    bool all_dead = true;
+    for (int class_index : target_class_indices) {
+      if (!dead[class_index]) {
+        all_dead = false;
+        break;
+      }
+    }
+    if (all_dead) {
+      return false;
+    }
+  }
   CRSAT_ASSIGN_OR_RETURN(AcceptableSupport support, Support());
   for (int class_index : target_class_indices) {
     if (support.positive[cr_system_.class_vars[class_index]]) {

@@ -61,16 +61,24 @@ Result<std::vector<Rational>> MinimalWitnessForSupport(
 /// cone closed under addition, so the surviving variables are exactly the
 /// support of a single (witness) acceptable solution.
 ///
-/// `probe_carry`, when non-null, carries a warm-start basis across
-/// successive calls on same-shaped systems (see `ComputeMaximalSupport`):
-/// the first LP probe reuses it to skip phase 1 and writes its own final
-/// basis back when feasible.
+/// `probe_cache`, when non-null, carries warm-start bases across LP probes
+/// — both across the fixpoint's own iterations (whose probe shapes shrink
+/// as more variables are pinned; the shape-keyed cache serves each shape
+/// family) and across successive calls on related systems (see
+/// `ComputeMaximalSupport`). Reuse affects cost only, never verdicts.
+///
+/// `seed_zero`, when non-null (size = `system.num_variables()`), pre-pins
+/// variables already known to be zero in every acceptable solution (e.g.
+/// unknowns whose constraint rows force them to zero structurally). The
+/// seeds must be sound: the fixpoint would prove them zero anyway, so
+/// seeding skips LP rounds without changing the resulting support.
 ///
 /// `guard`, when non-null, bounds the whole fixpoint (it is handed down to
 /// every LP probe; see `ComputeMaximalSupport`).
 Result<AcceptableSupport> ComputeAcceptableSupport(
     const LinearSystem& system, const std::vector<Dependency>& dependencies,
-    WarmStartBasis* probe_carry = nullptr, ResourceGuard* guard = nullptr);
+    WarmStartBasisCache* probe_cache = nullptr, ResourceGuard* guard = nullptr,
+    const std::vector<bool>* seed_zero = nullptr);
 
 /// An acceptable solution of Psi_S scaled to nonnegative integers.
 struct IntegerSolution {
@@ -132,15 +140,15 @@ class SatisfiabilityChecker {
     known_empty_ = std::move(known_empty);
   }
 
-  /// Threads a warm-start basis through the (single, cached) support
-  /// computation: its first LP probe reuses `*carry` to skip phase 1 and
-  /// writes its final basis back when feasible. Intended for callers that
-  /// build many short-lived checkers over the same expansion with slightly
-  /// different cardinality overrides (the implication engine's bisection);
-  /// the carried basis must come from a same-shaped system, and a stale or
-  /// mismatched one only costs a rejected warm-start attempt. The pointee
-  /// must outlive the first `Support()` call; pass before any query.
-  void SetProbeBasisCarry(WarmStartBasis* carry) { probe_carry_ = carry; }
+  /// Threads a warm-start basis cache through the (single, cached) support
+  /// computation: every LP probe offers the cache entry matching its shape
+  /// and feasible probes write their final bases back. Intended for callers
+  /// that build many short-lived checkers over the same expansion with
+  /// slightly different cardinality overrides (the implication engine's
+  /// bisection); a stale entry is either repaired by dual pivots or costs
+  /// one rejected warm-start attempt. The pointee must outlive the first
+  /// `Support()` call; pass before any query.
+  void SetProbeBasisCache(WarmStartBasisCache* cache) { probe_cache_ = cache; }
 
  private:
   bool IsKnownEmpty(ClassId cls) const {
@@ -149,20 +157,30 @@ class SatisfiabilityChecker {
            known_empty_[cls.value];
   }
 
+  // Per compound class, true when it is structurally forced empty: its own
+  // lifted cardinality range is empty (`CrSystem::empty_class_compounds`)
+  // or it contains a schema class from `known_empty_`. Sound facts — both
+  // sources hold in every finite model — so seeding the support fixpoint
+  // with them (and short-circuiting all-dead target queries) changes LP
+  // work, never verdicts. Computed lazily; only consulted when
+  // `IncrementalReasoningEnabled()`.
+  const std::vector<bool>& StructurallyDeadCompounds() const;
+
   const Expansion* expansion_;
   CrSystem cr_system_;
   std::vector<Dependency> dependencies_;
   std::vector<bool> known_empty_;
   // Thread confinement (not a lock): a `SatisfiabilityChecker` is
-  // *thread-compatible*, not thread-safe — `Support()` mutates both the
-  // lazily-cached `support_` and the carried basis behind `probe_carry_`,
-  // so a checker (and any `WarmStartBasis` it carries) must be confined
-  // to one thread at a time. The parallelism inside `Support()` is
-  // internal (`ThreadPool::ParallelFor` over per-probe state) and does
-  // not touch either field concurrently. There is deliberately no mutex
-  // here — callers that want concurrent queries build one checker per
-  // thread over the shared (immutable) expansion.
-  WarmStartBasis* probe_carry_ = nullptr;
+  // *thread-compatible*, not thread-safe — `Support()` mutates the
+  // lazily-cached `support_`/`dead_compounds_` and the cache behind
+  // `probe_cache_`, so a checker (and any `WarmStartBasisCache` it uses)
+  // must be confined to one thread at a time. The parallelism inside
+  // `Support()` is internal (`ThreadPool::ParallelFor` over per-probe
+  // state) and does not touch these fields concurrently. There is
+  // deliberately no mutex here — callers that want concurrent queries
+  // build one checker per thread over the shared (immutable) expansion.
+  WarmStartBasisCache* probe_cache_ = nullptr;
+  mutable std::optional<std::vector<bool>> dead_compounds_;
   mutable std::optional<Result<AcceptableSupport>> support_;
 };
 

@@ -24,6 +24,8 @@ CrSystem SystemBuilder::Build(const Expansion& expansion,
         /*nonnegative=*/true));
   }
 
+  result.empty_class_compounds.assign(expansion.classes().size(), false);
+
   for (RelationshipId rel : schema.AllRelationships()) {
     const std::vector<RoleId>& roles = schema.RolesOf(rel);
     for (size_t k = 0; k < roles.size(); ++k) {
@@ -34,6 +36,9 @@ CrSystem SystemBuilder::Build(const Expansion& expansion,
             expansion.LiftedCardinality(class_index, rel, role, overrides);
         if (lifted.IsDefault()) {
           continue;
+        }
+        if (lifted.max.has_value() && *lifted.max < lifted.min) {
+          result.empty_class_compounds[class_index] = true;
         }
         LinearExpr sum;
         for (int rel_index :

@@ -25,6 +25,14 @@ struct CrSystem {
   std::vector<VarId> class_vars;
   /// Relationship unknowns, aligned with `Expansion::relationships()`.
   std::vector<VarId> rel_vars;
+  /// `empty_class_compounds[i]` iff compound class `i` has an empty lifted
+  /// cardinality range (min > max) for some role, under the same overrides
+  /// the system was built with. The emitted row pair already forces such an
+  /// unknown to zero (`sum >= m*c` and `sum <= n*c` with `n < m` give
+  /// `(m-n)*c <= 0`), so the flag adds no information to the LP — it lets
+  /// the satisfiability fixpoint pin these unknowns up front instead of
+  /// spending a probe round proving each one zero.
+  std::vector<bool> empty_class_compounds;
 
   /// True iff `var` is a relationship unknown.
   bool IsRelationshipVar(VarId var) const {

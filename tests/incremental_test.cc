@@ -1,0 +1,275 @@
+// The incremental-vs-cold differential contract (DESIGN.md §13): every
+// fast path behind `IncrementalReasoningEnabled()` — dual-simplex
+// warm-start repair, the one-LP maximal-support cover, bound-dominance
+// memoization, disjointness-driven expansion pruning, and the
+// Lenzerini–Nobili ISA-free short-circuit — is an *acceleration*, never a
+// semantic change. This suite pins that down three ways: a 100-schema
+// differential sweep (incremental and forced-cold implication reports must
+// be byte-identical, at 1, 2, and 8 threads), unit tests for the dominance
+// lattice's monotonicity (the closure directions are where an off-by-one
+// silently flips verdicts), and accounting invariants for the warm-start
+// counters (hits + misses = attempts; everything zero when the gate is
+// off).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/crsat.h"
+
+namespace crsat {
+namespace {
+
+RandomSchemaParams SweepParams(std::uint32_t seed) {
+  RandomSchemaParams params;
+  params.seed = seed;
+  params.num_classes = 4;
+  params.num_relationships = 2;
+  params.isa_density = 0.3;
+  params.refinement_probability = 0.4;
+  // A third of the sweep carries disjointness groups so the
+  // derived-disjointness expansion pruning sees real work.
+  if (seed % 3 == 0) {
+    params.num_disjointness_groups = 1;
+    params.disjointness_group_size = 2;
+  }
+  // A handful of ISA-free schemas exercise the LN short-circuit.
+  if (seed % 10 == 0) {
+    params.isa_density = 0.0;
+    params.refinement_probability = 0.0;
+  }
+  return params;
+}
+
+// Schemas for the full-report differential. The implication report pays a
+// binary search of satisfiability probes per (class, role) row, and a
+// 4-class refined schema can push one report past a minute — so the
+// full-digest subset runs on smaller schemas than the verdict sweep.
+RandomSchemaParams ReportParams(std::uint32_t seed) {
+  RandomSchemaParams params = SweepParams(seed);
+  params.num_classes = 3;
+  params.num_relationships = 1;
+  return params;
+}
+
+// Observables of one analysis: class verdicts always, plus — for seeds
+// where `full` is set — the complete implication report. The report is the
+// expensive half (a binary search of satisfiability probes per row), so the
+// sweep runs it on a deterministic subset and pins the cheap verdict digest
+// on every seed.
+std::string AnalysisDigest(const Schema& schema, bool full) {
+  Expansion expansion = Expansion::Build(schema).value();
+  SatisfiabilityChecker checker(expansion);
+  std::string digest;
+  for (bool flag : checker.SatisfiableClasses().value()) {
+    digest += flag ? '1' : '0';
+  }
+  if (!full) {
+    return digest;
+  }
+  digest += "|";
+  std::vector<ImpliedCardinalityRow> rows =
+      BuildImpliedCardinalityReport(schema, /*search_limit=*/4).value();
+  for (const ImpliedCardinalityRow& row : rows) {
+    digest += std::to_string(row.cls.value) + ":" +
+              std::to_string(row.rel.value) + ":" +
+              std::to_string(row.role.value) + "=" +
+              std::to_string(row.implied_min) + "..";
+    digest += row.implied_max.has_value() ? std::to_string(*row.implied_max)
+                                          : std::string("inf");
+    digest += row.vacuous ? "v;" : ";";
+  }
+  return digest;
+}
+
+class IncrementalDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalDifferentialTest, ReportsMatchColdPathAtAnyThreadCount) {
+  const std::uint32_t seed = static_cast<std::uint32_t>(GetParam());
+  // Full-report digests on every 5th seed (over the smaller report
+  // schemas); class-verdict digests on the rest keep the 100-seed sweep
+  // inside a tier-1 budget.
+  const bool full = seed % 5 == 0;
+  Schema schema =
+      GenerateRandomSchema(full ? ReportParams(seed) : SweepParams(seed))
+          .value();
+
+  std::string cold;
+  {
+    ScopedIncrementalOverride off(false);
+    cold = AnalysisDigest(schema, full);
+  }
+  {
+    ScopedIncrementalOverride on(true);
+    std::string incremental = AnalysisDigest(schema, full);
+    EXPECT_EQ(incremental, cold)
+        << "seed " << seed << ": incremental fast paths changed a verdict";
+  }
+  // Thread sweep on a subsample (every run pays ~6 full analyses); the
+  // grouping and verdict application are thread-count independent by
+  // construction, this pins it.
+  if (seed % 10 == 1) {
+    for (int threads : {2, 8}) {
+      SetGlobalThreadCount(threads);
+      ScopedIncrementalOverride on(true);
+      EXPECT_EQ(AnalysisDigest(schema, full), cold)
+          << "seed " << seed << " diverges at " << threads << " threads";
+    }
+    SetGlobalThreadCount(1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDifferentialTest,
+                         ::testing::Range(1, 101));
+
+// --- Dominance lattice monotonicity ---------------------------------------
+
+TEST(BoundDominanceCacheTest, ImpliedMinIsDownwardClosed) {
+  BoundDominanceCache cache;
+  cache.RecordMin(5, /*implied=*/true);
+  EXPECT_EQ(cache.LookupMin(5), std::optional<bool>(true));
+  EXPECT_EQ(cache.LookupMin(3), std::optional<bool>(true));
+  EXPECT_EQ(cache.LookupMin(1), std::optional<bool>(true));
+  // Above the implied frontier nothing is decided.
+  EXPECT_EQ(cache.LookupMin(6), std::nullopt);
+}
+
+TEST(BoundDominanceCacheTest, RefutedMinIsUpwardClosed) {
+  BoundDominanceCache cache;
+  cache.RecordMin(5, /*implied=*/false);
+  EXPECT_EQ(cache.LookupMin(5), std::optional<bool>(false));
+  EXPECT_EQ(cache.LookupMin(7), std::optional<bool>(false));
+  // Below the refuted frontier nothing is decided.
+  EXPECT_EQ(cache.LookupMin(4), std::nullopt);
+}
+
+TEST(BoundDominanceCacheTest, ImpliedMaxIsUpwardClosed) {
+  BoundDominanceCache cache;
+  cache.RecordMax(5, /*implied=*/true);
+  EXPECT_EQ(cache.LookupMax(5), std::optional<bool>(true));
+  EXPECT_EQ(cache.LookupMax(9), std::optional<bool>(true));
+  EXPECT_EQ(cache.LookupMax(4), std::nullopt);
+}
+
+TEST(BoundDominanceCacheTest, RefutedMaxIsDownwardClosed) {
+  BoundDominanceCache cache;
+  cache.RecordMax(5, /*implied=*/false);
+  EXPECT_EQ(cache.LookupMax(5), std::optional<bool>(false));
+  EXPECT_EQ(cache.LookupMax(2), std::optional<bool>(false));
+  EXPECT_EQ(cache.LookupMax(6), std::nullopt);
+}
+
+TEST(BoundDominanceCacheTest, FrontiersTightenMonotonically) {
+  BoundDominanceCache cache;
+  cache.RecordMin(2, /*implied=*/true);
+  cache.RecordMin(8, /*implied=*/false);
+  // The undecided band is (2, 8); probing inside it narrows the band
+  // without ever contradicting an earlier answer.
+  EXPECT_EQ(cache.LookupMin(5), std::nullopt);
+  cache.RecordMin(5, /*implied=*/true);
+  EXPECT_EQ(cache.LookupMin(2), std::optional<bool>(true));
+  EXPECT_EQ(cache.LookupMin(5), std::optional<bool>(true));
+  EXPECT_EQ(cache.LookupMin(6), std::nullopt);
+  EXPECT_EQ(cache.LookupMin(8), std::optional<bool>(false));
+}
+
+// --- Warm-start accounting -------------------------------------------------
+
+LinearSystem TwoVarSystem() {
+  LinearSystem system;
+  VarId x = system.AddVariable("x", /*nonnegative=*/true);
+  VarId y = system.AddVariable("y", /*nonnegative=*/true);
+  LinearExpr sum = LinearExpr::Var(x);
+  sum.AddTerm(y, Rational(1));
+  sum.AddConstant(Rational(-4));
+  system.AddLe(std::move(sum));  // x + y <= 4
+  return system;
+}
+
+TEST(WarmStartAccountingTest, HitsPlusMissesEqualsAttempts) {
+  ScopedIncrementalOverride on(true);
+  GetSimplexStats().Reset();
+  LinearSystem system = TwoVarSystem();
+  LinearExpr objective = LinearExpr::Var(0);
+
+  WarmStartBasis carry;
+  SimplexOptions first;
+  first.export_basis = &carry;
+  ASSERT_TRUE(SimplexSolver::SolveWith(system, objective, /*maximize=*/true,
+                                       first)
+                  .ok());
+  ASSERT_FALSE(carry.empty());
+
+  SimplexOptions second;
+  second.warm_start = &carry;
+  ASSERT_TRUE(SimplexSolver::SolveWith(system, objective, /*maximize=*/true,
+                                       second)
+                  .ok());
+
+  const SimplexStats& stats = GetSimplexStats();
+  EXPECT_EQ(stats.solves.load(), 2u);
+  // Only the second solve attempted reuse; exactly one of hits/misses.
+  EXPECT_EQ(stats.warm_start_hits.load() + stats.warm_start_misses.load(),
+            1u);
+  EXPECT_EQ(stats.warm_start_hits.load(), 1u);
+}
+
+TEST(WarmStartAccountingTest, GateOffMeansNoAttemptsAndNoDualPivots) {
+  ScopedIncrementalOverride off(false);
+  GetSimplexStats().Reset();
+  LinearSystem system = TwoVarSystem();
+  LinearExpr objective = LinearExpr::Var(0);
+
+  WarmStartBasis carry;
+  SimplexOptions first;
+  first.export_basis = &carry;
+  ASSERT_TRUE(SimplexSolver::SolveWith(system, objective, /*maximize=*/true,
+                                       first)
+                  .ok());
+
+  SimplexOptions second;
+  second.warm_start = &carry;  // Must be ignored while the gate is off.
+  ASSERT_TRUE(SimplexSolver::SolveWith(system, objective, /*maximize=*/true,
+                                       second)
+                  .ok());
+
+  const SimplexStats& stats = GetSimplexStats();
+  EXPECT_EQ(stats.warm_start_hits.load(), 0u);
+  EXPECT_EQ(stats.warm_start_misses.load(), 0u);
+  EXPECT_EQ(stats.dual_pivots.load(), 0u);
+  EXPECT_EQ(stats.incremental_hits.load(), 0u);
+}
+
+// --- Maximal support: one-LP cover vs probe rounds -------------------------
+
+TEST(SupportCoverTest, CoverLpMatchesProbeRoundsOnGeneratedSchemas) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    Schema schema = GenerateRandomSchema(SweepParams(seed)).value();
+    Expansion expansion = Expansion::Build(schema).value();
+
+    std::vector<bool> cold_positive;
+    {
+      ScopedIncrementalOverride off(false);
+      SatisfiabilityChecker checker(expansion);
+      cold_positive = checker.Support().value().positive;
+    }
+    ScopedIncrementalOverride on(true);
+    SatisfiabilityChecker checker(expansion);
+    AcceptableSupport support = checker.Support().value();
+    EXPECT_EQ(support.positive, cold_positive) << "seed " << seed;
+    // The witness must certify its own support: positive exactly where
+    // the support says so (the cover LP's x* and the folded probe
+    // witnesses differ in values, never in support).
+    ASSERT_EQ(support.witness.size(), support.positive.size());
+    for (size_t v = 0; v < support.positive.size(); ++v) {
+      EXPECT_EQ(support.witness[v].IsPositive(), support.positive[v])
+          << "seed " << seed << " var " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crsat

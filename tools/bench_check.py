@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against the committed trajectory.
+
+Compares a freshly produced bench_parallel JSON against the committed
+BENCH_reasoner.json and fails (exit 1) when any matched row's wall time
+regressed by more than the tolerance (default 20%). Rows are matched on
+(workload name, thread count); rows marked `skipped_single_core` on
+either side, and rows with no counterpart (different --depth/--schemas
+parameters change the workload name), are reported and skipped rather
+than failed — the gate only ever compares like with like.
+
+Counter drift (solves/pivots) on matched rows is reported informationally:
+those counts are deterministic, so a change is a behavior change, but the
+wall clock is the contract this gate enforces.
+
+Usage:
+  tools/bench_check.py --baseline BENCH_reasoner.json \
+      --fresh BENCH_reasoner.smoke.json [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Returns {(workload_name, threads): run_row} for comparable rows."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    rows = {}
+    for workload in doc.get("workloads", []):
+        name = workload.get("name", "?")
+        for run in workload.get("runs", []):
+            if run.get("skipped_single_core"):
+                continue
+            threads = run.get("threads")
+            if threads is None or "wall_ms" not in run:
+                continue
+            rows[(name, threads)] = run
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_reasoner.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced bench_parallel JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional wall-time regression "
+                             "per row (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+
+    failures = []
+    compared = 0
+    for key in sorted(baseline):
+        name, threads = key
+        if key not in fresh:
+            print(f"SKIP  {name} [threads={threads}]: no fresh row "
+                  "(different bench parameters?)")
+            continue
+        base_wall = float(baseline[key]["wall_ms"])
+        fresh_wall = float(fresh[key]["wall_ms"])
+        compared += 1
+        if base_wall <= 0:
+            print(f"SKIP  {name} [threads={threads}]: zero baseline wall")
+            continue
+        ratio = fresh_wall / base_wall
+        verdict = "OK  "
+        if ratio > 1.0 + args.tolerance:
+            verdict = "FAIL"
+            failures.append(
+                f"{name} [threads={threads}]: {base_wall:.0f} ms -> "
+                f"{fresh_wall:.0f} ms ({(ratio - 1.0) * 100.0:+.1f}%, "
+                f"tolerance {args.tolerance * 100.0:.0f}%)")
+        print(f"{verdict}  {name} [threads={threads}]: "
+              f"{base_wall:.0f} ms -> {fresh_wall:.0f} ms "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        for counter in ("solves", "pivots"):
+            if counter in baseline[key] and counter in fresh[key]:
+                base_count = baseline[key][counter]
+                fresh_count = fresh[key][counter]
+                if base_count != fresh_count:
+                    print(f"      note: {counter} changed "
+                          f"{base_count} -> {fresh_count} "
+                          "(deterministic counter; behavior change)")
+
+    for key in sorted(fresh):
+        if key not in baseline:
+            name, threads = key
+            print(f"SKIP  {name} [threads={threads}]: no baseline row")
+
+    if compared == 0:
+        print("error: no comparable rows — workload names/threads in the "
+              "fresh JSON match nothing in the baseline", file=sys.stderr)
+        return 1
+    if failures:
+        print("\nwall-time regressions beyond tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\n{compared} row(s) compared, all within "
+          f"{args.tolerance * 100.0:.0f}% of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

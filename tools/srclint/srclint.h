@@ -25,6 +25,12 @@
 //                       invoked only from the witness pipeline
 //                       (src/witness/): nobody mints a certificate
 //                       without running ModelChecker.
+//   dual-pivot-guard    any definition of `RepairPrimalFeasibility` in
+//                       src/lp/ (the dual-simplex warm-start repair, the
+//                       one pivot loop that runs before phase 1's polled
+//                       loop) must poll the ResourceGuard under the
+//                       "simplex/dual_pivot" key and enforce an explicit
+//                       `max_pivots` cap.
 //   bad-allow           an escape-hatch comment missing its reason string
 //                       (reasons are mandatory: the hatch documents *why*
 //                       the invariant is safe to waive, or it is denied).

@@ -1,0 +1,22 @@
+// Fixture: the shape the dual-pivot-guard rule demands — a per-pivot
+// guard poll under "simplex/dual_pivot" and an explicit max_pivots cap.
+#include "src/lp/tableau.h"
+
+namespace srclint_fixture {
+
+WarmStartOutcome Tableau::RepairPrimalFeasibility() {
+  const unsigned long max_pivots = 64 + 4 * basis_.size();
+  while (HasNegativeRhs()) {
+    if (guard_ != nullptr && !guard_->Check("simplex/dual_pivot").ok()) {
+      return WarmStartOutcome::kTripped;
+    }
+    if (dual_pivots_ >= max_pivots) {
+      return WarmStartOutcome::kRejected;
+    }
+    ++dual_pivots_;
+    PivotOnce();
+  }
+  return WarmStartOutcome::kFeasible;
+}
+
+}  // namespace srclint_fixture

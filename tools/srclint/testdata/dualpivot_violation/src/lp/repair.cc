@@ -1,0 +1,15 @@
+// Fixture: a dual-simplex repair loop that lost both its guard poll and
+// its pivot cap. References `guard_` so only dual-pivot-guard fires.
+#include "src/lp/tableau.h"
+
+namespace srclint_fixture {
+
+WarmStartOutcome Tableau::RepairPrimalFeasibility() {
+  while (HasNegativeRhs()) {
+    guard_->Touch();  // Mentions the guard but never polls the pivot key.
+    PivotOnce();
+  }
+  return WarmStartOutcome::kFeasible;
+}
+
+}  // namespace srclint_fixture
