@@ -53,6 +53,19 @@
 //       rewrites, and its certified witnesses. Exits 1 if any
 //       disagreement is found; each disagreeing schema is minimized and
 //       printed (and written under --dump-dir when given).
+//   crsat_cli conform --chaos-seeds N [--chaos-start S] [--classes N]
+//                     [--relationships N] [--json] [--dump-dir DIR]
+//       chaos conformance sweep (DESIGN.md §14): each seed's schema is
+//       checked fault-free, then re-checked under a seed-derived random
+//       failpoint schedule. A faulted run must return the identical
+//       verdicts or degrade to a resource-status UNKNOWN; any other
+//       outcome is a verdict flip, reported with the CRSAT_FAILPOINTS
+//       string that replays it. Exits 1 on any flip.
+//
+// Fault injection: every command honors CRSAT_FAILPOINTS (grammar in
+// src/base/failpoint.h), arming deterministic failures on the recovery
+// seams. A simulated allocation failure surfaces as exit code 3, like
+// any other resource limit.
 //
 // Schema files use the DSL documented in src/cr/schema_text.h; state
 // files the DSL in src/cr/state_text.h. Samples live in
@@ -61,6 +74,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -100,6 +114,10 @@ int Usage() {
          "[--relationships N]\n"
          "                    [--json] [--no-baseline] [--no-metamorphic]\n"
          "                    [--no-minimize] [--dump-dir DIR]\n"
+         "  crsat_cli conform --chaos-seeds N [--chaos-start S] "
+         "[--classes N]\n"
+         "                    [--relationships N] [--json] [--dump-dir "
+         "DIR]\n"
          "exit codes: 0 ok, 1 findings/failure, 2 usage, 3 resource limit\n";
   return kExitUsage;
 }
@@ -257,13 +275,33 @@ std::string SimplexStatsJson() {
          load(crsat::GetFastPathStats().ln_short_circuits) + "}";
 }
 
+// Degradation-ladder transitions (src/base/degradation.h) as a JSON
+// object: how often the run fell back a rung and why.
+std::string RecoveryStatsJson() {
+  const crsat::RecoveryStats& stats = crsat::GetRecoveryStats();
+  auto load = [](const std::atomic<std::uint64_t>& counter) {
+    return std::to_string(counter.load(std::memory_order_relaxed));
+  };
+  return "{\"warm_start_fallbacks\": " + load(stats.warm_start_fallbacks) +
+         ", \"cover_fallbacks\": " + load(stats.cover_fallbacks) +
+         ", \"tier_fallbacks\": " + load(stats.tier_fallbacks) +
+         ", \"witness_flow_refinements\": " +
+         load(stats.witness_flow_refinements) +
+         ", \"witness_rescales\": " + load(stats.witness_rescales) +
+         ", \"bad_alloc_conversions\": " + load(stats.bad_alloc_conversions) +
+         ", \"guard_trips\": " + load(stats.guard_trips) + "}";
+}
+
 // Zeroes every per-invocation counter family reported by
-// `SimplexStatsJson` so a `--json` report covers exactly one run.
+// `SimplexStatsJson`/`RecoveryStatsJson` so a `--json` report covers
+// exactly one run.
 void ResetAllStats() {
   crsat::GetSimplexStats().Reset();
   crsat::GetImplicationStats().Reset();
   crsat::GetExpansionStats().Reset();
   crsat::GetFastPathStats().Reset();
+  crsat::GetRecoveryStats().Reset();
+  crsat::ResetFailpointCounters();
 }
 
 int RunLint(const std::string& path, bool json, crsat::ResourceGuard* guard) {
@@ -356,7 +394,9 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json,
         return ReportTrip(*guard, json);
       }
       std::cerr << built.status() << "\n";
-      return kExitFindings;
+      return crsat::IsResourceLimitStatus(built.status().code())
+                 ? kExitResource
+                 : kExitFindings;
     }
     expansion.emplace(std::move(built.value()));
     checker.emplace(*expansion);
@@ -367,7 +407,12 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json,
         return ReportTrip(*guard, json);
       }
       std::cerr << verdicts.status() << "\n";
-      return kExitFindings;
+      // A resource-family failure without a configured guard (converted
+      // bad_alloc, injected allocation fault) is still a resource limit,
+      // not a finding: honor the 0/1/2/3 exit contract.
+      return crsat::IsResourceLimitStatus(verdicts.status().code())
+                 ? kExitResource
+                 : kExitFindings;
     }
     satisfiable.emplace(std::move(verdicts.value()));
   }
@@ -419,7 +464,8 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json,
     }
     std::cout << "\n  ],\n  \"strongly_satisfiable\": "
               << (all_ok ? "true" : "false")
-              << ",\n  \"stats\": " << SimplexStatsJson();
+              << ",\n  \"stats\": " << SimplexStatsJson()
+              << ",\n  \"recovery\": " << RecoveryStatsJson();
     if (!witness_mode.empty()) {
       std::cout << ",\n  \"witness\": ";
       if (witness.has_value()) {
@@ -570,8 +616,52 @@ int RunImplies(const crsat::Schema& schema, int argc, char** argv) {
 // LN baseline, metamorphic contracts and certified witnesses. Exits 1
 // when any disagreement is found. `--dump-dir` writes each disagreeing
 // schema (and its minimized form) as .schema files for artifact upload.
+// Chaos sweep (`conform --chaos-seeds N`): fault-free verdicts vs the
+// same pipeline under seed-derived failpoint schedules. Exits 1 when any
+// faulted run produced a *different answer* (as opposed to an honest
+// resource-status UNKNOWN). `--dump-dir` writes each flipping schema as
+// a .schema file next to a .faults file holding the replaying
+// CRSAT_FAILPOINTS string.
+int RunChaos(const crsat::ChaosConformanceOptions& options, bool json,
+             const std::string& dump_dir) {
+  ResetAllStats();
+  crsat::Result<crsat::ChaosReport> report =
+      crsat::RunChaosConformance(options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return crsat::IsResourceLimitStatus(report.status().code())
+               ? kExitResource
+               : kExitFindings;
+  }
+  if (!dump_dir.empty()) {
+    int index = 0;
+    for (const crsat::ChaosVerdictFlip& flip : report->flips) {
+      const std::string stem = dump_dir + "/flip_" +
+                               std::to_string(index++) + "_seed" +
+                               std::to_string(flip.seed);
+      std::ofstream(stem + ".schema") << flip.schema_text;
+      std::ofstream(stem + ".faults") << flip.fault_schedule << "\n";
+    }
+  }
+  if (json) {
+    std::cout << report->ToJson() << "\n";
+  } else {
+    std::cout << report->Summary() << "\n";
+    for (const crsat::ChaosVerdictFlip& flip : report->flips) {
+      std::cout << "\nseed " << flip.seed << " [" << flip.kind << "]"
+                << (flip.class_name.empty() ? "" : " class " + flip.class_name)
+                << ": " << flip.detail << "\n  replay: CRSAT_FAILPOINTS=\""
+                << flip.fault_schedule << "\"\n"
+                << flip.schema_text;
+    }
+  }
+  return report->flips.empty() ? kExitOk : kExitFindings;
+}
+
 int RunConform(int argc, char** argv) {
   crsat::ConformanceOptions options;
+  crsat::ChaosConformanceOptions chaos_options;
+  long chaos_seeds = 0;
   bool json = false;
   std::string dump_dir;
   auto parse_int = [&](int* i, long min_value, long* out) {
@@ -612,9 +702,19 @@ int RunConform(int argc, char** argv) {
       options.minimize = false;
     } else if (arg == "--dump-dir" && i + 1 < argc) {
       dump_dir = argv[++i];
+    } else if (arg == "--chaos-seeds" && parse_int(&i, 1, &value)) {
+      chaos_seeds = value;
+    } else if (arg == "--chaos-start" && parse_int(&i, 0, &value)) {
+      chaos_options.first_seed = static_cast<std::uint32_t>(value);
     } else {
       return Usage();
     }
+  }
+  if (chaos_seeds > 0) {
+    chaos_options.num_seeds = static_cast<int>(chaos_seeds);
+    chaos_options.num_classes = options.num_classes;
+    chaos_options.num_relationships = options.num_relationships;
+    return RunChaos(chaos_options, json, dump_dir);
   }
   // Start counters from zero so the report's stats block covers exactly
   // this sweep.
@@ -654,9 +754,7 @@ int RunConform(int argc, char** argv) {
   return report->disagreements.empty() ? kExitOk : kExitFindings;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RealMain(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
@@ -780,4 +878,19 @@ int main(int argc, char** argv) {
     return EXIT_SUCCESS;
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Outer backstop for the subsystem boundaries (`SimplexSolver::SolveWith`,
+  // `Expansion::Build` convert their own allocation failures): whatever
+  // still escapes becomes the resource exit code, not a terminate().
+  try {
+    return RealMain(argc, argv);
+  } catch (const std::bad_alloc&) {
+    std::cerr << "out of memory; aborting cleanly (treat as a resource "
+                 "limit)\n";
+    return kExitResource;
+  }
 }

@@ -1,0 +1,154 @@
+#ifndef CRSAT_BASE_FAILPOINT_H_
+#define CRSAT_BASE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace crsat {
+
+/// Deterministic fault injection (DESIGN.md §14).
+///
+/// A *failpoint* is a named site on a recovery seam — warm-start
+/// rejection, tier overflow, cover-LP failure, allocation failure — that
+/// normally evaluates to `false` at the cost of a single relaxed atomic
+/// load, but can be activated (via the API below or the
+/// `CRSAT_FAILPOINTS` environment variable) to fire on a deterministic
+/// schedule. Firing simulates the failure the seam exists to absorb, so
+/// every rung of the degradation ladder is deliberately reachable in
+/// tests and in the chaos conformance sweep instead of only when the
+/// hardware happens to misbehave.
+///
+/// Usage at a seam:
+///
+///   if (CRSAT_FAILPOINT("lp/warm_start_reject")) {
+///     return WarmStartOutcome::kRejected;  // As if the basis mismatched.
+///   }
+///
+/// Every id passed to `CRSAT_FAILPOINT` must appear in the static
+/// registry (`RegisteredFailpoints`); activation of an unknown id is an
+/// error, and the srclint `failpoint-hygiene` rule rejects unregistered
+/// ids at the source level. `src/oracle/` must contain no failpoint
+/// sites at all: the conformance ground truth stays fault-free.
+///
+/// Environment grammar (comma- or semicolon-separated):
+///
+///   CRSAT_FAILPOINTS="lp/warm_start_reject=nth:3,alloc/simplex=every:7"
+///   CRSAT_FAILPOINTS="witness/force_rescale=p:0.25@42"
+///
+///   id            fire on the first hit (shorthand for nth:1)
+///   id=nth:N      fire on exactly the N-th hit (1-based), once
+///   id=every:K    fire on every K-th hit (K, 2K, 3K, ...)
+///   id=p:P@SEED   fire each hit with probability P, drawn from a
+///                 DeterministicRng seeded with SEED (identical fault
+///                 schedule on every platform)
+///
+/// Thread safety: activation/deactivation and schedule evaluation are
+/// mutex-serialized; the disabled fast path is a lone relaxed load. The
+/// hit/fire counters survive deactivation (they are cumulative for the
+/// registry coverage assertion) until `ResetFailpointCounters`.
+
+/// How an active failpoint decides to fire.
+enum class FailpointMode {
+  kNth,          ///< Fire on exactly the n-th hit, once.
+  kEveryK,       ///< Fire on every k-th hit.
+  kProbability,  ///< Fire each hit with seeded probability.
+};
+
+/// An activation request for one failpoint.
+struct FailpointSpec {
+  std::string id;
+  FailpointMode mode = FailpointMode::kNth;
+  /// kNth: the 1-based hit index that fires. kEveryK: the period.
+  std::uint64_t n = 1;
+  /// kProbability: chance of firing per hit, in [0, 1].
+  double probability = 0.0;
+  /// kProbability: DeterministicRng seed for the firing coin flips.
+  std::uint32_t seed = 0;
+};
+
+/// Cumulative per-id counters (across activations, until reset).
+struct FailpointCounters {
+  std::uint64_t hits = 0;   ///< Times an *active* site was evaluated.
+  std::uint64_t fires = 0;  ///< Times the schedule said "fire".
+};
+
+/// The static catalog of every failpoint id that may appear at a
+/// `CRSAT_FAILPOINT` site, sorted. New seams register here first.
+const std::vector<std::string>& RegisteredFailpoints();
+
+/// True iff `id` appears in `RegisteredFailpoints()`.
+bool IsFailpointRegistered(std::string_view id);
+
+/// Arms `spec.id` with the given schedule, replacing any existing
+/// schedule for that id. Fails with kInvalidArgument for unregistered
+/// ids or out-of-range parameters (n == 0, probability outside [0, 1]).
+Status ActivateFailpoint(const FailpointSpec& spec);
+
+/// Disarms `id` (no-op if it was not active). Counters are preserved.
+Status DeactivateFailpoint(std::string_view id);
+
+/// Disarms every failpoint. Counters are preserved.
+void DeactivateAllFailpoints();
+
+/// Parses the environment grammar above and activates each entry.
+/// Stops at (and reports) the first malformed entry; entries before it
+/// stay active.
+Status ActivateFailpointsFromSpec(std::string_view spec_text);
+
+/// Cumulative counters for `id` (zeros for an id never hit).
+FailpointCounters GetFailpointCounters(std::string_view id);
+
+/// Zeros every id's counters (active schedules keep their positions).
+void ResetFailpointCounters();
+
+/// RAII activation for tests: arms in the constructor, disarms in the
+/// destructor. Activation failure (unregistered id, bad parameters) is
+/// surfaced through `status()` — assert on it before relying on the
+/// fault actually being armed.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(FailpointSpec spec);
+  /// Shorthand: fire on exactly the `nth` hit (1-based), once.
+  ScopedFailpoint(std::string id, std::uint64_t nth);
+  ~ScopedFailpoint();
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  /// OK iff the failpoint is armed.
+  const Status& status() const { return status_; }
+
+ private:
+  std::string id_;
+  Status status_;
+};
+
+namespace failpoint_internal {
+
+/// Non-zero while at least one failpoint is armed. The only cost a
+/// disabled `CRSAT_FAILPOINT` site pays is this relaxed load.
+extern std::atomic<int> g_any_active;
+
+/// Slow path: looks up `id`'s schedule, advances its counters, and
+/// returns whether this hit fires. Called only while something is armed.
+bool ShouldFireSlow(const char* id);
+
+}  // namespace failpoint_internal
+
+/// Evaluates to true when the named failpoint is armed and its schedule
+/// fires on this hit. `id` must be a string literal naming a registered
+/// failpoint (enforced by srclint `failpoint-hygiene` and by
+/// `ActivateFailpoint`).
+#define CRSAT_FAILPOINT(id)                                      \
+  (::crsat::failpoint_internal::g_any_active.load(               \
+       std::memory_order_relaxed) != 0 &&                        \
+   ::crsat::failpoint_internal::ShouldFireSlow(id))
+
+}  // namespace crsat
+
+#endif  // CRSAT_BASE_FAILPOINT_H_

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "src/base/failpoint.h"
+
 namespace crsat {
 
 namespace {
@@ -22,6 +24,13 @@ bool EnvironmentDefault() {
 }  // namespace
 
 bool IncrementalReasoningEnabled() {
+  // Injected incremental -> cold degradation (rung 0 -> 1): every layer
+  // that consults this toggle falls back to its cold reference path for
+  // the queries on which the schedule fires. Checked before the override
+  // so the chaos harness can force cold even inside a scoped override.
+  if (CRSAT_FAILPOINT("incremental/force_cold")) {
+    return false;
+  }
   const int forced = g_override.load(std::memory_order_acquire);
   if (forced >= 0) {
     return forced != 0;

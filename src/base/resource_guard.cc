@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "src/base/degradation.h"
+#include "src/base/failpoint.h"
+
 namespace crsat {
 
 namespace {
@@ -27,6 +30,8 @@ const char* ResourceLimitKindToString(ResourceLimitKind kind) {
       return "memory";
     case ResourceLimitKind::kCancelled:
       return "cancelled";
+    case ResourceLimitKind::kInjected:
+      return "injected";
   }
   return "unknown";
 }
@@ -98,6 +103,8 @@ Status ResourceGuard::MakeStatus(ResourceLimitKind kind,
           std::to_string(limits_.max_memory_bytes.value_or(0)) + " B)");
     case ResourceLimitKind::kCancelled:
       return CancelledError("cancelled at " + where);
+    case ResourceLimitKind::kInjected:
+      return ResourceExhaustedError("injected fault at " + where);
     case ResourceLimitKind::kNone:
       break;
   }
@@ -108,8 +115,11 @@ Status ResourceGuard::Trip(ResourceLimitKind kind, const char* site) {
   ResourceLimitKind expected = ResourceLimitKind::kNone;
   if (tripped_kind_.compare_exchange_strong(expected, kind,
                                             std::memory_order_acq_rel)) {
-    MutexLock lock(trip_mutex_);
-    trip_site_ = site;
+    {
+      MutexLock lock(trip_mutex_);
+      trip_site_ = site;
+    }
+    GetRecoveryStats().guard_trips.fetch_add(1, std::memory_order_relaxed);
   }
   return TripStatus();
 }
@@ -135,6 +145,10 @@ Status ResourceGuard::Check(const char* site) {
   }
   if (cancel_requested()) {
     return Trip(ResourceLimitKind::kCancelled, site);
+  }
+  if (CRSAT_FAILPOINT("guard/trip")) {
+    // Injected mid-batch trip: sticks exactly like a genuine one.
+    return Trip(ResourceLimitKind::kInjected, site);
   }
   if (limits_.max_compounds.has_value() &&
       compounds() > *limits_.max_compounds) {

@@ -26,6 +26,12 @@ enum class ResourceLimitKind {
   kMemory,
   /// `RequestCancel()` was observed.
   kCancelled,
+  /// An injected fault (the `guard/trip` failpoint, src/base/failpoint.h)
+  /// tripped the guard mid-batch. Surfaces as `kResourceExhausted`, so to
+  /// every caller it is indistinguishable from a genuine budget trip —
+  /// which is the point: the chaos sweep proves mid-batch trips degrade
+  /// to honest UNKNOWN verdicts, never to flipped ones.
+  kInjected,
 };
 
 /// Stable name for a limit kind ("deadline", "compounds", ...).

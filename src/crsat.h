@@ -31,6 +31,8 @@
 #include "src/analysis/lint_engine.h"
 #include "src/analysis/lint_rule.h"
 #include "src/analysis/rules.h"
+#include "src/base/degradation.h"
+#include "src/base/failpoint.h"
 #include "src/base/resource_guard.h"
 #include "src/base/result.h"
 #include "src/base/status.h"

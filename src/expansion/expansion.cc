@@ -1,8 +1,11 @@
 #include "src/expansion/expansion.h"
 
 #include <algorithm>
+#include <new>
 #include <utility>
 
+#include "src/base/degradation.h"
+#include "src/base/failpoint.h"
 #include "src/base/incremental.h"
 
 namespace crsat {
@@ -220,8 +223,8 @@ class ConsistentClassEnumerator {
 
 }  // namespace
 
-Result<Expansion> Expansion::Build(const Schema& schema,
-                                   const ExpansionOptions& options) {
+Result<Expansion> Expansion::BuildImpl(const Schema& schema,
+                                       const ExpansionOptions& options) {
   if (schema.num_classes() > CompoundClass::kMaxClasses) {
     return InvalidArgumentError(
         "expansion supports at most " +
@@ -318,6 +321,28 @@ Result<Expansion> Expansion::Build(const Schema& schema,
     }
   }
   return expansion;
+}
+
+Result<Expansion> Expansion::Build(const Schema& schema,
+                                   const ExpansionOptions& options) {
+  // Allocation-failure boundary (rung 3 of the degradation ladder): the
+  // enumeration is worst-case exponential, so a genuine std::bad_alloc —
+  // or the injected `alloc/expansion` fault standing in for one — must
+  // become an honest kResourceExhausted refusal here, inside the
+  // subsystem, before it can escape a ThreadPool worker and terminate
+  // the process.
+  try {
+    if (CRSAT_FAILPOINT("alloc/expansion")) {
+      throw std::bad_alloc();
+    }
+    return BuildImpl(schema, options);
+  } catch (const std::bad_alloc&) {
+    GetRecoveryStats().bad_alloc_conversions.fetch_add(
+        1, std::memory_order_relaxed);
+    return ResourceExhaustedError(
+        "expansion: allocation failed; returning UNKNOWN instead of "
+        "crashing");
+  }
 }
 
 int Expansion::ClassIndexOf(const CompoundClass& compound) const {

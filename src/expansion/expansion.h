@@ -114,7 +114,10 @@ struct ExpansionOptions {
 class Expansion {
  public:
   /// Builds the expansion of `schema`. Fails if the schema has more than
-  /// `CompoundClass::kMaxClasses` classes or the caps are exceeded.
+  /// `CompoundClass::kMaxClasses` classes or the caps are exceeded. An
+  /// allocation failure inside the (worst-case exponential) enumeration —
+  /// genuine or injected via the `alloc/expansion` failpoint — surfaces
+  /// as `kResourceExhausted`, never as an escaped `std::bad_alloc`.
   static Result<Expansion> Build(const Schema& schema,
                                  const ExpansionOptions& options = {});
 
@@ -177,6 +180,11 @@ class Expansion {
 
  private:
   Expansion() = default;
+
+  // The body of `Build`, wrapped by the std::bad_alloc ->
+  // kResourceExhausted boundary in the public entry point.
+  static Result<Expansion> BuildImpl(const Schema& schema,
+                                     const ExpansionOptions& options);
 
   const Schema* schema_ = nullptr;
   ExpansionOptions options_;

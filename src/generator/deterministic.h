@@ -1,71 +1,11 @@
 #ifndef CRSAT_GENERATOR_DETERMINISTIC_H_
 #define CRSAT_GENERATOR_DETERMINISTIC_H_
 
-#include <cstdint>
-#include <random>
-
-namespace crsat {
-
-/// Cross-platform deterministic random draws.
-///
-/// The `std::mt19937` *engine* is fully specified by the standard (same
-/// seed, same 32-bit output stream everywhere), but the *distributions*
-/// (`std::uniform_int_distribution`, `std::uniform_real_distribution`) are
-/// implementation-defined: libstdc++, libc++ and MSVC consume the stream
-/// differently, so a seed reproduces a different schema per toolchain.
-/// This wrapper draws raw engine words and maps them itself (Lemire's
-/// multiply-shift rejection for integers, a fixed-point threshold for
-/// coins), so every draw sequence is identical on gcc/clang/libc++/MSVC.
-/// The seeded generator, the metamorphic mutator and the conformance
-/// driver all route their randomness through it — a reported failing seed
-/// reproduces the exact same schema on any platform.
-class DeterministicRng {
- public:
-  explicit DeterministicRng(std::uint32_t seed) : engine_(seed) {}
-
-  /// The next raw 32-bit engine word.
-  std::uint32_t NextWord() { return engine_(); }
-
-  /// Uniform draw from the inclusive range [low, high]. Requires
-  /// low <= high. Unbiased (Lemire 2019 rejection method).
-  int UniformInt(int low, int high) {
-    const std::uint32_t range =
-        static_cast<std::uint32_t>(high - low) + 1u;  // 0 encodes 2^32.
-    if (range == 0) {
-      return low + static_cast<int>(NextWord());
-    }
-    std::uint64_t product =
-        static_cast<std::uint64_t>(NextWord()) * range;
-    std::uint32_t fraction = static_cast<std::uint32_t>(product);
-    if (fraction < range) {
-      const std::uint32_t threshold = (0u - range) % range;
-      while (fraction < threshold) {
-        product = static_cast<std::uint64_t>(NextWord()) * range;
-        fraction = static_cast<std::uint32_t>(product);
-      }
-    }
-    return low + static_cast<int>(product >> 32);
-  }
-
-  /// True with probability `probability` (clamped to [0, 1]). The
-  /// threshold comparison is a single IEEE-754 multiply, identical on
-  /// every conforming platform.
-  bool Coin(double probability) {
-    if (probability >= 1.0) {
-      return true;
-    }
-    if (probability <= 0.0) {
-      return false;
-    }
-    const std::uint64_t threshold =
-        static_cast<std::uint64_t>(probability * 4294967296.0);
-    return NextWord() < threshold;
-  }
-
- private:
-  std::mt19937 engine_;
-};
-
-}  // namespace crsat
+// DeterministicRng moved to src/base/ so that base-layer machinery (the
+// failpoint probability schedules in src/base/failpoint.cc) can use it
+// without inverting the include layering (base/ may not include
+// generator/). This forwarding header keeps every existing generator-,
+// oracle- and test-side include working unchanged.
+#include "src/base/deterministic.h"
 
 #endif  // CRSAT_GENERATOR_DETERMINISTIC_H_

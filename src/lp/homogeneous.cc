@@ -7,6 +7,8 @@
 #include <optional>
 #include <utility>
 
+#include "src/base/degradation.h"
+#include "src/base/failpoint.h"
 #include "src/base/incremental.h"
 #include "src/base/resource_guard.h"
 #include "src/base/thread_pool.h"
@@ -232,7 +234,15 @@ Result<SupportResult> ComputeMaximalSupport(
   // or two variables each. Verdict-equivalent — the maximal support is
   // unique — but kept behind the incremental gate so the forced-cold
   // reference path preserves the historical probe sequence.
-  if (IncrementalReasoningEnabled() && pinned.num_variables() > 0) {
+  // A cover-LP failure — injected via `lp/support_cover_fail`, or a
+  // genuine non-resource failure — degrades to the per-group probe
+  // rounds below (rung 0 -> 1) instead of erroring out: the rounds
+  // compute the same unique maximal support, just slower. Resource
+  // statuses still propagate (the trip is sticky; retrying would trip
+  // again immediately).
+  if (IncrementalReasoningEnabled() &&
+      GetDegradationPolicy().allow_incremental &&
+      pinned.num_variables() > 0) {
     const int nu = pinned.num_variables();
     LinearSystem covered = pinned;
     LinearExpr total_deficit;
@@ -268,23 +278,30 @@ Result<SupportResult> ComputeMaximalSupport(
       }
       options.export_basis = &exported;
     }
-    CRSAT_ASSIGN_OR_RETURN(
-        LpResult lp, SimplexSolver::SolveWith(covered, total_deficit,
-                                              /*maximize=*/false, options));
-    if (lp.outcome != LpOutcome::kOptimal) {
-      // x = 0, y = 1 is always feasible and the objective is bounded
-      // below by zero, so this cannot happen on a sound solver.
-      return InternalError("support-cover LP was not optimal");
+    if (!CRSAT_FAILPOINT("lp/support_cover_fail")) {
+      Result<LpResult> lp = SimplexSolver::SolveWith(
+          covered, total_deficit, /*maximize=*/false, options);
+      if (!lp.ok() && IsResourceLimitStatus(lp.status().code())) {
+        return lp.status();
+      }
+      // lp.ok() with a non-optimal outcome cannot happen on a sound
+      // solver (x = 0, y = 1 is always feasible and the objective is
+      // bounded below by zero); treat it like any other cover failure
+      // and let the probe rounds decide.
+      if (lp.ok() && lp->outcome == LpOutcome::kOptimal) {
+        if (basis_cache != nullptr && !exported.empty()) {
+          basis_cache->Store(covered.num_variables(), cover_constraints,
+                             std::move(exported));
+        }
+        for (VarId u = 0; u < nu; ++u) {
+          result.witness[from_probe[u]] = lp->values[u];
+          result.positive[from_probe[u]] = lp->values[u].IsPositive();
+        }
+        return result;
+      }
     }
-    if (basis_cache != nullptr && !exported.empty()) {
-      basis_cache->Store(covered.num_variables(), cover_constraints,
-                         std::move(exported));
-    }
-    for (VarId u = 0; u < nu; ++u) {
-      result.witness[from_probe[u]] = lp.values[u];
-      result.positive[from_probe[u]] = lp.values[u].IsPositive();
-    }
-    return result;
+    GetRecoveryStats().cover_fallbacks.fetch_add(1,
+                                                 std::memory_order_relaxed);
   }
 
   constexpr size_t kMaxGroupsPerRound = 8;

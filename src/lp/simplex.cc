@@ -1,8 +1,11 @@
 #include "src/lp/simplex.h"
 
 #include <algorithm>
+#include <new>
 #include <utility>
 
+#include "src/base/degradation.h"
+#include "src/base/failpoint.h"
 #include "src/base/incremental.h"
 #include "src/base/resource_guard.h"
 #include "src/lp/small_rational.h"
@@ -300,6 +303,9 @@ class Tableau {
     if (warm.num_columns != layout_->num_columns) {
       return WarmStartOutcome::kRejected;  // Differently-shaped system.
     }
+    if (CRSAT_FAILPOINT("lp/warm_start_reject")) {
+      return WarmStartOutcome::kRejected;  // Injected shape mismatch.
+    }
     std::vector<bool> row_claimed(matrix_.size(), false);
     for (int column : warm.basis) {
       if (column < 0 || column >= layout_->num_with_slacks) {
@@ -393,6 +399,9 @@ class Tableau {
       }
       if (guard_ != nullptr && !guard_->Check("simplex/dual_pivot").ok()) {
         return WarmStartOutcome::kTripped;
+      }
+      if (CRSAT_FAILPOINT("lp/dual_repair_abort")) {
+        return WarmStartOutcome::kRejected;  // Injected mid-repair abort.
       }
       int leaving_row = -1;
       for (size_t i = 0; i < basis_.size(); ++i) {
@@ -787,6 +796,8 @@ TierOutcome SolveOnTier(const LinearSystem& system, const TableauLayout& layout,
       case WarmStartOutcome::kRejected:
         // The failed attempt may have left the tableau mid-elimination
         // (and possibly overflowed); rebuild and run cold on this tier.
+        // Rung 0 -> 1 of the degradation ladder (DESIGN.md §14).
+        BumpStat(GetRecoveryStats().warm_start_fallbacks);
         warm->repair_fallback = attempted_repair;
         discarded_pivots = tableau.pivots();
         discarded_dual_pivots = tableau.dual_pivots();
@@ -895,12 +906,14 @@ void RecordWarmDisposition(SimplexStats& stats, const WarmDisposition& warm) {
   }
 }
 
-}  // namespace
-
-Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
-                                          const LinearExpr& objective,
-                                          bool maximize,
-                                          const SimplexOptions& options) {
+// The body of SolveWith. Kept separate so the public entry point can
+// wrap it in the std::bad_alloc -> kResourceExhausted boundary: callers
+// fan solves out over ThreadPool workers, and an exception escaping a
+// worker would std::terminate the process, so the conversion must happen
+// here inside the subsystem, not at the CLI.
+Result<LpResult> SolveWithImpl(const LinearSystem& system,
+                               const LinearExpr& objective, bool maximize,
+                               const SimplexOptions& options) {
   if (system.HasStrictConstraints()) {
     return InvalidArgumentError(
         "SimplexSolver does not accept strict constraints; reduce them via "
@@ -916,7 +929,9 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
   // ScopedIncrementalOverride) ignores carried bases entirely so every
   // solve runs the exact code path the differential tests compare against.
   SimplexOptions effective = options;
-  if (effective.warm_start != nullptr && !IncrementalReasoningEnabled()) {
+  const DegradationPolicy policy = GetDegradationPolicy();
+  if (effective.warm_start != nullptr &&
+      (!IncrementalReasoningEnabled() || !policy.allow_incremental)) {
     effective.warm_start = nullptr;
   }
 
@@ -937,7 +952,18 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
   std::uint64_t tier_dual_pivots = 0;
   WarmDisposition warm;
 
-  if (effective.tier == SimplexOptions::Tier::kTwoTier) {
+  bool try_fast_tier = effective.tier == SimplexOptions::Tier::kTwoTier;
+  if (try_fast_tier &&
+      (!policy.allow_fast_tier || CRSAT_FAILPOINT("lp/fast_tier_overflow"))) {
+    // Rung 1 -> 2 without attempting the int64 tier: the policy forbids
+    // it, or an injected overflow simulates the fast tier failing at the
+    // earliest possible point. Either way the exact re-solve below is the
+    // same code the genuine overflow path runs.
+    try_fast_tier = false;
+    BumpStat(stats.tier_fallbacks);
+    BumpStat(GetRecoveryStats().tier_fallbacks);
+  }
+  if (try_fast_tier) {
     LpResult fast;
     TierOutcome outcome = SolveOnTier<SmallRational>(
         system, layout, costs, effective, &fast, &tier_pivots,
@@ -959,6 +985,7 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
       return fast;
     }
     BumpStat(stats.tier_fallbacks);
+    BumpStat(GetRecoveryStats().tier_fallbacks);
   }
 
   LpResult exact;
@@ -977,6 +1004,29 @@ Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
     exact.objective = objective.Evaluate(exact.values);
   }
   return exact;
+}
+
+}  // namespace
+
+Result<LpResult> SimplexSolver::SolveWith(const LinearSystem& system,
+                                          const LinearExpr& objective,
+                                          bool maximize,
+                                          const SimplexOptions& options) {
+  // Allocation-failure boundary (rung 3 of the degradation ladder): a
+  // genuine std::bad_alloc anywhere in the solve — or the injected
+  // `alloc/simplex` fault standing in for one — becomes an honest
+  // kResourceExhausted refusal instead of a crash.
+  try {
+    if (CRSAT_FAILPOINT("alloc/simplex")) {
+      throw std::bad_alloc();
+    }
+    return SolveWithImpl(system, objective, maximize, options);
+  } catch (const std::bad_alloc&) {
+    BumpStat(GetRecoveryStats().bad_alloc_conversions);
+    return ResourceExhaustedError(
+        "simplex: allocation failed; returning UNKNOWN instead of "
+        "crashing");
+  }
 }
 
 Result<LpResult> SimplexSolver::Solve(const LinearSystem& system,

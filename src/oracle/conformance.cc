@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <functional>
+#include <numeric>
 #include <optional>
 #include <sstream>
 #include <utility>
 
 #include "src/analysis/empty_classes.h"
+#include "src/base/degradation.h"
+#include "src/base/deterministic.h"
+#include "src/base/failpoint.h"
+#include "src/base/resource_guard.h"
 #include "src/baseline/fast_path.h"
 #include "src/baseline/ln_reasoner.h"
 #include "src/lp/simplex.h"
@@ -66,9 +71,13 @@ bool IsBenignWitnessFailure(StatusCode code) {
 /// The production verdict path — the same expansion -> known-empty feed ->
 /// satisfiability pipeline `crsat_cli check` runs. `inject_flip_class`
 /// (when in range) flips one verdict, simulating a reasoner bug.
-Result<std::vector<bool>> ReasonerVerdicts(const Schema& schema,
-                                           int inject_flip_class) {
-  Result<Expansion> expansion = Expansion::Build(schema);
+/// `expansion_options` lets the chaos driver thread a resource guard
+/// through the whole pipeline (the options travel with the built
+/// expansion into every downstream layer).
+Result<std::vector<bool>> ReasonerVerdicts(
+    const Schema& schema, int inject_flip_class,
+    const ExpansionOptions& expansion_options = {}) {
+  Result<Expansion> expansion = Expansion::Build(schema, expansion_options);
   if (!expansion.ok()) {
     return expansion.status();
   }
@@ -92,8 +101,9 @@ Result<std::vector<bool>> ReasonerVerdicts(const Schema& schema,
 /// whenever it reports a satisfiable class it can also certify a model,
 /// so "reasoner says SAT but synthesis failed" is a conformance
 /// disagreement, not bad luck.
-Result<Interpretation> SynthesizeWitness(const Schema& schema) {
-  Result<Expansion> expansion = Expansion::Build(schema);
+Result<Interpretation> SynthesizeWitness(
+    const Schema& schema, const ExpansionOptions& expansion_options = {}) {
+  Result<Expansion> expansion = Expansion::Build(schema, expansion_options);
   if (!expansion.ok()) {
     return expansion.status();
   }
@@ -601,6 +611,280 @@ Result<ConformanceReport> RunConformance(const ConformanceOptions& options) {
         }
       }
     }
+  }
+  return report;
+}
+
+namespace {
+
+/// Renders an armed schedule in the CRSAT_FAILPOINTS grammar, so every
+/// reported flip replays from the command line.
+std::string FormatSchedule(const std::vector<FailpointSpec>& schedule) {
+  std::ostringstream out;
+  bool first = true;
+  for (const FailpointSpec& spec : schedule) {
+    out << (first ? "" : ",") << spec.id;
+    first = false;
+    switch (spec.mode) {
+      case FailpointMode::kNth:
+        out << "=nth:" << spec.n;
+        break;
+      case FailpointMode::kEveryK:
+        out << "=every:" << spec.n;
+        break;
+      case FailpointMode::kProbability:
+        out << "=p:" << spec.probability << "@" << spec.seed;
+        break;
+    }
+  }
+  return out.str();
+}
+
+/// Seed-derived randomized fault schedule: 1..max_faults distinct
+/// registered failpoints (a shuffled prefix of the registry), each with a
+/// random mode — fire-once, every-K, or seeded probability. A pure
+/// function of `seed`, exactly like the schema itself, so a failing seed
+/// reproduces the identical fault schedule on any platform.
+std::vector<FailpointSpec> ChaosSchedule(std::uint32_t seed, int max_faults) {
+  // Decorrelated from the schema generator, which consumes the raw seed.
+  DeterministicRng rng(seed * 2654435761u + 0x9E3779B9u);
+  const std::vector<std::string>& registry = RegisteredFailpoints();
+  std::vector<std::size_t> order(registry.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<std::size_t>(rng.UniformInt(
+                                0, static_cast<int>(i) - 1))]);
+  }
+  const int count =
+      std::min(rng.UniformInt(1, std::max(1, max_faults)),
+               static_cast<int>(registry.size()));
+  std::vector<FailpointSpec> schedule;
+  for (int i = 0; i < count; ++i) {
+    FailpointSpec spec;
+    spec.id = registry[order[static_cast<std::size_t>(i)]];
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        spec.mode = FailpointMode::kNth;
+        spec.n = static_cast<std::uint64_t>(rng.UniformInt(1, 4));
+        break;
+      case 1:
+        spec.mode = FailpointMode::kEveryK;
+        spec.n = static_cast<std::uint64_t>(rng.UniformInt(2, 5));
+        break;
+      default:
+        spec.mode = FailpointMode::kProbability;
+        spec.probability = 0.25 * rng.UniformInt(1, 3);
+        spec.seed = rng.NextWord();
+        break;
+    }
+    schedule.push_back(std::move(spec));
+  }
+  return schedule;
+}
+
+/// However a faulted run exits, the process returns to fault-free.
+struct ScopedChaosFaults {
+  ~ScopedChaosFaults() { DeactivateAllFailpoints(); }
+};
+
+}  // namespace
+
+std::string ChaosReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"seeds_swept\": " << seeds_swept << ",\n"
+      << "  \"faulted_runs_agreeing\": " << faulted_runs_agreeing << ",\n"
+      << "  \"degraded_to_unknown\": " << degraded_to_unknown << ",\n"
+      << "  \"witnesses_survived\": " << witnesses_survived << ",\n"
+      << "  \"witness_benign_failures\": " << witness_benign_failures
+      << ",\n"
+      << "  \"failpoints_armed\": " << failpoints_armed << ",\n"
+      << "  \"faults_fired\": " << faults_fired << ",\n"
+      << "  \"fires_by_failpoint\": {";
+  {
+    bool first = true;
+    for (const auto& entry : fires_by_failpoint) {
+      out << (first ? "" : ", ") << "\"" << JsonEscape(entry.first)
+          << "\": " << entry.second;
+      first = false;
+    }
+  }
+  out << "},\n";
+  {
+    // Ladder-transition counters for the whole sweep (reset-at-start
+    // discipline, same as the solver stats in ConformanceReport).
+    const RecoveryStats& recovery = GetRecoveryStats();
+    auto load = [](const std::atomic<std::uint64_t>& counter) {
+      return counter.load(std::memory_order_relaxed);
+    };
+    out << "  \"recovery\": {\"warm_start_fallbacks\": "
+        << load(recovery.warm_start_fallbacks)
+        << ", \"cover_fallbacks\": " << load(recovery.cover_fallbacks)
+        << ", \"tier_fallbacks\": " << load(recovery.tier_fallbacks)
+        << ", \"witness_flow_refinements\": "
+        << load(recovery.witness_flow_refinements)
+        << ", \"witness_rescales\": " << load(recovery.witness_rescales)
+        << ", \"bad_alloc_conversions\": "
+        << load(recovery.bad_alloc_conversions)
+        << ", \"guard_trips\": " << load(recovery.guard_trips) << "},\n";
+  }
+  out << "  \"flips\": [";
+  bool first = true;
+  for (const ChaosVerdictFlip& flip : flips) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"seed\": " << flip.seed << ", \"kind\": \""
+        << JsonEscape(flip.kind) << "\", \"class\": \""
+        << JsonEscape(flip.class_name) << "\", \"faults\": \""
+        << JsonEscape(flip.fault_schedule) << "\", \"detail\": \""
+        << JsonEscape(flip.detail) << "\", \"schema\": \""
+        << JsonEscape(flip.schema_text) << "\"}";
+  }
+  out << (flips.empty() ? "]" : "\n  ]") << "\n}";
+  return out.str();
+}
+
+std::string ChaosReport::Summary() const {
+  std::ostringstream out;
+  out << seeds_swept << " seeds under chaos (" << failpoints_armed
+      << " failpoints armed, " << faults_fired << " faults fired): "
+      << faulted_runs_agreeing << " faulted runs agreed with fault-free, "
+      << degraded_to_unknown << " degraded to UNKNOWN, "
+      << witnesses_survived << " witnesses survived, "
+      << witness_benign_failures << " benign witness failures: "
+      << flips.size() << " verdict flip(s)";
+  return out.str();
+}
+
+Result<ChaosReport> RunChaosConformance(
+    const ChaosConformanceOptions& options) {
+  ChaosReport report;
+  for (const std::string& id : RegisteredFailpoints()) {
+    report.fires_by_failpoint.emplace_back(id, 0);
+  }
+  // However this sweep exits, leave the process fault-free.
+  ScopedChaosFaults cleanup;
+  for (int i = 0; i < options.num_seeds; ++i) {
+    const std::uint32_t seed =
+        options.first_seed + static_cast<std::uint32_t>(i);
+    ConformanceOptions shape;
+    shape.num_classes = options.num_classes;
+    shape.num_relationships = options.num_relationships;
+    shape.isa_density = options.isa_density;
+    Result<Schema> generated = GenerateRandomSchema(SweepParams(shape, seed));
+    if (!generated.ok()) {
+      return generated.status();
+    }
+    const Schema& schema = *generated;
+
+    // Ground truth: the fault-free run. A failure here is a harness bug,
+    // not a chaos finding.
+    DeactivateAllFailpoints();
+    Result<std::vector<bool>> baseline =
+        ReasonerVerdicts(schema, /*inject_flip_class=*/-1);
+    if (!baseline.ok()) {
+      return Status(baseline.status().code(),
+                    "fault-free run failed on seed " + std::to_string(seed) +
+                        ": " + baseline.status().message());
+    }
+
+    // Arm the seed-derived schedule and re-run the same pipeline, guarded
+    // so `guard/trip` has a guard to trip.
+    const std::vector<FailpointSpec> schedule =
+        ChaosSchedule(seed, options.max_faults_per_seed);
+    const std::string schedule_text = FormatSchedule(schedule);
+    std::vector<FailpointCounters> before;
+    for (const FailpointSpec& spec : schedule) {
+      before.push_back(GetFailpointCounters(spec.id));
+      CRSAT_RETURN_IF_ERROR(ActivateFailpoint(spec));
+      ++report.failpoints_armed;
+    }
+
+    auto record_flip = [&](const std::string& kind,
+                           const std::string& class_name,
+                           const std::string& detail) {
+      ChaosVerdictFlip flip;
+      flip.seed = seed;
+      flip.kind = kind;
+      flip.class_name = class_name;
+      flip.fault_schedule = schedule_text;
+      flip.detail = detail;
+      flip.schema_text = SchemaToText(schema, "chaos");
+      report.flips.push_back(std::move(flip));
+    };
+
+    ResourceGuard guard;
+    ExpansionOptions faulted_options;
+    faulted_options.guard = &guard;
+    Result<std::vector<bool>> faulted =
+        ReasonerVerdicts(schema, options.inject_flip_class, faulted_options);
+    if (faulted.ok()) {
+      bool agreed = true;
+      for (ClassId cls : schema.AllClasses()) {
+        if ((*faulted)[cls.value] == (*baseline)[cls.value]) {
+          continue;
+        }
+        agreed = false;
+        record_flip("verdict-flip", schema.ClassName(cls),
+                    std::string("fault-free run says ") +
+                        ((*baseline)[cls.value] ? "sat" : "unsat") +
+                        ", faulted run says " +
+                        ((*faulted)[cls.value] ? "sat" : "unsat"));
+      }
+      if (agreed) {
+        ++report.faulted_runs_agreeing;
+      }
+    } else if (IsResourceLimitStatus(faulted.status().code())) {
+      // The bottom rung: an honest UNKNOWN instead of an answer.
+      ++report.degraded_to_unknown;
+    } else {
+      record_flip("non-benign-status", "",
+                  "faulted run failed outside the resource family: " +
+                      faulted.status().message());
+    }
+
+    // Witness stage under the same faults: whenever the fault-free run
+    // found a satisfiable class, the faulted pipeline must either put up
+    // a model that certifies here — outside the pipeline — or fail with
+    // one of its documented benign statuses. A non-model or a semantic
+    // error is a ladder-soundness violation.
+    const bool any_sat = std::any_of(baseline->begin(), baseline->end(),
+                                     [](bool b) { return b; });
+    if (options.check_witnesses && any_sat) {
+      Result<Interpretation> witness =
+          SynthesizeWitness(schema, faulted_options);
+      if (witness.ok()) {
+        if (ModelChecker::IsModel(schema, *witness)) {
+          ++report.witnesses_survived;
+        } else {
+          record_flip("witness-flip", "",
+                      "faulted witness stage synthesized a non-model with "
+                      "domain size " +
+                          std::to_string(witness->domain_size()));
+        }
+      } else if (IsBenignWitnessFailure(witness.status().code())) {
+        ++report.witness_benign_failures;
+      } else {
+        record_flip("witness-flip", "",
+                    "faulted witness stage failed outside the benign "
+                    "family: " +
+                        witness.status().message());
+      }
+    }
+
+    for (std::size_t s = 0; s < schedule.size(); ++s) {
+      const FailpointCounters after = GetFailpointCounters(schedule[s].id);
+      const std::uint64_t fired = after.fires - before[s].fires;
+      report.faults_fired += fired;
+      for (auto& entry : report.fires_by_failpoint) {
+        if (entry.first == schedule[s].id) {
+          entry.second += fired;
+          break;
+        }
+      }
+    }
+    DeactivateAllFailpoints();
+    ++report.seeds_swept;
   }
   return report;
 }

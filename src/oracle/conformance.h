@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/result.h"
@@ -106,6 +107,93 @@ struct ConformanceReport {
 /// harness-level failure (e.g. the generator itself erroring) aborts with
 /// a non-ok status instead of being swallowed.
 Result<ConformanceReport> RunConformance(const ConformanceOptions& options);
+
+/// Knobs for one chaos sweep (see RunChaosConformance below).
+struct ChaosConformanceOptions {
+  /// How many generator seeds to sweep, starting at `first_seed`. Each
+  /// seed determines both the schema AND the fault schedule, so a sweep
+  /// is reproducible fault-for-fault from `(first_seed, num_seeds)`.
+  int num_seeds = 200;
+  std::uint32_t first_seed = 1;
+
+  /// Shape of the generated schemas (same knobs as ConformanceOptions).
+  int num_classes = 4;
+  int num_relationships = 3;
+  double isa_density = 0.25;
+
+  /// Upper bound on how many distinct failpoints are armed per seed (at
+  /// least one is always armed — an unfaulted rerun proves nothing).
+  int max_faults_per_seed = 3;
+
+  /// Also re-run witness synthesis under faults whenever the fault-free
+  /// verdicts contain a satisfiable class, asserting the faulted pipeline
+  /// either certifies a model or fails benignly.
+  bool check_witnesses = true;
+
+  /// Test hook: flip the *faulted* run's verdict for this class id on
+  /// every seed (-1 = off). Simulates a degradation path that silently
+  /// corrupts a verdict, so tests can prove the chaos harness detects
+  /// verdict flips without committing a broken ladder.
+  int inject_flip_class = -1;
+};
+
+/// One soundness violation of the degradation ladder: a run with faults
+/// injected produced a *different answer* instead of the same answer or a
+/// resource-status UNKNOWN.
+struct ChaosVerdictFlip {
+  std::uint32_t seed = 0;
+  /// "verdict-flip"            — a class verdict differs from fault-free;
+  /// "non-benign-status"       — faulted run failed with a status outside
+  ///                             the resource family (kInternal etc.);
+  /// "witness-flip"            — faulted witness stage produced a
+  ///                             non-model or a non-benign failure.
+  std::string kind;
+  std::string class_name;
+  /// The fault schedule active during the run, in CRSAT_FAILPOINTS
+  /// grammar, so the flip replays from the command line.
+  std::string fault_schedule;
+  std::string detail;
+  std::string schema_text;
+};
+
+/// Counters + flips from a chaos sweep. Soundness holds iff `flips` is
+/// empty; the positive-evidence counters (`faults_fired`,
+/// `faulted_runs_agreeing`) must be nonzero for the run to prove
+/// anything, and the tests assert that too.
+struct ChaosReport {
+  int seeds_swept = 0;
+  /// Faulted runs that completed with verdicts identical to fault-free.
+  int faulted_runs_agreeing = 0;
+  /// Faulted runs that degraded to a resource-status UNKNOWN (the
+  /// bottom rung of the ladder) instead of answering.
+  int degraded_to_unknown = 0;
+  /// Faulted witness stages that still certified a model / that failed
+  /// benignly.
+  int witnesses_survived = 0;
+  int witness_benign_failures = 0;
+  /// Total failpoint activations and fires across the sweep.
+  int failpoints_armed = 0;
+  std::uint64_t faults_fired = 0;
+  /// Per-failpoint fire counts (sorted by id), for coverage reporting.
+  std::vector<std::pair<std::string, std::uint64_t>> fires_by_failpoint;
+  std::vector<ChaosVerdictFlip> flips;
+
+  std::string ToJson() const;
+  /// One-paragraph human summary.
+  std::string Summary() const;
+};
+
+/// The chaos driver proving the degradation ladder sound: for each seed,
+/// runs the production verdict pipeline fault-free, then re-runs it under
+/// a seed-derived randomized fault schedule (failpoints armed through the
+/// registry API with nth/every-K/probability modes) and a resource guard,
+/// and asserts the faulted outcome is either (a) verdicts identical to
+/// the fault-free run, or (b) a resource-family UNKNOWN — never a
+/// different answer. Witness synthesis is additionally allowed its
+/// documented benign failures (`kUnavailable` rescale exhaustion,
+/// cancellation). All failpoints are deactivated before returning, even
+/// on error paths.
+Result<ChaosReport> RunChaosConformance(const ChaosConformanceOptions& options);
 
 }  // namespace crsat
 

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/degradation.h"
+#include "src/base/failpoint.h"
 #include "src/flow/max_flow.h"
 #include "src/math/bigint.h"
 
@@ -201,9 +203,11 @@ Result<Interpretation> TryBuild(const Expansion& expansion,
     }
 
     // Fast path: aligned round-robin. Tuples m and m' collide only when
-    // population[k] divides m'-m for every k.
-    bool aligned_ok = true;
-    {
+    // population[k] divides m'-m for every k. The failpoint simulates a
+    // collision up front, forcing the min-congestion flow refinement the
+    // way a genuinely misaligned rotation would.
+    bool aligned_ok = !CRSAT_FAILPOINT("witness/force_flow_refine");
+    if (aligned_ok) {
       std::set<std::vector<Individual>> seen;
       std::vector<std::vector<Individual>> tuples;
       tuples.reserve(t);
@@ -237,6 +241,8 @@ Result<Interpretation> TryBuild(const Expansion& expansion,
     if (stats != nullptr) {
       ++stats->flow_refinements;
     }
+    GetRecoveryStats().witness_flow_refinements.fetch_add(
+        1, std::memory_order_relaxed);
     std::vector<TupleGroup> groups(1);
     groups[0].count = t;
     for (int k = 0; k < arity; ++k) {
@@ -286,12 +292,27 @@ Result<Interpretation> AssignTuples(const Expansion& expansion,
         "witness: solution size does not match the expansion");
   }
   BigInt scale(1);
-  for (int attempt = 0; attempt <= options.max_scaling_attempts; ++attempt) {
+  // The retry budget is the smaller of the caller's request and the
+  // process-wide DegradationPolicy rung-2 bound (both default to 8).
+  const int max_attempts =
+      std::min(options.max_scaling_attempts,
+               GetDegradationPolicy().max_witness_rescales);
+  for (int attempt = 0; attempt <= max_attempts; ++attempt) {
     if (guard != nullptr) {
       CRSAT_RETURN_IF_ERROR(guard->CheckNow("witness/attempt"));
     }
     if (stats != nullptr) {
       stats->scaling_attempts = attempt;
+    }
+    if (CRSAT_FAILPOINT("witness/force_rescale")) {
+      // Injected duplicate collision: double the scale exactly as if
+      // TryBuild had returned kUnavailable at this scale. Firing on
+      // every hit exhausts the budget into the honest kUnavailable
+      // refusal below — never a wrong witness.
+      GetRecoveryStats().witness_rescales.fetch_add(
+          1, std::memory_order_relaxed);
+      scale *= BigInt(2);
+      continue;
     }
     // Convert scaled counts to int64 and enforce the size cap.
     std::vector<std::int64_t> class_counts;
@@ -326,6 +347,8 @@ Result<Interpretation> AssignTuples(const Expansion& expansion,
     if (built.ok() || built.status().code() != StatusCode::kUnavailable) {
       return built;
     }
+    GetRecoveryStats().witness_rescales.fetch_add(1,
+                                                  std::memory_order_relaxed);
     scale *= BigInt(2);
   }
   return UnavailableError(

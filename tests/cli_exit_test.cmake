@@ -67,4 +67,28 @@ expect_exit(3 check "${SCHEMAS}/meeting.cr" --max-compounds 5)
 expect_exit(3 check "${SCHEMAS}/meeting.cr" --json --max-compounds 5)
 expect_exit(3 lint "${SCHEMAS}/lint_demo.cr" --timeout-ms 0)
 
+# Injected faults via CRSAT_FAILPOINTS: a simulated allocation failure is
+# a resource limit (exit 3) even with no guard flag configured, and a
+# recoverable fault (warm-start rejection) degrades without changing the
+# verdict or exit code.
+function(expect_exit_env expected env)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${env} ${CRSAT_CLI} ${ARGN}
+    RESULT_VARIABLE actual
+    OUTPUT_QUIET ERROR_QUIET)
+  if(NOT actual EQUAL expected)
+    string(JOIN " " argv ${ARGN})
+    message(FATAL_ERROR
+      "${env} crsat_cli ${argv}: expected exit ${expected}, got ${actual}")
+  endif()
+endfunction()
+expect_exit_env(3 "CRSAT_FAILPOINTS=alloc/expansion=nth:1"
+  check "${SCHEMAS}/meeting.cr")
+expect_exit_env(3 "CRSAT_FAILPOINTS=alloc/simplex=nth:1"
+  check "${SCHEMAS}/meeting.cr")
+expect_exit_env(0 "CRSAT_FAILPOINTS=lp/warm_start_reject=every:2"
+  check "${SCHEMAS}/meeting.cr")
+expect_exit_env(1 "CRSAT_FAILPOINTS=incremental/force_cold"
+  check "${SCHEMAS}/figure1.cr")
+
 message(STATUS "cli_exit_test: all exit-code expectations held")

@@ -196,6 +196,90 @@ TEST(SrclintRuleTest, RealDualRepairStaysGuarded) {
   EXPECT_TRUE(rules.count("dual-pivot-guard"));
 }
 
+TEST(SrclintRuleTest, FailpointHygieneViolationCaught) {
+  std::vector<Finding> findings = CheckTree(Testdata("failpoint_violation"));
+  // Unregistered id + non-literal argument in src/lp/, plus a site in
+  // src/oracle/ (flagged even with a registered id).
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "failpoint-hygiene");
+  }
+  EXPECT_EQ(findings[0].file, "src/lp/probe.cc");
+  EXPECT_NE(findings[0].message.find("unregistered"), std::string::npos);
+  EXPECT_EQ(findings[1].file, "src/lp/probe.cc");
+  EXPECT_NE(findings[1].message.find("string literal"), std::string::npos);
+  EXPECT_EQ(findings[2].file, "src/oracle/inject.cc");
+  EXPECT_NE(findings[2].message.find("fault-free"), std::string::npos);
+}
+
+TEST(SrclintRuleTest, FailpointHygieneCleanPasses) {
+  EXPECT_TRUE(CheckTree(Testdata("failpoint_clean")).empty());
+}
+
+TEST(SrclintRuleTest, OracleFailpointFlaggedDespiteLayeringExemption) {
+  // The conformance driver is exempt from include-layering (it sees both
+  // worlds by design) but NOT from failpoint hygiene: the ground truth
+  // side must stay fault-free, and the driver arms faults through the
+  // registry API, never the macro.
+  std::set<std::string> rules = Rules(CheckSource(
+      "src/oracle/conformance.cc",
+      "bool F() { return CRSAT_FAILPOINT(\"guard/trip\"); }\n"));
+  EXPECT_TRUE(rules.count("failpoint-hygiene"));
+}
+
+TEST(SrclintRuleTest, RealFailpointSeamsStayRegistered) {
+  // Same idiom as RealDualRepairStaysGuarded: the production warm-start
+  // seam must scan clean, and a typo'd id must turn the scan red — a
+  // typo'd failpoint never fires and silently drops its seam from the
+  // chaos sweep.
+  std::ifstream in(fs::path(CRSAT_SOURCE_DIR) / "src" / "lp" / "simplex.cc");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string original = buffer.str();
+  ASSERT_NE(original.find("CRSAT_FAILPOINT"), std::string::npos);
+  for (const Finding& finding : CheckSource("src/lp/simplex.cc", original)) {
+    EXPECT_NE(finding.rule, "failpoint-hygiene") << finding.message;
+  }
+  std::string mutated = original;
+  size_t at = mutated.find("\"lp/warm_start_reject\"");
+  ASSERT_NE(at, std::string::npos);
+  mutated.replace(at, 22, "\"lp/warm_start_rejekt\"");
+  std::set<std::string> rules = Rules(CheckSource("src/lp/simplex.cc",
+                                                  mutated));
+  EXPECT_TRUE(rules.count("failpoint-hygiene"));
+}
+
+TEST(SrclintRuleTest, FailpointCatalogMatchesRealRegistry) {
+  // Drift guard for the mirrored catalog: parse the registry array out of
+  // src/base/failpoint.cc and require set equality. Registering a new
+  // failpoint without mirroring it (or vice versa) fails right here.
+  std::ifstream in(fs::path(CRSAT_SOURCE_DIR) / "src" / "base" /
+                   "failpoint.cc");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+  size_t pos = source.find("kRegisteredFailpoints[]");
+  ASSERT_NE(pos, std::string::npos);
+  size_t end = source.find("};", pos);
+  ASSERT_NE(end, std::string::npos);
+  std::set<std::string> registry;
+  while (true) {
+    size_t open = source.find('"', pos);
+    if (open == std::string::npos || open >= end) {
+      break;
+    }
+    size_t close = source.find('"', open + 1);
+    ASSERT_NE(close, std::string::npos);
+    registry.insert(source.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  std::set<std::string> mirrored(srclint::FailpointRegistry().begin(),
+                                 srclint::FailpointRegistry().end());
+  EXPECT_EQ(mirrored, registry);
+}
+
 TEST(SrclintRuleTest, BadAllowCaught) {
   std::vector<Finding> findings = CheckTree(Testdata("badallow_violation"));
   std::set<std::string> rules = Rules(findings);

@@ -24,10 +24,21 @@ import sys
 
 
 def load_rows(path):
-    """Returns {(workload_name, threads): run_row} for comparable rows."""
-    with open(path, "r", encoding="utf-8") as handle:
-        doc = json.load(handle)
+    """Returns {(workload_name, threads): run_row} for comparable rows,
+    or None (after printing an error) when the file is missing/malformed.
+    Rows whose wall_ms is not a finite number are warned about and
+    dropped — an interrupted bench run writes nulls, and the gate must
+    degrade to "fewer rows compared", not a traceback."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot load {path}: {error}", file=sys.stderr)
+        return None
     rows = {}
+    if not isinstance(doc, dict):
+        print(f"WARN  {path}: top-level JSON is not an object; no rows")
+        return rows
     for workload in doc.get("workloads", []):
         name = workload.get("name", "?")
         for run in workload.get("runs", []):
@@ -35,6 +46,16 @@ def load_rows(path):
                 continue
             threads = run.get("threads")
             if threads is None or "wall_ms" not in run:
+                continue
+            try:
+                wall = float(run["wall_ms"])
+            except (TypeError, ValueError):
+                print(f"WARN  {name} [threads={threads}] in {path}: "
+                      f"non-numeric wall_ms {run['wall_ms']!r}; row dropped")
+                continue
+            if wall != wall or wall in (float("inf"), float("-inf")):
+                print(f"WARN  {name} [threads={threads}] in {path}: "
+                      f"non-finite wall_ms {wall!r}; row dropped")
                 continue
             rows[(name, threads)] = run
     return rows
@@ -53,6 +74,8 @@ def main():
 
     baseline = load_rows(args.baseline)
     fresh = load_rows(args.fresh)
+    if baseline is None or fresh is None:
+        return 2
 
     failures = []
     compared = 0

@@ -480,7 +480,7 @@ void CheckBannedConstructs(const std::string& path, const ScannedFile& scan,
       if (std_qualified || !qualified(i)) {
         Emit(findings, path, token.line, "banned-construct",
              "std::rand is non-reentrant and implementation-defined; use "
-             "DeterministicRng (src/generator/deterministic.h)");
+             "DeterministicRng (src/base/deterministic.h)");
       }
     }
 
@@ -673,6 +673,85 @@ void CheckDualPivotGuard(const std::string& path, const ScannedFile& scan,
   }
 }
 
+// --- Rule: failpoint-hygiene ----------------------------------------------
+
+// Mirror of the registry in src/base/failpoint.cc (kept sorted). The
+// drift-guard test in tests/srclint_test.cc parses the real registry out
+// of that file and asserts set equality with this table, so adding a
+// failpoint without updating the mirror fails tier 1.
+constexpr const char* kFailpointRegistry[] = {
+    "alloc/expansion",
+    "alloc/simplex",
+    "guard/trip",
+    "incremental/force_cold",
+    "lp/dual_repair_abort",
+    "lp/fast_tier_overflow",
+    "lp/support_cover_fail",
+    "lp/warm_start_reject",
+    "witness/force_flow_refine",
+    "witness/force_rescale",
+};
+
+// A failpoint that never fires because its id was typo'd (or computed at
+// runtime, defeating the static check entirely) is a silent hole in the
+// chaos sweep's coverage: the degradation path it was meant to exercise
+// goes untested while the sweep still reports green. And the oracle side
+// of the differential harness must stay fault-free — a fault injected
+// into the ground truth makes "faulted run agrees with baseline"
+// meaningless — so src/oracle/ may contain no sites at all (the chaos
+// driver arms faults through the registry API, not the macro).
+void CheckFailpointHygiene(const std::string& path, const ScannedFile& scan,
+                           std::vector<Finding>* findings) {
+  if (path == "src/base/failpoint.h" || path == "src/base/failpoint.cc") {
+    return;  // The macro's and registry's own home.
+  }
+  const bool in_oracle = path.rfind("src/oracle/", 0) == 0;
+  const std::vector<Token>& tokens = scan.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        tokens[i].text != "CRSAT_FAILPOINT") {
+      continue;
+    }
+    const int line = tokens[i].line;
+    if (in_oracle) {
+      Emit(findings, path, line, "failpoint-hygiene",
+           "CRSAT_FAILPOINT site in src/oracle/: the conformance ground "
+           "truth must stay fault-free (arm faults through the registry "
+           "API from the chaos driver instead)");
+      continue;
+    }
+    if (i + 1 >= tokens.size() || tokens[i + 1].kind != TokenKind::kPunct ||
+        tokens[i + 1].text != "(") {
+      continue;  // A mention, not a call site.
+    }
+    const bool literal_arg = i + 2 < tokens.size() &&
+                             tokens[i + 2].kind == TokenKind::kString &&
+                             tokens[i + 2].text.size() >= 2 &&
+                             tokens[i + 2].text.front() == '"';
+    if (!literal_arg) {
+      Emit(findings, path, line, "failpoint-hygiene",
+           "CRSAT_FAILPOINT argument must be a string literal so the id "
+           "is statically checkable against the registry in "
+           "src/base/failpoint.cc");
+      continue;
+    }
+    const std::string id =
+        tokens[i + 2].text.substr(1, tokens[i + 2].text.size() - 2);
+    const bool registered =
+        std::any_of(std::begin(kFailpointRegistry),
+                    std::end(kFailpointRegistry),
+                    [&](const char* r) { return id == r; });
+    if (!registered) {
+      Emit(findings, path, line, "failpoint-hygiene",
+           "CRSAT_FAILPOINT(\"" + id +
+               "\") names an unregistered id — it can never fire and "
+               "silently exempts this seam from the chaos sweep; register "
+               "it in src/base/failpoint.cc (and mirror it in "
+               "tools/srclint/srclint.cc)");
+    }
+  }
+}
+
 // --- Rule: bad-allow ------------------------------------------------------
 
 void CheckAllowPragmas(const std::string& path, const ScannedFile& scan,
@@ -710,8 +789,17 @@ std::vector<Finding> CheckSource(const std::string& path,
   CheckBannedConstructs(path, scan, &findings);
   CheckCertifyNonBypass(path, scan, &findings);
   CheckDualPivotGuard(path, scan, &findings);
+  CheckFailpointHygiene(path, scan, &findings);
   CheckAllowPragmas(path, scan, &findings);
   return findings;
+}
+
+const std::vector<std::string>& FailpointRegistry() {
+  static const std::vector<std::string>* ids = [] {
+    return new std::vector<std::string>(std::begin(kFailpointRegistry),
+                                        std::end(kFailpointRegistry));
+  }();
+  return *ids;
 }
 
 std::vector<Finding> CheckTree(const std::string& repo_root,

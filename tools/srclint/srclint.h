@@ -31,6 +31,15 @@
 //                       loop) must poll the ResourceGuard under the
 //                       "simplex/dual_pivot" key and enforce an explicit
 //                       `max_pivots` cap.
+//   failpoint-hygiene   every `CRSAT_FAILPOINT(...)` site must pass a
+//                       string literal naming an id from the static
+//                       registry in src/base/failpoint.cc (mirrored in
+//                       srclint.cc with a drift-guard test) — a typo'd or
+//                       computed id silently never fires, which is worse
+//                       than a crash in a fault-injection seam. And
+//                       src/oracle/ must contain no sites at all: the
+//                       ground truth stays fault-free (the chaos driver
+//                       arms faults through the registry API instead).
 //   bad-allow           an escape-hatch comment missing its reason string
 //                       (reasons are mandatory: the hatch documents *why*
 //                       the invariant is safe to waive, or it is denied).
@@ -102,6 +111,11 @@ std::vector<Finding> CheckSource(const std::string& path,
 /// when non-null. IO errors surface as findings with rule "io-error".
 std::vector<Finding> CheckTree(const std::string& repo_root,
                                std::vector<std::string>* scanned = nullptr);
+
+/// The failpoint-hygiene rule's mirrored catalog of registered failpoint
+/// ids (sorted). Exposed so tests can cross-check it against the real
+/// registry in src/base/failpoint.cc and fail on drift.
+const std::vector<std::string>& FailpointRegistry();
 
 /// Render findings: one `file:line: [rule] message` line each.
 std::string FindingsToText(const std::vector<Finding>& findings);

@@ -1,0 +1,14 @@
+// Fixture: a well-formed failpoint seam — string-literal id drawn from
+// the registry, outside src/oracle/. Must produce zero findings.
+#include "src/base/failpoint.h"
+
+namespace crsat {
+
+bool ProbeOnce() {
+  if (CRSAT_FAILPOINT("lp/warm_start_reject")) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace crsat

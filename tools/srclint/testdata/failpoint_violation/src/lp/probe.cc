@@ -1,0 +1,18 @@
+// Fixture: two failpoint-hygiene violations in a guarded-tier file —
+// an unregistered id (can never fire) and a computed id (statically
+// uncheckable). No loops, so unguarded-loop stays quiet.
+#include "src/base/failpoint.h"
+
+namespace crsat {
+
+bool ProbeOnce(const char* dynamic_id) {
+  if (CRSAT_FAILPOINT("lp/not_a_registered_id")) {
+    return false;
+  }
+  if (CRSAT_FAILPOINT(dynamic_id)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace crsat

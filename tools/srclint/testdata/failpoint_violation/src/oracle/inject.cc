@@ -1,0 +1,15 @@
+// Fixture: a CRSAT_FAILPOINT site inside src/oracle/ — violation even
+// with a perfectly registered id, because the ground truth must stay
+// fault-free.
+#include "src/base/failpoint.h"
+
+namespace crsat {
+
+bool OracleStep() {
+  if (CRSAT_FAILPOINT("guard/trip")) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace crsat
