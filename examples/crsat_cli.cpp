@@ -61,6 +61,32 @@
 //       verdicts or degrade to a resource-status UNKNOWN; any other
 //       outcome is a verdict flip, reported with the CRSAT_FAILPOINTS
 //       string that replays it. Exits 1 on any flip.
+//   crsat_cli serve (--port N | --unix-socket PATH) [--threads N]
+//                   [--timeout-ms N] [--max-compounds N] [--max-memory-mb N]
+//                   [--max-queued N] [--max-queued-per-lane N]
+//       crsatd: the concurrent reasoning service (DESIGN.md §15).
+//       Listens on 127.0.0.1:<port> (0 = ephemeral, the bound port is
+//       printed) or an AF_UNIX socket; each connection is a session
+//       holding one parsed schema; requests run on the reasoning pool
+//       behind admission control and weighted fair queueing. The limit
+//       flags become server-wide caps clamping every request's budget
+//       headers. SIGTERM/SIGINT (or a client `shutdown`) drains
+//       gracefully: in-flight requests finish, new ones are refused.
+//   crsat_cli client (--port N | --unix-socket PATH)
+//                    [--timeout-ms N] [--max-compounds N] [--max-memory-mb N]
+//                    check <schema-file>
+//                  | lint <schema-file> [--json]
+//                  | witness <schema-file> [text|json|dot]
+//                  | implies <schema-file> isa <Sub> <Super>
+//                  | implies <schema-file> card <Class> <Rel> <Role>
+//                  | stats
+//                  | shutdown
+//       one-shot client for crsatd: parses the schema into the session,
+//       issues the request, prints the response payload (stdout for
+//       ok/findings, stderr otherwise) and exits with the CLI contract
+//       (0/1/2/3; load-shed and draining refusals map to 3). The limit
+//       flags ride in the request's budget headers. Verdict output is
+//       byte-identical to the one-shot command.
 //
 // Fault injection: every command honors CRSAT_FAILPOINTS (grammar in
 // src/base/failpoint.h), arming deterministic failures on the recovery
@@ -71,6 +97,8 @@
 // files the DSL in src/cr/state_text.h. Samples live in
 // examples/schemas/.
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -78,9 +106,12 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "src/crsat.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 
 namespace {
 
@@ -118,6 +149,14 @@ int Usage() {
          "[--classes N]\n"
          "                    [--relationships N] [--json] [--dump-dir "
          "DIR]\n"
+         "  crsat_cli serve (--port N | --unix-socket PATH) [--threads N]\n"
+         "                  [--timeout-ms N] [--max-compounds N] "
+         "[--max-memory-mb N]\n"
+         "                  [--max-queued N] [--max-queued-per-lane N]\n"
+         "  crsat_cli client (--port N | --unix-socket PATH) [limit "
+         "flags]\n"
+         "                   check|lint|witness|implies|stats|shutdown "
+         "...\n"
          "exit codes: 0 ok, 1 findings/failure, 2 usage, 3 resource limit\n";
   return kExitUsage;
 }
@@ -754,6 +793,250 @@ int RunConform(int argc, char** argv) {
   return report->disagreements.empty() ? kExitOk : kExitFindings;
 }
 
+// Set by SIGTERM/SIGINT; the serve loop polls it and begins a graceful
+// drain (async-signal-safe: the handler only writes the flag).
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void OnShutdownSignal(int /*signum*/) { g_shutdown_requested = 1; }
+
+// `crsat_cli serve`: run crsatd until a signal or a client `shutdown`.
+int RunServe(int argc, char** argv) {
+  crsat::server::ServerOptions options;
+  GuardFlags guard_flags;
+  auto parse_long = [&](int* i, long min_value, long* out) {
+    if (*i + 1 >= argc) {
+      return false;
+    }
+    char* end = nullptr;
+    const long value = std::strtol(argv[++*i], &end, 10);
+    if (end == nullptr || *end != '\0' || value < min_value) {
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long value = 0;
+    bool bad = false;
+    if (arg == "--port" && parse_long(&i, 0, &value)) {
+      options.port = static_cast<int>(value);
+    } else if (arg == "--unix-socket" && i + 1 < argc) {
+      options.unix_socket = argv[++i];
+    } else if (arg == "--threads" && parse_long(&i, 0, &value)) {
+      options.threads = static_cast<int>(value);
+    } else if (arg == "--max-queued" && parse_long(&i, 1, &value)) {
+      options.scheduler.max_queued = static_cast<std::size_t>(value);
+    } else if (arg == "--max-queued-per-lane" && parse_long(&i, 1, &value)) {
+      options.scheduler.max_queued_per_lane =
+          static_cast<std::size_t>(value);
+    } else if (!ParseGuardFlag(arg, argc, argv, &i, &guard_flags, &bad) ||
+               bad) {
+      return Usage();
+    }
+  }
+  options.caps = guard_flags.limits;
+  crsat::server::Server server(options);
+  const crsat::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started << "\n";
+    return started.code() == crsat::StatusCode::kInvalidArgument
+               ? kExitUsage
+               : kExitFindings;
+  }
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  // Readiness line: scripts wait for it, and the ephemeral-port form
+  // (`--port 0`) is only knowable from it.
+  std::cout << "crsatd listening on " << server.endpoint()
+            << " (threads=" << crsat::GlobalThreadCount() << ")"
+            << std::endl;
+  while (g_shutdown_requested == 0 && !server.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.BeginDrain();
+  server.Wait();
+  std::cout << "crsatd drained\n";
+  return kExitOk;
+}
+
+// Maps a response status byte back onto the CLI exit contract: 0..3 pass
+// through; service-level refusals are resource-family (3) except a
+// framing error, which is a hard failure (1).
+int ExitCodeForReply(crsat::server::ResponseStatus status) {
+  switch (status) {
+    case crsat::server::ResponseStatus::kOk:
+      return kExitOk;
+    case crsat::server::ResponseStatus::kFindings:
+      return kExitFindings;
+    case crsat::server::ResponseStatus::kBadRequest:
+      return kExitUsage;
+    case crsat::server::ResponseStatus::kResource:
+    case crsat::server::ResponseStatus::kOverloaded:
+    case crsat::server::ResponseStatus::kShuttingDown:
+      return kExitResource;
+    case crsat::server::ResponseStatus::kProtocolError:
+      return kExitFindings;
+  }
+  return kExitFindings;
+}
+
+// Prints a reply the way the one-shot commands do: payload on stdout for
+// ok/findings (where it is the byte-identical verdict text), stderr for
+// every refusal.
+int PrintReply(const crsat::server::Reply& reply) {
+  if (reply.status == crsat::server::ResponseStatus::kOk ||
+      reply.status == crsat::server::ResponseStatus::kFindings) {
+    std::cout << reply.payload;
+  } else {
+    std::cerr << "crsatd: " << crsat::server::ResponseStatusToString(
+                                   reply.status)
+              << "\n"
+              << reply.payload;
+  }
+  return ExitCodeForReply(reply.status);
+}
+
+// `crsat_cli client`: one request against a running crsatd.
+int RunClient(int argc, char** argv) {
+  int port = -1;
+  std::string unix_socket;
+  GuardFlags guard_flags;
+  int i = 2;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool bad = false;
+    if (arg == "--port" && i + 1 < argc) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || value < 1 || value > 65535) {
+        return Usage();
+      }
+      port = static_cast<int>(value);
+    } else if (arg == "--unix-socket" && i + 1 < argc) {
+      unix_socket = argv[++i];
+    } else if (ParseGuardFlag(arg, argc, argv, &i, &guard_flags, &bad)) {
+      if (bad) {
+        return Usage();
+      }
+    } else {
+      break;  // First positional: the client command.
+    }
+  }
+  if (i >= argc || (port < 0) == unix_socket.empty()) {
+    return Usage();
+  }
+  crsat::server::RequestBudget budget;
+  if (guard_flags.limits.timeout.has_value()) {
+    budget.deadline_ms =
+        static_cast<std::uint32_t>(guard_flags.limits.timeout->count());
+  }
+  budget.max_compounds = guard_flags.limits.max_compounds.value_or(0);
+  budget.max_memory_bytes = guard_flags.limits.max_memory_bytes.value_or(0);
+
+  crsat::server::Client client;
+  const crsat::Status connected =
+      unix_socket.empty() ? client.ConnectTcp(port)
+                          : client.ConnectUnix(unix_socket);
+  if (!connected.ok()) {
+    std::cerr << connected << "\n";
+    return kExitFindings;
+  }
+  auto call = [&](crsat::server::RequestType type, std::string payload)
+      -> crsat::Result<crsat::server::Reply> {
+    return client.Call(type, std::move(payload), budget);
+  };
+  auto finish = [](crsat::Result<crsat::server::Reply> reply) {
+    if (!reply.ok()) {
+      std::cerr << reply.status() << "\n";
+      return kExitFindings;
+    }
+    return PrintReply(*reply);
+  };
+
+  const std::string command = argv[i++];
+  if (command == "stats") {
+    return finish(call(crsat::server::RequestType::kStats, ""));
+  }
+  if (command == "shutdown") {
+    return finish(call(crsat::server::RequestType::kShutdown, ""));
+  }
+  if (i >= argc) {
+    return Usage();
+  }
+  const std::string schema_path = argv[i++];
+  crsat::Result<std::string> text = ReadFile(schema_path);
+  if (!text.ok()) {
+    std::cerr << text.status() << "\n";
+    return kExitFindings;
+  }
+  // The session's display name is the local path, so source-mapped lint
+  // output matches the one-shot CLI byte for byte.
+  crsat::Result<crsat::server::Reply> parsed =
+      client.Parse(schema_path, *text);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return kExitFindings;
+  }
+  // `lint` tolerates a strict-parse failure: the server lints from a
+  // lenient re-parse of the stored text, matching `crsat_cli lint` on a
+  // schema that `check` refuses to load.
+  if (parsed->status != crsat::server::ResponseStatus::kOk &&
+      !(command == "lint" &&
+        parsed->status == crsat::server::ResponseStatus::kFindings)) {
+    std::cerr << parsed->payload;
+    return ExitCodeForReply(parsed->status);
+  }
+  if (command == "check") {
+    return finish(call(crsat::server::RequestType::kCheck, ""));
+  }
+  if (command == "lint") {
+    std::string payload;
+    if (i < argc && std::string(argv[i]) == "--json") {
+      payload = "json";
+      ++i;
+    }
+    if (i != argc) {
+      return Usage();
+    }
+    crsat::Result<crsat::server::Reply> reply =
+        call(crsat::server::RequestType::kLint, payload);
+    // An empty findings payload means even the lenient re-parse failed;
+    // like the one-shot CLI, the parse error goes to stderr, not stdout
+    // (the parse reply recorded the strict-parse diagnostics).
+    if (reply.ok() &&
+        reply->status == crsat::server::ResponseStatus::kFindings &&
+        reply->payload.empty()) {
+      std::cerr << parsed->payload;
+    }
+    return finish(std::move(reply));
+  }
+  if (command == "witness") {
+    std::string mode;
+    if (i < argc) {
+      mode = argv[i++];
+      if (mode != "text" && mode != "json" && mode != "dot") {
+        return Usage();
+      }
+    }
+    if (i != argc) {
+      return Usage();
+    }
+    return finish(call(crsat::server::RequestType::kWitness, mode));
+  }
+  if (command == "implies" && i < argc) {
+    std::string payload;
+    for (; i < argc; ++i) {
+      if (!payload.empty()) {
+        payload += ' ';
+      }
+      payload += argv[i];
+    }
+    return finish(call(crsat::server::RequestType::kImplications, payload));
+  }
+  return Usage();
+}
+
 int RealMain(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -761,6 +1044,12 @@ int RealMain(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "conform") {
     return RunConform(argc, argv);
+  }
+  if (command == "serve") {
+    return RunServe(argc, argv);
+  }
+  if (command == "client") {
+    return RunClient(argc, argv);
   }
   if (argc < 3) {
     return Usage();

@@ -25,6 +25,10 @@ namespace {
 //   incremental/* force the incremental -> cold rung
 //   lp/*          warm-start rejection, mid-repair abort, fast-tier
 //                 overflow, support-cover LP failure
+//   server/*      crsatd serving seams: transient accept failure
+//                 (connection stays in the backlog and is retried),
+//                 short socket reads (frame reassembly re-loops), and
+//                 forced admission-control sheds (kOverloaded response)
 //   witness/*     aligned fast path -> flow refinement, rescale retry
 constexpr const char* kRegisteredFailpoints[] = {
     "alloc/expansion",
@@ -35,6 +39,9 @@ constexpr const char* kRegisteredFailpoints[] = {
     "lp/fast_tier_overflow",
     "lp/support_cover_fail",
     "lp/warm_start_reject",
+    "server/accept",
+    "server/queue-full",
+    "server/short-read",
     "witness/force_flow_refine",
     "witness/force_rescale",
 };

@@ -104,6 +104,15 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   wake_.NotifyOne();
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  // No workers (parallelism 1): run inline — the queue would never drain.
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  Enqueue(std::move(task));
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                              ResourceGuard* guard) {
   if (n == 0) {

@@ -61,6 +61,15 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    ResourceGuard* guard = nullptr) CRSAT_EXCLUDES(mutex_);
 
+  /// Fire-and-forget dispatch: hands `task` to a worker thread and
+  /// returns immediately. Used by the crsatd request scheduler
+  /// (src/server/scheduler.*) to run admitted requests on the reasoning
+  /// pool; completion tracking is the caller's job. A pool of
+  /// parallelism 1 owns no workers, so `Post` there runs the task
+  /// *inline* before returning — callers that must not block (and the
+  /// scheduler's pump loop) are written to tolerate that.
+  void Post(std::function<void()> task) CRSAT_EXCLUDES(mutex_);
+
   /// The parallelism requested by the environment: `CRSAT_THREADS` when it
   /// parses to a positive integer, otherwise `hardware_concurrency()`
   /// (never less than 1).
@@ -85,9 +94,18 @@ class ThreadPool {
 ThreadPool& GlobalThreadPool();
 
 /// Replaces the global pool with one of parallelism `num_threads`
-/// (`num_threads <= 0` means `DefaultThreadCount()`). Must not race with
-/// concurrent `ParallelFor` calls on the global pool; intended for CLI
-/// startup and tests.
+/// (`num_threads <= 0` means `DefaultThreadCount()`).
+///
+/// Ordering contract (load-bearing for daemon use): the swap destroys the
+/// old pool, which *joins its workers* — so this call must happen-before
+/// any `ParallelFor`/`Post` that should run at the new parallelism, and
+/// must never race with in-flight work on the old pool (a task still
+/// executing there would be joined mid-dispatch). One-shot CLI commands
+/// call it once at startup; `crsat_cli serve` resolves `--threads` /
+/// `CRSAT_THREADS` and calls this *before* the listener accepts its first
+/// connection, after which the count is frozen for the daemon's lifetime
+/// (the `stats` request reports the effective value). Tests may call it
+/// between (never during) dispatches.
 void SetGlobalThreadCount(int num_threads);
 
 /// The global pool's current parallelism (constructs the pool if needed).

@@ -1,0 +1,139 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace crsat {
+namespace server {
+
+namespace {
+
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Client::ConnectTcp(int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    Close();
+    return UnavailableError("connect(127.0.0.1:" + std::to_string(port) +
+                            "): " + std::strerror(err));
+  }
+  return OkStatus();
+}
+
+Status Client::ConnectUnix(const std::string& path) {
+  Close();
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("unix socket path too long: '" + path + "'");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    Close();
+    return UnavailableError("connect('" + path +
+                            "'): " + std::strerror(err));
+  }
+  return OkStatus();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<Reply> Client::Call(RequestType type, std::string payload,
+                           const RequestBudget& budget) {
+  if (fd_ < 0) {
+    return UnavailableError("client is not connected");
+  }
+  Frame request = MakeRequest(type, std::move(payload));
+  request.deadline_ms = budget.deadline_ms;
+  request.max_compounds = budget.max_compounds;
+  request.max_memory_bytes = budget.max_memory_bytes;
+  if (!SendAll(fd_, EncodeFrame(request))) {
+    return UnavailableError(std::string("send: ") + std::strerror(errno));
+  }
+  // Requests are answered in order on this connection (the session runs
+  // at most one at a time), so the next decoded frame is our response.
+  while (true) {
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const DecodeResult result =
+        DecodeFrame(buffer_, &frame, &consumed, &error);
+    if (result == DecodeResult::kError) {
+      return InternalError("protocol error from server: " + error);
+    }
+    if (result == DecodeResult::kFrame) {
+      buffer_.erase(0, consumed);
+      if (!frame.is_response()) {
+        return InternalError("server sent a request frame");
+      }
+      Reply reply;
+      reply.status = frame.response_status();
+      reply.payload = std::move(frame.payload);
+      return reply;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return UnavailableError("connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<Reply> Client::Parse(const std::string& display_name,
+                            const std::string& schema_text) {
+  return Call(RequestType::kParse, display_name + "\n" + schema_text);
+}
+
+}  // namespace server
+}  // namespace crsat

@@ -1,0 +1,68 @@
+#ifndef CRSAT_SERVER_CLIENT_H_
+#define CRSAT_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/server/protocol.h"
+
+namespace crsat {
+namespace server {
+
+/// Per-request resource budget carried in the frame header; zero fields
+/// mean "no request-side limit" (the server's caps still apply).
+struct RequestBudget {
+  std::uint32_t deadline_ms = 0;
+  std::uint64_t max_compounds = 0;
+  std::uint64_t max_memory_bytes = 0;
+};
+
+/// One response as the caller sees it.
+struct Reply {
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string payload;
+};
+
+/// Blocking crsatd client: one connection, one session, requests issued
+/// strictly in order (`Call` writes a frame and reads frames until the
+/// matching response arrives). Used by `crsat_cli client` and the tests;
+/// not thread-safe — share nothing or lock outside.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+  /// Connects to a crsatd TCP listener on 127.0.0.1.
+  Status ConnectTcp(int port);
+  /// Connects to a crsatd AF_UNIX listener.
+  Status ConnectUnix(const std::string& path);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and blocks for its response. A `Status` error
+  /// means the *transport* failed (connect/send/short stream/framing);
+  /// server-side outcomes — findings, resource trips, load shed — come
+  /// back as the `Reply`'s status, exactly as the wire carries them.
+  Result<Reply> Call(RequestType type, std::string payload,
+                     const RequestBudget& budget = {});
+
+  /// Convenience: `parse` with the "<display-name>\n<text>" payload.
+  Result<Reply> Parse(const std::string& display_name,
+                      const std::string& schema_text);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Reassembly buffer across Call invocations.
+};
+
+}  // namespace server
+}  // namespace crsat
+
+#endif  // CRSAT_SERVER_CLIENT_H_

@@ -1,0 +1,42 @@
+#ifndef CRSAT_SERVER_HANDLERS_H_
+#define CRSAT_SERVER_HANDLERS_H_
+
+#include <string>
+
+#include "src/base/resource_guard.h"
+#include "src/server/protocol.h"
+#include "src/server/session.h"
+
+namespace crsat {
+namespace server {
+
+/// Outcome of one schema request: the response status byte plus the
+/// response payload (for kOk/kFindings, the exact stdout text the
+/// one-shot CLI would have printed; otherwise a human-readable reason).
+struct HandlerResult {
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string payload;
+};
+
+/// Executes one schema-level request (`parse`, `check`, `lint`,
+/// `implications`, `witness`) against `session`, under a per-request
+/// `ResourceGuard` built from the frame's budget headers clamped by the
+/// server-wide `caps` (protocol.h `ClampBudget`).
+///
+/// Parity contract (tests/server_test.cc, tools/server_smoke.sh): for
+/// kCheck/kLint/kWitness the kOk/kFindings payload is byte-identical to
+/// the stdout of `crsat_cli check|lint|check --witness=M` on the same
+/// schema text, because both run the same library pipeline and the same
+/// formatting code. A guard trip returns kResource with the trip report
+/// as payload — the degradation ladder's honest UNKNOWN, never a guessed
+/// verdict.
+///
+/// `stats` and `shutdown` are service-level requests handled by the
+/// server itself, not here; routing one in returns kBadRequest.
+HandlerResult HandleRequest(Session& session, const Frame& request,
+                            const ResourceLimits& caps);
+
+}  // namespace server
+}  // namespace crsat
+
+#endif  // CRSAT_SERVER_HANDLERS_H_

@@ -1,0 +1,345 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/base/failpoint.h"
+#include "src/base/thread_pool.h"
+#include "src/server/handlers.h"
+#include "src/server/protocol.h"
+
+namespace crsat {
+namespace server {
+
+namespace {
+
+// Full-buffer send; EINTR retried, SIGPIPE suppressed (a peer that went
+// away mid-response is its problem, not the daemon's).
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// One live client connection: socket, reader thread, session state, and
+// the write lock serializing the two response writers (the reader thread
+// for refusals/service requests, pool workers for handler responses).
+struct Server::Connection {
+  Connection(int connection_fd, std::uint64_t session_id)
+      : fd(connection_fd), session(session_id) {}
+
+  const int fd;
+  Session session;
+  std::thread thread;
+  Mutex write_mutex;
+
+  bool Send(const Frame& frame) CRSAT_EXCLUDES(write_mutex) {
+    MutexLock lock(write_mutex);
+    return SendAll(fd, EncodeFrame(frame));
+  }
+};
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      scheduler_(nullptr) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    BeginDrain();
+    Wait();
+  }
+}
+
+std::string Server::endpoint() const {
+  if (!options_.unix_socket.empty()) {
+    return "unix:" + options_.unix_socket;
+  }
+  return "127.0.0.1:" + std::to_string(bound_port_);
+}
+
+Status Server::Start() {
+  const bool tcp = options_.port >= 0;
+  const bool uds = !options_.unix_socket.empty();
+  if (tcp == uds) {
+    return InvalidArgumentError(
+        "crsatd needs exactly one of --port / --unix-socket");
+  }
+  // Resolve the pool size before the first connection can dispatch:
+  // the count is frozen for the daemon's lifetime (thread_pool.h).
+  SetGlobalThreadCount(options_.threads);
+  scheduler_ = std::make_unique<RequestScheduler>(&GlobalThreadPool(),
+                                                  options_.scheduler);
+
+  if (uds) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      return InvalidArgumentError("unix socket path too long: '" +
+                                  options_.unix_socket + "'");
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return InternalError(std::string("socket(AF_UNIX): ") +
+                           std::strerror(errno));
+    }
+    ::unlink(options_.unix_socket.c_str());  // Stale path from a crash.
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return InternalError("bind('" + options_.unix_socket +
+                           "'): " + std::strerror(err));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return InternalError(std::string("socket(AF_INET): ") +
+                           std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return InternalError("bind(127.0.0.1:" +
+                           std::to_string(options_.port) +
+                           "): " + std::strerror(err));
+    }
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError(std::string("listen: ") + std::strerror(err));
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    {
+      MutexLock lock(mutex_);
+      if (draining_) {
+        return;
+      }
+    }
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    // Bounded poll so the drain flag is observed promptly even when no
+    // client ever connects.
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) {
+      continue;  // Timeout or EINTR: re-check the drain flag.
+    }
+    // The accept seam: a fired failpoint skips this round. The
+    // connection stays in the listen backlog and is accepted on the
+    // next poll — a transient accept failure is a delay, never a drop.
+    if (CRSAT_FAILPOINT("server/accept")) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;  // EINTR/ECONNABORTED: nothing to clean up.
+    }
+    MutexLock lock(mutex_);
+    if (draining_) {
+      ::close(fd);
+      return;
+    }
+    auto connection = std::make_unique<Connection>(fd, next_session_id_++);
+    Connection* raw = connection.get();
+    scheduler_->OpenLane(raw->session.id);
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void Server::ConnectionLoop(Connection* connection) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    // The short-read seam: a fired failpoint delivers one byte, forcing
+    // the reassembly loop below to run byte-at-a-time. Verdicts cannot
+    // change — only the number of reads.
+    const std::size_t want =
+        CRSAT_FAILPOINT("server/short-read") ? 1 : sizeof(chunk);
+    const ssize_t n = ::recv(connection->fd, chunk, want, 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // Peer closed (or drain shut the socket down).
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    while (true) {
+      Frame frame;
+      std::size_t consumed = 0;
+      std::string error;
+      const DecodeResult result =
+          DecodeFrame(buffer, &frame, &consumed, &error);
+      if (result == DecodeResult::kNeedMore) {
+        break;
+      }
+      if (result == DecodeResult::kError) {
+        // The stream can never resynchronize after a framing error:
+        // report and hang up.
+        connection->Send(MakeResponse(RequestType::kParse,
+                                      ResponseStatus::kProtocolError,
+                                      error + "\n"));
+        scheduler_->CloseLane(connection->session.id);
+        ::shutdown(connection->fd, SHUT_RDWR);
+        return;
+      }
+      buffer.erase(0, consumed);
+      if (frame.is_response() || !IsKnownRequestType(frame.type)) {
+        connection->Send(MakeResponse(
+            frame.request_type(), ResponseStatus::kProtocolError,
+            "expected a request frame with a known type\n"));
+        continue;
+      }
+      DispatchFrame(connection, std::move(frame));
+    }
+  }
+  scheduler_->CloseLane(connection->session.id);
+}
+
+void Server::DispatchFrame(Connection* connection, Frame frame) {
+  const RequestType type = frame.request_type();
+  if (type == RequestType::kStats) {
+    connection->Send(MakeResponse(type, ResponseStatus::kOk,
+                                  scheduler_->stats().ToJson() + "\n"));
+    connection->session.requests_served.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    return;
+  }
+  if (type == RequestType::kShutdown) {
+    // Drain first, reply second: once the client reads "draining" the
+    // daemon is observably draining (the reply still goes out — drain
+    // only stops *new* work, this connection stays open to finish).
+    BeginDrain();
+    connection->Send(
+        MakeResponse(type, ResponseStatus::kOk, "draining\n"));
+    connection->session.requests_served.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    return;
+  }
+  // Session request: through admission control onto the pool. The
+  // lambda owns the frame; the scheduler guarantees at most one
+  // in-flight request per lane, so the session needs no lock.
+  const std::size_t cost = frame.payload.size();
+  auto work = [this, connection, frame = std::move(frame)] {
+    HandlerResult result =
+        HandleRequest(connection->session, frame, options_.caps);
+    connection->Send(MakeResponse(frame.request_type(), result.status,
+                                  std::move(result.payload)));
+    connection->session.requests_served.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  };
+  const ResponseStatus admitted =
+      scheduler_->Submit(connection->session.id, cost, std::move(work));
+  if (admitted != ResponseStatus::kOk) {
+    // Shed / draining: answer from the reader thread, nothing ran.
+    connection->session.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    connection->Send(MakeResponse(
+        type, admitted,
+        std::string(ResponseStatusToString(admitted)) + "\n"));
+  }
+}
+
+void Server::BeginDrain() {
+  {
+    MutexLock lock(mutex_);
+    if (draining_) {
+      return;
+    }
+    draining_ = true;
+  }
+  drain_cv_.NotifyAll();
+  if (scheduler_ != nullptr) {
+    scheduler_->BeginDrain();
+  }
+}
+
+bool Server::draining() const {
+  MutexLock lock(mutex_);
+  return draining_;
+}
+
+void Server::Wait() {
+  {
+    MutexLock lock(mutex_);
+    while (!draining_) {
+      drain_cv_.Wait(lock);
+    }
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Everything admitted before the drain finishes and writes its
+  // response before the sockets go away.
+  scheduler_->AwaitIdle();
+  {
+    MutexLock lock(mutex_);
+    for (const std::unique_ptr<Connection>& connection : connections_) {
+      ::shutdown(connection->fd, SHUT_RDWR);  // Unblocks the reader.
+    }
+  }
+  // Joining outside the lock would race AcceptLoop's push_back, but the
+  // accept thread is already joined — the vector is frozen now.
+  MutexLock lock(mutex_);
+  for (const std::unique_ptr<Connection>& connection : connections_) {
+    if (connection->thread.joinable()) {
+      connection->thread.join();
+    }
+    ::close(connection->fd);
+  }
+  connections_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!options_.unix_socket.empty()) {
+    ::unlink(options_.unix_socket.c_str());
+  }
+}
+
+}  // namespace server
+}  // namespace crsat

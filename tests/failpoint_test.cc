@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "src/crsat.h"
+#include "src/server/client.h"
+#include "src/server/scheduler.h"
+#include "src/server/server.h"
 #include "tests/test_schemas.h"
 
 namespace crsat {
@@ -325,6 +328,56 @@ void DriveWitnessForceRescale() {
   EXPECT_GE(Load(GetRecoveryStats().witness_rescales), 1u);
 }
 
+void DriveServerAccept() {
+  // A fired accept failpoint skips one poll round; the connection waits
+  // in the listen backlog and is served on the next — a delay, never a
+  // drop, so the request still completes with its verdict intact.
+  server::ServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  server::Server daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  server::Client client;
+  ASSERT_TRUE(client.ConnectTcp(daemon.port()).ok());
+  auto reply = client.Call(server::RequestType::kStats, "");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, server::ResponseStatus::kOk);
+  daemon.BeginDrain();
+  daemon.Wait();
+}
+
+void DriveServerQueueFull() {
+  // The forced-shed seam: admission control refuses with kOverloaded
+  // and the work is dropped before it ever queues.
+  ThreadPool pool(2);
+  server::RequestScheduler scheduler(&pool, {});
+  scheduler.OpenLane(1);
+  EXPECT_EQ(scheduler.Submit(1, 0, [] {}),
+            server::ResponseStatus::kOverloaded);
+  EXPECT_EQ(scheduler.stats().shed, 1u);
+  scheduler.AwaitIdle();
+}
+
+void DriveServerShortRead() {
+  // Every recv delivers one byte; the reassembly buffer must still
+  // produce the same frames and the same answer.
+  server::ServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  server::Server daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  server::Client client;
+  ASSERT_TRUE(client.ConnectTcp(daemon.port()).ok());
+  auto parsed = client.Parse("seam.cr", "schema Seam { class A; }\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status, server::ResponseStatus::kOk);
+  auto reply = client.Call(server::RequestType::kCheck, "");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, server::ResponseStatus::kOk);
+  daemon.BeginDrain();
+  daemon.Wait();
+}
+
 constexpr SeamCase kSeamCases[] = {
     {"alloc/expansion", DriveAllocExpansion},
     {"alloc/simplex", DriveAllocSimplex},
@@ -334,6 +387,9 @@ constexpr SeamCase kSeamCases[] = {
     {"lp/fast_tier_overflow", DriveFastTierOverflow},
     {"lp/support_cover_fail", DriveSupportCoverFail},
     {"lp/warm_start_reject", DriveWarmStartReject},
+    {"server/accept", DriveServerAccept},
+    {"server/queue-full", DriveServerQueueFull},
+    {"server/short-read", DriveServerShortRead},
     {"witness/force_flow_refine", DriveWitnessForceFlowRefine},
     {"witness/force_rescale", DriveWitnessForceRescale},
 };
@@ -345,8 +401,10 @@ TEST(FailpointCoverageTest, EveryRegisteredFailpointFiresFromItsSeam) {
     FailpointSpec spec;
     spec.id = seam.id;
     // force_rescale on every hit would burn the whole bounded retry
-    // budget; firing once proves the seam and keeps the witness.
-    const bool once = std::string(seam.id) == "witness/force_rescale";
+    // budget, and an accept skip on every poll round would never accept
+    // at all; firing once proves those seams and keeps the outcome.
+    const bool once = std::string(seam.id) == "witness/force_rescale" ||
+                      std::string(seam.id) == "server/accept";
     spec.mode = once ? FailpointMode::kNth : FailpointMode::kEveryK;
     spec.n = 1;
     {

@@ -111,6 +111,45 @@ TEST(SrclintRuleTest, LayeringCleanPasses) {
   EXPECT_TRUE(CheckTree(Testdata("layering_clean")).empty());
 }
 
+TEST(SrclintRuleTest, ServerLayeringViolationCaught) {
+  std::vector<Finding> findings =
+      CheckTree(Testdata("serverlayering_violation"));
+  std::set<std::string> rules = Rules(findings);
+  EXPECT_TRUE(rules.count("server-layering"));
+  // Both the src/-root header and the reasoner file are flagged.
+  int server_layering = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "server-layering") {
+      ++server_layering;
+      EXPECT_TRUE(finding.file == "src/crsat_fixture.h" ||
+                  finding.file == "src/reasoner/engine_fixture.cc")
+          << finding.file;
+    }
+  }
+  EXPECT_EQ(server_layering, 2);
+}
+
+TEST(SrclintRuleTest, ServerLayeringCleanPasses) {
+  EXPECT_TRUE(CheckTree(Testdata("serverlayering_clean")).empty());
+}
+
+TEST(SrclintRuleTest, ServerLayeringIgnoresLayeringExemptions) {
+  // include-layering exempts the umbrella header and the differential
+  // driver; server-layering deliberately does not — the daemon stays
+  // out of the library surface no matter who asks.
+  std::set<std::string> rules = Rules(CheckSource(
+      "src/crsat.h", "#include \"src/server/server.h\"\n"));
+  EXPECT_TRUE(rules.count("server-layering"));
+  rules = Rules(CheckSource("src/oracle/conformance.cc",
+                            "#include \"src/server/client.h\"\n"));
+  EXPECT_TRUE(rules.count("server-layering"));
+  // And the daemon including itself (or downward) stays clean.
+  EXPECT_TRUE(CheckSource("src/server/server.cc",
+                          "#include \"src/server/handlers.h\"\n"
+                          "#include \"src/reasoner/satisfiability.h\"\n")
+                  .empty());
+}
+
 TEST(SrclintRuleTest, UnguardedLoopCaught) {
   std::vector<Finding> findings = CheckTree(Testdata("unguarded_violation"));
   ASSERT_FALSE(findings.empty());

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -96,6 +97,51 @@ TEST(ThreadPoolTest, GlobalPoolRespectsSetGlobalThreadCount) {
   // 0 = auto.
   SetGlobalThreadCount(0);
   EXPECT_EQ(GlobalThreadCount(), ThreadPool::DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, PostRunsEveryTaskExactlyOnce) {
+  // Fire-and-forget dispatch (the crsatd scheduler's path onto the
+  // pool): every posted task runs once; the destructor drains the queue
+  // before joining, so nothing is lost at teardown.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 500; ++i) {
+      pool.Post([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPoolTest, PostOnParallelismOneRunsInline) {
+  // A pool of parallelism 1 owns no workers: Post executes the task on
+  // the calling thread before returning — the documented contract the
+  // scheduler's pump loop is written to tolerate.
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  bool done = false;
+  pool.Post([&] {
+    ran_on = std::this_thread::get_id();
+    done = true;  // No synchronization needed: inline means sequenced.
+  });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, PostOnWorkersRunsOffTheCallingThread) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  std::atomic<bool> off_thread{false};
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.Post([&] {
+    off_thread.store(std::this_thread::get_id() != caller);
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(off_thread.load());
 }
 
 TEST(ThreadPoolTest, ManyConcurrentSmallLoops) {

@@ -13,9 +13,18 @@ Counter drift (solves/pivots) on matched rows is reported informationally:
 those counts are deterministic, so a change is a behavior change, but the
 wall clock is the contract this gate enforces.
 
+With `--mode server` the same comparison runs over bench_server output
+(BENCH_server.json): rows are matched on (workload name, client count),
+a req/s drop beyond the tolerance is reported as WARN only (loopback
+throughput is noisy in CI), but a nonzero `protocol_errors` or
+`mismatches` count in the fresh run is a hard FAIL — the service layer
+never gets to break framing or change a verdict, at any load.
+
 Usage:
   tools/bench_check.py --baseline BENCH_reasoner.json \
       --fresh BENCH_reasoner.smoke.json [--tolerance 0.20]
+  tools/bench_check.py --mode server --baseline BENCH_server.json \
+      --fresh BENCH_server.smoke.json
 """
 
 import argparse
@@ -61,6 +70,94 @@ def load_rows(path):
     return rows
 
 
+def load_server_rows(path):
+    """Returns {(workload_name, clients): run_row} from a bench_server
+    JSON, or None (after printing an error) when the file is
+    missing/malformed. Rows without a finite req_per_s are dropped with
+    a warning, mirroring load_rows."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot load {path}: {error}", file=sys.stderr)
+        return None
+    rows = {}
+    if not isinstance(doc, dict):
+        print(f"WARN  {path}: top-level JSON is not an object; no rows")
+        return rows
+    for workload in doc.get("workloads", []):
+        name = workload.get("name", "?")
+        for run in workload.get("runs", []):
+            clients = run.get("clients")
+            if clients is None or "req_per_s" not in run:
+                continue
+            try:
+                rate = float(run["req_per_s"])
+            except (TypeError, ValueError):
+                print(f"WARN  {name} [clients={clients}] in {path}: "
+                      f"non-numeric req_per_s {run['req_per_s']!r}; "
+                      "row dropped")
+                continue
+            if rate != rate or rate in (float("inf"), float("-inf")):
+                print(f"WARN  {name} [clients={clients}] in {path}: "
+                      f"non-finite req_per_s {rate!r}; row dropped")
+                continue
+            rows[(name, clients)] = run
+    return rows
+
+
+def check_server(args):
+    """The --mode server gate: correctness counters are hard failures,
+    throughput drift is advisory."""
+    baseline = load_server_rows(args.baseline)
+    fresh = load_server_rows(args.fresh)
+    if baseline is None or fresh is None:
+        return 2
+
+    failures = []
+    compared = 0
+    for key in sorted(fresh):
+        name, clients = key
+        run = fresh[key]
+        for counter in ("protocol_errors", "mismatches"):
+            count = run.get(counter, 0)
+            if count:
+                failures.append(
+                    f"{name} [clients={clients}]: {counter} = {count} "
+                    "(must be 0)")
+        if key not in baseline:
+            print(f"SKIP  {name} [clients={clients}]: no baseline row")
+            continue
+        base_rate = float(baseline[key]["req_per_s"])
+        fresh_rate = float(run["req_per_s"])
+        compared += 1
+        if base_rate <= 0:
+            print(f"SKIP  {name} [clients={clients}]: zero baseline rate")
+            continue
+        ratio = fresh_rate / base_rate
+        verdict = "OK  "
+        if ratio < 1.0 - args.tolerance:
+            verdict = "WARN"
+        print(f"{verdict}  {name} [clients={clients}]: "
+              f"{base_rate:.0f} req/s -> {fresh_rate:.0f} req/s "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)"
+              + ("  [regression beyond tolerance — advisory only]"
+                 if verdict == "WARN" else ""))
+
+    if compared == 0 and not failures:
+        print("error: no comparable rows — workload names/clients in the "
+              "fresh JSON match nothing in the baseline", file=sys.stderr)
+        return 1
+    if failures:
+        print("\nservice-correctness failures:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\n{compared} row(s) compared; throughput drift is advisory, "
+          "protocol_errors/mismatches all zero")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -70,7 +167,15 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional wall-time regression "
                              "per row (default 0.20)")
+    parser.add_argument("--mode", choices=("reasoner", "server"),
+                        default="reasoner",
+                        help="reasoner: gate bench_parallel wall times; "
+                             "server: gate bench_server correctness "
+                             "counters, warn on req/s drops")
     args = parser.parse_args()
+
+    if args.mode == "server":
+        return check_server(args)
 
     baseline = load_rows(args.baseline)
     fresh = load_rows(args.fresh)

@@ -278,6 +278,11 @@ constexpr LayerRule kLayering[] = {
     // expansion/, lp/, or flow/ here would let the system under test
     // leak into its own oracle (see src/CMakeLists.txt layering).
     {"oracle", "base math cr generator"},
+    // The crsatd daemon: a leaf over the whole production stack. The
+    // reverse direction — reasoning code including server/ — is the
+    // server-layering rule below.
+    {"server", "base math cr analysis expansion lp flow reasoner witness "
+               "baseline"},
 };
 
 // Files exempt from the layering rule: the public umbrella header and
@@ -394,6 +399,35 @@ void CheckLayering(const std::string& path, const ScannedFile& scan,
                (rule->allowed[0] == '\0' ? "only src/" + dir + "/"
                                          : std::string(rule->allowed)) +
                "); see the layering table in tools/srclint/srclint.cc");
+    }
+  }
+}
+
+// --- Rule: server-layering ------------------------------------------------
+
+// src/server/ (the crsatd daemon, src/server/server.h) is a strict leaf:
+// no other src/ directory may include it, with no exemptions — not even
+// the files the include-layering rule exempts (src/crsat.h stays a
+// library umbrella; the differential driver cross-checks reasoners, not
+// daemons). A reverse edge would drag sockets and the scheduler into the
+// embeddable reasoning core and invert the CMake link order
+// (crsat_server links crsat, never the other way).
+void CheckServerLayering(const std::string& path, const ScannedFile& scan,
+                         std::vector<Finding>* findings) {
+  if (path.rfind("src/", 0) != 0 || SrcDirOf(path) == "server") {
+    return;
+  }
+  for (const Token& token : scan.tokens) {
+    if (token.kind != TokenKind::kPreprocessor) {
+      continue;
+    }
+    const std::string target = IncludeTarget(token.text);
+    if (SrcDirOf(target) == "server") {
+      Emit(findings, path, token.line, "server-layering",
+           "src/server/ is a leaf layer: \"" + target +
+               "\" may not be included from " + path +
+               " — the reasoning core must stay embeddable without the "
+               "daemon (link order: crsat_server -> crsat, never back)");
     }
   }
 }
@@ -688,6 +722,9 @@ constexpr const char* kFailpointRegistry[] = {
     "lp/fast_tier_overflow",
     "lp/support_cover_fail",
     "lp/warm_start_reject",
+    "server/accept",
+    "server/queue-full",
+    "server/short-read",
     "witness/force_flow_refine",
     "witness/force_rescale",
 };
@@ -785,6 +822,7 @@ std::vector<Finding> CheckSource(const std::string& path,
   std::vector<Finding> findings;
   const ScannedFile scan = Tokenize(content);
   CheckLayering(path, scan, &findings);
+  CheckServerLayering(path, scan, &findings);
   CheckUnguardedLoops(path, scan, &findings);
   CheckBannedConstructs(path, scan, &findings);
   CheckCertifyNonBypass(path, scan, &findings);

@@ -10,6 +10,11 @@
 //                       driver) must stay source-isolated from
 //                       expansion//lp//flow/, upgrading PR 5's link-time
 //                       isolation to a source-level gate.
+//   server-layering     src/server/ (the crsatd daemon) is a strict
+//                       leaf: no other src/ directory may include it —
+//                       not even the include-layering exemptions. The
+//                       reasoning core must stay embeddable without the
+//                       daemon (crsat_server links crsat, never back).
 //   unguarded-loop      a .cc in expansion//lp//flow//witness/ that
 //                       contains a loop must reference a ResourceGuard
 //                       somewhere (resource-bounded reasoning, DESIGN.md

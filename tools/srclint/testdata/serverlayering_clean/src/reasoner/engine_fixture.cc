@@ -1,0 +1,5 @@
+// Fixture: reasoning code staying inside its own layering is clean.
+#include "src/expansion/expansion.h"
+#include "src/lp/simplex.h"
+
+int ReasonQuietly() { return 0; }

@@ -1,0 +1,7 @@
+// Fixture: the daemon layer including downward is fine — server/ sits on
+// top of the production stack (and on itself).
+#include "src/base/thread_pool.h"
+#include "src/reasoner/satisfiability.h"
+#include "src/server/protocol.h"
+
+int ScheduleSomething() { return 0; }

@@ -1,0 +1,3 @@
+// Fixture: even an src/-root umbrella header (exempt from
+// include-layering) may not pull the daemon into the library surface.
+#include "src/server/client.h"

@@ -1,0 +1,6 @@
+// Fixture: the reasoning core reaching up into the daemon layer — the
+// reverse edge the server-layering rule forbids.
+#include "src/lp/simplex.h"
+#include "src/server/scheduler.h"
+
+int ReasonOverTheWire() { return 0; }
