@@ -90,6 +90,14 @@ Result<Reply> Client::Call(RequestType type, std::string payload,
   if (fd_ < 0) {
     return UnavailableError("client is not connected");
   }
+  if (payload.size() > kMaxPayloadBytes) {
+    // Refuse before any bytes go out: EncodeFrame never truncates, and
+    // a clipped schema answered "successfully" would be worse than an
+    // error (the connection stays clean after this refusal).
+    return InvalidArgumentError(
+        "request payload is " + std::to_string(payload.size()) +
+        " bytes; the frame cap is " + std::to_string(kMaxPayloadBytes));
+  }
   Frame request = MakeRequest(type, std::move(payload));
   request.deadline_ms = budget.deadline_ms;
   request.max_compounds = budget.max_compounds;
@@ -97,8 +105,14 @@ Result<Reply> Client::Call(RequestType type, std::string payload,
   if (!SendAll(fd_, EncodeFrame(request))) {
     return UnavailableError(std::string("send: ") + std::strerror(errno));
   }
-  // Requests are answered in order on this connection (the session runs
-  // at most one at a time), so the next decoded frame is our response.
+  // This client is strictly request-reply — exactly one outstanding
+  // request — so the next response frame on the stream is ours. That
+  // discipline is what makes the match trivial: the protocol does not
+  // globally order responses (service-level requests and admission
+  // refusals are answered from the server's reader thread and can
+  // overtake responses to earlier admitted requests), so a pipelining
+  // client would need its own correlation. See "Response ordering" in
+  // protocol.h.
   while (true) {
     Frame frame;
     std::size_t consumed = 0;

@@ -25,10 +25,13 @@ struct Reply {
   std::string payload;
 };
 
-/// Blocking crsatd client: one connection, one session, requests issued
-/// strictly in order (`Call` writes a frame and reads frames until the
-/// matching response arrives). Used by `crsat_cli client` and the tests;
-/// not thread-safe — share nothing or lock outside.
+/// Blocking crsatd client: one connection, one session, strict
+/// request-reply (`Call` writes one frame and blocks reading until its
+/// response arrives). Keeping exactly one request outstanding is what
+/// makes the next response frame *the* response — the protocol does
+/// not globally order responses for pipelining peers (protocol.h,
+/// "Response ordering"). Used by `crsat_cli client` and the tests; not
+/// thread-safe — share nothing or lock outside.
 class Client {
  public:
   Client() = default;

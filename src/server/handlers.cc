@@ -1,5 +1,6 @@
 #include "src/server/handlers.h"
 
+#include <cstdio>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -16,10 +17,34 @@ namespace {
 std::string JsonEscape(const std::string& text) {
   std::string escaped;
   for (char c : text) {
-    if (c == '"' || c == '\\') {
-      escaped += '\\';
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      default:
+        // JSON forbids raw control characters; a multi-line or
+        // control-laden status string must not corrupt the report.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
     }
-    escaped += c;
   }
   return escaped;
 }

@@ -94,11 +94,8 @@ std::string EncodeFrame(const Frame& frame) {
   PutU32(&out, frame.deadline_ms);
   PutU64(&out, frame.max_compounds);
   PutU64(&out, frame.max_memory_bytes);
-  PutU32(&out, static_cast<std::uint32_t>(
-                   std::min<std::size_t>(frame.payload.size(),
-                                         kMaxPayloadBytes)));
-  out.append(frame.payload, 0,
-             std::min<std::size_t>(frame.payload.size(), kMaxPayloadBytes));
+  PutU32(&out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
   return out;
 }
 

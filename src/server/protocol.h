@@ -34,6 +34,17 @@ namespace server {
 /// by the server-wide caps (`ClampBudget`); the CLI's 0/1/2/3 exit-code
 /// contract is carried verbatim in the response status byte, extended
 /// with the service-only statuses (protocol error, load shed, draining).
+///
+/// Response ordering: within one connection, admitted (session-level)
+/// requests are answered in submission order — the scheduler runs at
+/// most one per session at a time — but service-level requests
+/// (`stats`, `shutdown`), protocol errors, and admission refusals are
+/// answered directly from the connection's reader thread and may
+/// overtake responses to earlier admitted requests still queued.
+/// Strict request-reply usage (one outstanding request per connection,
+/// as `Client::Call` enforces) always reads its own response next; a
+/// pipelining peer must not assume global FIFO and would need its own
+/// correlation scheme.
 
 inline constexpr std::uint32_t kMagic = 0x44535243u;  // "CRSD"
 inline constexpr std::uint8_t kProtocolVersion = 1;
@@ -120,7 +131,12 @@ Frame MakeRequest(RequestType type, std::string payload);
 Frame MakeResponse(RequestType type, ResponseStatus status,
                    std::string payload);
 
-/// Serializes `frame` into wire bytes (header + payload).
+/// Serializes `frame` into wire bytes (header + payload). The payload
+/// must already respect `kMaxPayloadBytes` — encoding never truncates
+/// (a silently clipped frame would decode "successfully" to the wrong
+/// bytes). `Client::Call` refuses oversized request payloads up front
+/// with a status; the server substitutes an explicit error response
+/// for an oversized response payload.
 std::string EncodeFrame(const Frame& frame);
 
 /// Outcome of `DecodeFrame` over a reassembly buffer.

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -52,8 +53,22 @@ struct Server::Connection {
   Session session;
   std::thread thread;
   Mutex write_mutex;
+  /// Admitted requests whose response has not been written yet. Pool
+  /// workers hold a raw `Connection*` until they drop this count, so
+  /// the reaper must not free the connection while it is nonzero.
+  std::atomic<int> inflight{0};
+  /// Set (release) as the reader thread's very last touch of `this`;
+  /// together with `inflight == 0` it makes the connection reapable.
+  std::atomic<bool> reader_done{false};
 
-  bool Send(const Frame& frame) CRSAT_EXCLUDES(write_mutex) {
+  bool Send(Frame frame) CRSAT_EXCLUDES(write_mutex) {
+    if (frame.payload.size() > kMaxPayloadBytes) {
+      // A response the framing cannot carry (e.g. an enormous witness
+      // dump): an honest resource refusal beats a truncated payload the
+      // client would misread as complete.
+      frame = MakeResponse(frame.request_type(), ResponseStatus::kResource,
+                           "response payload exceeds the frame cap\n");
+    }
     MutexLock lock(write_mutex);
     return SendAll(fd, EncodeFrame(frame));
   }
@@ -155,6 +170,10 @@ Status Server::Start() {
 
 void Server::AcceptLoop() {
   while (true) {
+    // Reap between polls: a daemon that held every dead connection's fd
+    // and thread object until shutdown would run into EMFILE long
+    // before its first drain.
+    ReapDeadConnections();
     {
       MutexLock lock(mutex_);
       if (draining_) {
@@ -197,7 +216,8 @@ void Server::AcceptLoop() {
 void Server::ConnectionLoop(Connection* connection) {
   std::string buffer;
   char chunk[4096];
-  while (true) {
+  bool condemned = false;
+  while (!condemned) {
     // The short-read seam: a fired failpoint delivers one byte, forcing
     // the reassembly loop below to run byte-at-a-time. Verdicts cannot
     // change — only the number of reads.
@@ -222,13 +242,12 @@ void Server::ConnectionLoop(Connection* connection) {
       }
       if (result == DecodeResult::kError) {
         // The stream can never resynchronize after a framing error:
-        // report and hang up.
+        // report and hang up (through the common teardown below).
         connection->Send(MakeResponse(RequestType::kParse,
                                       ResponseStatus::kProtocolError,
                                       error + "\n"));
-        scheduler_->CloseLane(connection->session.id);
-        ::shutdown(connection->fd, SHUT_RDWR);
-        return;
+        condemned = true;
+        break;
       }
       buffer.erase(0, consumed);
       if (frame.is_response() || !IsKnownRequestType(frame.type)) {
@@ -240,7 +259,16 @@ void Server::ConnectionLoop(Connection* connection) {
       DispatchFrame(connection, std::move(frame));
     }
   }
+  // Reader-side teardown: close the lane (queued work still runs, new
+  // submissions are refused) and shut the socket down — but leave the
+  // fd allocated, since pool workers may still write late responses on
+  // it; closing here could hand the fd number to a new connection and
+  // misdeliver them. The accept thread's reaper closes and joins once
+  // `inflight` drains. `reader_done` must be the very last touch of
+  // `connection`: after it is set the reaper may free it at any moment.
   scheduler_->CloseLane(connection->session.id);
+  ::shutdown(connection->fd, SHUT_RDWR);
+  connection->reader_done.store(true, std::memory_order_release);
 }
 
 void Server::DispatchFrame(Connection* connection, Frame frame) {
@@ -267,6 +295,7 @@ void Server::DispatchFrame(Connection* connection, Frame frame) {
   // lambda owns the frame; the scheduler guarantees at most one
   // in-flight request per lane, so the session needs no lock.
   const std::size_t cost = frame.payload.size();
+  connection->inflight.fetch_add(1, std::memory_order_relaxed);
   auto work = [this, connection, frame = std::move(frame)] {
     HandlerResult result =
         HandleRequest(connection->session, frame, options_.caps);
@@ -274,11 +303,16 @@ void Server::DispatchFrame(Connection* connection, Frame frame) {
                                   std::move(result.payload)));
     connection->session.requests_served.fetch_add(1,
                                                   std::memory_order_relaxed);
+    // Last touch of `connection`: once the in-flight count drops the
+    // reaper may free it (the reader thread may already be gone).
+    connection->inflight.fetch_sub(1, std::memory_order_release);
   };
   const ResponseStatus admitted =
       scheduler_->Submit(connection->session.id, cost, std::move(work));
   if (admitted != ResponseStatus::kOk) {
-    // Shed / draining: answer from the reader thread, nothing ran.
+    // Shed / draining: answer from the reader thread. The scheduler
+    // dropped `work` unrun, so undo its in-flight count here.
+    connection->inflight.fetch_sub(1, std::memory_order_release);
     connection->session.requests_shed.fetch_add(1, std::memory_order_relaxed);
     connection->Send(MakeResponse(
         type, admitted,
@@ -305,6 +339,39 @@ bool Server::draining() const {
   return draining_;
 }
 
+std::size_t Server::live_connections() const {
+  MutexLock lock(mutex_);
+  return connections_.size();
+}
+
+void Server::ReapDeadConnections() {
+  // A connection is reapable once its reader thread has exited *and*
+  // its last admitted request has written its response (pool workers
+  // hold raw Connection pointers until then). Join/close happen outside
+  // mutex_; the join is near-instant because `reader_done` is the
+  // reader's final action.
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    MutexLock lock(mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      Connection* connection = it->get();
+      if (connection->reader_done.load(std::memory_order_acquire) &&
+          connection->inflight.load(std::memory_order_acquire) == 0) {
+        dead.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::unique_ptr<Connection>& connection : dead) {
+    if (connection->thread.joinable()) {
+      connection->thread.join();
+    }
+    ::close(connection->fd);
+  }
+}
+
 void Server::Wait() {
   {
     MutexLock lock(mutex_);
@@ -318,22 +385,24 @@ void Server::Wait() {
   // Everything admitted before the drain finishes and writes its
   // response before the sockets go away.
   scheduler_->AwaitIdle();
+  std::vector<std::unique_ptr<Connection>> remaining;
   {
     MutexLock lock(mutex_);
     for (const std::unique_ptr<Connection>& connection : connections_) {
       ::shutdown(connection->fd, SHUT_RDWR);  // Unblocks the reader.
     }
+    // The accept thread is already joined, so the vector cannot grow:
+    // swap it out and join lock-free. Joining while holding mutex_
+    // would deadlock with a reader that just read a buffered second
+    // kShutdown and is blocked in BeginDrain on this same mutex.
+    remaining.swap(connections_);
   }
-  // Joining outside the lock would race AcceptLoop's push_back, but the
-  // accept thread is already joined — the vector is frozen now.
-  MutexLock lock(mutex_);
-  for (const std::unique_ptr<Connection>& connection : connections_) {
+  for (std::unique_ptr<Connection>& connection : remaining) {
     if (connection->thread.joinable()) {
       connection->thread.join();
     }
     ::close(connection->fd);
   }
-  connections_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (!options_.unix_socket.empty()) {

@@ -1,6 +1,7 @@
 #ifndef CRSAT_SERVER_SERVER_H_
 #define CRSAT_SERVER_SERVER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -78,6 +79,13 @@ class Server {
   /// True once `BeginDrain` ran (from a signal or a shutdown request).
   bool draining() const;
 
+  /// Connections currently tracked: live readers plus closed ones the
+  /// accept thread has not reaped yet. Dead connections are reaped
+  /// between accept polls (fd closed, thread joined), so this returns
+  /// to zero shortly after clients disconnect — a long-running daemon
+  /// never accumulates dead fds.
+  std::size_t live_connections() const;
+
   /// Blocks until drained: accept loop exited, every admitted request
   /// completed, every connection thread joined. Call once, after Start.
   void Wait();
@@ -95,6 +103,10 @@ class Server {
   /// Routes one decoded request frame: service-level types are answered
   /// inline, session types go through admission control.
   void DispatchFrame(Connection* connection, Frame frame);
+  /// Erases, joins and closes every connection whose reader exited and
+  /// whose last in-flight response has been written. Runs on the accept
+  /// thread between polls; `Wait` handles whatever is left at drain.
+  void ReapDeadConnections();
 
   const ServerOptions options_;
   std::unique_ptr<RequestScheduler> scheduler_;

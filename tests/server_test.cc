@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -678,6 +679,94 @@ TEST(ServerTest, ShutdownRequestDrainsGracefully) {
   EXPECT_EQ(stats.queued_now, 0u);
   EXPECT_EQ(stats.running_now, 0u);
   EXPECT_GE(stats.completed, 2u);  // parse + check at minimum.
+}
+
+TEST(ServerTest, ClosedConnectionsAreReapedWhileServing) {
+  Server daemon(TestOptions());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  // Churn through connections the way a long-lived daemon sees them. If
+  // dead connections were retained until shutdown, every one of these
+  // would pin an fd and a thread object until drain (and a real daemon
+  // would walk into EMFILE).
+  for (int i = 0; i < 20; ++i) {
+    Client client;
+    ASSERT_TRUE(client.ConnectTcp(daemon.port()).ok());
+    auto stats = client.Call(RequestType::kStats, "");
+    ASSERT_TRUE(stats.ok());
+    client.Close();
+  }
+
+  // The accept thread sweeps between its 200 ms polls: the tracked
+  // count must fall to zero with no drain in sight.
+  std::size_t live = daemon.live_connections();
+  for (int spin = 0; spin < 100 && live != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    live = daemon.live_connections();
+  }
+  EXPECT_EQ(live, 0u);
+
+  // And the daemon is still fully in service afterwards.
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(daemon.port()).ok());
+  auto stats = client.Call(RequestType::kStats, "");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, ResponseStatus::kOk);
+
+  daemon.BeginDrain();
+  daemon.Wait();
+}
+
+TEST(ServerTest, BufferedSecondShutdownCannotDeadlockTheDrain) {
+  // Regression: two shutdown frames land in one segment, so the reader
+  // calls BeginDrain for the second one while Wait() is already joining
+  // connection threads. The join must happen outside the server mutex,
+  // or Wait() waits on a reader that waits on the lock.
+  Server daemon(TestOptions());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(daemon.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const std::string wire =
+      EncodeFrame(MakeRequest(RequestType::kShutdown, "")) +
+      EncodeFrame(MakeRequest(RequestType::kShutdown, ""));
+  ASSERT_EQ(send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  daemon.Wait();  // Must return; the mutex-held join hung forever here.
+  EXPECT_TRUE(daemon.draining());
+  close(fd);
+}
+
+TEST(ServerTest, OversizedRequestPayloadIsRefusedNotTruncated) {
+  Server daemon(TestOptions());
+  ASSERT_TRUE(daemon.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.ConnectTcp(daemon.port()).ok());
+
+  // One byte past the cap: Call must fail with a status instead of
+  // clamping the frame on the wire (a silently cut schema would be
+  // parsed and answered as if it were complete).
+  std::string oversized(kMaxPayloadBytes + 1, 'x');
+  auto reply = client.Call(RequestType::kParse, std::move(oversized));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().ToString().find("cap"), std::string::npos)
+      << reply.status().ToString();
+
+  // The refusal happened before any bytes went out: the connection is
+  // still clean and serves the next request.
+  auto stats = client.Call(RequestType::kStats, "");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, ResponseStatus::kOk);
+
+  daemon.BeginDrain();
+  daemon.Wait();
 }
 
 TEST(ServerTest, StartRejectsAmbiguousListenerConfig) {
