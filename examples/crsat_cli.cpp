@@ -125,7 +125,8 @@ int Usage() {
   std::cerr
       << "usage:\n"
          "  crsat_cli check  <schema-file> [--threads N] [--json]\n"
-         "                   [--witness[=text|json|dot]]\n"
+         "                   [--witness[=text|json|dot]] "
+         "[--backend=reasoner|saturation]\n"
          "                   [--timeout-ms N] [--max-compounds N] "
          "[--max-memory-mb N]\n"
          "  crsat_cli expand <schema-file>\n"
@@ -143,6 +144,7 @@ int Usage() {
          "  crsat_cli conform [--seeds N] [--seed-start S] [--bound K]\n"
          "                    [--tuple-bound T] [--classes N] "
          "[--relationships N]\n"
+         "                    [--engines reasoner[,oracle][,saturation]]\n"
          "                    [--json] [--no-baseline] [--no-metamorphic]\n"
          "                    [--no-minimize] [--dump-dir DIR]\n"
          "  crsat_cli conform --chaos-seeds N [--chaos-start S] "
@@ -555,6 +557,69 @@ int RunCheck(const crsat::NamedSchema& parsed, bool json,
   return all_ok ? kExitOk : kExitFindings;
 }
 
+// `check --backend=saturation`: classical (unrestricted-model) verdicts
+// from the graph-saturation engine, next to the reasoner's finite-model
+// semantics. "sat-with-reuse" means the only witness found is cyclic —
+// on a schema the reasoner rejects, that contrast is the paper's
+// finitely-unsat phenomenon, not a bug. Exit codes follow the verdict
+// lattice: 0 when every class has some classical model (finite or
+// cyclic), 1 when any class is classically unsatisfiable, 3 when any
+// verdict is unknown (budget exhausted or guard trip).
+int RunSaturationCheck(const crsat::NamedSchema& parsed, bool json,
+                       crsat::ResourceGuard* guard) {
+  const crsat::Schema& schema = parsed.schema;
+  crsat::SaturationOptions options;
+  options.guard = guard;
+  crsat::SaturationReport report =
+      crsat::SaturationEngine::Decide(schema, options);
+  bool any_unsat = false;
+  bool any_unknown = false;
+  for (const crsat::SaturationClassResult& result : report.classes) {
+    any_unsat =
+        any_unsat || result.verdict == crsat::SaturationVerdict::kUnsat;
+    any_unknown =
+        any_unknown || result.verdict == crsat::SaturationVerdict::kUnknown;
+  }
+  if (json) {
+    std::cout << "{\n  \"schema\": \"" << JsonEscape(parsed.name)
+              << "\",\n  \"backend\": \"saturation\",\n  \"classes\": [\n";
+    bool first = true;
+    for (const crsat::SaturationClassResult& result : report.classes) {
+      if (!first) {
+        std::cout << ",\n";
+      }
+      first = false;
+      std::cout << "    {\"name\": \""
+                << JsonEscape(schema.ClassName(result.cls))
+                << "\", \"verdict\": \""
+                << crsat::SaturationVerdictToString(result.verdict) << "\"";
+      if (!result.unknown_reason.empty()) {
+        std::cout << ", \"unknown_reason\": \""
+                  << JsonEscape(result.unknown_reason) << "\"";
+      }
+      std::cout << "}";
+    }
+    std::cout << "\n  ],\n  \"templates_created\": " << report.templates_created
+              << ",\n  \"blocked_edges\": " << report.blocked_edges
+              << ",\n  \"individuals_reused\": " << report.individuals_reused
+              << ",\n  \"individuals_spawned\": "
+              << report.individuals_spawned;
+    if (guard != nullptr) {
+      std::cout << ",\n  \"resource\": " << guard->report().ToJson();
+    }
+    std::cout << "\n}\n";
+  } else {
+    std::cout << report.Summary(schema);
+    if (any_unknown && guard != nullptr && guard->tripped()) {
+      std::cerr << guard->report().ToString() << "\n";
+    }
+  }
+  if (any_unknown) {
+    return kExitResource;
+  }
+  return any_unsat ? kExitFindings : kExitOk;
+}
+
 int RunModel(const crsat::Schema& schema, const std::string& class_name) {
   crsat::Result<crsat::ClassId> cls = ResolveClass(schema, class_name);
   if (!cls.ok()) {
@@ -733,6 +798,37 @@ int RunConform(int argc, char** argv) {
       options.num_classes = static_cast<int>(value);
     } else if (arg == "--relationships" && parse_int(&i, 0, &value)) {
       options.num_relationships = static_cast<int>(value);
+    } else if (arg == "--engines" && i + 1 < argc) {
+      // The comma list selects which independent engines vote alongside
+      // the reasoner. The reasoner is the engine under test and must be
+      // listed; omitting "oracle" or "saturation" disables that voter.
+      options.check_oracle = false;
+      options.check_saturation = false;
+      bool reasoner_listed = false;
+      const std::string list = argv[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string engine =
+            comma == std::string::npos ? list.substr(start)
+                                       : list.substr(start, comma - start);
+        if (engine == "reasoner") {
+          reasoner_listed = true;
+        } else if (engine == "oracle") {
+          options.check_oracle = true;
+        } else if (engine == "saturation") {
+          options.check_saturation = true;
+        } else {
+          return Usage();
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+      if (!reasoner_listed) {
+        return Usage();
+      }
     } else if (arg == "--no-baseline") {
       options.check_baseline = false;
     } else if (arg == "--no-metamorphic") {
@@ -1084,12 +1180,18 @@ int RealMain(int argc, char** argv) {
     bool json = false;
     long threads = 0;
     std::string witness_mode;
+    std::string backend = "reasoner";
     GuardFlags guard_flags;
     for (int i = 3; i < argc; ++i) {
       const std::string arg = argv[i];
       bool bad = false;
       if (arg == "--json") {
         json = true;
+      } else if (arg.rfind("--backend=", 0) == 0) {
+        backend = arg.substr(std::string("--backend=").size());
+        if (backend != "reasoner" && backend != "saturation") {
+          return Usage();
+        }
       } else if (arg == "--witness") {
         witness_mode = "text";
       } else if (arg.rfind("--witness=", 0) == 0) {
@@ -1113,6 +1215,18 @@ int RealMain(int argc, char** argv) {
     // Per-invocation solver stats: start from zero so `--json` reports
     // exactly this run's counters.
     ResetAllStats();
+    if (backend == "saturation") {
+      // Witness synthesis is a reasoner-pipeline feature; the saturation
+      // engine reports its own certified finite models.
+      if (!witness_mode.empty()) {
+        return Usage();
+      }
+      if (guard_flags.any) {
+        crsat::ResourceGuard guard(guard_flags.limits);
+        return RunSaturationCheck(*parsed, json, &guard);
+      }
+      return RunSaturationCheck(*parsed, json, nullptr);
+    }
     if (guard_flags.any) {
       crsat::ResourceGuard guard(guard_flags.limits);
       return RunCheck(*parsed, json, witness_mode, &guard);

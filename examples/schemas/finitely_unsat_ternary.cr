@@ -1,0 +1,12 @@
+// Finitely unsatisfiable classes inside a ternary relationship. C and D
+// replay Figure 1 across R's V1/V2 roles (2|C| <= |R| <= |D| <= |C|), so
+// both are finitely empty; E merely participates at V3 with no lower
+// bound of its own, so E stays finitely satisfiable — the contrast
+// verdict must hit exactly C and D, never E.
+schema FinitelyUnsatTernary {
+  class C, D, E;
+  isa D < C;
+  relationship R(V1: C, V2: D, V3: E);
+  card C in R.V1 = (2, *);
+  card D in R.V2 = (0, 1);
+}

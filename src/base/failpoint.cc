@@ -25,6 +25,9 @@ namespace {
 //   incremental/* force the incremental -> cold rung
 //   lp/*          warm-start rejection, mid-repair abort, fast-tier
 //                 overflow, support-cover LP failure
+//   saturation/*  graph-saturation seams: template expansion aborts
+//                 (phase A -> UNKNOWN) and finite-materialization aborts
+//                 (phase B degrades finite-model to sat-with-reuse)
 //   server/*      crsatd serving seams: transient accept failure
 //                 (connection stays in the backlog and is retried),
 //                 short socket reads (frame reassembly re-loops), and
@@ -39,6 +42,8 @@ constexpr const char* kRegisteredFailpoints[] = {
     "lp/fast_tier_overflow",
     "lp/support_cover_fail",
     "lp/warm_start_reject",
+    "saturation/expand",
+    "saturation/materialize",
     "server/accept",
     "server/queue-full",
     "server/short-read",

@@ -24,7 +24,10 @@
 /// `LnReasoner`. Cheap pre-LP structural diagnostics (the lint engine)
 /// live in `RunLint` / `LintRuleRegistry` (src/analysis/). The
 /// independent brute-force ground truth and the differential conformance
-/// harness live in `BruteForceOracle` / `RunConformance` (src/oracle/).
+/// harness live in `BruteForceOracle` / `RunConformance` (src/oracle/),
+/// and the graph-saturation witness engine — the harness's third voice,
+/// with classical (unrestricted-model) semantics — in `SaturationEngine`
+/// (src/saturation/).
 
 #include "src/analysis/diagnostics.h"
 #include "src/analysis/empty_classes.h"
@@ -65,6 +68,8 @@
 #include "src/reasoner/satisfiability.h"
 #include "src/reasoner/system_builder.h"
 #include "src/reasoner/unsat_core.h"
+#include "src/saturation/graph.h"
+#include "src/saturation/saturation.h"
 #include "src/witness/witness.h"
 #include "src/witness/witness_text.h"
 

@@ -24,6 +24,8 @@
 #include "src/oracle/metamorphic.h"
 #include "src/oracle/schema_parts.h"
 #include "src/reasoner/satisfiability.h"
+#include "src/saturation/graph.h"
+#include "src/saturation/saturation.h"
 #include "src/witness/witness.h"
 
 namespace crsat {
@@ -269,7 +271,18 @@ std::string ConformanceReport::ToJson() const {
       << "  \"oracle_exhausted\": " << oracle_exhausted << ",\n"
       << "  \"baseline_schemas\": " << baseline_schemas << ",\n"
       << "  \"metamorphic_mutants\": " << metamorphic_mutants << ",\n"
-      << "  \"witnesses_certified\": " << witnesses_certified << ",\n";
+      << "  \"witnesses_certified\": " << witnesses_certified << ",\n"
+      << "  \"saturation_models_certified\": " << saturation_models_certified
+      << ",\n"
+      << "  \"sat_confirmed_by_saturation\": " << sat_confirmed_by_saturation
+      << ",\n"
+      << "  \"unsat_confirmed_by_saturation\": "
+      << unsat_confirmed_by_saturation << ",\n"
+      << "  \"sat_without_finite_witness\": " << sat_without_finite_witness
+      << ",\n"
+      << "  \"infinite_model_contrasts\": " << infinite_model_contrasts
+      << ",\n"
+      << "  \"saturation_unknown\": " << saturation_unknown << ",\n";
   {
     // Process-wide solver counters at report time; with the CLI's
     // reset-at-command-start discipline they cover exactly this sweep.
@@ -319,22 +332,50 @@ std::string ConformanceReport::Summary() const {
       << oracle_exhausted << " oracle budget skips), " << baseline_schemas
       << " baseline schemas, " << metamorphic_mutants
       << " metamorphic mutants, " << witnesses_certified
-      << " witnesses certified: " << disagreements.size()
+      << " witnesses certified, saturation vote ("
+      << saturation_models_certified << " models certified, "
+      << sat_confirmed_by_saturation << " sat confirmed, "
+      << unsat_confirmed_by_saturation << " unsat confirmed, "
+      << sat_without_finite_witness << " sat without finite witness, "
+      << infinite_model_contrasts << " infinite-model contrasts, "
+      << saturation_unknown << " unknown): " << disagreements.size()
       << " disagreement(s)";
   return out.str();
 }
 
 Result<ConformanceReport> RunConformance(const ConformanceOptions& options) {
   ConformanceReport report;
+  // Curated extras first (reported with seed 0), then the generated
+  // sweep. Both run the identical comparison pipeline; only the baseline
+  // cross-check is generator-derived and skips extras.
+  struct SweepItem {
+    std::uint32_t seed = 0;
+    bool generated = false;
+    Schema schema;
+  };
+  std::vector<SweepItem> items;
+  for (const std::string& text : options.extra_schema_texts) {
+    Result<NamedSchema> parsed = ParseSchema(text);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    "extra conformance schema failed to parse: " +
+                        parsed.status().message());
+    }
+    items.push_back({0, false, std::move(parsed).value().schema});
+  }
   for (int i = 0; i < options.num_seeds; ++i) {
-    const std::uint32_t seed = options.first_seed +
-                               static_cast<std::uint32_t>(i);
-    const RandomSchemaParams params = SweepParams(options, seed);
-    Result<Schema> generated = GenerateRandomSchema(params);
+    const std::uint32_t seed =
+        options.first_seed + static_cast<std::uint32_t>(i);
+    Result<Schema> generated =
+        GenerateRandomSchema(SweepParams(options, seed));
     if (!generated.ok()) {
       return generated.status();
     }
-    const Schema& schema = *generated;
+    items.push_back({seed, true, std::move(generated).value()});
+  }
+  for (const SweepItem& item : items) {
+    const std::uint32_t seed = item.seed;
+    const Schema& schema = item.schema;
     const std::string schema_text = SchemaToText(schema, "conformance");
 
     Result<std::vector<bool>> reasoner =
@@ -422,15 +463,23 @@ Result<ConformanceReport> RunConformance(const ConformanceOptions& options) {
     }
 
     // --- Reasoner vs brute-force oracle -------------------------------
-    Result<OracleReport> oracle =
-        BruteForceOracle::Decide(schema, options.oracle);
-    if (!oracle.ok() && IsResourceLimit(oracle.status().code())) {
-      ++report.oracle_exhausted;
-    } else if (!oracle.ok()) {
-      return Status(oracle.status().code(),
-                    "oracle failed on seed " + std::to_string(seed) + ": " +
-                        oracle.status().message());
-    } else {
+    // The report outlives this block: the saturation vote below uses it
+    // to corroborate its own findings when the oracle ran to completion.
+    std::optional<OracleReport> oracle;
+    if (options.check_oracle) {
+      Result<OracleReport> decided =
+          BruteForceOracle::Decide(schema, options.oracle);
+      if (!decided.ok() && IsResourceLimit(decided.status().code())) {
+        ++report.oracle_exhausted;
+      } else if (!decided.ok()) {
+        return Status(decided.status().code(),
+                      "oracle failed on seed " + std::to_string(seed) + ": " +
+                          decided.status().message());
+      } else {
+        oracle = std::move(decided).value();
+      }
+    }
+    if (oracle.has_value()) {
       for (ClassId cls : schema.AllClasses()) {
         const bool reasoner_sat = (*reasoner)[cls.value];
         const bool oracle_sat = oracle->Satisfiable(cls);
@@ -490,11 +539,161 @@ Result<ConformanceReport> RunConformance(const ConformanceOptions& options) {
       }
     }
 
+    // --- The saturation vote ------------------------------------------
+    // The third engine answers *classical* satisfiability plus, when it
+    // can, a concrete finite model. Its evidence is re-judged here at
+    // harness level, outside the engine: finite models go through
+    // ModelChecker (the CertifiedWitness non-bypass discipline),
+    // sat-with-reuse graphs through ValidateSaturationGraph. A valid
+    // cyclic graph against a reasoner finitely-UNSAT is NOT a
+    // disagreement — it is the infinite-model contrast this engine
+    // exists to exhibit.
+    if (options.check_saturation) {
+      const SaturationOptions sat_options = options.saturation;
+      const SaturationReport saturation =
+          SaturationEngine::Decide(schema, sat_options);
+      for (ClassId cls : schema.AllClasses()) {
+        const SaturationClassResult& vote =
+            saturation.classes[static_cast<size_t>(cls.value)];
+        const bool reasoner_sat = (*reasoner)[cls.value];
+        const bool oracle_ran = oracle.has_value();
+        const bool oracle_sat = oracle_ran && oracle->Satisfiable(cls);
+        switch (vote.verdict) {
+          case SaturationVerdict::kUnknown:
+            ++report.saturation_unknown;
+            break;
+          case SaturationVerdict::kUnsat:
+            if (reasoner_sat) {
+              record("saturation-unsat-reasoner-sat", cls,
+                     "saturation proves classical UNSAT, reasoner reports "
+                     "finitely SAT",
+                     [sat_options, cls](const Schema& candidate) {
+                       Result<std::vector<bool>> v =
+                           ReasonerVerdicts(candidate, -1);
+                       return v.ok() && (*v)[cls.value] &&
+                              SaturationEngine::DecideClass(candidate, cls,
+                                                            sat_options)
+                                      .verdict == SaturationVerdict::kUnsat;
+                     });
+            } else if (oracle_sat) {
+              record("saturation-unsat-oracle-sat", cls,
+                     "saturation proves classical UNSAT, oracle holds a "
+                     "certified model with domain size " +
+                         std::to_string(
+                             oracle->classes[cls.value].model_domain_size),
+                     [&options, sat_options, cls](const Schema& candidate) {
+                       Result<OracleReport> o = BruteForceOracle::Decide(
+                           candidate, options.oracle);
+                       return o.ok() && o->Satisfiable(cls) &&
+                              SaturationEngine::DecideClass(candidate, cls,
+                                                            sat_options)
+                                      .verdict == SaturationVerdict::kUnsat;
+                     });
+            } else {
+              ++report.unsat_confirmed_by_saturation;
+            }
+            break;
+          case SaturationVerdict::kFiniteModel: {
+            if (!vote.model.has_value() ||
+                !ModelChecker::IsModel(schema, *vote.model)) {
+              record("saturation-missed-violation", cls,
+                     "saturation finite model" +
+                         (vote.model.has_value()
+                              ? " with domain size " +
+                                    std::to_string(vote.model->domain_size())
+                              : std::string("")) +
+                         " fails the harness ModelChecker",
+                     [sat_options, cls](const Schema& candidate) {
+                       SaturationClassResult s = SaturationEngine::DecideClass(
+                           candidate, cls, sat_options);
+                       return s.verdict == SaturationVerdict::kFiniteModel &&
+                              (!s.model.has_value() ||
+                               !ModelChecker::IsModel(candidate, *s.model));
+                     });
+              break;
+            }
+            ++report.saturation_models_certified;
+            if (!reasoner_sat) {
+              record("reasoner-unsat-saturation-model", cls,
+                     "harness-certified saturation model with domain size " +
+                         std::to_string(vote.model->domain_size()) +
+                         " for a class the reasoner calls UNSAT",
+                     [sat_options, cls](const Schema& candidate) {
+                       Result<std::vector<bool>> v =
+                           ReasonerVerdicts(candidate, -1);
+                       if (!v.ok() || (*v)[cls.value]) {
+                         return false;
+                       }
+                       SaturationClassResult s = SaturationEngine::DecideClass(
+                           candidate, cls, sat_options);
+                       return s.verdict == SaturationVerdict::kFiniteModel &&
+                              s.model.has_value() &&
+                              ModelChecker::IsModel(candidate, *s.model);
+                     });
+              break;
+            }
+            ++report.sat_confirmed_by_saturation;
+            if (oracle_ran && !oracle_sat &&
+                WitnessFitsBounds(*vote.model, options.oracle) &&
+                !vote.model->ClassExtension(cls).empty()) {
+              record("oracle-missed-saturation-model", cls,
+                     "certified saturation model with domain size " +
+                         std::to_string(vote.model->domain_size()) +
+                         " fits the oracle bounds",
+                     [&options, sat_options, cls](const Schema& candidate) {
+                       Result<OracleReport> o = BruteForceOracle::Decide(
+                           candidate, options.oracle);
+                       if (!o.ok() || o->Satisfiable(cls)) {
+                         return false;
+                       }
+                       SaturationClassResult s = SaturationEngine::DecideClass(
+                           candidate, cls, sat_options);
+                       return s.verdict == SaturationVerdict::kFiniteModel &&
+                              s.model.has_value() &&
+                              ModelChecker::IsModel(candidate, *s.model) &&
+                              WitnessFitsBounds(*s.model, options.oracle) &&
+                              !s.model->ClassExtension(cls).empty();
+                     });
+            }
+            break;
+          }
+          case SaturationVerdict::kSatWithReuse: {
+            const std::vector<std::string> graph_violations =
+                ValidateSaturationGraph(schema, vote.graph, cls);
+            if (!graph_violations.empty()) {
+              const std::string why =
+                  "sat-with-reuse graph fails validation: " +
+                  graph_violations.front();
+              const auto invalid_graph = [sat_options,
+                                          cls](const Schema& candidate) {
+                SaturationClassResult s = SaturationEngine::DecideClass(
+                    candidate, cls, sat_options);
+                return s.verdict == SaturationVerdict::kSatWithReuse &&
+                       !ValidateSaturationGraph(candidate, s.graph, cls)
+                            .empty();
+              };
+              record(oracle_ran && !oracle_sat
+                         ? "saturation-claims-sat-oracle-unsat"
+                         : "saturation-graph-invalid",
+                     cls, why, invalid_graph);
+              break;
+            }
+            if (!reasoner_sat) {
+              ++report.infinite_model_contrasts;
+            } else {
+              ++report.sat_without_finite_witness;
+            }
+            break;
+          }
+        }
+      }
+    }
+
     // --- Reasoner vs the Lenzerini–Nobili baseline --------------------
     // The baseline refuses ISA, so the comparison runs on an ISA-free
     // sibling schema generated from the same seed.
-    if (options.check_baseline) {
-      RandomSchemaParams ln_params = params;
+    if (options.check_baseline && item.generated) {
+      RandomSchemaParams ln_params = SweepParams(options, seed);
       ln_params.isa_density = 0.0;
       ln_params.refinement_probability = 0.0;
       ln_params.num_disjointness_groups = 0;

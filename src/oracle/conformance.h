@@ -8,6 +8,7 @@
 
 #include "src/base/result.h"
 #include "src/oracle/brute_force.h"
+#include "src/saturation/saturation.h"
 
 namespace crsat {
 
@@ -17,8 +18,26 @@ struct ConformanceOptions {
   int num_seeds = 100;
   std::uint32_t first_seed = 1;
 
+  /// Engine selection for the vote (the reasoner always runs — it is the
+  /// system under test). `check_oracle` gates the brute-force oracle,
+  /// `check_saturation` the graph-saturation engine; with both on, every
+  /// class verdict is a three-way vote.
+  bool check_oracle = true;
+  bool check_saturation = true;
+
   /// Bounds for the brute-force ground-truth oracle.
   OracleOptions oracle;
+
+  /// Knobs for the saturation engine. Leave `saturation.guard` null in
+  /// sweeps: the step/node budgets are deterministic, wall-clock
+  /// timeouts are not, and sweep verdicts must be reproducible.
+  SaturationOptions saturation;
+
+  /// Curated schema texts (ParseSchema grammar) checked before the
+  /// generated sweep, through the same comparison pipeline; their
+  /// disagreements are reported with seed 0. The baseline cross-check is
+  /// generator-derived and skips them.
+  std::vector<std::string> extra_schema_texts;
 
   /// Shape of the generated schemas. Small on purpose: the oracle is
   /// exponential in these, and small schemas are where reasoner bugs
@@ -65,6 +84,34 @@ struct ConformanceDisagreement {
   ///                                  (oracle completeness bug);
   ///   "reasoner-vs-baseline"       — LN fragment, two solvers disagree;
   ///   "metamorphic:<rule>"         — a verdict-relation theorem violated.
+  /// Saturation-engine taxonomy (three-way vote):
+  ///   "saturation-missed-violation"      — a saturation finite model
+  ///                                        fails the harness's own
+  ///                                        ModelChecker re-judging
+  ///                                        (saturation soundness bug,
+  ///                                        e.g. a weakened merge rule);
+  ///   "saturation-claims-sat-oracle-unsat" — saturation claims classical
+  ///                                        SAT but its graph fails
+  ///                                        ValidateSaturationGraph while
+  ///                                        the oracle found no model
+  ///                                        (e.g. over-eager blocking);
+  ///   "saturation-graph-invalid"         — invalid graph, no oracle
+  ///                                        verdict to corroborate;
+  ///   "saturation-unsat-reasoner-sat"    — saturation proves classical
+  ///                                        UNSAT where the reasoner
+  ///                                        reports finitely SAT;
+  ///   "saturation-unsat-oracle-sat"      — saturation proves classical
+  ///                                        UNSAT where the oracle holds
+  ///                                        a certified finite model;
+  ///   "reasoner-unsat-saturation-model"  — a harness-certified finite
+  ///                                        saturation model for a class
+  ///                                        the reasoner calls UNSAT;
+  ///   "oracle-missed-saturation-model"   — a certified saturation model
+  ///                                        fits the oracle bounds yet
+  ///                                        the oracle said UNSAT.
+  /// NOT a disagreement: saturation sat-with-reuse vs reasoner UNSAT with
+  /// a *valid* graph — that is the finitely-unsat/classically-sat
+  /// contrast the engine exists to exhibit (`infinite_model_contrasts`).
   std::string kind;
   std::string class_name;
   std::string detail;
@@ -91,6 +138,24 @@ struct ConformanceReport {
   int baseline_schemas = 0;
   int metamorphic_mutants = 0;
   int witnesses_certified = 0;
+  /// Three-way-vote counters (all zero when `check_saturation` is off).
+  /// Saturation finite models that passed the harness's ModelChecker.
+  int saturation_models_certified = 0;
+  /// Classes where reasoner SAT was corroborated by a certified
+  /// saturation model / where reasoner UNSAT was corroborated by a
+  /// saturation classical-UNSAT proof (strictly stronger than finite).
+  int sat_confirmed_by_saturation = 0;
+  int unsat_confirmed_by_saturation = 0;
+  /// Benign: classically satisfiable per a valid saturation graph, but
+  /// no finite model found within phase B budgets while the reasoner
+  /// says finitely SAT.
+  int sat_without_finite_witness = 0;
+  /// The contrast class: reasoner finitely-UNSAT, saturation classically
+  /// SAT with a validated cyclic graph. The schemas the two-engine
+  /// harness could never exhibit.
+  int infinite_model_contrasts = 0;
+  /// Saturation gave up (guard trip, injected fault, step budget).
+  int saturation_unknown = 0;
   std::vector<ConformanceDisagreement> disagreements;
 
   std::string ToJson() const;
@@ -100,8 +165,11 @@ struct ConformanceReport {
 
 /// The differential driver: for each seed, generates a schema, runs the
 /// production reasoner (expansion -> satisfiability, the same path as
-/// `crsat_cli check`), and cross-checks it four ways — against the
-/// brute-force oracle, against the LN baseline on the ISA-free fragment,
+/// `crsat_cli check`), and cross-checks it five ways — against the
+/// brute-force oracle, against the graph-saturation engine (per-class
+/// three-way vote, saturation models re-judged by ModelChecker and
+/// saturation graphs re-judged by ValidateSaturationGraph, both at
+/// harness level), against the LN baseline on the ISA-free fragment,
 /// against itself under metamorphic rewrites, and against its own
 /// certified witnesses. Any conflict is recorded (and minimized); a
 /// harness-level failure (e.g. the generator itself erroring) aborts with

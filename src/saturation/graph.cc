@@ -1,0 +1,349 @@
+#include "src/saturation/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <utility>
+
+// srclint: allow(unguarded-loop): the validator and unraveler are linear
+// passes over a graph phase A already built under the engine's guarded
+// budget; no loop here can outgrow max_nodes * roles * tuples, and the
+// unraveler additionally cuts at max_individuals.
+
+namespace crsat {
+
+namespace {
+
+/// Effective cardinality bounds for one (relationship, role) over a whole
+/// label: the tightest combination of every declaration carried by any
+/// class in the label (refinements tighten their superclass bounds, per
+/// the paper's Definition 2.1). `max == nullopt` is infinity.
+struct EffectiveBounds {
+  std::uint64_t min = 0;
+  std::optional<std::uint64_t> max;
+
+  bool Admits(std::uint64_t have) const {
+    return have >= min && (!max.has_value() || have <= *max);
+  }
+
+  std::string ToString() const {
+    std::ostringstream out;
+    out << "[" << min << ", " << (max.has_value() ? std::to_string(*max) : "*")
+        << "]";
+    return out.str();
+  }
+};
+
+EffectiveBounds BoundsOver(const Schema& schema, const std::vector<bool>& label,
+                           RelationshipId rel, RoleId role) {
+  EffectiveBounds bounds;
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    if (!label[static_cast<size_t>(c)]) {
+      continue;
+    }
+    const Cardinality card = schema.GetCardinality(ClassId{c}, rel, role);
+    bounds.min = std::max(bounds.min, card.min);
+    if (card.max.has_value() &&
+        (!bounds.max.has_value() || *card.max < *bounds.max)) {
+      bounds.max = card.max;
+    }
+  }
+  return bounds;
+}
+
+std::string LabelToText(const Schema& schema, const std::vector<bool>& label) {
+  std::string out = "{";
+  bool first = true;
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    if (c < static_cast<int>(label.size()) && label[static_cast<size_t>(c)]) {
+      out += (first ? "" : ", ") + schema.ClassName(ClassId{c});
+      first = false;
+    }
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string SaturationGraph::ToText(const Schema& schema) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const SaturationNode& node = nodes[i];
+    out << "node " << i << ": " << LabelToText(schema, node.label);
+    if (node.anchor.has_value()) {
+      out << " anchor "
+          << schema.RelationshipName(schema.RelationshipOf(*node.anchor)) << "."
+          << schema.RoleName(*node.anchor);
+    } else {
+      out << " root";
+    }
+    out << "\n";
+    for (const SaturationTuple& tuple : node.tuples) {
+      out << "  " << schema.RelationshipName(tuple.rel) << "(";
+      const std::vector<RoleId>& roles = schema.RolesOf(tuple.rel);
+      for (size_t q = 0; q < tuple.components.size(); ++q) {
+        out << (q == 0 ? "" : ", ")
+            << (q < roles.size() ? schema.RoleName(roles[q]) : "?") << "=";
+        if (static_cast<int>(q) == tuple.owner_position) {
+          out << "this";
+        } else {
+          out << "node " << tuple.components[q];
+        }
+      }
+      out << ")\n";
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> ValidateSaturationGraph(const Schema& schema,
+                                                 const SaturationGraph& graph,
+                                                 ClassId root_class) {
+  std::vector<std::string> violations;
+  auto violate = [&violations](const std::string& message) {
+    violations.push_back(message);
+  };
+  if (graph.nodes.empty()) {
+    violate("graph is empty: no root template for class " +
+            schema.ClassName(root_class));
+    return violations;
+  }
+  const size_t num_classes = static_cast<size_t>(schema.num_classes());
+  if (graph.nodes[0].anchor.has_value()) {
+    violate("node 0 must be the unanchored root template");
+  }
+  if (graph.nodes[0].label.size() == num_classes &&
+      root_class.valid() &&
+      !graph.nodes[0].label[static_cast<size_t>(root_class.value)]) {
+    violate("root label does not contain the queried class " +
+            schema.ClassName(root_class));
+  }
+
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const SaturationNode& node = graph.nodes[i];
+    const std::string who = "node " + std::to_string(i);
+    if (node.label.size() != num_classes) {
+      violate(who + ": label has " + std::to_string(node.label.size()) +
+              " entries for " + std::to_string(num_classes) + " classes");
+      continue;
+    }
+    bool any_class = false;
+    for (size_t c = 0; c < num_classes; ++c) {
+      any_class = any_class || node.label[c];
+    }
+    if (!any_class) {
+      violate(who + ": empty label");
+      continue;
+    }
+
+    // ISA closure, disjointness, covering — the label-level conditions.
+    for (int c = 0; c < schema.num_classes(); ++c) {
+      if (!node.label[static_cast<size_t>(c)]) {
+        continue;
+      }
+      for (int d = 0; d < schema.num_classes(); ++d) {
+        if (d == c || node.label[static_cast<size_t>(d)]) {
+          continue;
+        }
+        if (schema.IsSubclassOf(ClassId{c}, ClassId{d})) {
+          violate(who + ": label not ISA-closed: has " +
+                  schema.ClassName(ClassId{c}) + " but not its superclass " +
+                  schema.ClassName(ClassId{d}));
+        }
+      }
+      for (int d = c + 1; d < schema.num_classes(); ++d) {
+        if (node.label[static_cast<size_t>(d)] &&
+            schema.AreDeclaredDisjoint(ClassId{c}, ClassId{d})) {
+          violate(who + ": label holds declared-disjoint classes " +
+                  schema.ClassName(ClassId{c}) + " and " +
+                  schema.ClassName(ClassId{d}));
+        }
+      }
+    }
+    for (const CoveringConstraint& covering : schema.covering_constraints()) {
+      if (!node.label[static_cast<size_t>(covering.covered.value)]) {
+        continue;
+      }
+      const bool covered = std::any_of(
+          covering.coverers.begin(), covering.coverers.end(),
+          [&node](ClassId coverer) {
+            return node.label[static_cast<size_t>(coverer.value)];
+          });
+      if (!covered) {
+        violate(who + ": label holds covered class " +
+                schema.ClassName(covering.covered) +
+                " but none of its coverers");
+      }
+    }
+
+    if (node.anchor.has_value()) {
+      const ClassId primary = schema.PrimaryClass(*node.anchor);
+      if (!node.label[static_cast<size_t>(primary.value)]) {
+        violate(who + ": anchored at role " + schema.RoleName(*node.anchor) +
+                " without its primary class " + schema.ClassName(primary) +
+                " in the label");
+      }
+    }
+
+    // Tuple shape + participation counts per (relationship, position).
+    std::map<std::pair<int, int>, std::uint64_t> have;
+    for (const SaturationTuple& tuple : node.tuples) {
+      if (!tuple.rel.valid() || tuple.rel.value >= schema.num_relationships()) {
+        violate(who + ": tuple names an invalid relationship");
+        continue;
+      }
+      const std::vector<RoleId>& roles = schema.RolesOf(tuple.rel);
+      if (tuple.components.size() != roles.size() ||
+          tuple.owner_position < 0 ||
+          tuple.owner_position >= static_cast<int>(roles.size())) {
+        violate(who + ": malformed tuple for " +
+                schema.RelationshipName(tuple.rel));
+        continue;
+      }
+      if (tuple.components[static_cast<size_t>(tuple.owner_position)] !=
+          static_cast<int>(i)) {
+        violate(who + ": tuple owner position does not reference the owner");
+        continue;
+      }
+      ++have[{tuple.rel.value, tuple.owner_position}];
+      for (size_t q = 0; q < tuple.components.size(); ++q) {
+        if (static_cast<int>(q) == tuple.owner_position) {
+          continue;
+        }
+        const int target = tuple.components[q];
+        if (target < 0 || target >= static_cast<int>(graph.nodes.size())) {
+          violate(who + ": tuple component references missing node " +
+                  std::to_string(target));
+          continue;
+        }
+        const SaturationNode& filler = graph.nodes[static_cast<size_t>(target)];
+        const RoleId role = roles[q];
+        if (!filler.anchor.has_value() || *filler.anchor != role) {
+          // A template's cardinality arithmetic budgets exactly one
+          // incoming participation, at its anchor role. Referencing it at
+          // any other role (or referencing the root) would give its
+          // unraveled copies an unbudgeted count — the over-eager-blocking
+          // bug class this validator exists to catch.
+          violate(who + ": tuple for " + schema.RelationshipName(tuple.rel) +
+                  " references node " + std::to_string(target) +
+                  " at role " + schema.RoleName(role) +
+                  " but that template is anchored at " +
+                  (filler.anchor.has_value() ? schema.RoleName(*filler.anchor)
+                                             : std::string("<root>")));
+        }
+        if (filler.label.size() == num_classes &&
+            !filler.label[static_cast<size_t>(
+                schema.PrimaryClass(role).value)]) {
+          violate(who + ": tuple filler node " + std::to_string(target) +
+                  " is not typed for role " + schema.RoleName(role));
+        }
+      }
+    }
+
+    // Cardinality arithmetic over the label for every (rel, role).
+    for (RelationshipId rel : schema.AllRelationships()) {
+      const std::vector<RoleId>& roles = schema.RolesOf(rel);
+      for (size_t pos = 0; pos < roles.size(); ++pos) {
+        const RoleId role = roles[pos];
+        std::uint64_t count = 0;
+        auto it = have.find({rel.value, static_cast<int>(pos)});
+        if (it != have.end()) {
+          count = it->second;
+        }
+        const bool anchored_here =
+            node.anchor.has_value() && *node.anchor == role;
+        const std::uint64_t total = count + (anchored_here ? 1 : 0);
+        const ClassId primary = schema.PrimaryClass(role);
+        if (!node.label[static_cast<size_t>(primary.value)]) {
+          if (total > 0) {
+            violate(who + ": participates at " + schema.RelationshipName(rel) +
+                    "." + schema.RoleName(role) +
+                    " without the role's primary class " +
+                    schema.ClassName(primary));
+          }
+          continue;
+        }
+        const EffectiveBounds bounds = BoundsOver(schema, node.label, rel, role);
+        if (!bounds.Admits(total)) {
+          violate(who + ": count " + std::to_string(total) + " at " +
+                  schema.RelationshipName(rel) + "." + schema.RoleName(role) +
+                  " outside effective bounds " + bounds.ToString() +
+                  " for label " + LabelToText(schema, node.label));
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+Result<Interpretation> UnravelPrefix(const Schema& schema,
+                                     const SaturationGraph& graph,
+                                     int max_individuals) {
+  if (graph.nodes.empty()) {
+    return InvalidArgumentError("cannot unravel an empty saturation graph");
+  }
+  Interpretation interpretation(schema);
+  // BFS over (template, instantiated individual). Every tuple reference
+  // instantiates a fresh copy of its target template; a copy allocated
+  // after the budget ran out is never created — its whole tuple is
+  // dropped, leaving only min-cardinality deficits on the frontier.
+  std::deque<std::pair<int, Individual>> frontier;
+  Status instantiation_failure = OkStatus();
+  auto instantiate = [&](int template_id) -> Individual {
+    const SaturationNode& node = graph.nodes[static_cast<size_t>(template_id)];
+    Individual individual = interpretation.AddIndividual(
+        "t" + std::to_string(template_id) + "_" +
+        std::to_string(interpretation.domain_size()));
+    for (int c = 0;
+         c < schema.num_classes() && c < static_cast<int>(node.label.size());
+         ++c) {
+      if (node.label[static_cast<size_t>(c)]) {
+        Status added = interpretation.AddToClass(ClassId{c}, individual);
+        if (!added.ok() && instantiation_failure.ok()) {
+          instantiation_failure = std::move(added);
+        }
+      }
+    }
+    frontier.emplace_back(template_id, individual);
+    return individual;
+  };
+  instantiate(0);
+  while (!frontier.empty()) {
+    const auto [template_id, individual] = frontier.front();
+    frontier.pop_front();
+    const SaturationNode& node = graph.nodes[static_cast<size_t>(template_id)];
+    for (const SaturationTuple& tuple : node.tuples) {
+      const std::vector<RoleId>& roles = schema.RolesOf(tuple.rel);
+      if (tuple.components.size() != roles.size()) {
+        return InternalError("malformed tuple in saturation graph");
+      }
+      const int fresh_needed = static_cast<int>(roles.size()) - 1;
+      if (interpretation.domain_size() + fresh_needed > max_individuals) {
+        continue;  // Budget cut: owner keeps a min deficit, nothing else.
+      }
+      std::vector<Individual> components(roles.size());
+      for (size_t q = 0; q < roles.size(); ++q) {
+        if (static_cast<int>(q) == tuple.owner_position) {
+          components[q] = individual;
+        } else {
+          const int target = tuple.components[q];
+          if (target < 0 || target >= static_cast<int>(graph.nodes.size())) {
+            return InternalError("dangling tuple component in saturation graph");
+          }
+          components[q] = instantiate(target);
+        }
+      }
+      CRSAT_RETURN_IF_ERROR(interpretation.AddTuple(tuple.rel, components));
+      if (!instantiation_failure.ok()) {
+        return instantiation_failure;
+      }
+    }
+  }
+  if (!instantiation_failure.ok()) {
+    return instantiation_failure;
+  }
+  return interpretation;
+}
+
+}  // namespace crsat

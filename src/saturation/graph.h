@@ -1,0 +1,98 @@
+#ifndef CRSAT_SATURATION_GRAPH_H_
+#define CRSAT_SATURATION_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/cr/interpretation.h"
+#include "src/cr/schema.h"
+
+namespace crsat {
+
+/// One tuple a saturation node spawned to satisfy a min-cardinality
+/// deficit. `components[i]` is the node id filling role position `i` of
+/// `rel`; the spawning node fills `owner_position` (so
+/// `components[owner_position]` is the owner's own id).
+struct SaturationTuple {
+  RelationshipId rel;
+  int owner_position = -1;
+  std::vector<int> components;
+};
+
+/// One node of a saturation graph. A node is an individual *template*,
+/// not an individual: an edge into a node instantiates a fresh copy of
+/// it, so a node referenced from two tuples stands for two distinct
+/// individuals in the unraveled model. That indirection is exactly what
+/// lets a finite graph describe an infinite model — a back-edge to an
+/// in-progress ancestor (blocking) unravels into an infinite path of
+/// fresh copies.
+struct SaturationNode {
+  /// ISA-closed class membership, indexed by class id.
+  std::vector<bool> label;
+  /// The role this template fills for the tuple that created it, or
+  /// `nullopt` for the root (the seed individual of the queried class).
+  /// An anchored template owes exactly one participation at this role to
+  /// its creator; that count is part of its cardinality arithmetic.
+  std::optional<RoleId> anchor;
+  /// Tuples this template spawns itself (min-deficit repairs).
+  std::vector<SaturationTuple> tuples;
+};
+
+/// A saturated graph: the certificate the saturation engine emits for
+/// "classically satisfiable". `nodes[0]` is the root template seeded
+/// with the queried class. The graph is a blueprint: unraveling it —
+/// root once, then a fresh copy of the target template per tuple
+/// reference, recursively — yields a (finite iff the graph is acyclic)
+/// model in which every class in every reachable label is populated.
+struct SaturationGraph {
+  std::vector<SaturationNode> nodes;
+
+  bool empty() const { return nodes.empty(); }
+
+  /// Deterministic multi-line rendering (labels, anchors, tuples), used
+  /// by the thread-count determinism tests and disagreement reports.
+  std::string ToText(const Schema& schema) const;
+};
+
+/// Independently re-checks a saturation graph against the bare schema
+/// semantics, declaration by declaration — the graph-level analogue of
+/// `ModelChecker` re-judging a finite witness. Returns every violated
+/// local condition; empty means the graph is a valid blueprint and every
+/// class in node 0's label is classically satisfiable:
+///
+///   - node 0 exists, has no anchor, and its label contains `root_class`;
+///   - every label is ISA-closed, disjointness-free, and covering-closed;
+///   - anchored nodes are typed for their anchor role;
+///   - for every node and every (relationship, role) with the role's
+///     primary class in the label, the participation count — own tuples
+///     at that role plus one for the anchor — lies within the effective
+///     [max-of-mins, min-of-maxes] bounds over the whole label;
+///   - every tuple is well-formed: arity matches, the owner fills its
+///     own position, and each other component references a node anchored
+///     at exactly that role with the role's primary class in its label.
+///
+/// All conditions are local to one template, which is what makes the
+/// unraveling argument sound (DESIGN.md §16): each unraveled copy sees
+/// the same counts its template was validated with.
+std::vector<std::string> ValidateSaturationGraph(const Schema& schema,
+                                                 const SaturationGraph& graph,
+                                                 ClassId root_class);
+
+/// Unravels the blueprint into a finite interpretation for auditing:
+/// breadth-first from the root, instantiating a fresh individual per
+/// tuple reference, stopping once `max_individuals` templates have been
+/// copied. On a *valid* graph the result can only violate
+/// min-cardinality conditions, and only on the frontier individuals
+/// whose spawns were cut off — `ModelChecker::CheckModel` on the prefix
+/// of a valid cyclic graph reports `kCardinality` violations and nothing
+/// else (the curated contrast tests assert exactly that). Fails with
+/// `kInvalidArgument` on an empty graph.
+Result<Interpretation> UnravelPrefix(const Schema& schema,
+                                     const SaturationGraph& graph,
+                                     int max_individuals);
+
+}  // namespace crsat
+
+#endif  // CRSAT_SATURATION_GRAPH_H_

@@ -1,0 +1,677 @@
+#include "src/saturation/saturation.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "src/base/failpoint.h"
+#include "src/base/thread_pool.h"
+#include "src/cr/model_checker.h"
+
+namespace crsat {
+
+const char* SaturationVerdictToString(SaturationVerdict verdict) {
+  switch (verdict) {
+    case SaturationVerdict::kFiniteModel:
+      return "finite-model";
+    case SaturationVerdict::kSatWithReuse:
+      return "sat-with-reuse";
+    case SaturationVerdict::kUnsat:
+      return "unsat";
+    case SaturationVerdict::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Label = std::vector<bool>;
+
+/// (label, anchor role id or -1): the template identity that blocking and
+/// reuse compare. Exact-match blocking is what keeps saturation sound — a
+/// blocked template replays its blocker's exact count profile when the
+/// graph is unraveled (DESIGN.md §16).
+using TemplateKey = std::pair<Label, int>;
+
+Label CloseUp(const Schema& schema, Label label) {
+  const int n = schema.num_classes();
+  for (int c = 0; c < n; ++c) {
+    if (!label[static_cast<size_t>(c)]) {
+      continue;
+    }
+    for (int d = 0; d < n; ++d) {
+      if (!label[static_cast<size_t>(d)] &&
+          schema.IsSubclassOf(ClassId{c}, ClassId{d})) {
+        label[static_cast<size_t>(d)] = true;
+      }
+    }
+  }
+  return label;
+}
+
+Label ClosureOf(const Schema& schema, ClassId cls) {
+  Label label(static_cast<size_t>(schema.num_classes()), false);
+  label[static_cast<size_t>(cls.value)] = true;
+  return CloseUp(schema, std::move(label));
+}
+
+struct EffectiveBounds {
+  std::uint64_t min = 0;
+  std::optional<std::uint64_t> max;
+};
+
+/// Tightest bounds for (rel, role) over every declaration in the label —
+/// refinements tighten their superclass declarations (Definition 2.1).
+EffectiveBounds BoundsOver(const Schema& schema, const Label& label,
+                           RelationshipId rel, RoleId role) {
+  EffectiveBounds bounds;
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    if (!label[static_cast<size_t>(c)]) {
+      continue;
+    }
+    const Cardinality card = schema.GetCardinality(ClassId{c}, rel, role);
+    bounds.min = std::max(bounds.min, card.min);
+    if (card.max.has_value() &&
+        (!bounds.max.has_value() || *card.max < *bounds.max)) {
+      bounds.max = card.max;
+    }
+  }
+  return bounds;
+}
+
+/// Context-independent death of a label: a disjointness clash, an empty
+/// effective range at an applicable role, or an anchor the label cannot
+/// afford. Such a label can never head a viable template in any context,
+/// which is what makes memoizing it sound.
+bool LabelClashes(const Schema& schema, const Label& label, int anchor_role) {
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    if (!label[static_cast<size_t>(c)]) {
+      continue;
+    }
+    for (int d = c + 1; d < schema.num_classes(); ++d) {
+      if (label[static_cast<size_t>(d)] &&
+          schema.AreDeclaredDisjoint(ClassId{c}, ClassId{d})) {
+        return true;
+      }
+    }
+  }
+  if (anchor_role >= 0 &&
+      !label[static_cast<size_t>(
+          schema.PrimaryClass(RoleId{anchor_role}).value)]) {
+    return true;
+  }
+  for (RelationshipId rel : schema.AllRelationships()) {
+    for (RoleId role : schema.RolesOf(rel)) {
+      if (!label[static_cast<size_t>(schema.PrimaryClass(role).value)]) {
+        continue;
+      }
+      const EffectiveBounds bounds = BoundsOver(schema, label, rel, role);
+      if (bounds.max.has_value() && bounds.min > *bounds.max) {
+        return true;
+      }
+      if (anchor_role == role.value && bounds.max.has_value() &&
+          *bounds.max < 1) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// First covering constraint the label leaves unsatisfied, or -1.
+int FirstUnsatisfiedCovering(const Schema& schema, const Label& label) {
+  const auto& coverings = schema.covering_constraints();
+  for (size_t i = 0; i < coverings.size(); ++i) {
+    if (!label[static_cast<size_t>(coverings[i].covered.value)]) {
+      continue;
+    }
+    const bool satisfied = std::any_of(
+        coverings[i].coverers.begin(), coverings[i].coverers.end(),
+        [&label](ClassId coverer) {
+          return label[static_cast<size_t>(coverer.value)];
+        });
+    if (!satisfied) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+/// Every minimal covering-completion of `label` (ISA-closed, covering
+/// obligations repaired by branching over coverers), deduplicated, capped.
+void CompleteLabels(const Schema& schema, const Label& label,
+                    std::vector<Label>* out, size_t cap) {
+  if (out->size() >= cap) {
+    return;
+  }
+  const int covering = FirstUnsatisfiedCovering(schema, label);
+  if (covering < 0) {
+    if (std::find(out->begin(), out->end(), label) == out->end()) {
+      out->push_back(label);
+    }
+    return;
+  }
+  for (ClassId coverer :
+       schema.covering_constraints()[static_cast<size_t>(covering)].coverers) {
+    Label widened = label;
+    widened[static_cast<size_t>(coverer.value)] = true;
+    CompleteLabels(schema, CloseUp(schema, std::move(widened)), out, cap);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase A: classical viability. Depth-first construction of a saturation
+// graph over minimal templates. Returns a template id on success, kDeadEnd
+// when no completion is viable (classical UNSAT once it reaches the root),
+// kStopped when a resource limit / fault / budget ended the search.
+// ---------------------------------------------------------------------------
+
+constexpr int kDeadEnd = -1;
+constexpr int kStopped = -2;
+
+class ClassSaturation {
+ public:
+  ClassSaturation(const Schema& schema, const SaturationOptions& options)
+      : schema_(schema), options_(options) {}
+
+  SaturationClassResult Run(ClassId cls) {
+    SaturationClassResult result;
+    result.cls = cls;
+    const int root = Expand(ClosureOf(schema_, cls), /*anchor_role=*/-1);
+    if (root == kStopped) {
+      result.verdict = SaturationVerdict::kUnknown;
+      result.unknown_reason = stop_.ToString();
+      return result;
+    }
+    if (root == kDeadEnd) {
+      result.verdict = SaturationVerdict::kUnsat;
+      return result;
+    }
+    result.graph = graph_;
+    if (Materialize(&result)) {
+      result.verdict = SaturationVerdict::kFiniteModel;
+    } else {
+      // Phase B ran out of road (budget, node cap, injected fault, guard
+      // trip): the classical certificate from phase A stands, the finite
+      // claim is simply not made. This is the honest degradation rung.
+      result.verdict = SaturationVerdict::kSatWithReuse;
+      result.model.reset();
+    }
+    return result;
+  }
+
+  std::uint64_t templates_created() const { return templates_created_; }
+  std::uint64_t blocked_edges() const { return blocked_edges_; }
+  std::uint64_t individuals_reused() const { return individuals_reused_; }
+  std::uint64_t individuals_spawned() const { return individuals_spawned_; }
+
+ private:
+  bool Stop(Status status) {
+    if (stop_.ok()) {
+      stop_ = std::move(status);
+    }
+    return true;
+  }
+
+  /// Expands the template for (label, anchor), recursively expanding the
+  /// fillers of every min-deficit tuple it must spawn. `label` need not
+  /// be covering-closed; unsatisfied coverings branch here.
+  int Expand(Label label, int anchor_role) {
+    if (++steps_ > options_.max_steps) {
+      Stop(ResourceExhaustedError("saturation step budget exhausted"));
+      return kStopped;
+    }
+    if (CRSAT_FAILPOINT("saturation/expand")) {
+      Stop(ResourceExhaustedError("injected fault at saturation/expand"));
+      return kStopped;
+    }
+    if (options_.guard != nullptr) {
+      Status status = options_.guard->Check("saturation/phase_a");
+      if (!status.ok()) {
+        Stop(std::move(status));
+        return kStopped;
+      }
+    }
+    if (options_.overeager_blocking && !path_stack_.empty()) {
+      // Mutation hook: block against the innermost in-progress template
+      // without comparing labels or anchors. On an unsatisfiable class
+      // this manufactures a graph whose back-edges land on templates
+      // anchored at the wrong role — exactly what
+      // ValidateSaturationGraph exists to catch downstream.
+      ++blocked_edges_;
+      return path_stack_.back();
+    }
+    const TemplateKey key{label, anchor_role};
+    if (auto it = on_path_.find(key); it != on_path_.end()) {
+      ++blocked_edges_;
+      return it->second;
+    }
+    if (auto it = completed_.find(key); it != completed_.end()) {
+      return it->second;
+    }
+    if (clash_memo_.count(key) > 0) {
+      return kDeadEnd;
+    }
+    if (LabelClashes(schema_, label, anchor_role)) {
+      clash_memo_.insert(key);
+      return kDeadEnd;
+    }
+    const int covering = FirstUnsatisfiedCovering(schema_, label);
+    if (covering >= 0) {
+      // Branch over the coverers; the label strictly grows, so this
+      // terminates. Failures below are context-dependent (a deeper
+      // ancestor could have offered a back-edge), so they are not
+      // memoized — only local clashes are.
+      for (ClassId coverer :
+           schema_.covering_constraints()[static_cast<size_t>(covering)]
+               .coverers) {
+        Label widened = label;
+        widened[static_cast<size_t>(coverer.value)] = true;
+        const int child =
+            Expand(CloseUp(schema_, std::move(widened)), anchor_role);
+        if (child != kDeadEnd) {
+          return child;  // A template id, or kStopped.
+        }
+      }
+      return kDeadEnd;
+    }
+
+    if (static_cast<int>(graph_.nodes.size()) >= options_.max_nodes) {
+      Stop(ResourceExhaustedError("saturation template cap exhausted"));
+      return kStopped;
+    }
+    const int id = static_cast<int>(graph_.nodes.size());
+    SaturationNode node;
+    node.label = label;
+    if (anchor_role >= 0) {
+      node.anchor = RoleId{anchor_role};
+    }
+    graph_.nodes.push_back(std::move(node));
+    ++templates_created_;
+    if (options_.guard != nullptr) {
+      options_.guard->AddCompounds(1);
+    }
+    on_path_[key] = id;
+    path_stack_.push_back(id);
+
+    for (RelationshipId rel : schema_.AllRelationships()) {
+      const std::vector<RoleId>& roles = schema_.RolesOf(rel);
+      for (size_t pos = 0; pos < roles.size(); ++pos) {
+        const RoleId role = roles[pos];
+        if (!label[static_cast<size_t>(schema_.PrimaryClass(role).value)]) {
+          continue;
+        }
+        const EffectiveBounds bounds = BoundsOver(schema_, label, rel, role);
+        const std::uint64_t anchored = (anchor_role == role.value) ? 1 : 0;
+        const std::uint64_t need =
+            bounds.min > anchored ? bounds.min - anchored : 0;
+        for (std::uint64_t t = 0; t < need; ++t) {
+          SaturationTuple tuple;
+          tuple.rel = rel;
+          tuple.owner_position = static_cast<int>(pos);
+          tuple.components.assign(roles.size(), id);
+          for (size_t q = 0; q < roles.size(); ++q) {
+            if (q == pos) {
+              continue;
+            }
+            const int child = Expand(
+                ClosureOf(schema_, schema_.PrimaryClass(roles[q])),
+                roles[q].value);
+            if (child == kStopped) {
+              return kStopped;
+            }
+            if (child == kDeadEnd) {
+              Rollback(id, key);
+              return kDeadEnd;
+            }
+            tuple.components[q] = child;
+          }
+          graph_.nodes[static_cast<size_t>(id)].tuples.push_back(
+              std::move(tuple));
+        }
+      }
+    }
+
+    path_stack_.pop_back();
+    on_path_.erase(key);
+    completed_[key] = id;
+    return id;
+  }
+
+  /// Undoes a failed template: drops it and every descendant from the
+  /// arena (they occupy a contiguous id suffix in DFS order), along with
+  /// any completion memo entries that pointed into the dropped suffix.
+  void Rollback(int id, const TemplateKey& key) {
+    path_stack_.pop_back();
+    on_path_.erase(key);
+    graph_.nodes.resize(static_cast<size_t>(id));
+    for (auto it = completed_.begin(); it != completed_.end();) {
+      it = it->second >= id ? completed_.erase(it) : std::next(it);
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Phase B: finite materialization. Concrete individuals, reuse-first
+  // ("merge") deficit repair with chronological backtracking. True on a
+  // certified finite model (stored into `result`).
+  // -------------------------------------------------------------------------
+
+  struct FiniteState {
+    std::vector<Label> labels;
+    /// counts[node][role.value]: tuples of role's relationship whose
+    /// component at role's position is `node`.
+    std::vector<std::vector<std::uint64_t>> counts;
+    std::vector<std::set<std::vector<int>>> tuples;  // Per relationship.
+  };
+
+  bool Materialize(SaturationClassResult* result) {
+    std::vector<Label> roots;
+    CompleteLabels(schema_, ClosureOf(schema_, result->cls), &roots,
+                   /*cap=*/16);
+    for (const Label& root : roots) {
+      if (LabelClashes(schema_, root, /*anchor_role=*/-1)) {
+        continue;
+      }
+      FiniteState state;
+      state.tuples.resize(static_cast<size_t>(schema_.num_relationships()));
+      AddFiniteNode(&state, root);
+      if (Solve(&state) && Certify(state, result)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int AddFiniteNode(FiniteState* state, const Label& label) {
+    state->labels.push_back(label);
+    state->counts.emplace_back(static_cast<size_t>(schema_.num_roles()), 0);
+    ++individuals_spawned_;
+    if (options_.guard != nullptr) {
+      options_.guard->AddCompounds(1);
+    }
+    return static_cast<int>(state->labels.size()) - 1;
+  }
+
+  void PopFiniteNode(FiniteState* state) {
+    state->labels.pop_back();
+    state->counts.pop_back();
+  }
+
+  /// First (node, rel, position) whose count is below its effective min,
+  /// in deterministic scan order; false when none (model complete).
+  bool FindDeficit(const FiniteState& state, int* node, RelationshipId* rel,
+                   int* pos) const {
+    for (size_t n = 0; n < state.labels.size(); ++n) {
+      for (RelationshipId r : schema_.AllRelationships()) {
+        const std::vector<RoleId>& roles = schema_.RolesOf(r);
+        for (size_t q = 0; q < roles.size(); ++q) {
+          if (!state.labels[n][static_cast<size_t>(
+                  schema_.PrimaryClass(roles[q]).value)]) {
+            continue;
+          }
+          const EffectiveBounds bounds =
+              BoundsOver(schema_, state.labels[n], r, roles[q]);
+          if (state.counts[n][static_cast<size_t>(roles[q].value)] <
+              bounds.min) {
+            *node = static_cast<int>(n);
+            *rel = r;
+            *pos = static_cast<int>(q);
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  bool Solve(FiniteState* state) {
+    if (++steps_ > options_.max_steps) {
+      return false;
+    }
+    if (CRSAT_FAILPOINT("saturation/materialize")) {
+      return false;
+    }
+    if (options_.guard != nullptr &&
+        !options_.guard->Check("saturation/phase_b").ok()) {
+      return false;
+    }
+    int node = -1;
+    RelationshipId rel;
+    int pos = -1;
+    if (!FindDeficit(*state, &node, &rel, &pos)) {
+      return true;
+    }
+    std::vector<int> components(schema_.RolesOf(rel).size(), node);
+    return FillFrom(state, rel, pos, 0, &components);
+  }
+
+  /// Chooses a filler for position `q` of the deficit tuple (owner fixed
+  /// at `pos`), reuse-first then fresh, and recurses to the next
+  /// position; at the end commits the tuple and re-enters `Solve`.
+  bool FillFrom(FiniteState* state, RelationshipId rel, int pos, size_t q,
+                std::vector<int>* components) {
+    const std::vector<RoleId>& roles = schema_.RolesOf(rel);
+    if (q == roles.size()) {
+      return CommitTuple(state, rel, *components);
+    }
+    if (static_cast<int>(q) == pos) {
+      return FillFrom(state, rel, pos, q + 1, components);
+    }
+    const RoleId role = roles[q];
+    const ClassId primary = schema_.PrimaryClass(role);
+    // Reuse an existing, typed individual with spare max-capacity — the
+    // "merge" move. The weaken_merge_rule hook drops the capacity check
+    // (and the certification below), so over-merged models escape to the
+    // harness, which must catch them.
+    for (size_t m = 0; m < state->labels.size(); ++m) {
+      if (!state->labels[m][static_cast<size_t>(primary.value)]) {
+        continue;
+      }
+      if (!options_.weaken_merge_rule) {
+        const EffectiveBounds bounds =
+            BoundsOver(schema_, state->labels[m], rel, role);
+        if (bounds.max.has_value() &&
+            state->counts[m][static_cast<size_t>(role.value)] + 1 >
+                *bounds.max) {
+          continue;
+        }
+      }
+      (*components)[q] = static_cast<int>(m);
+      ++individuals_reused_;
+      if (FillFrom(state, rel, pos, q + 1, components)) {
+        return true;
+      }
+      --individuals_reused_;  // Net counter: merges in the final model.
+    }
+    // Spawn a fresh individual, one candidate per covering-completion of
+    // the role's minimal label.
+    if (static_cast<int>(state->labels.size()) < options_.finite_node_cap) {
+      std::vector<Label> fresh;
+      CompleteLabels(schema_, ClosureOf(schema_, primary), &fresh, /*cap=*/16);
+      for (const Label& label : fresh) {
+        if (LabelClashes(schema_, label, /*anchor_role=*/-1)) {
+          continue;
+        }
+        (*components)[q] = AddFiniteNode(state, label);
+        const bool done = FillFrom(state, rel, pos, q + 1, components);
+        if (done) {
+          return true;
+        }
+        PopFiniteNode(state);
+      }
+    }
+    return false;
+  }
+
+  bool CommitTuple(FiniteState* state, RelationshipId rel,
+                   const std::vector<int>& components) {
+    auto& extension = state->tuples[static_cast<size_t>(rel.value)];
+    if (extension.count(components) > 0) {
+      return false;  // Extensions are sets; a duplicate repairs nothing.
+    }
+    const std::vector<RoleId>& roles = schema_.RolesOf(rel);
+    for (size_t q = 0; q < roles.size(); ++q) {
+      ++state->counts[static_cast<size_t>(components[q])]
+                     [static_cast<size_t>(roles[q].value)];
+    }
+    bool admissible = true;
+    if (!options_.weaken_merge_rule) {
+      for (size_t q = 0; q < roles.size() && admissible; ++q) {
+        const size_t m = static_cast<size_t>(components[q]);
+        const EffectiveBounds bounds =
+            BoundsOver(schema_, state->labels[m], rel, roles[q]);
+        admissible = !bounds.max.has_value() ||
+                     state->counts[m][static_cast<size_t>(roles[q].value)] <=
+                         *bounds.max;
+      }
+    }
+    if (admissible) {
+      extension.insert(components);
+      if (Solve(state)) {
+        return true;
+      }
+      extension.erase(components);
+    }
+    for (size_t q = 0; q < roles.size(); ++q) {
+      --state->counts[static_cast<size_t>(components[q])]
+                     [static_cast<size_t>(roles[q].value)];
+    }
+    return false;
+  }
+
+  bool Certify(const FiniteState& state, SaturationClassResult* result) {
+    Interpretation model(schema_);
+    for (size_t n = 0; n < state.labels.size(); ++n) {
+      const Individual individual = model.AddIndividual();
+      for (int c = 0; c < schema_.num_classes(); ++c) {
+        if (state.labels[n][static_cast<size_t>(c)] &&
+            !model.AddToClass(ClassId{c}, individual).ok()) {
+          return false;
+        }
+      }
+    }
+    for (int r = 0; r < schema_.num_relationships(); ++r) {
+      for (const std::vector<int>& tuple :
+           state.tuples[static_cast<size_t>(r)]) {
+        if (!model.AddTuple(RelationshipId{r}, tuple).ok()) {
+          return false;
+        }
+      }
+    }
+    // The engine's own non-bypass discipline: no finite-model claim
+    // leaves this function without ModelChecker agreeing. (The
+    // conformance harness re-judges independently on top — same
+    // discipline as CertifiedWitness.) The weaken hook skips this so the
+    // harness-level re-judging has something to catch.
+    if (!options_.weaken_merge_rule &&
+        !ModelChecker::IsModel(schema_, model)) {
+      return false;
+    }
+    result->model.emplace(std::move(model));
+    return true;
+  }
+
+  const Schema& schema_;
+  const SaturationOptions& options_;
+  SaturationGraph graph_;
+  std::map<TemplateKey, int> on_path_;
+  std::map<TemplateKey, int> completed_;
+  std::set<TemplateKey> clash_memo_;
+  std::vector<int> path_stack_;
+  Status stop_ = OkStatus();
+  std::uint64_t steps_ = 0;
+  std::uint64_t templates_created_ = 0;
+  std::uint64_t blocked_edges_ = 0;
+  std::uint64_t individuals_reused_ = 0;
+  std::uint64_t individuals_spawned_ = 0;
+};
+
+}  // namespace
+
+SaturationClassResult SaturationEngine::DecideClass(
+    const Schema& schema, ClassId cls, const SaturationOptions& options) {
+  ClassSaturation saturation(schema, options);
+  return saturation.Run(cls);
+}
+
+SaturationReport SaturationEngine::Decide(const Schema& schema,
+                                          const SaturationOptions& options) {
+  SaturationReport report;
+  const size_t n = static_cast<size_t>(schema.num_classes());
+  report.classes.resize(n);
+  std::vector<std::array<std::uint64_t, 4>> stats(n, {0, 0, 0, 0});
+  GlobalThreadPool().ParallelFor(
+      n,
+      [&](size_t i) {
+        ClassSaturation saturation(schema, options);
+        report.classes[i] = saturation.Run(ClassId{static_cast<int>(i)});
+        stats[i] = {saturation.templates_created(), saturation.blocked_edges(),
+                    saturation.individuals_reused(),
+                    saturation.individuals_spawned()};
+      },
+      options.guard);
+  for (size_t i = 0; i < n; ++i) {
+    // A class skipped by a guard trip mid-ParallelFor keeps the default
+    // kUnknown verdict; name the trip so the report is self-explanatory.
+    if (report.classes[i].verdict == SaturationVerdict::kUnknown &&
+        report.classes[i].unknown_reason.empty()) {
+      report.classes[i].cls = ClassId{static_cast<int>(i)};
+      report.classes[i].unknown_reason =
+          options.guard != nullptr && options.guard->tripped()
+              ? options.guard->TripStatus().ToString()
+              : "skipped";
+    }
+    report.templates_created += stats[i][0];
+    report.blocked_edges += stats[i][1];
+    report.individuals_reused += stats[i][2];
+    report.individuals_spawned += stats[i][3];
+  }
+  return report;
+}
+
+std::string SaturationReport::Summary(const Schema& schema) const {
+  int finite = 0, reuse = 0, unsat = 0, unknown = 0;
+  for (const SaturationClassResult& result : classes) {
+    switch (result.verdict) {
+      case SaturationVerdict::kFiniteModel:
+        ++finite;
+        break;
+      case SaturationVerdict::kSatWithReuse:
+        ++reuse;
+        break;
+      case SaturationVerdict::kUnsat:
+        ++unsat;
+        break;
+      case SaturationVerdict::kUnknown:
+        ++unknown;
+        break;
+    }
+  }
+  std::ostringstream out;
+  out << "saturation: " << classes.size() << " classes — " << finite
+      << " finite-model, " << reuse << " sat-with-reuse, " << unsat
+      << " unsat, " << unknown << " unknown; " << templates_created
+      << " templates, " << blocked_edges << " blocked edges, "
+      << individuals_spawned << " spawned, " << individuals_reused
+      << " merged fills\n";
+  for (const SaturationClassResult& result : classes) {
+    out << "  " << schema.ClassName(result.cls) << ": "
+        << SaturationVerdictToString(result.verdict);
+    if (result.verdict == SaturationVerdict::kFiniteModel &&
+        result.model.has_value()) {
+      out << " (" << result.model->domain_size() << " individuals)";
+    }
+    if (result.verdict == SaturationVerdict::kUnknown &&
+        !result.unknown_reason.empty()) {
+      out << " (" << result.unknown_reason << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace crsat

@@ -1,0 +1,124 @@
+#ifndef CRSAT_SATURATION_SATURATION_H_
+#define CRSAT_SATURATION_SATURATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/resource_guard.h"
+#include "src/cr/interpretation.h"
+#include "src/cr/schema.h"
+#include "src/saturation/graph.h"
+
+namespace crsat {
+
+/// What graph saturation concluded about one queried class (Joosten,
+/// "Finding models through graph saturation" — PAPERS.md). Unlike the
+/// reasoner and the brute-force oracle, which answer *finite*
+/// satisfiability, the saturation engine answers *classical*
+/// satisfiability and additionally reports whether it could pin the
+/// answer down with a finite witness. That split is what gives the
+/// conformance harness its finitely-unsat/classically-sat contrast
+/// class (DESIGN.md §16).
+enum class SaturationVerdict {
+  /// A concrete finite model was found and certified by `ModelChecker`.
+  /// Implies both classical and finite satisfiability.
+  kFiniteModel,
+  /// A valid saturation graph exists but it needed blocking (a cyclic
+  /// back-edge to a saturated template), and the finite-materialization
+  /// phase found no finite model within its budget. The class is
+  /// classically satisfiable; finite satisfiability is NOT claimed
+  /// either way. When the reasoner says finitely-UNSAT for the same
+  /// class, this is the infinite-model contrast verdict, not a
+  /// disagreement.
+  kSatWithReuse,
+  /// Exhaustive saturation failed: every ISA/covering-complete labeling
+  /// clashes on disjointness or effective cardinality bounds. The class
+  /// is classically (hence also finitely) unsatisfiable.
+  kUnsat,
+  /// A resource limit, cancellation, injected fault, or the engine's own
+  /// step budget stopped the search before an answer. Never a guess.
+  kUnknown,
+};
+
+/// Stable lowercase name ("finite-model", "sat-with-reuse", ...).
+const char* SaturationVerdictToString(SaturationVerdict verdict);
+
+/// Knobs for one saturation run. Defaults are sized so generated
+/// conformance schemas (≤ 8 classes) decide instantly while adversarial
+/// inputs degrade to `kUnknown` instead of running away.
+struct SaturationOptions {
+  /// Optional resource guard, polled at every template expansion and
+  /// materialization step; null means unlimited.
+  ResourceGuard* guard = nullptr;
+  /// Hard cap on saturation-graph templates per class.
+  int max_nodes = 512;
+  /// Combined step budget (phase A expansions + phase B repairs) per
+  /// class; exhaustion yields `kUnknown`.
+  std::uint64_t max_steps = 200000;
+  /// Individual cap for the finite-materialization phase; reaching it
+  /// degrades `kFiniteModel` to `kSatWithReuse`, never to a wrong
+  /// verdict.
+  int finite_node_cap = 24;
+
+  /// Mutation hook for the conformance harness's teeth test: phase B
+  /// ignores effective max-cardinality when reusing an individual and
+  /// skips the engine's own `ModelChecker` certification, so broken
+  /// models reach the harness — which must flag
+  /// `saturation-missed-violation`. Never set outside tests.
+  bool weaken_merge_rule = false;
+  /// Mutation hook, other direction: phase A blocks every nested
+  /// expansion against the innermost in-progress template without
+  /// checking that labels and anchors match. Flips genuine UNSATs to
+  /// `kSatWithReuse` with an invalid graph — the harness must flag
+  /// `saturation-claims-sat-oracle-unsat`. Never set outside tests.
+  bool overeager_blocking = false;
+};
+
+/// Saturation outcome for one class.
+struct SaturationClassResult {
+  ClassId cls;
+  SaturationVerdict verdict = SaturationVerdict::kUnknown;
+  /// The certified finite model (`kFiniteModel` only).
+  std::optional<Interpretation> model;
+  /// The saturation graph: the classical-satisfiability certificate for
+  /// `kFiniteModel` and `kSatWithReuse` (audit it with
+  /// `ValidateSaturationGraph`); empty otherwise.
+  SaturationGraph graph;
+  /// Why the verdict is `kUnknown` (guard trip site, step budget, ...).
+  std::string unknown_reason;
+};
+
+/// Per-run statistics plus one result per class, classes in id order
+/// regardless of thread count.
+struct SaturationReport {
+  std::vector<SaturationClassResult> classes;
+  std::uint64_t templates_created = 0;  ///< Phase A nodes materialized.
+  std::uint64_t blocked_edges = 0;      ///< Phase A back-edges (reuse).
+  std::uint64_t individuals_reused = 0; ///< Phase B merge-style fills.
+  std::uint64_t individuals_spawned = 0;///< Phase B fresh individuals.
+
+  /// One line per class plus a counters line, deterministic.
+  std::string Summary(const Schema& schema) const;
+};
+
+/// The saturation engine. Stateless; both entry points are pure
+/// functions of (schema, options) apart from guard accounting.
+class SaturationEngine {
+ public:
+  /// Decides every class of `schema`, fanning classes across the global
+  /// thread pool. Results land in class-id order and each class's
+  /// outcome is independent of scheduling, so reports are bit-identical
+  /// at any thread count.
+  static SaturationReport Decide(const Schema& schema,
+                                 const SaturationOptions& options = {});
+
+  /// Decides a single class.
+  static SaturationClassResult DecideClass(const Schema& schema, ClassId cls,
+                                           const SaturationOptions& options = {});
+};
+
+}  // namespace crsat
+
+#endif  // CRSAT_SATURATION_SATURATION_H_

@@ -8,11 +8,29 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cr/model_checker.h"
 #include "src/cr/schema_text.h"
+#include "src/expansion/expansion.h"
 #include "src/oracle/conformance.h"
+#include "src/reasoner/satisfiability.h"
 
 namespace crsat {
 namespace {
+
+std::string ReadSchemaFile(const std::string& name) {
+  const std::string path =
+      std::string(CRSAT_SOURCE_DIR) + "/examples/schemas/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 ConformanceOptions SmallSweep() {
   ConformanceOptions options;
@@ -86,6 +104,163 @@ TEST(Conformance, ReportSerializesToJson) {
   EXPECT_NE(json.find("\"schemas_checked\": 3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"disagreements\": []"), std::string::npos) << json;
   EXPECT_FALSE(report->Summary().empty());
+}
+
+// --- The three-way vote: reasoner vs oracle vs saturation -----------------
+
+TEST(Conformance, ThreeWaySweepFindsNoDisagreements) {
+  // The PR's acceptance sweep, run in-process: 200 seeds at oracle bound
+  // 6 with all three engines voting (`crsat_cli conform --seeds 200
+  // --bound 6 --engines reasoner,oracle,saturation` is the CLI spelling).
+  ConformanceOptions options;
+  options.num_seeds = 200;
+  options.oracle.max_domain = 6;
+  Result<ConformanceReport> report = RunConformance(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (const ConformanceDisagreement& d : report->disagreements) {
+    ADD_FAILURE() << "seed " << d.seed << " [" << d.kind << "] "
+                  << d.class_name << ": " << d.detail << "\n"
+                  << d.schema_text;
+  }
+  // The saturation voter must have actually voted, in every direction.
+  EXPECT_GT(report->saturation_models_certified, 0);
+  EXPECT_GT(report->sat_confirmed_by_saturation, 0);
+  EXPECT_GT(report->unsat_confirmed_by_saturation, 0);
+  // Random schemas at these densities reliably include finitely-unsat
+  // ones; the contrast verdict is expected business, not a disagreement.
+  EXPECT_GT(report->infinite_model_contrasts, 0);
+  EXPECT_EQ(report->saturation_unknown, 0);
+}
+
+// --- Curated finitely-unsat contrast cases --------------------------------
+
+struct ContrastCase {
+  const char* file;
+  std::vector<const char*> contrast_classes;
+};
+
+const ContrastCase kContrastCases[] = {
+    {"finitely_unsat_binary_tree.cr", {"C"}},
+    {"finitely_unsat_pair.cr", {"C", "D"}},
+    {"finitely_unsat_chain.cr", {"A", "B", "C"}},
+    {"finitely_unsat_ternary.cr", {"C", "D"}},
+};
+
+TEST(Conformance, CuratedSchemasYieldTheContrastVerdict) {
+  // Each curated schema replays the paper's Figure 1 phenomenon: the
+  // reasoner (finite-model semantics) rejects the class, saturation
+  // exhibits a valid cyclic graph (classical semantics), and unraveling
+  // a finite prefix of that graph violates nothing but cardinality —
+  // the frontier's unpaid minimum debts that only an infinite model can
+  // settle.
+  for (const ContrastCase& contrast : kContrastCases) {
+    SCOPED_TRACE(contrast.file);
+    Result<NamedSchema> parsed = ParseSchema(ReadSchemaFile(contrast.file));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    const Schema& schema = parsed->schema;
+    Expansion expansion = Expansion::Build(schema).value();
+    SatisfiabilityChecker checker(expansion);
+    std::vector<bool> finitely_sat = checker.SatisfiableClasses().value();
+    for (const char* name : contrast.contrast_classes) {
+      SCOPED_TRACE(name);
+      const ClassId cls = schema.FindClass(name).value();
+      EXPECT_FALSE(finitely_sat[cls.value])
+          << "reasoner should reject the class under finite-model "
+             "semantics";
+      SaturationClassResult result =
+          SaturationEngine::DecideClass(schema, cls);
+      ASSERT_EQ(result.verdict, SaturationVerdict::kSatWithReuse);
+      EXPECT_TRUE(
+          ValidateSaturationGraph(schema, result.graph, cls).empty());
+      Result<Interpretation> prefix =
+          UnravelPrefix(schema, result.graph, /*max_individuals=*/32);
+      ASSERT_TRUE(prefix.ok()) << prefix.status();
+      std::vector<ModelViolation> violations =
+          ModelChecker::CheckModel(schema, *prefix);
+      ASSERT_FALSE(violations.empty());
+      for (const ModelViolation& violation : violations) {
+        EXPECT_EQ(violation.kind, ModelViolation::Kind::kCardinality)
+            << violation.message;
+      }
+    }
+  }
+}
+
+TEST(Conformance, CuratedSchemasCountAsContrastsNotDisagreements) {
+  // Through the full harness the curated schemas must produce exactly
+  // the 8 per-class contrast verdicts (1 + 2 + 3 + 2) and nothing in the
+  // disagreement ledger; the ternary schema's E keeps a plain finite
+  // model, proving the contrast hits only the finitely-empty classes.
+  ConformanceOptions options;
+  options.num_seeds = 0;
+  options.check_metamorphic = false;
+  options.minimize = false;
+  for (const ContrastCase& contrast : kContrastCases) {
+    options.extra_schema_texts.push_back(ReadSchemaFile(contrast.file));
+  }
+  Result<ConformanceReport> report = RunConformance(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (const ConformanceDisagreement& d : report->disagreements) {
+    ADD_FAILURE() << "[" << d.kind << "] " << d.class_name << ": "
+                  << d.detail;
+  }
+  EXPECT_EQ(report->schemas_checked, 4);
+  EXPECT_EQ(report->infinite_model_contrasts, 8);
+  EXPECT_GT(report->saturation_models_certified, 0);  // Ternary's E.
+}
+
+// --- Mutation tests: the harness catches a broken saturation engine -------
+
+TEST(Conformance, WeakenedMergeRuleIsFlaggedAsMissedViolation) {
+  // Drop the max-cardinality check from the merge rule and the engine
+  // hands the harness a bogus finite model of a finitely-unsat schema;
+  // the harness-level ModelChecker re-judging must flag it rather than
+  // trust the engine's own (also weakened) certification.
+  ConformanceOptions options;
+  options.num_seeds = 0;
+  options.check_metamorphic = false;
+  options.minimize = false;
+  options.extra_schema_texts.push_back(
+      ReadSchemaFile("finitely_unsat_binary_tree.cr"));
+  options.saturation.weaken_merge_rule = true;
+  Result<ConformanceReport> report = RunConformance(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  bool flagged = false;
+  for (const ConformanceDisagreement& d : report->disagreements) {
+    flagged = flagged || d.kind == "saturation-missed-violation";
+  }
+  EXPECT_TRUE(flagged)
+      << "weakened merge rule was not caught; harness has no teeth";
+}
+
+TEST(Conformance, OverEagerBlockingIsFlaggedAgainstTheOracle) {
+  // Over-eager blocking claims sat-with-reuse on a classically
+  // unsatisfiable class. The graph validator rejects the exhibit, and
+  // with the oracle confirming unsat the harness reports the claim as a
+  // disagreement instead of counting a contrast.
+  ConformanceOptions options;
+  options.num_seeds = 0;
+  options.check_metamorphic = false;
+  options.minimize = false;
+  options.extra_schema_texts.push_back(
+      "schema Nested {\n"
+      "  class A, B, C;\n"
+      "  isa B < C;\n"
+      "  relationship R(V1: A, V2: B);\n"
+      "  card A in R.V1 = (1, *);\n"
+      "  relationship S(W1: C, W2: A);\n"
+      "  card C in S.W1 = (3, *);\n"
+      "  card B in S.W1 = (0, 1);\n"
+      "}\n");
+  options.saturation.overeager_blocking = true;
+  Result<ConformanceReport> report = RunConformance(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  bool flagged = false;
+  for (const ConformanceDisagreement& d : report->disagreements) {
+    flagged = flagged || d.kind == "saturation-claims-sat-oracle-unsat";
+  }
+  EXPECT_TRUE(flagged)
+      << "over-eager blocking was not caught; harness has no teeth";
 }
 
 }  // namespace

@@ -328,6 +328,45 @@ void DriveWitnessForceRescale() {
   EXPECT_GE(Load(GetRecoveryStats().witness_rescales), 1u);
 }
 
+// Self-loop schema with a finite model: saturation normally certifies a
+// two-individual cycle, so both injected stops have a meaningful result
+// to degrade from.
+Schema SaturationSeamSchema() {
+  return ParseSchema(
+             "schema Seam {\n"
+             "  class A;\n"
+             "  relationship R(V1: A, V2: A);\n"
+             "  card A in R.V1 = (1, 1);\n"
+             "}\n")
+      .value()
+      .schema;
+}
+
+void DriveSaturationExpand() {
+  // Phase A polls this failpoint before every template expansion; an
+  // injected stop must surface as an honest kUnknown — never a guessed
+  // verdict, and never a model.
+  Schema schema = SaturationSeamSchema();
+  SaturationClassResult result =
+      SaturationEngine::DecideClass(schema, schema.FindClass("A").value());
+  EXPECT_EQ(result.verdict, SaturationVerdict::kUnknown);
+  EXPECT_FALSE(result.unknown_reason.empty());
+  EXPECT_FALSE(result.model.has_value());
+}
+
+void DriveSaturationMaterialize() {
+  // Phase B (finite materialization) polls this failpoint on every
+  // solver step; an injected failure degrades the certified finite
+  // model to the weaker sat-with-reuse claim, still backed by the valid
+  // phase A graph built before the fault.
+  Schema schema = SaturationSeamSchema();
+  const ClassId cls = schema.FindClass("A").value();
+  SaturationClassResult result = SaturationEngine::DecideClass(schema, cls);
+  EXPECT_EQ(result.verdict, SaturationVerdict::kSatWithReuse);
+  EXPECT_FALSE(result.model.has_value());
+  EXPECT_TRUE(ValidateSaturationGraph(schema, result.graph, cls).empty());
+}
+
 void DriveServerAccept() {
   // A fired accept failpoint skips one poll round; the connection waits
   // in the listen backlog and is served on the next — a delay, never a
@@ -387,6 +426,8 @@ constexpr SeamCase kSeamCases[] = {
     {"lp/fast_tier_overflow", DriveFastTierOverflow},
     {"lp/support_cover_fail", DriveSupportCoverFail},
     {"lp/warm_start_reject", DriveWarmStartReject},
+    {"saturation/expand", DriveSaturationExpand},
+    {"saturation/materialize", DriveSaturationMaterialize},
     {"server/accept", DriveServerAccept},
     {"server/queue-full", DriveServerQueueFull},
     {"server/short-read", DriveServerShortRead},

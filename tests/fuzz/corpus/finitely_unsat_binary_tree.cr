@@ -1,0 +1,13 @@
+// Finitely unsatisfiable, classically satisfiable — the self-referential
+// variant of the paper's Figure 1. Counting: every C owns at least two
+// R-tuples (R.V1), but each C absorbs at most one as the V2 component, so
+// 2|C| <= |R| <= |C| forces C empty in every finite database state. An
+// infinite binary tree of Cs satisfies every constraint, which is exactly
+// what the saturation engine's blocked (cyclic) graph certifies:
+// sat-with-reuse against the reasoner's finitely-UNSAT.
+schema FinitelyUnsatBinaryTree {
+  class C;
+  relationship R(V1: C, V2: C);
+  card C in R.V1 = (2, *);
+  card C in R.V2 = (0, 1);
+}

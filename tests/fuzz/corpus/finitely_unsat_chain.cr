@@ -1,0 +1,14 @@
+// Finitely unsatisfiable, classically satisfiable — Figure 1 stretched
+// over an ISA chain. Counting: 2|A| <= |R| <= |C| and C < B < A gives
+// |C| <= |A|, so every finite database state has A (hence B, C) empty.
+// Classically an infinite tree of Cs (each also a B and an A) satisfies
+// everything: all three classes contrast reasoner finitely-UNSAT against
+// saturation sat-with-reuse.
+schema FinitelyUnsatChain {
+  class A, B, C;
+  isa B < A;
+  isa C < B;
+  relationship R(V1: A, V2: C);
+  card A in R.V1 = (2, *);
+  card C in R.V2 = (0, 1);
+}

@@ -1,0 +1,13 @@
+// Finitely unsatisfiable, classically satisfiable — Figure 1 with wider
+// fan-out. Counting: 3|C| <= |R| (each C owns three R-tuples at V1) and
+// |R| <= 2|D| (each D absorbs at most two at V2), with isa D < C giving
+// |D| <= |C|; so 3|C| <= 2|C|, forcing C and D empty finitely. An
+// infinite 3-ary tree of Ds works classically: both classes are
+// sat-with-reuse for saturation, finitely-UNSAT for the reasoner.
+schema FinitelyUnsatPair {
+  class C, D;
+  isa D < C;
+  relationship R(V1: C, V2: D);
+  card C in R.V1 = (3, *);
+  card D in R.V2 = (0, 2);
+}

@@ -595,6 +595,15 @@ TEST(ExampleSchemasTest, EveryShippedSchemaHasTheExpectedDiagnostics) {
       {"meeting.cr", {}},
       {"university.cr", {}},
       {"witness_heavy.cr", {}},
+      // The curated finitely-unsat contrast schemas (DESIGN.md §16) are
+      // structurally clean by design: their unsatisfiability is the
+      // ISA/cardinality interaction itself, not anything lint can see.
+      {"finitely_unsat_binary_tree.cr", {}},
+      {"finitely_unsat_pair.cr", {}},
+      {"finitely_unsat_chain.cr", {}},
+      // E's role deliberately has no cardinality declaration — it keeps
+      // the class finitely satisfiable next to the contrast core.
+      {"finitely_unsat_ternary.cr", {"dangling-role"}},
       {"lint_demo.cr",
        {"isa-cycle", "redundant-isa", "empty-range",
         "card-refinement-conflict", "trivially-unsat-relationship",

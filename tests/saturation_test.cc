@@ -1,0 +1,324 @@
+// The graph-saturation witness engine (src/saturation/), exercised as a
+// standalone unit: finite-model certification with merge (reuse) and
+// spawn, blocking on cyclic demands (sat-with-reuse), classical
+// unsatisfiability from label clashes, honest kUnknown degradation under
+// guard trips in each phase, thread-count determinism, and unit-level
+// mutation checks proving a weakened merge rule or over-eager blocking
+// produces artifacts the harness-side validators reject.
+//
+// This binary deliberately links ONLY crsat_core + crsat_saturation (see
+// tests/CMakeLists.txt): a reference to lp/, expansion/, or reasoner/
+// leaking into the engine fails right here with an undefined symbol.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/failpoint.h"
+#include "src/base/resource_guard.h"
+#include "src/base/thread_pool.h"
+#include "src/cr/model_checker.h"
+#include "src/cr/schema_text.h"
+#include "src/saturation/graph.h"
+#include "src/saturation/saturation.h"
+
+namespace crsat {
+namespace {
+
+Schema Parse(const std::string& text) {
+  Result<NamedSchema> parsed = ParseSchema(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed->schema;
+}
+
+ClassId Cls(const Schema& schema, const std::string& name) {
+  return schema.FindClass(name).value();
+}
+
+// The paper's Figure 1 collapsed onto one class: 2|C| <= |R| <= |C|
+// forces C finitely empty, while the infinite binary tree is classically
+// fine — the engine's defining test case.
+const char* kBinaryTree =
+    "schema BinaryTree {\n"
+    "  class C;\n"
+    "  relationship R(V1: C, V2: C);\n"
+    "  card C in R.V1 = (2, *);\n"
+    "  card C in R.V2 = (0, 1);\n"
+    "}\n";
+
+// --- Finite certification: merge and spawn --------------------------------
+
+TEST(SaturationTest, SelfLoopCertifiedByReuse) {
+  // (1,1) participation closes into a single self-looping individual:
+  // the merge (reuse-first filler choice) at work.
+  Schema schema = Parse(
+      "schema SelfLoop {\n"
+      "  class A;\n"
+      "  relationship R(V1: A, V2: A);\n"
+      "  card A in R.V1 = (1, 1);\n"
+      "}\n");
+  SaturationReport report = SaturationEngine::Decide(schema);
+  ASSERT_EQ(report.classes.size(), 1u);
+  const SaturationClassResult& result = report.classes[0];
+  EXPECT_EQ(result.verdict, SaturationVerdict::kFiniteModel);
+  ASSERT_TRUE(result.model.has_value());
+  EXPECT_TRUE(ModelChecker::IsModel(schema, *result.model));
+  EXPECT_EQ(result.model->domain_size(), 1);
+  EXPECT_GE(report.individuals_reused, 1u);
+}
+
+TEST(SaturationTest, MinDeficitsSpawnFreshFillers) {
+  // Each A owes two distinct R-tuples; duplicate-tuple rejection forces
+  // the second filler to be a fresh spawn, never a re-merge.
+  Schema schema = Parse(
+      "schema Spawn {\n"
+      "  class A, B;\n"
+      "  relationship R(V1: A, V2: B);\n"
+      "  card A in R.V1 = (2, 2);\n"
+      "}\n");
+  SaturationReport report = SaturationEngine::Decide(schema);
+  const SaturationClassResult& a = report.classes[Cls(schema, "A").value];
+  EXPECT_EQ(a.verdict, SaturationVerdict::kFiniteModel);
+  ASSERT_TRUE(a.model.has_value());
+  EXPECT_TRUE(ModelChecker::IsModel(schema, *a.model));
+  EXPECT_EQ(a.model->domain_size(), 3);  // One A, two spawned Bs.
+  EXPECT_GE(report.individuals_spawned, 2u);
+}
+
+// --- Blocking: sat-with-reuse on finitely-unsat schemas -------------------
+
+TEST(SaturationTest, FinitelyUnsatYieldsValidBlockedGraph) {
+  Schema schema = Parse(kBinaryTree);
+  SaturationReport report = SaturationEngine::Decide(schema);
+  const SaturationClassResult& c = report.classes[0];
+  EXPECT_EQ(c.verdict, SaturationVerdict::kSatWithReuse);
+  EXPECT_FALSE(c.model.has_value());
+  EXPECT_FALSE(c.graph.empty());
+  EXPECT_TRUE(
+      ValidateSaturationGraph(schema, c.graph, c.cls).empty());
+  EXPECT_GE(report.blocked_edges, 1u);
+}
+
+TEST(SaturationTest, UnraveledPrefixViolatesOnlyCardinality) {
+  // Unraveling a valid blocked graph into a finite prefix must satisfy
+  // everything except the frontier's min-cardinality debts — that is the
+  // unraveling theorem the sat-with-reuse verdict rests on.
+  Schema schema = Parse(kBinaryTree);
+  SaturationClassResult result =
+      SaturationEngine::DecideClass(schema, Cls(schema, "C"));
+  ASSERT_EQ(result.verdict, SaturationVerdict::kSatWithReuse);
+  Result<Interpretation> prefix =
+      UnravelPrefix(schema, result.graph, /*max_individuals=*/32);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  std::vector<ModelViolation> violations =
+      ModelChecker::CheckModel(schema, *prefix);
+  ASSERT_FALSE(violations.empty());  // A finite prefix cannot be a model.
+  for (const ModelViolation& violation : violations) {
+    EXPECT_EQ(violation.kind, ModelViolation::Kind::kCardinality)
+        << violation.message;
+  }
+}
+
+// --- Classical unsatisfiability -------------------------------------------
+
+TEST(SaturationTest, RefinementClashIsUnsat) {
+  // B's closure {A, B} folds the bounds to min 2 > max 1 on R.V1: no
+  // model at all, finite or infinite. A itself stays satisfiable.
+  Schema schema = Parse(
+      "schema Refine {\n"
+      "  class A, B, C;\n"
+      "  isa B < A;\n"
+      "  relationship R(V1: A, V2: C);\n"
+      "  card A in R.V1 = (2, *);\n"
+      "  card B in R.V1 = (0, 1);\n"
+      "}\n");
+  EXPECT_EQ(SaturationEngine::DecideClass(schema, Cls(schema, "B")).verdict,
+            SaturationVerdict::kUnsat);
+  EXPECT_EQ(SaturationEngine::DecideClass(schema, Cls(schema, "A")).verdict,
+            SaturationVerdict::kFiniteModel);
+}
+
+TEST(SaturationTest, DisjointSuperclassesAreUnsat) {
+  Schema schema = Parse(
+      "schema Disjoint {\n"
+      "  class A, B, C;\n"
+      "  isa C < A;\n"
+      "  isa C < B;\n"
+      "  disjoint A, B;\n"
+      "}\n");
+  EXPECT_EQ(SaturationEngine::DecideClass(schema, Cls(schema, "C")).verdict,
+            SaturationVerdict::kUnsat);
+}
+
+TEST(SaturationTest, CoveringExhaustionIsUnsat) {
+  // Every covering completion of {P} adds X, and {P, X} clashes; with
+  // all branches dead the class is classically unsatisfiable.
+  Schema schema = Parse(
+      "schema Cover {\n"
+      "  class P, X;\n"
+      "  isa X < P;\n"
+      "  cover P by X;\n"
+      "  relationship R(V1: P, V2: P);\n"
+      "  card P in R.V1 = (2, *);\n"
+      "  card X in R.V1 = (0, 1);\n"
+      "}\n");
+  EXPECT_EQ(SaturationEngine::DecideClass(schema, Cls(schema, "P")).verdict,
+            SaturationVerdict::kUnsat);
+}
+
+// --- Guard degradation: honest unknowns, never guesses --------------------
+
+TEST(SaturationTest, PhaseATripDegradesToUnknown) {
+  Schema schema = Parse(kBinaryTree);
+  ResourceLimits limits;
+  limits.timeout = std::chrono::milliseconds(0);
+  ResourceGuard guard(limits);
+  SaturationOptions options;
+  options.guard = &guard;
+  SaturationClassResult result =
+      SaturationEngine::DecideClass(schema, Cls(schema, "C"), options);
+  EXPECT_EQ(result.verdict, SaturationVerdict::kUnknown);
+  EXPECT_FALSE(result.unknown_reason.empty());
+  EXPECT_FALSE(result.model.has_value());
+  EXPECT_TRUE(guard.tripped());
+  EXPECT_EQ(guard.report().site, "saturation/phase_a");
+}
+
+TEST(SaturationTest, PhaseBTripDegradesToSatWithReuse) {
+  // Land an injected guard trip inside phase B by scanning the nth-check
+  // schedule: the engine is deterministic, so some K hits the
+  // materialization loop's poll. Phase A already built a valid graph, so
+  // the honest degraded claim is sat-with-reuse, not unknown.
+  Schema schema = Parse(
+      "schema SelfLoop {\n"
+      "  class A;\n"
+      "  relationship R(V1: A, V2: A);\n"
+      "  card A in R.V1 = (1, 1);\n"
+      "}\n");
+  bool landed_in_phase_b = false;
+  for (int k = 1; k <= 40 && !landed_in_phase_b; ++k) {
+    FailpointSpec spec;
+    spec.id = "guard/trip";
+    spec.mode = FailpointMode::kNth;
+    spec.n = static_cast<std::uint64_t>(k);
+    ScopedFailpoint armed(spec);
+    ASSERT_TRUE(armed.status().ok());
+    ResourceGuard guard;  // Unlimited: only the injection can trip it.
+    SaturationOptions options;
+    options.guard = &guard;
+    SaturationClassResult result =
+        SaturationEngine::DecideClass(schema, Cls(schema, "A"), options);
+    if (!guard.tripped() || guard.report().site != "saturation/phase_b") {
+      continue;
+    }
+    landed_in_phase_b = true;
+    EXPECT_EQ(result.verdict, SaturationVerdict::kSatWithReuse);
+    EXPECT_FALSE(result.model.has_value());
+    EXPECT_TRUE(
+        ValidateSaturationGraph(schema, result.graph, result.cls).empty());
+  }
+  EXPECT_TRUE(landed_in_phase_b)
+      << "no nth-check schedule up to 40 reached the phase B poll";
+}
+
+// --- Determinism across thread counts -------------------------------------
+
+TEST(SaturationTest, VerdictsGraphsAndModelsAreThreadCountInvariant) {
+  Schema schema = Parse(
+      "schema Mixed {\n"
+      "  class A, B, C, D;\n"
+      "  isa B < A;\n"
+      "  isa D < C;\n"
+      "  relationship R(V1: A, V2: C);\n"
+      "  relationship S(W1: C, W2: C);\n"
+      "  card A in R.V1 = (2, *);\n"
+      "  card B in R.V1 = (0, 1);\n"
+      "  card C in S.W1 = (2, *);\n"
+      "  card C in S.W2 = (0, 1);\n"
+      "  card D in R.V2 = (0, *);\n"
+      "}\n");
+  auto digest = [&](const SaturationReport& report) {
+    std::string out = report.Summary(schema);
+    for (const SaturationClassResult& result : report.classes) {
+      out += SaturationVerdictToString(result.verdict);
+      out += result.graph.ToText(schema);
+      if (result.model.has_value()) {
+        out += result.model->ToString();
+      }
+      out += result.unknown_reason;
+    }
+    return out;
+  };
+  SetGlobalThreadCount(1);
+  const std::string reference = digest(SaturationEngine::Decide(schema));
+  for (int threads : {2, 8}) {
+    SetGlobalThreadCount(threads);
+    EXPECT_EQ(digest(SaturationEngine::Decide(schema)), reference)
+        << "thread count " << threads << " changed the outcome";
+  }
+  SetGlobalThreadCount(0);
+}
+
+// --- Mutation checks: the validators catch a broken engine ----------------
+
+TEST(SaturationMutationTest, WeakenedMergeRuleProducesRejectedModel) {
+  // With the max-cardinality check dropped from the merge rule the
+  // engine "certifies" a finite model of the finitely-unsat schema —
+  // and ModelChecker rejects it, which is exactly what the conformance
+  // harness surfaces as saturation-missed-violation.
+  Schema schema = Parse(kBinaryTree);
+  SaturationOptions mutated;
+  mutated.weaken_merge_rule = true;
+  SaturationClassResult result =
+      SaturationEngine::DecideClass(schema, Cls(schema, "C"), mutated);
+  ASSERT_EQ(result.verdict, SaturationVerdict::kFiniteModel);
+  ASSERT_TRUE(result.model.has_value());
+  EXPECT_FALSE(ModelChecker::IsModel(schema, *result.model));
+  std::vector<ModelViolation> violations =
+      ModelChecker::CheckModel(schema, *result.model);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, ModelViolation::Kind::kCardinality);
+}
+
+TEST(SaturationMutationTest, OverEagerBlockingProducesInvalidGraph) {
+  // A is classically unsatisfiable (every filler B owes three S-tuples
+  // but may absorb one). Over-eager blocking short-circuits the nested
+  // clash and claims sat-with-reuse — but the graph it exhibits fails
+  // the local validator, so the claim carries its own refutation.
+  Schema schema = Parse(
+      "schema Nested {\n"
+      "  class A, B, C;\n"
+      "  isa B < C;\n"
+      "  relationship R(V1: A, V2: B);\n"
+      "  card A in R.V1 = (1, *);\n"
+      "  relationship S(W1: C, W2: A);\n"
+      "  card C in S.W1 = (3, *);\n"
+      "  card B in S.W1 = (0, 1);\n"
+      "}\n");
+  const ClassId a = Cls(schema, "A");
+  EXPECT_EQ(SaturationEngine::DecideClass(schema, a).verdict,
+            SaturationVerdict::kUnsat);
+  SaturationOptions mutated;
+  mutated.overeager_blocking = true;
+  SaturationClassResult result =
+      SaturationEngine::DecideClass(schema, a, mutated);
+  EXPECT_NE(result.verdict, SaturationVerdict::kUnsat);
+  EXPECT_FALSE(result.graph.empty());
+  EXPECT_FALSE(ValidateSaturationGraph(schema, result.graph, a).empty());
+}
+
+TEST(SaturationTest, VerdictNamesAreStable) {
+  EXPECT_STREQ(SaturationVerdictToString(SaturationVerdict::kFiniteModel),
+               "finite-model");
+  EXPECT_STREQ(SaturationVerdictToString(SaturationVerdict::kSatWithReuse),
+               "sat-with-reuse");
+  EXPECT_STREQ(SaturationVerdictToString(SaturationVerdict::kUnsat),
+               "unsat");
+  EXPECT_STREQ(SaturationVerdictToString(SaturationVerdict::kUnknown),
+               "unknown");
+}
+
+}  // namespace
+}  // namespace crsat

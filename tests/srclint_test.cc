@@ -150,6 +150,62 @@ TEST(SrclintRuleTest, ServerLayeringIgnoresLayeringExemptions) {
                   .empty());
 }
 
+TEST(SrclintRuleTest, SaturationLayeringViolationCaught) {
+  std::vector<Finding> findings =
+      CheckTree(Testdata("saturationlayering_violation"));
+  std::set<std::string> rules = Rules(findings);
+  // The engine reaching into lp/ breaks the include-layering table entry;
+  // the reasoner peeking into the engine trips the dedicated rule.
+  EXPECT_TRUE(rules.count("include-layering"));
+  EXPECT_TRUE(rules.count("saturation-layering"));
+  for (const Finding& finding : findings) {
+    if (finding.rule == "saturation-layering") {
+      EXPECT_EQ(finding.file, "src/reasoner/peek_fixture.cc");
+    }
+  }
+}
+
+TEST(SrclintRuleTest, SaturationLayeringCleanPasses) {
+  EXPECT_TRUE(CheckTree(Testdata("saturationlayering_clean")).empty());
+}
+
+TEST(SrclintRuleTest, SaturationLayeringExemptsOnlyTheDriver) {
+  // The differential driver and the umbrella are where the three-way
+  // vote and the public surface live; everything else in production is
+  // fenced out, including the rest of src/oracle/.
+  EXPECT_TRUE(CheckSource("src/oracle/conformance.cc",
+                          "#include \"src/saturation/saturation.h\"\n")
+                  .empty());
+  EXPECT_TRUE(CheckSource("src/crsat.h",
+                          "#include \"src/saturation/graph.h\"\n")
+                  .empty());
+  std::set<std::string> rules = Rules(CheckSource(
+      "src/oracle/brute_force.cc",
+      "#include \"src/saturation/saturation.h\"\n"));
+  EXPECT_TRUE(rules.count("saturation-layering"));
+}
+
+TEST(SrclintRuleTest, RealReasonerStaysOutOfTheSaturationEngine) {
+  // Mutation-style pin, same idiom as RealDualRepairStaysGuarded: the
+  // real reasoner core scans clean of the rule today, and planting the
+  // engine include turns the scan red — so a refactor that quietly
+  // couples the system under test to its cross-check fails tier 1.
+  std::ifstream in(fs::path(CRSAT_SOURCE_DIR) / "src" / "reasoner" /
+                   "satisfiability.cc");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string original = buffer.str();
+  for (const Finding& finding :
+       CheckSource("src/reasoner/satisfiability.cc", original)) {
+    EXPECT_NE(finding.rule, "saturation-layering") << finding.message;
+  }
+  std::set<std::string> rules = Rules(
+      CheckSource("src/reasoner/satisfiability.cc",
+                  "#include \"src/saturation/graph.h\"\n" + original));
+  EXPECT_TRUE(rules.count("saturation-layering"));
+}
+
 TEST(SrclintRuleTest, UnguardedLoopCaught) {
   std::vector<Finding> findings = CheckTree(Testdata("unguarded_violation"));
   ASSERT_FALSE(findings.empty());

@@ -9,6 +9,16 @@ either side, and rows with no counterpart (different --depth/--schemas
 parameters change the workload name), are reported and skipped rather
 than failed — the gate only ever compares like with like.
 
+Rows marked `oversubscribed` (produced by `bench_parallel
+--force-multithread` on a machine with fewer cores than threads) ARE
+compared, but their wall-time drift is advisory (WARN, never FAIL):
+the wall clock there measures scheduler noise, not scaling. What the
+gate does enforce on every multi-thread row, oversubscribed or not, is
+determinism — `deterministic_across_threads` must be true in the fresh
+JSON, and any workload with multi-thread baseline rows must have
+multi-thread fresh rows (so a single-core CI runner can't silently
+drop the cross-thread cross-check; it must pass --force-multithread).
+
 Counter drift (solves/pivots) on matched rows is reported informationally:
 those counts are deterministic, so a change is a behavior change, but the
 wall clock is the contract this gate enforces.
@@ -33,21 +43,23 @@ import sys
 
 
 def load_rows(path):
-    """Returns {(workload_name, threads): run_row} for comparable rows,
-    or None (after printing an error) when the file is missing/malformed.
-    Rows whose wall_ms is not a finite number are warned about and
-    dropped — an interrupted bench run writes nulls, and the gate must
-    degrade to "fewer rows compared", not a traceback."""
+    """Returns (doc, {(workload_name, threads): run_row}) for comparable
+    rows, or (None, None) (after printing an error) when the file is
+    missing/malformed. Rows whose wall_ms is not a finite number are
+    warned about and dropped — an interrupted bench run writes nulls,
+    and the gate must degrade to "fewer rows compared", not a
+    traceback. `oversubscribed` rows are kept (their determinism and
+    presence are gated; their timing is advisory)."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         print(f"error: cannot load {path}: {error}", file=sys.stderr)
-        return None
+        return None, None
     rows = {}
     if not isinstance(doc, dict):
         print(f"WARN  {path}: top-level JSON is not an object; no rows")
-        return rows
+        return {}, rows
     for workload in doc.get("workloads", []):
         name = workload.get("name", "?")
         for run in workload.get("runs", []):
@@ -67,7 +79,7 @@ def load_rows(path):
                       f"non-finite wall_ms {wall!r}; row dropped")
                 continue
             rows[(name, threads)] = run
-    return rows
+    return doc, rows
 
 
 def load_server_rows(path):
@@ -177,13 +189,40 @@ def main():
     if args.mode == "server":
         return check_server(args)
 
-    baseline = load_rows(args.baseline)
-    fresh = load_rows(args.fresh)
+    _, baseline = load_rows(args.baseline)
+    fresh_doc, fresh = load_rows(args.fresh)
     if baseline is None or fresh is None:
         return 2
 
     failures = []
     compared = 0
+
+    # Determinism is the one property the multi-thread rows certify on
+    # any core count: the bench binary exits non-zero on a digest
+    # mismatch, and the JSON records the verdict — a false here means
+    # someone committed output from a failed run.
+    if fresh_doc.get("deterministic_across_threads") is False:
+        failures.append(
+            "fresh run reports deterministic_across_threads = false")
+    for workload in fresh_doc.get("workloads", []):
+        if workload.get("deterministic") is False:
+            failures.append(f"{workload.get('name', '?')}: fresh run "
+                            "reports deterministic = false")
+
+    # Any workload the baseline measures at >1 threads must have fresh
+    # multi-thread rows too (real or oversubscribed): a single-core
+    # runner that forgets --force-multithread would otherwise silently
+    # skip the cross-thread determinism check.
+    fresh_names = {name for name, _ in fresh}
+    for name in sorted({name for name, threads in baseline if threads > 1}):
+        if name not in fresh_names:
+            continue  # Different bench parameters; nothing to require.
+        if not any(n == name and t > 1 for n, t in fresh):
+            failures.append(
+                f"{name}: baseline has multi-thread rows but the fresh "
+                "run has none (single-core runner? pass "
+                "--force-multithread)")
+
     for key in sorted(baseline):
         name, threads = key
         if key not in fresh:
@@ -196,17 +235,26 @@ def main():
         if base_wall <= 0:
             print(f"SKIP  {name} [threads={threads}]: zero baseline wall")
             continue
+        # Oversubscribed wall clocks (either side) are scheduler noise;
+        # report the drift but never fail on it.
+        advisory = bool(baseline[key].get("oversubscribed")
+                        or fresh[key].get("oversubscribed"))
         ratio = fresh_wall / base_wall
         verdict = "OK  "
         if ratio > 1.0 + args.tolerance:
-            verdict = "FAIL"
-            failures.append(
-                f"{name} [threads={threads}]: {base_wall:.0f} ms -> "
-                f"{fresh_wall:.0f} ms ({(ratio - 1.0) * 100.0:+.1f}%, "
-                f"tolerance {args.tolerance * 100.0:.0f}%)")
+            if advisory:
+                verdict = "WARN"
+            else:
+                verdict = "FAIL"
+                failures.append(
+                    f"{name} [threads={threads}]: {base_wall:.0f} ms -> "
+                    f"{fresh_wall:.0f} ms ({(ratio - 1.0) * 100.0:+.1f}%, "
+                    f"tolerance {args.tolerance * 100.0:.0f}%)")
         print(f"{verdict}  {name} [threads={threads}]: "
               f"{base_wall:.0f} ms -> {fresh_wall:.0f} ms "
-              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+              f"({(ratio - 1.0) * 100.0:+.1f}%)"
+              + ("  [oversubscribed — timing advisory only]"
+                 if advisory else ""))
         for counter in ("solves", "pivots"):
             if counter in baseline[key] and counter in fresh[key]:
                 base_count = baseline[key][counter]
@@ -226,7 +274,7 @@ def main():
               "fresh JSON match nothing in the baseline", file=sys.stderr)
         return 1
     if failures:
-        print("\nwall-time regressions beyond tolerance:", file=sys.stderr)
+        print("\nbench gate failures:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1

@@ -278,6 +278,11 @@ constexpr LayerRule kLayering[] = {
     // expansion/, lp/, or flow/ here would let the system under test
     // leak into its own oracle (see src/CMakeLists.txt layering).
     {"oracle", "base math cr generator"},
+    // The graph-saturation witness engine: the harness's third voice.
+    // Like the oracle it votes against the reasoner, so it may see only
+    // the bare CR semantics — an lp/ or reasoner/ include would let the
+    // engines share a bug and hollow out the vote.
+    {"saturation", "base cr"},
     // The crsatd daemon: a leaf over the whole production stack. The
     // reverse direction — reasoning code including server/ — is the
     // server-layering rule below.
@@ -293,7 +298,8 @@ bool LayeringExempt(const std::string& path) {
 }
 
 // Directories whose .cc files must thread a ResourceGuard through loops.
-constexpr const char* kGuardedDirs[] = {"expansion", "lp", "flow", "witness"};
+constexpr const char* kGuardedDirs[] = {"expansion", "lp", "flow", "witness",
+                                        "saturation"};
 
 // Directories holding exact-arithmetic tiers where double/float are
 // banned (a single rounding would turn a proof into a guess).
@@ -428,6 +434,40 @@ void CheckServerLayering(const std::string& path, const ScannedFile& scan,
                "\" may not be included from " + path +
                " — the reasoning core must stay embeddable without the "
                "daemon (link order: crsat_server -> crsat, never back)");
+    }
+  }
+}
+
+// --- Rule: saturation-layering --------------------------------------------
+
+// src/saturation/ (the graph-saturation witness engine) is the third
+// independent voice in the differential harness, and its entire value is
+// that independence. The include-layering table above keeps its own
+// includes down to bare CR semantics; this rule enforces the reverse
+// direction: no production code may include it. Only the differential
+// driver and the public umbrella (the include-layering exemptions) may
+// see it — a reasoner/ or lp/ edge into saturation/ would let the
+// system under test borrow its cross-check's logic, so the two could
+// share a bug and the three-way vote would quietly become a two-way one
+// (link order: crsat_conformance -> crsat_saturation, never into crsat).
+void CheckSaturationLayering(const std::string& path, const ScannedFile& scan,
+                             std::vector<Finding>* findings) {
+  if (path.rfind("src/", 0) != 0 || SrcDirOf(path) == "saturation" ||
+      LayeringExempt(path)) {
+    return;
+  }
+  for (const Token& token : scan.tokens) {
+    if (token.kind != TokenKind::kPreprocessor) {
+      continue;
+    }
+    const std::string target = IncludeTarget(token.text);
+    if (SrcDirOf(target) == "saturation") {
+      Emit(findings, path, token.line, "saturation-layering",
+           "src/saturation/ is an independent witness engine: \"" + target +
+               "\" may only be included by the differential driver "
+               "(src/oracle/conformance.*) and the umbrella header — a "
+               "production edge into the engine would let the system under "
+               "test share bugs with its own cross-check");
     }
   }
 }
@@ -722,6 +762,8 @@ constexpr const char* kFailpointRegistry[] = {
     "lp/fast_tier_overflow",
     "lp/support_cover_fail",
     "lp/warm_start_reject",
+    "saturation/expand",
+    "saturation/materialize",
     "server/accept",
     "server/queue-full",
     "server/short-read",
@@ -823,6 +865,7 @@ std::vector<Finding> CheckSource(const std::string& path,
   const ScannedFile scan = Tokenize(content);
   CheckLayering(path, scan, &findings);
   CheckServerLayering(path, scan, &findings);
+  CheckSaturationLayering(path, scan, &findings);
   CheckUnguardedLoops(path, scan, &findings);
   CheckBannedConstructs(path, scan, &findings);
   CheckCertifyNonBypass(path, scan, &findings);

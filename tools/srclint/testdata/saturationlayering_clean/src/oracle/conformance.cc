@@ -1,0 +1,5 @@
+// Fixture: the differential driver is the one production file allowed to
+// see the engine — it is where the three-way vote happens.
+#include "src/saturation/saturation.h"
+
+int TallyTheVote() { return 0; }

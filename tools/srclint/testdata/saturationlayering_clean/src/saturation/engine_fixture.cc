@@ -1,0 +1,5 @@
+// Fixture: the witness engine staying on bare CR semantics is clean.
+#include "src/base/result.h"
+#include "src/cr/schema.h"
+
+int SaturateIndependently() { return 0; }

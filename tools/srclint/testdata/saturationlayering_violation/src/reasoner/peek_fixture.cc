@@ -1,0 +1,5 @@
+// Fixture: production code peeking into the independent witness engine —
+// the reverse edge the saturation-layering rule forbids.
+#include "src/saturation/saturation.h"
+
+int PeekAtTheWitnessEngine() { return 0; }

@@ -1,0 +1,6 @@
+// Fixture: the witness engine borrowing the production LP tier — the
+// dependence that would let it inherit the reasoner's bugs.
+#include "src/cr/schema.h"
+#include "src/lp/simplex.h"
+
+int SaturateWithSimplex() { return 0; }
